@@ -1,0 +1,115 @@
+// Ablation of Voltage's adaptive computation-order selection (Theorem 2):
+//   1. operation counts of adaptive vs always-Eq.3 vs always-Eq.8 across
+//      the (N, K) grid — how much each fixed policy loses;
+//   2. exhaustive validation that the Theorem-2 threshold picks the argmin
+//      of all ten multiplication orders;
+//   3. real wall-clock timing of both orders around the crossover.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "partition/flop_model.h"
+#include "partition/order.h"
+#include "partition/partitioned_attention.h"
+#include "tensor/rng.h"
+#include "transformer/weights.h"
+
+namespace {
+
+using namespace voltage;
+
+void flop_grid() {
+  const LayerConfig cfg{.hidden = 1024,
+                        .heads = 16,
+                        .head_dim = 64,
+                        .ffn_dim = 4096,
+                        .activation = Activation::kGelu};
+  std::printf("\nper-layer GMACs (BERT-Large geometry, F=1024, H=16)\n");
+  std::printf("%4s %4s  %9s %9s %9s  %8s %14s\n", "N", "K", "adaptive",
+              "eq3-only", "eq8-only", "chosen", "penalty-if-naive");
+  bench::print_rule(72);
+  for (const std::size_t n : {100U, 200U, 300U}) {
+    for (const std::size_t k : {2U, 4U, 6U, 8U, 10U}) {
+      const std::size_t p = n / k;
+      const AttentionDims dims{.n = n, .p = p, .f = cfg.hidden,
+                               .fh = cfg.head_dim};
+      const AttentionOrder chosen =
+          select_order(OrderPolicy::kAdaptive, dims);
+      const double eq3 =
+          static_cast<double>(gamma_partitioned_layer(
+              cfg, n, p, AttentionOrder::kNaive)) / 1e9;
+      const double eq8 =
+          static_cast<double>(gamma_partitioned_layer(
+              cfg, n, p, AttentionOrder::kReordered)) / 1e9;
+      const double adaptive = std::min(eq3, eq8);
+      std::printf("%4zu %4zu  %9.3f %9.3f %9.3f  %8s %13.1f%%\n", n, k,
+                  adaptive, eq3, eq8, to_string(chosen),
+                  100.0 * (eq3 - adaptive) / adaptive);
+    }
+  }
+}
+
+void oracle_validation() {
+  std::size_t cases = 0;
+  std::size_t optimal = 0;
+  for (const std::size_t h : {2U, 4U, 8U, 12U, 16U}) {
+    for (const std::size_t fh : {16U, 64U, 128U, 256U}) {
+      for (const std::size_t n : {64U, 100U, 197U, 200U, 300U, 512U}) {
+        for (std::size_t p = 1; p <= n; p += 3) {
+          const AttentionDims d{.n = n, .p = p, .f = h * fh, .fh = fh};
+          const std::uint64_t chosen = theorem2_prefers_reordered(d)
+                                           ? gamma_eq8(d)
+                                           : gamma_eq3(d);
+          ++cases;
+          if (chosen == cheapest_order_exhaustive(d).cost) ++optimal;
+        }
+      }
+    }
+  }
+  std::printf("\nTheorem-2 selector vs exhaustive 10-order oracle: "
+              "%zu/%zu settings optimal\n",
+              optimal, cases);
+}
+
+void wallclock_crossover() {
+  const LayerConfig cfg{.hidden = 1024,
+                        .heads = 8,
+                        .head_dim = 128,
+                        .ffn_dim = 4096,
+                        .activation = Activation::kGelu};
+  Rng rng(7);
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const std::size_t n = 200;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+
+  std::printf("\nreal wall-clock per partition (N=%zu, H=8, F_H=128)\n", n);
+  std::printf("%4s  %12s  %12s  %10s\n", "K", "eq3 (ms)", "eq8 (ms)",
+              "adaptive");
+  bench::print_rule(46);
+  for (const std::size_t k : {1U, 2U, 4U, 8U, 16U}) {
+    const Range p{0, n / k};
+    const double t3 = bench::time_best_of(3, [&] {
+      (void)multi_head_attention_partition(x, p, w.attention, cfg,
+                                           OrderPolicy::kAlwaysNaive);
+    });
+    const double t8 = bench::time_best_of(3, [&] {
+      (void)multi_head_attention_partition(x, p, w.attention, cfg,
+                                           OrderPolicy::kAlwaysReordered);
+    });
+    const AttentionOrder chosen = select_order(
+        OrderPolicy::kAdaptive,
+        {.n = n, .p = p.size(), .f = cfg.hidden, .fh = cfg.head_dim});
+    std::printf("%4zu  %12.2f  %12.2f  %10s\n", k, 1e3 * t3, 1e3 * t8,
+                to_string(chosen));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: adaptive computation-order selection "
+              "(Theorem 2) ===\n");
+  flop_grid();
+  oracle_validation();
+  wallclock_crossover();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the benchmark binaries: fixed-width table printing and
+// wall-clock timing of tensor kernels.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace voltage::bench {
+
+// Writes a figure's data series as CSV next to the printed table so the
+// plots can be regenerated directly (one file per figure, in the CWD).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& filename) : out_(filename) {
+    if (out_) std::printf("(writing %s)\n", filename.c_str());
+  }
+
+  void row(std::initializer_list<std::string> cells) {
+    if (!out_) return;
+    bool first = true;
+    for (const std::string& cell : cells) {
+      if (!first) out_ << ',';
+      out_ << cell;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+inline std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Best-of-`reps` wall time of `fn` in seconds.
+inline double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double s =
+        std::chrono::duration<double>(stop - start).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace voltage::bench

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 4: end-to-end inference latency vs device count
+// (K = 1..6) for BERT-Large, ViT-Base and GPT-2 at the default 500 Mbps —
+// Voltage vs tensor parallelism vs single-device deployment.
+//
+// Expected shape (paper §VI-B): Voltage decreases monotonically with K and
+// beats single-device; tensor parallelism is slower than single-device at
+// every K because its two all-reduces per layer dominate.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel/latency_model.h"
+#include "transformer/zoo.h"
+
+namespace {
+
+using namespace voltage;
+
+// Calibration of the paper's testbed: one weak vCPU per VM, 500 Mbps links
+// (see EXPERIMENTS.md for how these constants were chosen).
+sim::DeviceSpec paper_device() {
+  return sim::DeviceSpec{
+      .name = "vcpu", .mac_rate = 25e9, .elementwise_rate = 4e9};
+}
+
+void run_model(const ModelSpec& spec, bench::CsvWriter& csv) {
+  const std::size_t n = paper_sequence_length(spec);
+  std::printf("\n%s  (N=%zu, L=%zu, F=%zu, H=%zu)\n", spec.name.c_str(), n,
+              spec.num_layers, spec.layer.hidden, spec.layer.heads);
+  std::printf("%3s  %12s  %12s  %12s  %10s\n", "K", "single(s)",
+              "tensor-par(s)", "voltage(s)", "volt-gain");
+  bench::print_rule(60);
+
+  const sim::Cluster one = sim::Cluster::homogeneous(1, paper_device(),
+                                                     LinkModel::mbps(500));
+  const double single = simulate_single_device(spec, n, one).total;
+
+  double best_gain = 0.0;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const sim::Cluster cluster = sim::Cluster::homogeneous(
+        k, paper_device(), LinkModel::mbps(500));
+    const double voltage =
+        simulate_voltage(spec, n, cluster, PartitionScheme::even(k),
+                         OrderPolicy::kAdaptive)
+            .total;
+    const double tp = simulate_tensor_parallel(spec, n, cluster).total;
+    const double gain = 100.0 * (single - voltage) / single;
+    if (gain > best_gain) best_gain = gain;
+    std::printf("%3zu  %12.3f  %12.3f  %12.3f  %8.1f%%\n", k, single, tp,
+                voltage, gain);
+    csv.row({spec.name, bench::num(static_cast<double>(k)),
+             bench::num(single), bench::num(tp), bench::num(voltage)});
+  }
+  std::printf("max latency reduction vs single device: %.1f%%  "
+              "(paper: 27.9%% BERT / 29.1%% ViT / 32.1%% GPT-2)\n",
+              best_gain);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 4: inference latency vs device number "
+              "(500 Mbps, batch 1) ===\n");
+  bench::CsvWriter csv("fig4_latency.csv");
+  csv.row({"model", "devices", "single_s", "tensor_parallel_s", "voltage_s"});
+  run_model(bert_large_spec(), csv);
+  run_model(vit_base_spec(), csv);
+  run_model(gpt2_spec(), csv);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the tensor substrate and the two
+// attention evaluation paths — the kernels whose cost the Γ model predicts.
+#include <benchmark/benchmark.h>
+
+#include "net/socket_fabric.h"
+#include "partition/partitioned_attention.h"
+#include "quant/quantized_tensor.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+#include "transformer/linear_attention.h"
+#include "transformer/weights.h"
+
+namespace {
+
+using namespace voltage;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b, Trans::kNo, Trans::kYes));
+  }
+}
+BENCHMARK(BM_MatmulTransposed)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor x = rng.normal_tensor(200, 200, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_rows(x, 0.125F));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor x = rng.normal_tensor(200, 1024, 1.0F);
+  const Tensor gamma = Tensor::filled(1, 1024, 1.0F);
+  const Tensor beta(1, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layernorm_rows(x, gamma, beta));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_Gelu(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor x = rng.normal_tensor(200, 4096, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gelu(x));
+  }
+}
+BENCHMARK(BM_Gelu);
+
+void BM_TensorSerialize(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor x = rng.normal_tensor(200, 1024, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_bytes(x));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.byte_size()));
+}
+BENCHMARK(BM_TensorSerialize);
+
+// The two self-attention evaluation paths around a typical edge partition
+// (N=200, P=25 -> reordered should win for BERT-like settings).
+void BM_AttentionHead(benchmark::State& state) {
+  const bool reordered = state.range(0) != 0;
+  const LayerConfig cfg{.hidden = 1024,
+                        .heads = 16,
+                        .head_dim = 64,
+                        .ffn_dim = 4096,
+                        .activation = Activation::kGelu};
+  Rng rng(7);
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(200, cfg.hidden, 1.0F);
+  const Range p{0, 25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention_head_partition(
+        x, p, w.attention.heads[0], cfg.head_dim, false,
+        reordered ? AttentionOrder::kReordered : AttentionOrder::kNaive));
+  }
+}
+BENCHMARK(BM_AttentionHead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"reordered"});
+
+// INT8 GEMM vs the float path (same shape as BM_Matmul/256).
+void BM_QuantizedMatmul(benchmark::State& state) {
+  Rng rng(8);
+  const Tensor x = rng.normal_tensor(256, 256, 1.0F);
+  const QuantizedWeights w = quantize_weights(rng.normal_tensor(256, 256, 0.2F));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized_matmul(x, w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256 * 256 * 256);
+}
+BENCHMARK(BM_QuantizedMatmul);
+
+// Linear attention head vs the softmax head at full sequence length.
+void BM_LinearAttentionHead(benchmark::State& state) {
+  const LayerConfig cfg{.hidden = 1024,
+                        .heads = 16,
+                        .head_dim = 64,
+                        .ffn_dim = 4096,
+                        .activation = Activation::kGelu};
+  Rng rng(9);
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(200, cfg.hidden, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linear_attention_head_full(x, w.attention.heads[0]));
+  }
+}
+BENCHMARK(BM_LinearAttentionHead);
+
+// Round trip through a real kernel socket (message cost of the mesh).
+void BM_SocketRoundTrip(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  SocketFabric fabric(2);
+  const std::vector<std::byte> payload(bytes);
+  for (auto _ : state) {
+    fabric.send(Message{.source = 0, .destination = 1, .tag = 1,
+                        .payload = payload});
+    benchmark::DoNotOptimize(fabric.recv(1, 0, 1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SocketRoundTrip)->Arg(1024)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

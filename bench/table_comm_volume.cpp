@@ -1,0 +1,74 @@
+// Reproduces the paper's §V-C communication-size analysis as a table:
+// per-device per-layer communication of Voltage ((K-1)NF/K elements, one
+// all-gather) against tensor parallelism (4(K-1)NF/K, two all-reduces),
+// for the three evaluated models — the headline "4x less communication".
+//
+// The analytic numbers are cross-checked against byte-accurate traffic
+// measured on the real threaded runtimes (scaled-down models, same
+// formulas).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collective/cost.h"
+#include "parallel/latency_model.h"
+#include "runtime/tensor_parallel_runtime.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/serialize.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace {
+
+using namespace voltage;
+
+void analytic_table(const ModelSpec& spec) {
+  const std::size_t n = paper_sequence_length(spec);
+  const std::size_t f = spec.layer.hidden;
+  std::printf("\n%s  (N=%zu, F=%zu) — per device, per layer\n",
+              spec.name.c_str(), n, f);
+  std::printf("%3s  %14s  %14s  %7s\n", "K", "voltage (MB)", "tensor-par (MB)",
+              "ratio");
+  bench::print_rule(48);
+  for (std::size_t k = 2; k <= 6; ++k) {
+    const double v_mb = static_cast<double>(
+                            voltage_elements_per_device_layer(n, f, k)) *
+                        4.0 / 1.0e6;
+    const double t_mb =
+        static_cast<double>(tp_elements_per_device_layer(n, f, k)) * 4.0 /
+        1.0e6;
+    std::printf("%3zu  %14.3f  %14.3f  %6.2fx\n", k, v_mb, t_mb, t_mb / v_mb);
+  }
+}
+
+void measured_check() {
+  std::printf("\nmeasured on the real runtimes (mini-bert, K=4, N=32):\n");
+  const TransformerModel model = make_model(mini_bert_spec());
+  const auto tokens = random_tokens(32, model.spec().vocab_size, 5);
+
+  VoltageRuntime voltage(model, PartitionScheme::even(4));
+  (void)voltage.infer(tokens);
+  TensorParallelRuntime tp(model, 4);
+  (void)tp.infer(tokens);
+
+  const auto vb = voltage.fabric().stats(0).bytes_sent;
+  const auto tb = tp.fabric().stats(0).bytes_sent;
+  std::printf("  voltage device-0 sent : %8llu bytes\n",
+              static_cast<unsigned long long>(vb));
+  std::printf("  tensor-par device-0   : %8llu bytes\n",
+              static_cast<unsigned long long>(tb));
+  std::printf("  measured ratio        : %.2fx  (steady-state analytic: 4x; "
+              "short 4-layer model saves Voltage one all-gather)\n",
+              static_cast<double>(tb) / static_cast<double>(vb));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table: communication volume, Voltage vs tensor "
+              "parallelism (paper SV-C) ===\n");
+  analytic_table(bert_large_spec());
+  analytic_table(vit_base_spec());
+  analytic_table(gpt2_spec());
+  measured_check();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Heterogeneous edge clusters: the paper's partition scheme is a ratio
+// vector precisely so unequal devices can take unequal shares (§V-B). This
+// example deploys GPT-2 on a mixed cluster (one fast laptop, slower
+// boards), compares even vs speed-proportional partitioning in the latency
+// simulator, and verifies correctness of a skewed scheme on the real
+// threaded runtime.
+//
+//   ./build/examples/heterogeneous_cluster
+#include <cstdio>
+#include <vector>
+
+#include "parallel/latency_model.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/ops.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+int main() {
+  using namespace voltage;
+
+  // A laptop (4x), a tablet (2x) and two IoT boards (1x each).
+  const std::vector<double> speeds{4.0, 2.0, 1.0, 1.0};
+  sim::Cluster cluster;
+  cluster.link = LinkModel::mbps(500);
+  cluster.terminal = sim::DeviceSpec{
+      .name = "terminal", .mac_rate = 25e9, .elementwise_rate = 4e9};
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    cluster.workers.push_back(sim::DeviceSpec{
+        .name = "worker-" + std::to_string(i),
+        .mac_rate = 10e9 * speeds[i],
+        .elementwise_rate = 2e9 * speeds[i]});
+  }
+
+  const ModelSpec spec = gpt2_spec();
+  constexpr std::size_t kSeq = 200;
+  std::printf("GPT-2 (N=%zu) on a heterogeneous 4-device cluster "
+              "(speeds 4:2:1:1)\n\n",
+              kSeq);
+
+  const PartitionScheme even = PartitionScheme::even(speeds.size());
+  const PartitionScheme weighted = PartitionScheme::proportional(speeds);
+
+  const auto report = [&](const char* label, const PartitionScheme& scheme) {
+    const LatencyReport r = simulate_voltage(spec, kSeq, cluster, scheme,
+                                             OrderPolicy::kAdaptive);
+    std::printf("%-22s total %.3f s  (compute %.3f s, comm+stall %.3f s)\n",
+                label, r.total, r.max_device_compute, r.comm_and_stall);
+    std::printf("%-22s positions:", "");
+    for (std::size_t d = 0; d < scheme.devices(); ++d) {
+      const Range range = scheme.range_for(d, kSeq);
+      std::printf(" [%zu,%zu)", range.begin, range.end);
+    }
+    std::printf("\n");
+    return r.total;
+  };
+
+  const double t_even = report("even 1/K split:", even);
+  const double t_weighted = report("speed-proportional:", weighted);
+  std::printf("\nweighting by speed cuts latency by %.1f%% — the all-gather "
+              "waits for the straggler.\n",
+              100.0 * (t_even - t_weighted) / t_even);
+
+  // The skewed scheme is exact, not approximate: run it for real.
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  VoltageRuntime runtime(model, PartitionScheme::proportional(speeds));
+  const auto tokens = random_tokens(32, model.spec().vocab_size, 7);
+  std::printf("\nreal runtime with proportional scheme matches single "
+              "device: %s\n",
+              allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Latency explorer: a small command-line tool over the deployment
+// simulator. Answer "what would this deployment cost?" without touching
+// code:
+//
+//   ./build/examples/latency_explorer --model bert --devices 6 --mbps 500
+//   ./build/examples/latency_explorer --model gpt2 --scheme 4,2,1
+//
+// Prints single-device / Voltage / tensor-parallel / pipeline numbers, the
+// per-device communication volume, and the order the Theorem-2 selector
+// picks for the resulting partition geometry.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "parallel/latency_model.h"
+#include "parallel/pipeline.h"
+#include "partition/order.h"
+#include "partition/scheme.h"
+#include "plan/planner.h"
+#include "transformer/zoo.h"
+
+namespace {
+
+using namespace voltage;
+
+struct Args {
+  std::string model = "bert";
+  std::size_t devices = 6;
+  double mbps = 500.0;
+  double latency_ms = 2.0;
+  double gmacs = 25.0;
+  std::size_t sequence = 0;   // 0 = the paper's default for the model
+  std::string scheme;         // optional weight list, e.g. "4,2,1,1"
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--model NAME] [--devices K] [--mbps BW]\n"
+      "          [--latency-ms L] [--gmacs G] [--sequence N]\n"
+      "          [--scheme W1,W2,...]   (weights; overrides --devices)\n"
+      "models:",
+      argv0);
+  for (const std::string& name : voltage::registered_spec_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--model") == 0) {
+      args.model = need_value("--model");
+    } else if (std::strcmp(argv[i], "--devices") == 0) {
+      args.devices = std::strtoul(need_value("--devices"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mbps") == 0) {
+      args.mbps = std::strtod(need_value("--mbps"), nullptr);
+    } else if (std::strcmp(argv[i], "--latency-ms") == 0) {
+      args.latency_ms = std::strtod(need_value("--latency-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--gmacs") == 0) {
+      args.gmacs = std::strtod(need_value("--gmacs"), nullptr);
+    } else if (std::strcmp(argv[i], "--sequence") == 0) {
+      args.sequence = std::strtoul(need_value("--sequence"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scheme") == 0) {
+      args.scheme = need_value("--scheme");
+    } else {
+      std::printf("unknown flag %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+  if (args.devices == 0 || args.mbps <= 0 || args.gmacs <= 0) usage(argv[0]);
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse(argc, argv);
+
+  const std::optional<ModelSpec> maybe_spec = spec_by_name(args.model);
+  if (!maybe_spec) {
+    std::printf("unknown model '%s'\n", args.model.c_str());
+    usage(argv[0]);
+  }
+  const ModelSpec& spec = *maybe_spec;
+  const PartitionScheme scheme =
+      args.scheme.empty() ? PartitionScheme::even(args.devices)
+                          : PartitionScheme::parse(args.scheme);
+  args.devices = scheme.devices();
+  const std::size_t n =
+      args.sequence != 0 ? args.sequence : paper_sequence_length(spec);
+
+  const sim::DeviceSpec device{.name = "edge",
+                               .mac_rate = args.gmacs * 1e9,
+                               .elementwise_rate = args.gmacs * 1.6e8};
+  const sim::Cluster cluster = sim::Cluster::homogeneous(
+      args.devices, device, LinkModel::mbps(args.mbps, args.latency_ms * 1e-3));
+
+  std::printf("%s | N=%zu | K=%zu | %.0f Mbps, %.1f ms/message | "
+              "%.0f GMAC/s devices\n\n",
+              spec.name.c_str(), n, args.devices, args.mbps, args.latency_ms,
+              args.gmacs);
+
+  const double single =
+      simulate_single_device(
+          spec, n, sim::Cluster::homogeneous(1, device, cluster.link))
+          .total;
+  const LatencyReport voltage =
+      simulate_voltage(spec, n, cluster, scheme, OrderPolicy::kAdaptive);
+  std::printf("single device        : %8.3f s\n", single);
+  std::printf("voltage              : %8.3f s  (%+.1f%% vs single; compute "
+              "%.3f s, comm+stall %.3f s)\n",
+              voltage.total, 100.0 * (voltage.total - single) / single,
+              voltage.max_device_compute, voltage.comm_and_stall);
+  if (args.devices <= spec.layer.heads) {
+    const double tp = simulate_tensor_parallel(spec, n, cluster).total;
+    std::printf("tensor parallelism   : %8.3f s  (%+.1f%% vs single)\n", tp,
+                100.0 * (tp - single) / single);
+  } else {
+    std::printf("tensor parallelism   : n/a (more devices than heads)\n");
+  }
+  const PipelineReport pipe = simulate_pipeline(spec, n, cluster);
+  std::printf("pipeline parallelism : %8.3f s latency, %.2f req/s "
+              "throughput\n",
+              pipe.request_latency, pipe.throughput_rps);
+
+  const AttentionDims dims{.n = n,
+                           .p = n / args.devices,
+                           .f = spec.layer.hidden,
+                           .fh = spec.layer.head_dim};
+  std::printf(
+      "\nTheorem-2 order at P=N/K=%zu : %s\n", dims.p,
+      to_string(select_order(OrderPolicy::kAdaptive, dims)));
+  std::printf("per-device wire volume       : voltage %.2f MB vs "
+              "tensor-parallel %.2f MB per inference\n",
+              static_cast<double>(voltage.bytes_sent_per_device) / 1e6,
+              args.devices <= spec.layer.heads
+                  ? static_cast<double>(
+                        simulate_tensor_parallel(spec, n, cluster)
+                            .bytes_sent_per_device) /
+                        1e6
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "collective/collectives.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+namespace {
+
+void check_group(const std::vector<DeviceId>& group, std::size_t my_index) {
+  if (group.empty()) throw std::invalid_argument("collective: empty group");
+  if (my_index >= group.size()) {
+    throw std::invalid_argument("collective: my_index out of group");
+  }
+}
+
+// Row range of ring chunk `c` for a tensor with `rows` rows split `k` ways.
+Range ring_chunk(std::size_t rows, std::size_t k, std::size_t c) {
+  return Range{.begin = rows * c / k, .end = rows * (c + 1) / k};
+}
+
+}  // namespace
+
+std::vector<Tensor> all_gather(Transport& fabric,
+                               const std::vector<DeviceId>& group,
+                               std::size_t my_index, const Tensor& local,
+                               MessageTag tag) {
+  check_group(group, my_index);
+  const DeviceId self = group[my_index];
+  auto payload = to_bytes(local);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i == my_index) continue;
+    fabric.send(Message{.source = self,
+                        .destination = group[i],
+                        .tag = tag,
+                        .payload = payload});
+  }
+  std::vector<Tensor> gathered(group.size());
+  gathered[my_index] = local;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i == my_index) continue;
+    gathered[i] = tensor_from_bytes(fabric.recv(self, group[i], tag).payload);
+  }
+  return gathered;
+}
+
+void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
+               std::size_t my_index, std::size_t root_index, Tensor& data,
+               MessageTag tag) {
+  check_group(group, my_index);
+  if (root_index >= group.size()) {
+    throw std::invalid_argument("broadcast: root outside group");
+  }
+  const DeviceId self = group[my_index];
+  if (my_index == root_index) {
+    const auto payload = to_bytes(data);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i == root_index) continue;
+      fabric.send(Message{.source = self,
+                          .destination = group[i],
+                          .tag = tag,
+                          .payload = payload});
+    }
+  } else {
+    data = tensor_from_bytes(
+        fabric.recv(self, group[root_index], tag).payload);
+  }
+}
+
+Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group,
+                           std::size_t my_index, Tensor local,
+                           MessageTag tag) {
+  check_group(group, my_index);
+  const std::size_t k = group.size();
+  if (k == 1) return local;
+  const DeviceId self = group[my_index];
+  const std::size_t next = (my_index + 1) % k;
+  const std::size_t prev = (my_index + k - 1) % k;
+  const std::size_t rows = local.rows();
+
+  const auto send_chunk = [&](std::size_t chunk, std::uint64_t step) {
+    const Range r = ring_chunk(rows, k, chunk);
+    fabric.send(Message{.source = self,
+                        .destination = group[next],
+                        .tag = tag + step,
+                        .payload = to_bytes(local.slice_rows(r.begin, r.end))});
+  };
+  const auto recv_chunk = [&](std::uint64_t step) {
+    return tensor_from_bytes(
+        fabric.recv(self, group[prev], tag + step).payload);
+  };
+
+  // Reduce-scatter: after K-1 steps, rank i holds the full sum of chunk
+  // (i + 1) mod K.
+  for (std::size_t step = 0; step < k - 1; ++step) {
+    const std::size_t send_idx = (my_index + k - step) % k;
+    const std::size_t recv_idx = (my_index + k - step - 1) % k;
+    send_chunk(send_idx, step);
+    const Tensor incoming = recv_chunk(step);
+    const Range r = ring_chunk(rows, k, recv_idx);
+    for (std::size_t row = r.begin; row < r.end; ++row) {
+      auto dst = local.row(row);
+      const auto src = incoming.row(row - r.begin);
+      for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+    }
+  }
+  // All-gather: circulate the reduced chunks.
+  for (std::size_t step = 0; step < k - 1; ++step) {
+    const std::size_t send_idx = (my_index + 1 + k - step) % k;
+    const std::size_t recv_idx = (my_index + k - step) % k;
+    send_chunk(send_idx, (k - 1) + step);
+    const Tensor incoming = recv_chunk((k - 1) + step);
+    const Range r = ring_chunk(rows, k, recv_idx);
+    if (!r.empty()) local.set_rows(r.begin, incoming);
+  }
+  return local;
+}
+
+Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group,
+                            std::size_t my_index, Tensor local,
+                            MessageTag tag) {
+  check_group(group, my_index);
+  const DeviceId self = group[my_index];
+  constexpr std::size_t kRoot = 0;
+  if (my_index == kRoot) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      add_inplace(local,
+                  tensor_from_bytes(fabric.recv(self, group[i], tag).payload));
+    }
+  } else {
+    fabric.send(Message{.source = self,
+                        .destination = group[kRoot],
+                        .tag = tag,
+                        .payload = to_bytes(local)});
+  }
+  broadcast(fabric, group, my_index, kRoot, local, tag + 1);
+  return local;
+}
+
+Tensor assemble_rows(const std::vector<Tensor>& parts,
+                     const std::vector<Range>& ranges, std::size_t n,
+                     std::size_t cols) {
+  if (parts.size() != ranges.size()) {
+    throw std::invalid_argument("assemble_rows: parts/ranges mismatch");
+  }
+  Tensor out(n, cols);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].rows() != ranges[i].size()) {
+      throw std::invalid_argument("assemble_rows: partition size mismatch");
+    }
+    if (!ranges[i].empty()) out.set_rows(ranges[i].begin, parts[i]);
+  }
+  return out;
+}
+
+}  // namespace voltage

@@ -1,0 +1,54 @@
+// Communication collectives over the in-process Fabric.
+//
+// These are the real data paths of the two strategies under study:
+//   - Voltage needs one all-gather of position partitions per layer
+//     (paper Algorithm 2, step 10) plus an initial broadcast and a final
+//     gather to the terminal device;
+//   - tensor parallelism needs two all-reduces per layer (paper Fig. 2).
+// All payloads travel serialized, so Fabric traffic statistics measure the
+// true wire volume the paper's §V-C formulas predict.
+#pragma once
+
+#include <vector>
+
+#include "net/transport.h"
+#include "partition/range.h"
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+// Full-mesh all-gather: every group member sends `local` to all others and
+// returns the per-rank tensors in group order (own slot = `local`).
+// `group[my_index]` must be this caller's fabric id.
+[[nodiscard]] std::vector<Tensor> all_gather(Transport& fabric,
+                                             const std::vector<DeviceId>& group,
+                                             std::size_t my_index,
+                                             const Tensor& local,
+                                             MessageTag tag);
+
+// Root sends `data` to every other member; non-roots receive into `data`.
+void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
+               std::size_t my_index, std::size_t root_index, Tensor& data,
+               MessageTag tag);
+
+// Classic chunked ring all-reduce (reduce-scatter + all-gather phases,
+// 2*(K-1) steps). Returns the elementwise sum of all ranks' tensors.
+[[nodiscard]] Tensor ring_all_reduce_sum(Transport& fabric,
+                                         const std::vector<DeviceId>& group,
+                                         std::size_t my_index, Tensor local,
+                                         MessageTag tag);
+
+// Gather-to-root + broadcast all-reduce; simpler but concentrates traffic at
+// the root (kept as an ablation baseline).
+[[nodiscard]] Tensor naive_all_reduce_sum(Transport& fabric,
+                                          const std::vector<DeviceId>& group,
+                                          std::size_t my_index, Tensor local,
+                                          MessageTag tag);
+
+// Reassembles a full [n x F] sequence from per-rank row partitions laid out
+// by `ranges` (ranges[i] belongs to parts[i]).
+[[nodiscard]] Tensor assemble_rows(const std::vector<Tensor>& parts,
+                                   const std::vector<Range>& ranges,
+                                   std::size_t n, std::size_t cols);
+
+}  // namespace voltage

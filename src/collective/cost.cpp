@@ -1,0 +1,47 @@
+#include "collective/cost.h"
+
+namespace voltage {
+
+Seconds allgather_fullmesh_duration(std::size_t bytes_per_rank, std::size_t k,
+                                    const LinkModel& link) {
+  if (k <= 1) return 0.0;
+  return link.per_message_latency +
+         static_cast<double>(k - 1) * link.wire_time(bytes_per_rank);
+}
+
+Seconds ring_allreduce_duration(std::size_t total_bytes, std::size_t k,
+                                const LinkModel& link) {
+  if (k <= 1) return 0.0;
+  const std::size_t chunk = (total_bytes + k - 1) / k;
+  return 2.0 * static_cast<double>(k - 1) * link.transfer_time(chunk);
+}
+
+Seconds star_allreduce_duration(std::size_t total_bytes, std::size_t k,
+                                const LinkModel& link) {
+  if (k <= 1) return 0.0;
+  return link.transfer_time(total_bytes) + link.per_message_latency +
+         static_cast<double>(k - 1) * link.wire_time(total_bytes);
+}
+
+Seconds broadcast_duration(std::size_t bytes, std::size_t k,
+                           const LinkModel& link) {
+  if (k <= 1) return 0.0;
+  return link.per_message_latency +
+         static_cast<double>(k - 1) * link.wire_time(bytes);
+}
+
+std::uint64_t voltage_elements_per_device_layer(std::size_t n, std::size_t f,
+                                                std::size_t k) {
+  if (k <= 1) return 0;
+  // (K-1) * (N/K) * F: the device sends its partition to each peer.
+  return static_cast<std::uint64_t>(k - 1) * (n / k) * f;
+}
+
+std::uint64_t tp_elements_per_device_layer(std::size_t n, std::size_t f,
+                                           std::size_t k) {
+  if (k <= 1) return 0;
+  // Two ring all-reduces, each sending 2*(K-1)/K of the N x F activation.
+  return 4 * static_cast<std::uint64_t>(k - 1) * n * f / k;
+}
+
+}  // namespace voltage

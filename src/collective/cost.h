@@ -1,0 +1,59 @@
+// Analytic timing/volume model of the collectives, mirroring the real
+// implementations in collectives.cpp under a LinkModel.
+//
+// Communication-volume accounting reproduces the paper §V-C:
+//   Voltage:            (K-1) * N * F / K   elements sent per device per layer
+//   tensor parallelism: 4 * (K-1) * N * F / K  (two ring all-reduces)
+// hence the headline 4x reduction.
+//
+// Durations assume all ranks enter the collective simultaneously; the
+// discrete-event simulator (src/sim) generalizes to skewed ready times and
+// heterogeneous devices, and is validated against these closed forms in the
+// homogeneous case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/link.h"
+
+namespace voltage {
+
+// Full-mesh all-gather of `bytes_per_rank` from each of `k` ranks: each NIC
+// pipelines its k-1 uploads back-to-back (one per-message setup cost, then
+// serialized wire time).
+[[nodiscard]] Seconds allgather_fullmesh_duration(std::size_t bytes_per_rank,
+                                                  std::size_t k,
+                                                  const LinkModel& link);
+
+// Chunked ring all-reduce of a `total_bytes` tensor: 2*(k-1) dependent
+// steps, each moving total_bytes/k and paying the per-message cost. The
+// step serialization is what makes tensor parallelism latency-fragile.
+[[nodiscard]] Seconds ring_allreduce_duration(std::size_t total_bytes,
+                                              std::size_t k,
+                                              const LinkModel& link);
+
+// Gather-to-root + broadcast ("star") all-reduce of `total_bytes`: one
+// full-tensor upload per non-root rank, then k-1 pipelined downloads from
+// the root. Same network-wide volume as the ring, different schedule.
+[[nodiscard]] Seconds star_allreduce_duration(std::size_t total_bytes,
+                                              std::size_t k,
+                                              const LinkModel& link);
+
+// Root-to-all broadcast of `bytes` (k-1 pipelined uploads from the root).
+[[nodiscard]] Seconds broadcast_duration(std::size_t bytes, std::size_t k,
+                                         const LinkModel& link);
+
+// --- paper §V-C per-device per-layer element counts ----------------------
+
+// Voltage: one all-gather of the device's N/K-position partition.
+[[nodiscard]] std::uint64_t voltage_elements_per_device_layer(std::size_t n,
+                                                              std::size_t f,
+                                                              std::size_t k);
+
+// Tensor parallelism: two ring all-reduces of the full N x F activation.
+[[nodiscard]] std::uint64_t tp_elements_per_device_layer(std::size_t n,
+                                                         std::size_t f,
+                                                         std::size_t k);
+
+}  // namespace voltage

@@ -1,0 +1,34 @@
+#include "net/chaos.h"
+
+#include <chrono>
+
+namespace voltage {
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
+                               ChaosOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+ChaosTransport::~ChaosTransport() {
+  std::vector<std::thread> pending;
+  {
+    const std::lock_guard lock(mutex_);
+    pending.swap(couriers_);
+  }
+  for (std::thread& t : pending) t.join();
+}
+
+void ChaosTransport::send(Message message) {
+  double delay = 0.0;
+  {
+    const std::lock_guard lock(mutex_);
+    delay = options_.max_delay_seconds * rng_.next_uniform();
+  }
+  std::thread courier([this, delay, msg = std::move(message)]() mutable {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    inner_->send(std::move(msg));
+  });
+  const std::lock_guard lock(mutex_);
+  couriers_.push_back(std::move(courier));
+}
+
+}  // namespace voltage

@@ -1,0 +1,61 @@
+// ChaosTransport: failure-injection decorator for any Transport.
+//
+// Real edge networks deliver across links with wildly different delays, so
+// messages from different senders arrive interleaved and out of order. The
+// protocols (collectives, Algorithm 2) must be correct purely through their
+// (source, tag) matching — never through delivery timing. This decorator
+// makes that assumption testable: every send is handed to a delivery thread
+// that sleeps a deterministic pseudo-random delay before forwarding, which
+// scrambles arrival order across senders and tags.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "tensor/rng.h"
+
+namespace voltage {
+
+struct ChaosOptions {
+  // Delivery delay is uniform in [0, max_delay].
+  double max_delay_seconds = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, ChaosOptions options);
+  // Joins all in-flight deliveries.
+  ~ChaosTransport() override;
+
+  [[nodiscard]] std::size_t devices() const noexcept override {
+    return inner_->devices();
+  }
+  void send(Message message) override;
+  [[nodiscard]] Message recv(DeviceId receiver, DeviceId source,
+                             MessageTag tag) override {
+    return inner_->recv(receiver, source, tag);
+  }
+  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag) override {
+    return inner_->recv_any(receiver, tag);
+  }
+  [[nodiscard]] TrafficStats stats(DeviceId device) const override {
+    return inner_->stats(device);
+  }
+  [[nodiscard]] TrafficStats total_stats() const override {
+    return inner_->total_stats();
+  }
+  void reset_stats() override { inner_->reset_stats(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  ChaosOptions options_;
+  std::mutex mutex_;  // guards rng_ and couriers_
+  Rng rng_;
+  std::vector<std::thread> couriers_;
+};
+
+}  // namespace voltage

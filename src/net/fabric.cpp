@@ -1,0 +1,105 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace voltage {
+
+Fabric::Fabric(std::size_t devices) {
+  if (devices == 0) throw std::invalid_argument("Fabric: zero devices");
+  mailboxes_.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Fabric::Mailbox& Fabric::box(DeviceId id) {
+  if (id >= mailboxes_.size()) throw std::out_of_range("Fabric: device id");
+  return *mailboxes_[id];
+}
+
+const Fabric::Mailbox& Fabric::box(DeviceId id) const {
+  if (id >= mailboxes_.size()) throw std::out_of_range("Fabric: device id");
+  return *mailboxes_[id];
+}
+
+void Fabric::send(Message message) {
+  if (message.source == message.destination) {
+    throw std::invalid_argument("Fabric: self-send");
+  }
+  const std::size_t bytes = message.byte_size();
+  {
+    Mailbox& src = box(message.source);
+    const std::lock_guard lock(src.mutex);
+    src.stats.messages_sent += 1;
+    src.stats.bytes_sent += bytes;
+  }
+  Mailbox& dst = box(message.destination);
+  {
+    const std::lock_guard lock(dst.mutex);
+    dst.stats.messages_received += 1;
+    dst.stats.bytes_received += bytes;
+    dst.queue.push_back(std::move(message));
+  }
+  dst.arrived.notify_all();
+}
+
+Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag) {
+  Mailbox& mb = box(receiver);
+  std::unique_lock lock(mb.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        mb.queue.begin(), mb.queue.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != mb.queue.end()) {
+      Message out = std::move(*it);
+      mb.queue.erase(it);
+      return out;
+    }
+    mb.arrived.wait(lock);
+  }
+}
+
+Message Fabric::recv_any(DeviceId receiver, MessageTag tag) {
+  Mailbox& mb = box(receiver);
+  std::unique_lock lock(mb.mutex);
+  for (;;) {
+    const auto it =
+        std::find_if(mb.queue.begin(), mb.queue.end(),
+                     [&](const Message& m) { return m.tag == tag; });
+    if (it != mb.queue.end()) {
+      Message out = std::move(*it);
+      mb.queue.erase(it);
+      return out;
+    }
+    mb.arrived.wait(lock);
+  }
+}
+
+TrafficStats Fabric::stats(DeviceId device) const {
+  const Mailbox& mb = box(device);
+  const std::lock_guard lock(mb.mutex);
+  return mb.stats;
+}
+
+TrafficStats Fabric::total_stats() const {
+  TrafficStats total;
+  for (const auto& mb : mailboxes_) {
+    const std::lock_guard lock(mb->mutex);
+    total.messages_sent += mb->stats.messages_sent;
+    total.bytes_sent += mb->stats.bytes_sent;
+    total.messages_received += mb->stats.messages_received;
+    total.bytes_received += mb->stats.bytes_received;
+  }
+  return total;
+}
+
+void Fabric::reset_stats() {
+  for (const auto& mb : mailboxes_) {
+    const std::lock_guard lock(mb->mutex);
+    mb->stats = TrafficStats{};
+  }
+}
+
+}  // namespace voltage

@@ -1,0 +1,59 @@
+// In-process message-passing fabric: a full mesh of mailboxes, one per
+// device, with blocking tagged receive. This is the transport under the real
+// (threaded) runtime and the real collectives; it records byte-accurate
+// traffic statistics that the communication-volume experiments read.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace voltage {
+
+class Fabric final : public Transport {
+ public:
+  // `devices` mailboxes, ids 0 .. devices-1.
+  explicit Fabric(std::size_t devices);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] std::size_t devices() const noexcept override {
+    return mailboxes_.size();
+  }
+
+  // Delivers to the destination mailbox; thread-safe; throws on bad ids or
+  // self-send (a device never needs the fabric to talk to itself).
+  void send(Message message) override;
+
+  // Blocks until a message with this (source, tag) arrives at `receiver`.
+  [[nodiscard]] Message recv(DeviceId receiver, DeviceId source,
+                             MessageTag tag) override;
+
+  // Blocks until any message with this tag arrives at `receiver`.
+  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag) override;
+
+  // Per-device cumulative traffic counters.
+  [[nodiscard]] TrafficStats stats(DeviceId device) const override;
+  [[nodiscard]] TrafficStats total_stats() const override;
+  void reset_stats() override;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> queue;
+    TrafficStats stats;
+  };
+
+  Mailbox& box(DeviceId id);
+  [[nodiscard]] const Mailbox& box(DeviceId id) const;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace voltage

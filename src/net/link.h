@@ -1,0 +1,40 @@
+// Link/NIC timing model for edge networks.
+//
+// The paper's testbed caps bandwidth at 500 Mbps between VMs; every message
+// additionally pays a fixed per-message cost (TCP/serialization/syscall
+// overhead) that dominates chatty collectives. transfer_time models one
+// message: latency + bytes * 8 / bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace voltage {
+
+using Seconds = double;
+
+struct LinkModel {
+  double bandwidth_bps = 500e6;        // paper default: 500 Mbps
+  Seconds per_message_latency = 2e-3;  // fixed cost per message
+
+  [[nodiscard]] static LinkModel mbps(double mbps,
+                                      Seconds latency = 2e-3) {
+    if (mbps <= 0.0) throw std::invalid_argument("LinkModel: bandwidth <= 0");
+    return LinkModel{.bandwidth_bps = mbps * 1e6,
+                     .per_message_latency = latency};
+  }
+
+  // Time to push `bytes` through the link as one message.
+  [[nodiscard]] Seconds transfer_time(std::size_t bytes) const {
+    return per_message_latency +
+           static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+
+  // Serialization time only (no per-message cost) — used when several
+  // messages are pipelined through one NIC back-to-back.
+  [[nodiscard]] Seconds wire_time(std::size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+}  // namespace voltage

@@ -1,0 +1,29 @@
+// Messages exchanged over the in-process fabric. Payloads are raw bytes —
+// tensors go through tensor/serialize.h — so measured traffic equals what a
+// socket implementation would put on the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace voltage {
+
+using DeviceId = std::size_t;
+
+// Tags namespace the per-layer collectives so messages from adjacent
+// phases can never be confused.
+using MessageTag = std::uint64_t;
+
+struct Message {
+  DeviceId source = 0;
+  DeviceId destination = 0;
+  MessageTag tag = 0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return payload.size();
+  }
+};
+
+}  // namespace voltage

@@ -1,0 +1,273 @@
+#include "net/socket_fabric.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace voltage {
+
+namespace {
+
+struct FrameHeader {
+  std::uint64_t source;
+  std::uint64_t tag;
+  std::uint64_t length;
+};
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "SocketFabric: write");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Returns false on orderly EOF at a frame boundary.
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::byte*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "SocketFabric: read");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean shutdown between frames
+      throw std::runtime_error("SocketFabric: truncated frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketFabric::SocketFabric(std::size_t devices) {
+  if (devices == 0) {
+    throw std::invalid_argument("SocketFabric: zero devices");
+  }
+  endpoints_.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->peer_fd.assign(devices, -1);
+    for (std::size_t j = 0; j < devices; ++j) {
+      ep->write_mutex.push_back(std::make_unique<std::mutex>());
+    }
+    endpoints_.push_back(std::move(ep));
+  }
+  for (std::size_t i = 0; i < devices; ++i) {
+    for (std::size_t j = i + 1; j < devices; ++j) {
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "SocketFabric: socketpair");
+      }
+      endpoints_[i]->peer_fd[j] = fds[0];
+      endpoints_[j]->peer_fd[i] = fds[1];
+    }
+  }
+  for (std::size_t i = 0; i < devices; ++i) {
+    endpoints_[i]->reader = std::thread([this, i] { reader_loop(i); });
+  }
+}
+
+SocketFabric::~SocketFabric() {
+  // Shut the sockets down so the readers drain and exit, then join.
+  for (const auto& ep : endpoints_) {
+    for (const int fd : ep->peer_fd) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (const auto& ep : endpoints_) {
+    if (ep->reader.joinable()) ep->reader.join();
+  }
+  for (const auto& ep : endpoints_) {
+    for (const int fd : ep->peer_fd) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+}
+
+SocketFabric::Endpoint& SocketFabric::endpoint(DeviceId id) {
+  if (id >= endpoints_.size()) {
+    throw std::out_of_range("SocketFabric: device id");
+  }
+  return *endpoints_[id];
+}
+
+const SocketFabric::Endpoint& SocketFabric::endpoint(DeviceId id) const {
+  if (id >= endpoints_.size()) {
+    throw std::out_of_range("SocketFabric: device id");
+  }
+  return *endpoints_[id];
+}
+
+void SocketFabric::reader_loop(std::size_t device) {
+  Endpoint& ep = *endpoints_[device];
+  std::vector<pollfd> fds;
+  std::vector<DeviceId> owner;
+  for (std::size_t j = 0; j < endpoints_.size(); ++j) {
+    if (ep.peer_fd[j] < 0) continue;
+    fds.push_back(pollfd{.fd = ep.peer_fd[j], .events = POLLIN, .revents = 0});
+    owner.push_back(j);
+  }
+  std::size_t open = fds.size();
+  while (open > 0) {
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t idx = 0; idx < fds.size(); ++idx) {
+      if (fds[idx].fd < 0 ||
+          (fds[idx].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      FrameHeader header{};
+      bool ok = false;
+      try {
+        ok = read_all(fds[idx].fd, &header, sizeof(header));
+      } catch (...) {
+        ok = false;  // peer torn down mid-frame during shutdown
+      }
+      if (!ok) {
+        fds[idx].fd = -1;  // peer closed
+        --open;
+        continue;
+      }
+      Message msg;
+      msg.source = header.source;
+      msg.destination = device;
+      msg.tag = header.tag;
+      msg.payload.resize(header.length);
+      if (header.length > 0) {
+        try {
+          if (!read_all(fds[idx].fd, msg.payload.data(), header.length)) {
+            fds[idx].fd = -1;
+            --open;
+            continue;
+          }
+        } catch (...) {
+          fds[idx].fd = -1;
+          --open;
+          continue;
+        }
+      }
+      {
+        const std::lock_guard lock(ep.mutex);
+        ep.stats.messages_received += 1;
+        ep.stats.bytes_received += msg.payload.size();
+        ep.inbox.push_back(std::move(msg));
+      }
+      ep.arrived.notify_all();
+    }
+  }
+  {
+    const std::lock_guard lock(ep.mutex);
+    ep.closed = true;
+  }
+  ep.arrived.notify_all();
+}
+
+void SocketFabric::send(Message message) {
+  if (message.source == message.destination) {
+    throw std::invalid_argument("SocketFabric: self-send");
+  }
+  Endpoint& src = endpoint(message.source);
+  (void)endpoint(message.destination);  // id validation
+  const int fd = src.peer_fd[message.destination];
+  const FrameHeader header{.source = message.source,
+                           .tag = message.tag,
+                           .length = message.payload.size()};
+  {
+    const std::lock_guard wlock(*src.write_mutex[message.destination]);
+    write_all(fd, &header, sizeof(header));
+    if (!message.payload.empty()) {
+      write_all(fd, message.payload.data(), message.payload.size());
+    }
+  }
+  const std::lock_guard lock(src.mutex);
+  src.stats.messages_sent += 1;
+  src.stats.bytes_sent += message.payload.size();
+}
+
+Message SocketFabric::recv(DeviceId receiver, DeviceId source,
+                           MessageTag tag) {
+  Endpoint& ep = endpoint(receiver);
+  std::unique_lock lock(ep.mutex);
+  for (;;) {
+    const auto it =
+        std::find_if(ep.inbox.begin(), ep.inbox.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != ep.inbox.end()) {
+      Message out = std::move(*it);
+      ep.inbox.erase(it);
+      return out;
+    }
+    if (ep.closed) {
+      throw std::runtime_error("SocketFabric: transport closed during recv");
+    }
+    ep.arrived.wait(lock);
+  }
+}
+
+Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag) {
+  Endpoint& ep = endpoint(receiver);
+  std::unique_lock lock(ep.mutex);
+  for (;;) {
+    const auto it =
+        std::find_if(ep.inbox.begin(), ep.inbox.end(),
+                     [&](const Message& m) { return m.tag == tag; });
+    if (it != ep.inbox.end()) {
+      Message out = std::move(*it);
+      ep.inbox.erase(it);
+      return out;
+    }
+    if (ep.closed) {
+      throw std::runtime_error("SocketFabric: transport closed during recv");
+    }
+    ep.arrived.wait(lock);
+  }
+}
+
+TrafficStats SocketFabric::stats(DeviceId device) const {
+  const Endpoint& ep = endpoint(device);
+  const std::lock_guard lock(ep.mutex);
+  return ep.stats;
+}
+
+TrafficStats SocketFabric::total_stats() const {
+  TrafficStats total;
+  for (const auto& ep : endpoints_) {
+    const std::lock_guard lock(ep->mutex);
+    total.messages_sent += ep->stats.messages_sent;
+    total.bytes_sent += ep->stats.bytes_sent;
+    total.messages_received += ep->stats.messages_received;
+    total.bytes_received += ep->stats.bytes_received;
+  }
+  return total;
+}
+
+void SocketFabric::reset_stats() {
+  for (const auto& ep : endpoints_) {
+    const std::lock_guard lock(ep->mutex);
+    ep->stats = TrafficStats{};
+  }
+}
+
+}  // namespace voltage

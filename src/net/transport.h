@@ -1,0 +1,55 @@
+// Transport abstraction for the device mesh.
+//
+// Two implementations ship: the in-memory Fabric (deterministic, zero-copy,
+// used by tests and fast benchmarks) and the SocketFabric (a full mesh of
+// real kernel sockets — what an actual edge deployment would look like on
+// one host). Collectives and runtimes are written against this interface,
+// so the choice is a construction-time flag.
+#pragma once
+
+#include <memory>
+
+#include "net/message.h"
+
+namespace voltage {
+
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual std::size_t devices() const noexcept = 0;
+
+  // Delivers to the destination's mailbox; thread-safe; throws on bad ids
+  // or self-send.
+  virtual void send(Message message) = 0;
+
+  // Blocks until a message with this (source, tag) arrives at `receiver`.
+  [[nodiscard]] virtual Message recv(DeviceId receiver, DeviceId source,
+                                     MessageTag tag) = 0;
+
+  // Blocks until any message with this tag arrives at `receiver`.
+  [[nodiscard]] virtual Message recv_any(DeviceId receiver,
+                                         MessageTag tag) = 0;
+
+  // Cumulative per-device and mesh-wide traffic counters.
+  [[nodiscard]] virtual TrafficStats stats(DeviceId device) const = 0;
+  [[nodiscard]] virtual TrafficStats total_stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+enum class TransportKind : std::uint8_t {
+  kInMemory,    // lock-guarded mailboxes, zero syscalls (default)
+  kUnixSocket,  // full mesh of real kernel sockets (SocketFabric)
+};
+
+[[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                                        std::size_t devices);
+
+}  // namespace voltage

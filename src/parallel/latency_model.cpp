@@ -1,0 +1,296 @@
+#include "parallel/latency_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "partition/flop_model.h"
+#include "sim/netsim.h"
+#include "tensor/serialize.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+
+namespace {
+
+using sim::SimTime;
+
+std::size_t activation_bytes(std::size_t rows, std::size_t cols) {
+  return tensor_wire_bytes(rows * cols);
+}
+
+struct Accumulator {
+  std::vector<Seconds> device_compute;  // per worker
+  std::vector<std::uint64_t> device_bytes;
+  std::vector<std::uint64_t> device_messages;
+
+  explicit Accumulator(std::size_t k)
+      : device_compute(k, 0.0), device_bytes(k, 0), device_messages(k, 0) {}
+
+  void fill_report(LatencyReport& report) const {
+    for (const std::uint64_t b : device_bytes) report.total_bytes_sent += b;
+    report.max_device_compute =
+        device_compute.empty()
+            ? 0.0
+            : *std::max_element(device_compute.begin(), device_compute.end());
+    report.bytes_sent_per_device =
+        device_bytes.empty()
+            ? 0
+            : *std::max_element(device_bytes.begin(), device_bytes.end());
+    report.messages_per_device =
+        device_messages.empty()
+            ? 0
+            : *std::max_element(device_messages.begin(),
+                                device_messages.end());
+  }
+};
+
+}  // namespace
+
+std::size_t paper_sequence_length(const ModelSpec& spec) {
+  return spec.kind == ModelKind::kImageClassifier ? spec.vit_sequence_length()
+                                                  : kPaperTextSequenceLength;
+}
+
+LatencyReport simulate_single_device(const ModelSpec& spec, std::size_t n,
+                                     const sim::Cluster& cluster) {
+  cluster.validate();
+  const sim::DeviceSpec& worker = cluster.workers.front();
+  const std::size_t f = spec.layer.hidden;
+
+  const LayerWork embed = embedding_work(spec, n);
+  const Seconds t_embed = cluster.terminal.compute_time(embed.macs,
+                                                        embed.elementwise);
+  const Seconds t_up = cluster.link.transfer_time(activation_bytes(n, f));
+
+  Seconds t_compute = 0.0;
+  const LayerWork layer = full_layer_work(spec.layer, n);
+  for (std::size_t l = 0; l < spec.num_layers; ++l) {
+    t_compute += worker.compute_time(layer.macs, layer.elementwise);
+  }
+
+  const Seconds t_down = cluster.link.transfer_time(activation_bytes(n, f));
+  const LayerWork head = head_work(spec);
+  const Seconds t_head =
+      cluster.terminal.compute_time(head.macs, head.elementwise);
+
+  LatencyReport report;
+  report.devices = 1;
+  report.pre_post = t_embed + t_head;
+  report.max_device_compute = t_compute;
+  report.comm_and_stall = t_up + t_down;
+  report.total = t_embed + t_up + t_compute + t_down + t_head;
+  report.bytes_sent_per_device = activation_bytes(n, f);
+  report.total_bytes_sent = report.bytes_sent_per_device;
+  report.messages_per_device = 1;
+  return report;
+}
+
+LatencyReport simulate_voltage(const ModelSpec& spec, std::size_t n,
+                               const sim::Cluster& cluster,
+                               const PartitionScheme& scheme,
+                               OrderPolicy policy) {
+  return simulate_voltage(spec, n, cluster,
+                          LayerSchedule::uniform(scheme, spec.num_layers),
+                          policy);
+}
+
+LatencyReport simulate_voltage(const ModelSpec& spec, std::size_t n,
+                               const sim::Cluster& cluster,
+                               const LayerSchedule& schedule,
+                               OrderPolicy policy) {
+  cluster.validate();
+  const std::size_t k = cluster.size();
+  if (schedule.devices() != k) {
+    throw std::invalid_argument(
+        "simulate_voltage: schedule/cluster device count mismatch");
+  }
+  if (schedule.num_layers() != spec.num_layers) {
+    throw std::invalid_argument(
+        "simulate_voltage: schedule/model layer count mismatch");
+  }
+  const std::size_t f = spec.layer.hidden;
+
+  const LayerWork embed = embedding_work(spec, n);
+  const Seconds t_embed =
+      cluster.terminal.compute_time(embed.macs, embed.elementwise);
+
+  // Terminal broadcasts the embedded features to all workers.
+  std::vector<SimTime> start =
+      sim::sim_broadcast(t_embed, activation_bytes(n, f), k, cluster.link);
+
+  Accumulator acc(k);
+  std::vector<std::size_t> partition_bytes(k);
+  std::vector<SimTime> ready(k);
+  SimTime terminal_has_output = 0.0;
+  std::vector<LayerTrace> traces(spec.num_layers);
+  for (std::size_t layer = 0; layer < spec.num_layers; ++layer) {
+    const std::vector<Range> ranges =
+        schedule.scheme_for(layer).ranges(n);
+    Seconds slowest_compute = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      partition_bytes[i] = activation_bytes(ranges[i].size(), f);
+      const LayerWork work =
+          voltage_layer_work(spec.layer, n, ranges[i], policy);
+      const Seconds dt =
+          cluster.workers[i].compute_time(work.macs, work.elementwise);
+      acc.device_compute[i] += dt;
+      ready[i] = start[i] + dt;
+      slowest_compute = std::max(slowest_compute, dt);
+    }
+    traces[layer].compute = slowest_compute;
+    const SimTime compute_done = *std::max_element(ready.begin(), ready.end());
+    const bool last = layer + 1 == spec.num_layers;
+    if (last) {
+      // Algorithm 2, line 8: partitions go straight to the terminal.
+      terminal_has_output =
+          sim::sim_gather_to_root(ready, partition_bytes, cluster.link);
+      traces[layer].sync = terminal_has_output - compute_done;
+      for (std::size_t i = 0; i < k; ++i) {
+        acc.device_bytes[i] += partition_bytes[i];
+        acc.device_messages[i] += 1;
+      }
+    } else {
+      start = sim::sim_allgather_fullmesh(ready, partition_bytes,
+                                          cluster.link);
+      traces[layer].sync =
+          *std::max_element(start.begin(), start.end()) - compute_done;
+      for (std::size_t i = 0; i < k; ++i) {
+        acc.device_bytes[i] +=
+            static_cast<std::uint64_t>(k - 1) * partition_bytes[i];
+        acc.device_messages[i] += k - 1;
+      }
+    }
+  }
+
+  const LayerWork head = head_work(spec);
+  const Seconds t_head =
+      cluster.terminal.compute_time(head.macs, head.elementwise);
+
+  LatencyReport report;
+  report.devices = k;
+  report.pre_post = t_embed + t_head;
+  report.total = terminal_has_output + t_head;
+  report.layer_traces = std::move(traces);
+  acc.fill_report(report);
+  report.comm_and_stall =
+      report.total - report.pre_post - report.max_device_compute;
+  return report;
+}
+
+LatencyReport simulate_tensor_parallel(const ModelSpec& spec, std::size_t n,
+                                       const sim::Cluster& cluster,
+                                       AllReduceAlgo algo) {
+  cluster.validate();
+  const std::size_t k = cluster.size();
+  const LayerConfig& cfg = spec.layer;
+  const std::size_t f = cfg.hidden;
+  if (k > cfg.heads) {
+    throw std::invalid_argument(
+        "simulate_tensor_parallel: more devices than attention heads");
+  }
+
+  // Heads and FFN columns split as evenly as possible (paper: 1/K each).
+  std::vector<std::size_t> heads(k), ffn_cols(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    heads[i] = cfg.heads / k + (i < cfg.heads % k ? 1 : 0);
+    ffn_cols[i] = cfg.ffn_dim / k + (i < cfg.ffn_dim % k ? 1 : 0);
+  }
+
+  const LayerWork embed = embedding_work(spec, n);
+  const Seconds t_embed =
+      cluster.terminal.compute_time(embed.macs, embed.elementwise);
+  std::vector<SimTime> start =
+      sim::sim_broadcast(t_embed, activation_bytes(n, f), k, cluster.link);
+
+  Accumulator acc(k);
+  const std::size_t full_activation = activation_bytes(n, f);
+  const std::uint64_t nn = n;
+  // Per-device ring traffic for one all-reduce of the N x F activation.
+  const std::size_t ring_chunk_bytes =
+      tensor_wire_bytes((nn * f + k - 1) / k);
+
+  const auto run_phase = [&](std::vector<SimTime>& t,
+                             const std::vector<LayerWork>& work) {
+    Seconds slowest = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Seconds dt =
+          cluster.workers[i].compute_time(work[i].macs, work[i].elementwise);
+      acc.device_compute[i] += dt;
+      t[i] += dt;
+      slowest = std::max(slowest, dt);
+    }
+    return slowest;
+  };
+  const auto run_allreduce = [&](std::vector<SimTime>& t) -> Seconds {
+    if (k == 1) return 0.0;
+    const SimTime entered = *std::max_element(t.begin(), t.end());
+    if (algo == AllReduceAlgo::kRing) {
+      t = sim::sim_ring_allreduce(t, full_activation, cluster.link);
+      for (std::size_t i = 0; i < k; ++i) {
+        acc.device_bytes[i] += 2 * (k - 1) * ring_chunk_bytes;
+        acc.device_messages[i] += 2 * (k - 1);
+      }
+    } else {
+      t = sim::sim_star_allreduce(t, full_activation, cluster.link);
+      // Ranks 1..K-1 upload once; rank 0 re-broadcasts K-1 copies.
+      acc.device_bytes[0] += (k - 1) * full_activation;
+      acc.device_messages[0] += k - 1;
+      for (std::size_t i = 1; i < k; ++i) {
+        acc.device_bytes[i] += full_activation;
+        acc.device_messages[i] += 1;
+      }
+    }
+    return *std::max_element(t.begin(), t.end()) - entered;
+  };
+
+  // Phase work vectors (identical every layer).
+  std::vector<LayerWork> attn_phase(k), ffn_phase(k), post_phase(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    attn_phase[i].macs =
+        heads[i] * gamma_full_attention_head(n, cfg.hidden, cfg.head_dim) +
+        nn * (heads[i] * cfg.head_dim) * f;
+    attn_phase[i].elementwise = 4 * heads[i] * nn * nn;
+    // Replicated bo + residual + LN1, then the FFN shard.
+    ffn_phase[i].macs = 2 * nn * f * static_cast<std::uint64_t>(ffn_cols[i]);
+    ffn_phase[i].elementwise =
+        7 * nn * f +
+        nn * ffn_cols[i] *
+            (cfg.activation == Activation::kGelu ? 9ULL : 2ULL);
+    // Replicated b2 + residual + LN2 after the second all-reduce.
+    post_phase[i].elementwise = 7 * nn * f;
+  }
+
+  std::vector<SimTime> t = start;
+  std::vector<LayerTrace> traces(spec.num_layers);
+  for (std::size_t layer = 0; layer < spec.num_layers; ++layer) {
+    LayerTrace& trace = traces[layer];
+    trace.compute += run_phase(t, attn_phase);
+    trace.sync += run_allreduce(t);
+    trace.compute += run_phase(t, ffn_phase);
+    trace.sync += run_allreduce(t);
+    trace.compute += run_phase(t, post_phase);
+  }
+
+  // After the final all-reduce every device holds the full output; the
+  // first worker ships it to the terminal.
+  const SimTime terminal_has_output =
+      t[0] + cluster.link.transfer_time(full_activation);
+  acc.device_bytes[0] += full_activation;
+  acc.device_messages[0] += 1;
+
+  const LayerWork head = head_work(spec);
+  const Seconds t_head =
+      cluster.terminal.compute_time(head.macs, head.elementwise);
+
+  LatencyReport report;
+  report.devices = k;
+  report.pre_post = t_embed + t_head;
+  report.total = terminal_has_output + t_head;
+  report.layer_traces = std::move(traces);
+  acc.fill_report(report);
+  report.comm_and_stall =
+      report.total - report.pre_post - report.max_device_compute;
+  return report;
+}
+
+}  // namespace voltage

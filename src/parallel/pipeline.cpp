@@ -1,0 +1,59 @@
+#include "parallel/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/profile.h"
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+PipelineReport simulate_pipeline(const ModelSpec& spec, std::size_t n,
+                                 const sim::Cluster& cluster) {
+  cluster.validate();
+  const std::size_t k = std::min(cluster.size(), spec.num_layers);
+  const std::size_t f = spec.layer.hidden;
+  const std::size_t activation = tensor_wire_bytes(n * f);
+  const LayerWork layer = full_layer_work(spec.layer, n);
+
+  PipelineReport report;
+  report.stages = k;
+
+  // Request latency: embed -> transfer to stage 0 -> (stage compute ->
+  // transfer)^K -> head on the terminal. Batch 1 means no overlap at all.
+  const LayerWork embed = embedding_work(spec, n);
+  const LayerWork head = head_work(spec);
+  Seconds latency =
+      cluster.terminal.compute_time(embed.macs, embed.elementwise) +
+      cluster.link.transfer_time(activation);
+  Seconds bottleneck = 0.0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t layers_here =
+        spec.num_layers / k + (s < spec.num_layers % k ? 1 : 0);
+    const Seconds compute =
+        static_cast<double>(layers_here) *
+        cluster.workers[s].compute_time(layer.macs, layer.elementwise);
+    // Every stage forwards the activation (the last one to the terminal).
+    const Seconds hop = cluster.link.transfer_time(activation);
+    latency += compute + hop;
+    bottleneck = std::max(bottleneck, compute + hop);
+  }
+  latency += cluster.terminal.compute_time(head.macs, head.elementwise);
+
+  report.request_latency = latency;
+  report.bottleneck_stage = bottleneck;
+  report.throughput_rps = 1.0 / bottleneck;
+  return report;
+}
+
+double single_device_throughput(const ModelSpec& spec, std::size_t n,
+                                const sim::Cluster& cluster) {
+  cluster.validate();
+  const LayerWork layer = full_layer_work(spec.layer, n);
+  const Seconds per_request =
+      static_cast<double>(spec.num_layers) *
+      cluster.workers.front().compute_time(layer.macs, layer.elementwise);
+  return 1.0 / per_request;
+}
+
+}  // namespace voltage

@@ -1,0 +1,41 @@
+// Pipeline-parallelism baseline (paper §V-C / PipeEdge-style): the L layers
+// are split into K contiguous stages, one stage per device; activations flow
+// stage to stage.
+//
+// The paper argues (without numbers) that pipelining optimizes THROUGHPUT
+// given enough concurrent microbatches but cannot improve the LATENCY of an
+// individual batch-1 request — the request still traverses every layer
+// sequentially, plus K-1 inter-stage transfers. This model quantifies both
+// sides of that argument so the claim is reproducible.
+#pragma once
+
+#include <cstddef>
+
+#include "net/link.h"
+#include "sim/cluster.h"
+#include "transformer/config.h"
+
+namespace voltage {
+
+struct PipelineReport {
+  // End-to-end latency of ONE batch-1 request through the pipeline.
+  Seconds request_latency = 0.0;
+  // Steady-state requests/second with a saturated stream of single-request
+  // microbatches: 1 / (slowest stage's compute + its outbound transfer).
+  double throughput_rps = 0.0;
+  Seconds bottleneck_stage = 0.0;
+  std::size_t stages = 0;
+};
+
+// Layers are assigned to stages in contiguous blocks, sizes as even as
+// possible (the standard depth partition).
+[[nodiscard]] PipelineReport simulate_pipeline(const ModelSpec& spec,
+                                               std::size_t n,
+                                               const sim::Cluster& cluster);
+
+// Reference throughput of one device running the whole model back to back.
+[[nodiscard]] double single_device_throughput(const ModelSpec& spec,
+                                              std::size_t n,
+                                              const sim::Cluster& cluster);
+
+}  // namespace voltage

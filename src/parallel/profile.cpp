@@ -1,0 +1,108 @@
+#include "parallel/profile.h"
+
+#include "partition/flop_model.h"
+
+namespace voltage {
+
+namespace {
+
+using U = std::uint64_t;
+
+U activation_cost_per_element(Activation act) {
+  // Mirrors tensor/ops.cpp: gelu reports 8 ops/element, relu 1.
+  return act == Activation::kGelu ? 8 : 1;
+}
+
+// Elementwise ops of the position-wise tail of a layer (everything after
+// the attention scores) for `rows` positions: W_O bias + residual + LN,
+// FFN biases + activation + residual + LN. Mirrors ops.cpp accounting.
+U position_wise_tail_elementwise(const LayerConfig& c, U rows) {
+  const U f = c.hidden;
+  const U ffn = c.ffn_dim;
+  const U act = activation_cost_per_element(c.activation);
+  // bo add (rows*F) + residual (rows*F) + LN1 (5*rows*F)
+  // + b1 (rows*ffn) + act (act*rows*ffn) + b2 (rows*F)
+  // + residual (rows*F) + LN2 (5*rows*F)
+  return rows * f * (1 + 1 + 5 + 1 + 1 + 5) + rows * ffn * (1 + act);
+}
+
+}  // namespace
+
+LayerWork voltage_layer_work(const LayerConfig& config, std::size_t n, Range p,
+                             OrderPolicy policy) {
+  config.validate();
+  if (p.empty()) return {};
+  const AttentionDims dims{
+      .n = n, .p = p.size(), .f = config.hidden, .fh = config.head_dim};
+  const AttentionOrder order = select_order(policy, dims);
+  LayerWork work;
+  work.macs = gamma_partitioned_layer(config, n, p.size(), order);
+  // Per-head softmax over P x N scores: 4 ops/element (ops.cpp).
+  work.elementwise = static_cast<U>(config.heads) * 4 * p.size() * n +
+                     position_wise_tail_elementwise(config, p.size());
+  return work;
+}
+
+LayerWork tp_layer_work(const LayerConfig& config, std::size_t n,
+                        std::size_t heads_assigned,
+                        std::size_t ffn_cols_assigned,
+                        bool include_replicated) {
+  config.validate();
+  const U f = config.hidden;
+  const U fh = config.head_dim;
+  const U nn = n;
+  LayerWork work;
+  // Each assigned head runs full-sequence attention (Q, K, V projections,
+  // scores, weighted sum) ...
+  work.macs = static_cast<U>(heads_assigned) *
+              gamma_full_attention_head(n, config.hidden, config.head_dim);
+  // ... plus its rows of the W_O projection,
+  work.macs += nn * (static_cast<U>(heads_assigned) * fh) * f;
+  // ... plus the column shard of W1 and row shard of W2.
+  work.macs += 2 * nn * f * static_cast<U>(ffn_cols_assigned);
+
+  work.elementwise = static_cast<U>(heads_assigned) * 4 * nn * nn;  // softmax
+  work.elementwise +=
+      nn * static_cast<U>(ffn_cols_assigned) *
+      (1 + activation_cost_per_element(config.activation));  // b1 + act
+  if (include_replicated) {
+    // Position-wise ops replicated on every device after each all-reduce:
+    // bo + residual + LN1 + b2 + residual + LN2 over the full N x F.
+    work.elementwise += nn * f * (1 + 1 + 5 + 1 + 1 + 5);
+  }
+  return work;
+}
+
+LayerWork full_layer_work(const LayerConfig& config, std::size_t n) {
+  return voltage_layer_work(config, n, Range{.begin = 0, .end = n},
+                            OrderPolicy::kAlwaysNaive);
+}
+
+LayerWork embedding_work(const ModelSpec& spec, std::size_t n) {
+  LayerWork work;
+  const U f = spec.layer.hidden;
+  if (spec.kind == ModelKind::kImageClassifier) {
+    const U patch_dim =
+        static_cast<U>(spec.patch_size) * spec.patch_size * spec.channels;
+    const U patches = static_cast<U>(n) - 1;  // minus [CLS]
+    work.macs = patches * patch_dim * f;      // patch projection GEMM
+    work.elementwise = static_cast<U>(n) * f; // position add
+  } else {
+    // Token lookup + positional add.
+    work.elementwise = static_cast<U>(n) * f;
+  }
+  return work;
+}
+
+LayerWork head_work(const ModelSpec& spec) {
+  LayerWork work;
+  const U f = spec.layer.hidden;
+  const U out = spec.kind == ModelKind::kCausalLm
+                    ? static_cast<U>(spec.vocab_size)
+                    : static_cast<U>(spec.num_classes);
+  work.macs = f * out;      // single pooled row times the head matrix
+  work.elementwise = out;   // bias
+  return work;
+}
+
+}  // namespace voltage

@@ -1,0 +1,54 @@
+// Per-device work profiles of the three deployment strategies.
+//
+// A LayerWork is the exact operation count a device executes for one
+// transformer layer under a given strategy. MAC counts come from the
+// partition/flop_model closed forms; elementwise counts mirror the kernel
+// accounting in tensor/ops.cpp term by term, so the test suite can assert
+// integer equality between "profile says" and "kernels did". The simulator
+// turns these counts into time via sim::DeviceSpec.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/order.h"
+#include "partition/range.h"
+#include "transformer/config.h"
+
+namespace voltage {
+
+struct LayerWork {
+  std::uint64_t macs = 0;
+  std::uint64_t elementwise = 0;
+
+  LayerWork& operator+=(const LayerWork& other) noexcept {
+    macs += other.macs;
+    elementwise += other.elementwise;
+    return *this;
+  }
+};
+
+// Work device executes for Algorithm 1 on partition `p` of an N-length
+// input (order resolved through `policy` exactly like the implementation).
+[[nodiscard]] LayerWork voltage_layer_work(const LayerConfig& config,
+                                           std::size_t n, Range p,
+                                           OrderPolicy policy);
+
+// Work one tensor-parallel device executes for a layer: `heads_assigned`
+// full-sequence attention heads plus a 1/K column/row shard of the FFN,
+// plus the replicated position-wise ops after each all-reduce.
+[[nodiscard]] LayerWork tp_layer_work(const LayerConfig& config, std::size_t n,
+                                      std::size_t heads_assigned,
+                                      std::size_t ffn_cols_assigned,
+                                      bool include_replicated = true);
+
+// Whole unpartitioned layer on one device.
+[[nodiscard]] LayerWork full_layer_work(const LayerConfig& config,
+                                        std::size_t n);
+
+// Pre-processing (embedding) work on the terminal device.
+[[nodiscard]] LayerWork embedding_work(const ModelSpec& spec, std::size_t n);
+
+// Post-processing (head) work on the terminal device.
+[[nodiscard]] LayerWork head_work(const ModelSpec& spec);
+
+}  // namespace voltage

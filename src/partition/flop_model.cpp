@@ -1,0 +1,106 @@
+#include "partition/flop_model.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "partition/order.h"
+
+namespace voltage {
+
+namespace {
+
+using U = std::uint64_t;
+
+void validate(const AttentionDims& d) {
+  if (d.n == 0 || d.p == 0 || d.f == 0 || d.fh == 0 || d.p > d.n) {
+    throw std::invalid_argument("AttentionDims: need 0 < P <= N, F, F_H > 0");
+  }
+}
+
+}  // namespace
+
+std::uint64_t qk_cost(QkOrder order, const AttentionDims& d) {
+  validate(d);
+  const U n = d.n;
+  const U p = d.p;
+  const U f = d.f;
+  const U fh = d.fh;
+  switch (order) {
+    case QkOrder::kLeftToRight:  // Eq. (10): 2PFF_H + PFN
+      return 2 * p * f * fh + p * f * n;
+    case QkOrder::kProjectBoth:  // Eq. (11): PFF_H + NFF_H + PNF_H
+      return p * f * fh + n * f * fh + p * n * fh;
+    case QkOrder::kFuseWeightsLeft:  // Eq. (12): PF^2 + PFN
+      return p * f * f + p * f * n;
+    case QkOrder::kFuseWeightsRight:  // Eq. (13): NF^2 + PFN
+      return n * f * f + p * f * n;
+    case QkOrder::kInnermostFirst:  // Eq. (14): 2NFF_H + PFN (see header note)
+      return 2 * n * f * fh + p * f * n;
+  }
+  throw std::logic_error("qk_cost: bad order");
+}
+
+std::uint64_t sv_cost(SvOrder order, const AttentionDims& d) {
+  validate(d);
+  const U n = d.n;
+  const U p = d.p;
+  const U f = d.f;
+  const U fh = d.fh;
+  switch (order) {
+    case SvOrder::kProjectV:  // Eq. (6a): PNF_H + NFF_H
+      return p * n * fh + n * f * fh;
+    case SvOrder::kAggregateFirst:  // Eq. (6b): PNF + PFF_H
+      return p * n * f + p * f * fh;
+  }
+  throw std::logic_error("sv_cost: bad order");
+}
+
+std::uint64_t attention_cost(QkOrder qk, SvOrder sv, const AttentionDims& d) {
+  return qk_cost(qk, d) + sv_cost(sv, d);
+}
+
+OrderChoice cheapest_order_exhaustive(const AttentionDims& d) {
+  OrderChoice best{QkOrder::kLeftToRight, SvOrder::kProjectV,
+                   std::numeric_limits<std::uint64_t>::max()};
+  for (const QkOrder qk : kAllQkOrders) {
+    for (const SvOrder sv : kAllSvOrders) {
+      const std::uint64_t cost = attention_cost(qk, sv, d);
+      if (cost < best.cost) best = {qk, sv, cost};
+    }
+  }
+  return best;
+}
+
+std::uint64_t gamma_eq3(const AttentionDims& d) {
+  return attention_cost(QkOrder::kProjectBoth, SvOrder::kProjectV, d);
+}
+
+std::uint64_t gamma_eq8(const AttentionDims& d) {
+  return attention_cost(QkOrder::kLeftToRight, SvOrder::kAggregateFirst, d);
+}
+
+std::uint64_t gamma_full_attention_head(std::size_t n, std::size_t f,
+                                        std::size_t fh) {
+  return gamma_eq3({.n = n, .p = n, .f = f, .fh = fh});
+}
+
+std::uint64_t gamma_partitioned_layer(const LayerConfig& config, std::size_t n,
+                                      std::size_t p, AttentionOrder order) {
+  config.validate();
+  const AttentionDims dims{
+      .n = n, .p = p, .f = config.hidden, .fh = config.head_dim};
+  const U per_head =
+      order == AttentionOrder::kReordered ? gamma_eq8(dims) : gamma_eq3(dims);
+  const U heads = config.heads;
+  const U f = config.hidden;
+  const U ffn = config.ffn_dim;
+  const U pp = p;
+  // H heads + W_O projection (P x H*F_H times H*F_H x F) + two FFN GEMMs.
+  return heads * per_head + pp * f * f + 2 * pp * f * ffn;
+}
+
+std::uint64_t gamma_full_layer(const LayerConfig& config, std::size_t n) {
+  return gamma_partitioned_layer(config, n, n, AttentionOrder::kNaive);
+}
+
+}  // namespace voltage

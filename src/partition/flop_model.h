@@ -1,0 +1,92 @@
+// Closed-form computation-complexity model of partitioned self-attention
+// (paper §IV). Costs are matrix-multiplication MAC counts, matching the
+// paper's Γ(·) convention Γ(xW) = N·F·F_H; O(PN) softmax/scaling terms are
+// tracked separately by the kernels and excluded here, as in the paper.
+//
+// These formulas are validated *exactly* (integer equality) against the
+// thread-local MAC counters of the executing kernels in the test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "transformer/config.h"
+
+namespace voltage {
+
+struct AttentionDims {
+  std::size_t n = 0;   // full sequence length N
+  std::size_t p = 0;   // partition length P (P <= N)
+  std::size_t f = 0;   // model feature width F
+  std::size_t fh = 0;  // per-head attention dimension F_H
+};
+
+// The five orders to evaluate Q_p K^T = x_p W_Q W_K^T x^T (paper Eqs. 10-14).
+enum class QkOrder : std::uint8_t {
+  kLeftToRight,      // ((x_p W_Q) W_K^T) x^T            — Eq. (10)
+  kProjectBoth,      // (x_p W_Q)(W_K^T x^T)             — Eq. (11), "compute Q, K"
+  kFuseWeightsLeft,  // (x_p (W_Q W_K^T)) x^T            — Eq. (12)
+  kFuseWeightsRight, // x_p ((W_Q W_K^T) x^T)            — Eq. (13)
+  kInnermostFirst,   // x_p (W_Q (W_K^T x^T))            — Eq. (14)
+};
+
+// The two orders to evaluate S x W_V (paper Eq. 6).
+enum class SvOrder : std::uint8_t {
+  kProjectV,        // S (x W_V) — pre-compute V
+  kAggregateFirst,  // (S x) W_V
+};
+
+inline constexpr QkOrder kAllQkOrders[] = {
+    QkOrder::kLeftToRight, QkOrder::kProjectBoth, QkOrder::kFuseWeightsLeft,
+    QkOrder::kFuseWeightsRight, QkOrder::kInnermostFirst};
+inline constexpr SvOrder kAllSvOrders[] = {SvOrder::kProjectV,
+                                           SvOrder::kAggregateFirst};
+
+// MACs to produce the P x N score matrix with the given order.
+// Note: the paper's Eq. (14) prints the final term as P·N·F_H; the actual
+// product x_p (F columns) with an F x N matrix costs P·F·N. We implement the
+// correct count — the elimination argument of Theorem 2 holds either way.
+[[nodiscard]] std::uint64_t qk_cost(QkOrder order, const AttentionDims& dims);
+
+// MACs to reduce the P x N attention matrix S against x and W_V.
+[[nodiscard]] std::uint64_t sv_cost(SvOrder order, const AttentionDims& dims);
+
+// Total MACs of one attention head with the given composite order.
+[[nodiscard]] std::uint64_t attention_cost(QkOrder qk, SvOrder sv,
+                                           const AttentionDims& dims);
+
+struct OrderChoice {
+  QkOrder qk{};
+  SvOrder sv{};
+  std::uint64_t cost = 0;
+};
+
+// Brute-force argmin over all 10 composite orders — the oracle the
+// Theorem-2 selector is tested against.
+[[nodiscard]] OrderChoice cheapest_order_exhaustive(const AttentionDims& dims);
+
+// Γ of the paper's two named composites.
+// Eq. (3): P·F·F_H + 2·N·F·F_H + 2·P·N·F_H   (Theorem 1, MAC terms)
+[[nodiscard]] std::uint64_t gamma_eq3(const AttentionDims& dims);
+// Eq. (8): 3·P·F·F_H + 2·P·N·F                (Theorem 3, MAC terms)
+[[nodiscard]] std::uint64_t gamma_eq8(const AttentionDims& dims);
+
+// Γ of one full-sequence attention head on a single device (P = N, Eq. 3).
+[[nodiscard]] std::uint64_t gamma_full_attention_head(std::size_t n,
+                                                      std::size_t f,
+                                                      std::size_t fh);
+
+enum class AttentionOrder : std::uint8_t;
+
+// MACs of Algorithm 1 for one transformer layer: H partitioned heads with
+// the given order, the W_O projection and the position-wise FFN.
+[[nodiscard]] std::uint64_t gamma_partitioned_layer(const LayerConfig& config,
+                                                    std::size_t n,
+                                                    std::size_t p,
+                                                    AttentionOrder order);
+
+// MACs of the full (unpartitioned) layer on one device.
+[[nodiscard]] std::uint64_t gamma_full_layer(const LayerConfig& config,
+                                             std::size_t n);
+
+}  // namespace voltage

@@ -1,0 +1,34 @@
+#include "partition/order.h"
+
+#include <stdexcept>
+
+namespace voltage {
+
+bool theorem2_prefers_reordered(const AttentionDims& dims) {
+  // 1/P - 1/N > (F - F_H) / (F * F_H), cross-multiplied to exact integers:
+  // (N - P) * F * F_H > P * N * (F - F_H).
+  const std::uint64_t lhs = static_cast<std::uint64_t>(dims.n - dims.p) *
+                            dims.f * dims.fh;
+  const std::uint64_t rhs = static_cast<std::uint64_t>(dims.p) * dims.n *
+                            (dims.f - dims.fh);
+  return lhs > rhs;
+}
+
+AttentionOrder select_order(OrderPolicy policy, const AttentionDims& dims) {
+  switch (policy) {
+    case OrderPolicy::kAlwaysNaive:
+      return AttentionOrder::kNaive;
+    case OrderPolicy::kAlwaysReordered:
+      return AttentionOrder::kReordered;
+    case OrderPolicy::kAdaptive:
+      return theorem2_prefers_reordered(dims) ? AttentionOrder::kReordered
+                                              : AttentionOrder::kNaive;
+  }
+  throw std::logic_error("select_order: bad policy");
+}
+
+const char* to_string(AttentionOrder order) noexcept {
+  return order == AttentionOrder::kNaive ? "naive(Eq.3)" : "reordered(Eq.8)";
+}
+
+}  // namespace voltage

@@ -1,0 +1,37 @@
+// Self-attention computation orders (paper §IV).
+//
+// Theorem 2 proves only two of the ten possible multiplication orders can be
+// optimal for multi-head attention (H >= 2, H*F_H = F):
+//   kNaive     — Eq. (3):  softmax((x_p W_Q)(x W_K)^T / sqrt(F_H)) (x W_V)
+//                pre-computes K and V; cost has a 2*N*F*F_H term that does
+//                not shrink with the partition.
+//   kReordered — Eq. (8):  (softmax(((x_p W_Q) W_K^T) x^T / sqrt(F_H)) x) W_V
+//                never materializes K or V; every term scales with P.
+// The adaptive policy picks per layer-settings using the exact Theorem-2
+// threshold  1/P - 1/N > (F - F_H) / (F * F_H).
+#pragma once
+
+#include <cstdint>
+
+#include "partition/flop_model.h"
+
+namespace voltage {
+
+enum class AttentionOrder : std::uint8_t { kNaive, kReordered };
+
+enum class OrderPolicy : std::uint8_t {
+  kAdaptive,         // Theorem 2 selection (Voltage default)
+  kAlwaysNaive,      // ablation: always Eq. (3)
+  kAlwaysReordered,  // ablation: always Eq. (8)
+};
+
+// Exact integer form of the Theorem-2 condition
+// (N - P) * F * F_H > P * N * (F - F_H).
+[[nodiscard]] bool theorem2_prefers_reordered(const AttentionDims& dims);
+
+[[nodiscard]] AttentionOrder select_order(OrderPolicy policy,
+                                          const AttentionDims& dims);
+
+[[nodiscard]] const char* to_string(AttentionOrder order) noexcept;
+
+}  // namespace voltage

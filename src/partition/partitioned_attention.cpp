@@ -1,0 +1,77 @@
+#include "partition/partitioned_attention.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "transformer/attention.h"
+
+namespace voltage {
+
+namespace {
+
+// Eq. (3): S = softmax((x_p W_Q)(x W_K)^T / sqrt(F_H)), A_p = S (x W_V).
+Tensor head_partition_naive(const Tensor& x, const Tensor& xp, Range p,
+                            const HeadWeights& w, std::size_t head_dim,
+                            bool causal) {
+  const Tensor qp = matmul(xp, w.wq);
+  const Tensor k = matmul(x, w.wk);
+  Tensor scores = matmul(qp, k, Trans::kNo, Trans::kYes);
+  if (causal) apply_causal_mask(scores, p.begin);
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(head_dim));
+  const Tensor s = softmax_rows(scores, inv_sqrt);
+  return matmul(s, matmul(x, w.wv));
+}
+
+// Eq. (8): S = softmax(((x_p W_Q) W_K^T) x^T / sqrt(F_H)), A_p = (S x) W_V.
+// K and V are never materialized; all intermediates are P-sized.
+Tensor head_partition_reordered(const Tensor& x, const Tensor& xp, Range p,
+                                const HeadWeights& w, std::size_t head_dim,
+                                bool causal) {
+  const Tensor qp = matmul(xp, w.wq);
+  const Tensor qk = matmul(qp, w.wk, Trans::kNo, Trans::kYes);  // P x F
+  Tensor scores = matmul(qk, x, Trans::kNo, Trans::kYes);       // P x N
+  if (causal) apply_causal_mask(scores, p.begin);
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(head_dim));
+  const Tensor s = softmax_rows(scores, inv_sqrt);
+  return matmul(matmul(s, x), w.wv);
+}
+
+}  // namespace
+
+Tensor attention_head_partition(const Tensor& x, Range p, const HeadWeights& w,
+                                std::size_t head_dim, bool causal,
+                                AttentionOrder order) {
+  if (p.end > x.rows()) {
+    throw std::out_of_range("attention_head_partition: range exceeds input");
+  }
+  const Tensor xp = x.slice_rows(p.begin, p.end);
+  return order == AttentionOrder::kReordered
+             ? head_partition_reordered(x, xp, p, w, head_dim, causal)
+             : head_partition_naive(x, xp, p, w, head_dim, causal);
+}
+
+Tensor multi_head_attention_partition(const Tensor& x, Range p,
+                                      const AttentionWeights& w,
+                                      const LayerConfig& config,
+                                      OrderPolicy policy) {
+  if (p.empty()) return Tensor(0, config.hidden);
+  const AttentionDims dims{.n = x.rows(),
+                           .p = p.size(),
+                           .f = config.hidden,
+                           .fh = config.head_dim};
+  const AttentionOrder order = select_order(policy, dims);
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(w.heads.size());
+  for (const HeadWeights& head : w.heads) {
+    head_outputs.push_back(attention_head_partition(
+        x, p, head, config.head_dim, config.causal, order));
+  }
+  Tensor out = matmul(concat_cols(head_outputs), w.wo);
+  add_bias_inplace(out, w.bo);
+  return out;
+}
+
+}  // namespace voltage

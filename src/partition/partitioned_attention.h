@@ -1,0 +1,32 @@
+// Position-partitioned multi-head self-attention (paper §III-IV).
+//
+// Computes the attention output for the positions in `p` only, reading the
+// full input sequence x. Two numerically equivalent evaluation paths exist
+// per head — Eq. (3) and Eq. (8) — with very different scaling behaviour;
+// the adaptive policy (Theorem 2) chooses between them.
+#pragma once
+
+#include "partition/order.h"
+#include "partition/range.h"
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+// A_p(x) for one head: [P x F_H].
+// `causal` masks attention to positions after each query's global position
+// (range.begin + local row index).
+[[nodiscard]] Tensor attention_head_partition(const Tensor& x, Range p,
+                                              const HeadWeights& w,
+                                              std::size_t head_dim, bool causal,
+                                              AttentionOrder order);
+
+// Algorithm 1, lines 2-9: per-head order selection, concat, W_O projection.
+// Returns [P x F].
+[[nodiscard]] Tensor multi_head_attention_partition(const Tensor& x, Range p,
+                                                    const AttentionWeights& w,
+                                                    const LayerConfig& config,
+                                                    OrderPolicy policy);
+
+}  // namespace voltage

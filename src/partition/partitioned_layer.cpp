@@ -1,0 +1,33 @@
+#include "partition/partitioned_layer.h"
+
+#include <stdexcept>
+
+#include "partition/partitioned_attention.h"
+#include "tensor/ops.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+Tensor partitioned_layer_forward(const TransformerLayer& layer,
+                                 const Tensor& x, Range p,
+                                 OrderPolicy policy) {
+  const LayerConfig& config = layer.config();
+  const LayerWeights& w = layer.weights();
+  if (p.end > x.rows()) {
+    throw std::out_of_range("partitioned_layer_forward: range exceeds input");
+  }
+  if (p.empty()) return Tensor(0, config.hidden);
+
+  // Algorithm 1, lines 2-9: partitioned multi-head attention.
+  Tensor r = multi_head_attention_partition(x, p, w.attention, config, policy);
+  // Line 10: residual with x_p, then LayerNorm.
+  add_inplace(r, x.slice_rows(p.begin, p.end));
+  const Tensor y =
+      layernorm_rows(r, w.ln_attention.gamma, w.ln_attention.beta);
+  // Line 11: position-wise FFN block on the partition only.
+  Tensor f = ffn_forward(y, w.ffn, config.activation);
+  add_inplace(f, y);
+  return layernorm_rows(f, w.ln_ffn.gamma, w.ln_ffn.beta);
+}
+
+}  // namespace voltage

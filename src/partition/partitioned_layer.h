@@ -1,0 +1,19 @@
+// Partitioned transformer layer — paper Algorithm 1.
+//
+// T_p(x): the layer output restricted to positions p, computed from the
+// full input x. The attention stage reads all of x; the residual link, both
+// LayerNorms and the FFN are position-wise and run on the partition only.
+#pragma once
+
+#include "partition/order.h"
+#include "partition/range.h"
+#include "tensor/tensor.h"
+#include "transformer/layer.h"
+
+namespace voltage {
+
+[[nodiscard]] Tensor partitioned_layer_forward(
+    const TransformerLayer& layer, const Tensor& x, Range p,
+    OrderPolicy policy = OrderPolicy::kAdaptive);
+
+}  // namespace voltage

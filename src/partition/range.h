@@ -1,0 +1,21 @@
+// Half-open position range [begin, end) within a sequence.
+#pragma once
+
+#include <cstddef>
+
+namespace voltage {
+
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+  [[nodiscard]] bool contains(std::size_t pos) const noexcept {
+    return pos >= begin && pos < end;
+  }
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+}  // namespace voltage

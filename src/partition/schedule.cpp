@@ -1,0 +1,47 @@
+#include "partition/schedule.h"
+
+#include <stdexcept>
+
+namespace voltage {
+
+LayerSchedule::LayerSchedule(std::vector<PartitionScheme> per_layer)
+    : per_layer_(std::move(per_layer)) {
+  if (per_layer_.empty()) {
+    throw std::invalid_argument("LayerSchedule: no layers");
+  }
+  const std::size_t k = per_layer_.front().devices();
+  for (const PartitionScheme& scheme : per_layer_) {
+    if (scheme.devices() != k) {
+      throw std::invalid_argument(
+          "LayerSchedule: all layers must use the same device count");
+    }
+  }
+}
+
+LayerSchedule LayerSchedule::uniform(PartitionScheme scheme,
+                                     std::size_t num_layers) {
+  if (num_layers == 0) {
+    throw std::invalid_argument("LayerSchedule: no layers");
+  }
+  return LayerSchedule(
+      std::vector<PartitionScheme>(num_layers, std::move(scheme)));
+}
+
+const PartitionScheme& LayerSchedule::scheme_for(std::size_t layer) const {
+  if (layer >= per_layer_.size()) {
+    throw std::out_of_range("LayerSchedule: layer index");
+  }
+  return per_layer_[layer];
+}
+
+void LayerSchedule::set_scheme(std::size_t layer, PartitionScheme scheme) {
+  if (layer >= per_layer_.size()) {
+    throw std::out_of_range("LayerSchedule: layer index");
+  }
+  if (scheme.devices() != devices()) {
+    throw std::invalid_argument("LayerSchedule: device count mismatch");
+  }
+  per_layer_[layer] = std::move(scheme);
+}
+
+}  // namespace voltage

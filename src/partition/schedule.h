@@ -1,0 +1,38 @@
+// Per-layer partition schedules — the paper's §V-B observation made
+// concrete: after each all-gather every device holds the full layer input,
+// so each layer may use a *different* partition scheme "without any
+// penalty". A LayerSchedule assigns one PartitionScheme per transformer
+// layer; the uniform() factory reproduces the paper's shared-scheme default.
+#pragma once
+
+#include <vector>
+
+#include "partition/scheme.h"
+
+namespace voltage {
+
+class LayerSchedule {
+ public:
+  // One scheme per layer; all schemes must agree on the device count.
+  explicit LayerSchedule(std::vector<PartitionScheme> per_layer);
+
+  // The paper's default: every layer shares `scheme`.
+  [[nodiscard]] static LayerSchedule uniform(PartitionScheme scheme,
+                                             std::size_t num_layers);
+
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return per_layer_.size();
+  }
+  [[nodiscard]] std::size_t devices() const noexcept {
+    return per_layer_.front().devices();
+  }
+  [[nodiscard]] const PartitionScheme& scheme_for(std::size_t layer) const;
+
+  // Replace one layer's scheme (used by runtime rebalancers).
+  void set_scheme(std::size_t layer, PartitionScheme scheme);
+
+ private:
+  std::vector<PartitionScheme> per_layer_;
+};
+
+}  // namespace voltage

@@ -1,0 +1,107 @@
+#include "partition/scheme.h"
+
+#include <charconv>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace voltage {
+
+PartitionScheme::PartitionScheme(std::vector<double> ratios)
+    : ratios_(std::move(ratios)) {
+  if (ratios_.empty()) {
+    throw std::invalid_argument("PartitionScheme: no devices");
+  }
+  double sum = 0.0;
+  for (const double r : ratios_) {
+    if (r < 0.0 || r > 1.0 || !std::isfinite(r)) {
+      throw std::invalid_argument("PartitionScheme: ratio outside [0, 1]");
+    }
+    sum += r;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("PartitionScheme: ratios must sum to 1");
+  }
+  // Normalize away the residual so cumulative_[K-1] is exactly 1 and the
+  // last range always ends at n.
+  cumulative_.resize(ratios_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ratios_.size(); ++i) {
+    ratios_[i] /= sum;
+    acc += ratios_[i];
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+PartitionScheme PartitionScheme::even(std::size_t devices) {
+  if (devices == 0) throw std::invalid_argument("PartitionScheme: 0 devices");
+  return PartitionScheme(
+      std::vector<double>(devices, 1.0 / static_cast<double>(devices)));
+}
+
+PartitionScheme PartitionScheme::proportional(
+    const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("PartitionScheme: weights must sum > 0");
+  }
+  std::vector<double> ratios(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument("PartitionScheme: negative weight");
+    }
+    ratios[i] = weights[i] / total;
+  }
+  return PartitionScheme(std::move(ratios));
+}
+
+PartitionScheme PartitionScheme::parse(std::string_view text) {
+  std::vector<double> weights;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view token = text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    // std::from_chars<double> is missing from some libstdc++ builds; strtod
+    // on a bounded copy is portable and just as strict here.
+    const std::string copy(token);
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (copy.empty() || end != copy.c_str() + copy.size()) {
+      throw std::invalid_argument("PartitionScheme::parse: bad weight '" +
+                                  copy + "'");
+    }
+    weights.push_back(value);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return proportional(weights);
+}
+
+Range PartitionScheme::range_for(std::size_t device, std::size_t n) const {
+  if (device >= ratios_.size()) {
+    throw std::out_of_range("PartitionScheme: device index");
+  }
+  const double lo = device == 0 ? 0.0 : cumulative_[device - 1];
+  const double hi = cumulative_[device];
+  const auto round_pos = [n](double frac) {
+    const auto p = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(n)));
+    return p > n ? n : p;
+  };
+  return Range{.begin = round_pos(lo), .end = round_pos(hi)};
+}
+
+std::vector<Range> PartitionScheme::ranges(std::size_t n) const {
+  std::vector<Range> out;
+  out.reserve(ratios_.size());
+  for (std::size_t i = 0; i < ratios_.size(); ++i) {
+    out.push_back(range_for(i, n));
+  }
+  return out;
+}
+
+}  // namespace voltage

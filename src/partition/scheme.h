@@ -1,0 +1,51 @@
+// Partition scheme (paper §V-B): a vector of ratios P = [p_1 ... p_K] with
+// 0 <= p_i <= 1 and sum(p_i) = 1. Device i computes positions
+// [N * sum_{j<i} p_j, N * sum_{j<=i} p_j). Ranges are derived from rounded
+// cumulative sums so that for ANY ratio vector and ANY N the K ranges are
+// pairwise disjoint and exactly cover [0, N) — the paper's bijectivity
+// conditions.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "partition/range.h"
+
+namespace voltage {
+
+class PartitionScheme {
+ public:
+  // Throws std::invalid_argument unless ratios are in [0,1] and sum to 1
+  // (within 1e-6, then normalized exactly).
+  explicit PartitionScheme(std::vector<double> ratios);
+
+  // Even 1/K split across `devices`.
+  [[nodiscard]] static PartitionScheme even(std::size_t devices);
+
+  // Ratios proportional to the given non-negative weights (heterogeneous
+  // clusters: weight by device speed).
+  [[nodiscard]] static PartitionScheme proportional(
+      const std::vector<double>& weights);
+
+  // Parses a comma-separated weight list ("4,2,1,1"); weights are
+  // normalized, so they need not sum to 1. Throws on malformed input.
+  [[nodiscard]] static PartitionScheme parse(std::string_view text);
+
+  [[nodiscard]] std::size_t devices() const noexcept { return ratios_.size(); }
+  [[nodiscard]] const std::vector<double>& ratios() const noexcept {
+    return ratios_;
+  }
+
+  // Position range owned by `device` for an input of length `n`.
+  [[nodiscard]] Range range_for(std::size_t device, std::size_t n) const;
+
+  // All K ranges for an input of length `n` (disjoint cover of [0, n)).
+  [[nodiscard]] std::vector<Range> ranges(std::size_t n) const;
+
+ private:
+  std::vector<double> ratios_;
+  std::vector<double> cumulative_;  // cumulative_[i] = sum of ratios_[0..i]
+};
+
+}  // namespace voltage

@@ -1,0 +1,52 @@
+// Partition-scheme planning for heterogeneous edge clusters.
+//
+// The paper's scheme is a ratio vector precisely so devices can take
+// unequal shares (§V-B), but it leaves choosing the ratios open. This
+// module closes the loop:
+//   - profile_this_device(): micro-benchmark the host's real kernel
+//     throughput into a sim::DeviceSpec;
+//   - plan_proportional(): ratios proportional to device MAC rates;
+//   - optimize_scheme(): integer coordinate descent on top of the
+//     proportional seed, minimizing the simulated end-to-end latency
+//     (captures effects ratios alone miss: the all-gather straggler, the
+//     Theorem-2 order flip when a partition crosses the threshold, fixed
+//     per-message costs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "parallel/latency_model.h"
+#include "partition/order.h"
+#include "partition/scheme.h"
+#include "sim/cluster.h"
+
+namespace voltage {
+
+// Measures this host's effective GEMM MAC rate and elementwise rate using
+// the real kernels (best-of-`reps` timing of a gemm_dim^3 matmul and an
+// elementwise pass). Use it to describe real machines to the planner.
+[[nodiscard]] sim::DeviceSpec profile_this_device(std::string name,
+                                                  std::size_t gemm_dim = 192,
+                                                  int reps = 3);
+
+// Ratios proportional to worker MAC rates.
+[[nodiscard]] PartitionScheme plan_proportional(const sim::Cluster& cluster);
+
+struct PlanResult {
+  PartitionScheme scheme;
+  Seconds predicted_latency = 0.0;
+  std::size_t evaluations = 0;  // latency-model invocations spent
+};
+
+// Greedy integer descent: start from the proportional split of the N
+// positions, repeatedly move one position from the device that finishes
+// last to the one that finishes first, keep the move if the simulated
+// latency improves. Terminates after `max_rounds` non-improving rounds or
+// when no move helps.
+[[nodiscard]] PlanResult optimize_scheme(const ModelSpec& spec, std::size_t n,
+                                         const sim::Cluster& cluster,
+                                         OrderPolicy policy,
+                                         std::size_t max_rounds = 64);
+
+}  // namespace voltage

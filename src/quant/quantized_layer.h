@@ -1,0 +1,59 @@
+// INT8-quantized transformer layer with position-wise partitioning.
+//
+// Every weight GEMM of Algorithm 1 runs through the int8 kernel; the
+// position-dependent products (scores, attention-weighted sums) stay in
+// float, as do biases and LayerNorm — the Q8BERT recipe. The adaptive
+// Theorem-2 order selection applies unchanged: complexity is a property of
+// shapes, not dtypes, so quantization (≈4x smaller weights) and Voltage's
+// partitioning (linear per-layer scaling) compose.
+#pragma once
+
+#include <vector>
+
+#include "partition/order.h"
+#include "partition/range.h"
+#include "quant/quantized_tensor.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+struct QuantizedHeadWeights {
+  QuantizedWeights wq;    // F x F_H
+  QuantizedWeights wk;    // F x F_H   (Eq. 3 path: K = x W_K)
+  QuantizedWeights wk_t;  // F_H x F   (Eq. 8 path: (x_p W_Q) W_K^T)
+  QuantizedWeights wv;    // F x F_H
+};
+
+struct QuantizedLayerWeights {
+  std::vector<QuantizedHeadWeights> heads;
+  QuantizedWeights wo;
+  Tensor bo;
+  LayerNormWeights ln_attention;
+  QuantizedWeights w1;
+  Tensor b1;
+  QuantizedWeights w2;
+  Tensor b2;
+  LayerNormWeights ln_ffn;
+
+  // Weight-memory footprint in bytes (int8 data + scales).
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+// Quantizes a trained float layer (weights only; biases/LN stay float).
+[[nodiscard]] QuantizedLayerWeights quantize_layer(const LayerWeights& w);
+
+// Byte size of the float weights of `w` — the 4x comparison baseline.
+[[nodiscard]] std::size_t float_layer_byte_size(const LayerWeights& w);
+
+// Algorithm 1 over quantized weights: output partition T_p(x) for the
+// positions in `p`, with per-geometry order selection.
+[[nodiscard]] Tensor quantized_partitioned_layer_forward(
+    const LayerConfig& config, const QuantizedLayerWeights& w,
+    const Tensor& x, Range p, OrderPolicy policy = OrderPolicy::kAdaptive);
+
+// Full-sequence forward (the P = N special case).
+[[nodiscard]] Tensor quantized_layer_forward(const LayerConfig& config,
+                                             const QuantizedLayerWeights& w,
+                                             const Tensor& x);
+
+}  // namespace voltage

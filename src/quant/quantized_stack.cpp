@@ -1,0 +1,40 @@
+#include "quant/quantized_stack.h"
+
+#include <stdexcept>
+
+namespace voltage {
+
+QuantizedStack::QuantizedStack(const TransformerModel& model)
+    : config_(model.spec().layer) {
+  layers_.reserve(model.spec().num_layers);
+  for (const TransformerLayer& layer : model.layers()) {
+    layers_.push_back(quantize_layer(layer.weights()));
+    float_bytes_ += float_layer_byte_size(layer.weights());
+  }
+}
+
+Tensor QuantizedStack::partition_forward(std::size_t layer, const Tensor& x,
+                                         Range p, OrderPolicy policy) const {
+  if (layer >= layers_.size()) {
+    throw std::out_of_range("QuantizedStack: layer index");
+  }
+  return quantized_partitioned_layer_forward(config_, layers_[layer], x, p,
+                                             policy);
+}
+
+Tensor QuantizedStack::forward_layers(Tensor x) const {
+  for (const QuantizedLayerWeights& layer : layers_) {
+    x = quantized_layer_forward(config_, layer, x);
+  }
+  return x;
+}
+
+std::size_t QuantizedStack::byte_size() const {
+  std::size_t bytes = 0;
+  for (const QuantizedLayerWeights& layer : layers_) {
+    bytes += layer.byte_size();
+  }
+  return bytes;
+}
+
+}  // namespace voltage

@@ -1,0 +1,122 @@
+#include "quant/quantized_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/flops.h"
+
+namespace voltage {
+
+namespace {
+
+// Scale for symmetric int8: absmax / 127 (0 tensors get scale 1 so the
+// round trip stays exact).
+float absmax_scale(const float* begin, const float* end, std::ptrdiff_t stride) {
+  float absmax = 0.0F;
+  for (const float* p = begin; p < end; p += stride) {
+    absmax = std::max(absmax, std::fabs(*p));
+  }
+  return absmax == 0.0F ? 1.0F : absmax / 127.0F;
+}
+
+std::int8_t quantize_value(float v, float scale) {
+  const float q = std::round(v / scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F));
+}
+
+}  // namespace
+
+QuantizedActivations quantize_activations(const Tensor& x) {
+  QuantizedActivations out;
+  out.rows = x.rows();
+  out.cols = x.cols();
+  out.data.resize(x.size());
+  out.row_scales.resize(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    const float scale = absmax_scale(row.data(), row.data() + row.size(), 1);
+    out.row_scales[r] = scale;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.data[r * x.cols() + c] = quantize_value(row[c], scale);
+    }
+  }
+  flops::add_elementwise(2 * x.size());
+  return out;
+}
+
+QuantizedWeights quantize_weights(const Tensor& w) {
+  QuantizedWeights out;
+  out.rows = w.rows();
+  out.cols = w.cols();
+  out.data.resize(w.size());
+  out.col_scales.resize(w.cols());
+  for (std::size_t c = 0; c < w.cols(); ++c) {
+    out.col_scales[c] = absmax_scale(w.data() + c,
+                                     w.data() + w.size(),
+                                     static_cast<std::ptrdiff_t>(w.cols()));
+  }
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      out.data[r * w.cols() + c] =
+          quantize_value(w(r, c), out.col_scales[c]);
+    }
+  }
+  return out;
+}
+
+Tensor dequantize(const QuantizedActivations& x) {
+  Tensor out(x.rows, x.cols);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < x.cols; ++c) {
+      out(r, c) = static_cast<float>(x.data[r * x.cols + c]) *
+                  x.row_scales[r];
+    }
+  }
+  return out;
+}
+
+Tensor dequantize(const QuantizedWeights& w) {
+  Tensor out(w.rows, w.cols);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    for (std::size_t c = 0; c < w.cols; ++c) {
+      out(r, c) = static_cast<float>(w.data[r * w.cols + c]) *
+                  w.col_scales[c];
+    }
+  }
+  return out;
+}
+
+Tensor quantized_matmul(const Tensor& x, const QuantizedWeights& w) {
+  if (x.cols() != w.rows) {
+    throw std::invalid_argument("quantized_matmul: inner dim mismatch");
+  }
+  const QuantizedActivations xq = quantize_activations(x);
+  const std::size_t m = xq.rows;
+  const std::size_t k = xq.cols;
+  const std::size_t n = w.cols;
+
+  Tensor out(m, n);
+  std::vector<std::int32_t> acc(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0);
+    const std::int8_t* xrow = xq.data.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t xv = xrow[p];
+      if (xv == 0) continue;
+      const std::int8_t* wrow = w.data.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc[j] += xv * static_cast<std::int32_t>(wrow[j]);
+      }
+    }
+    const float sx = xq.row_scales[i];
+    auto orow = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      orow[j] = static_cast<float>(acc[j]) * sx * w.col_scales[j];
+    }
+  }
+  flops::add_matmul_macs(static_cast<std::uint64_t>(m) * k * n);
+  return out;
+}
+
+}  // namespace voltage

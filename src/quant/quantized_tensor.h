@@ -1,0 +1,54 @@
+// INT8 quantization primitives (Q8BERT-style, paper §VII-A).
+//
+// The paper notes that compression techniques are orthogonal to Voltage:
+// a quantized model still has the transformer structure, so it can be
+// position-partitioned for a further, multiplicative speed-up. This module
+// provides the substrate: symmetric per-row/per-column int8 quantization
+// and an int8 x int8 -> int32 GEMM with float rescaling.
+//
+// Conventions:
+//   activations x ∈ R^{N x F}  -> per-ROW scales (each position quantized
+//                                 independently — "dynamic" quantization);
+//   weights     W ∈ R^{F x O}  -> per-COLUMN scales (each output channel).
+// Then (x W)_ij ≈ Σ_k xq_ik wq_kj * sx_i * sw_j with int32 accumulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+struct QuantizedActivations {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> data;  // row-major
+  std::vector<float> row_scales;  // rows entries: x ≈ data * scale[row]
+};
+
+struct QuantizedWeights {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> data;  // row-major
+  std::vector<float> col_scales;  // cols entries: W ≈ data * scale[col]
+
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return data.size() + col_scales.size() * sizeof(float);
+  }
+};
+
+// Symmetric absmax quantization.
+[[nodiscard]] QuantizedActivations quantize_activations(const Tensor& x);
+[[nodiscard]] QuantizedWeights quantize_weights(const Tensor& w);
+
+[[nodiscard]] Tensor dequantize(const QuantizedActivations& x);
+[[nodiscard]] Tensor dequantize(const QuantizedWeights& w);
+
+// Float activations times quantized weights: dynamically quantizes x per
+// row, runs the int8 GEMM, rescales to float. The workhorse that replaces
+// matmul(x, W) on the weight side of every transformer GEMM.
+[[nodiscard]] Tensor quantized_matmul(const Tensor& x,
+                                      const QuantizedWeights& w);
+
+}  // namespace voltage

@@ -1,0 +1,120 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+namespace {
+
+constexpr MessageTag kTagRequestBase = 1;
+
+}  // namespace
+
+PipelineRuntime::PipelineRuntime(const TransformerModel& model,
+                                 std::size_t devices, TransportKind transport)
+    : model_(model),
+      devices_(devices),
+      transport_(make_transport(transport,
+                                devices == 0 ? 1 : devices + 1)) {
+  if (devices == 0) {
+    throw std::invalid_argument("PipelineRuntime: zero devices");
+  }
+  if (devices > model.spec().num_layers) {
+    throw std::invalid_argument(
+        "PipelineRuntime: more stages than transformer layers");
+  }
+}
+
+Range PipelineRuntime::stage_layers(std::size_t stage) const {
+  const std::size_t layers = model_.spec().num_layers;
+  return Range{.begin = layers * stage / devices_,
+               .end = layers * (stage + 1) / devices_};
+}
+
+std::vector<Tensor> PipelineRuntime::infer_batch(
+    std::span<const InferenceInput> requests) {
+  const std::size_t k = devices_;
+  const DeviceId terminal = k;
+  const auto layers = model_.layers();
+
+  std::vector<std::exception_ptr> errors(k);
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (std::size_t stage = 0; stage < k; ++stage) {
+    threads.emplace_back([&, stage] {
+      try {
+        const Range mine = stage_layers(stage);
+        const DeviceId upstream = stage == 0 ? terminal : stage - 1;
+        const DeviceId downstream = stage + 1 == k ? terminal : stage + 1;
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+          const MessageTag tag = kTagRequestBase + r;
+          Tensor x = tensor_from_bytes(
+              transport_->recv(stage, upstream, tag).payload);
+          for (std::size_t l = mine.begin; l < mine.end; ++l) {
+            x = layers[l].forward(x);
+          }
+          transport_->send(Message{.source = stage,
+                                   .destination = downstream,
+                                   .tag = tag,
+                                   .payload = to_bytes(x)});
+        }
+      } catch (...) {
+        errors[stage] = std::current_exception();
+      }
+    });
+  }
+
+  // Terminal: pre-process and inject every request, then collect results
+  // in order. Injection does not wait for completions, so the stages fill.
+  std::vector<Tensor> results(requests.size());
+  try {
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      const Tensor features = std::visit(
+          [&](const auto& input) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                         Image>) {
+              return model_.preprocess(input);
+            } else {
+              return model_.preprocess(
+                  std::span<const TokenId>(input.data(), input.size()));
+            }
+          },
+          requests[r]);
+      transport_->send(Message{.source = terminal,
+                               .destination = 0,
+                               .tag = kTagRequestBase + r,
+                               .payload = to_bytes(features)});
+    }
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      const Tensor hidden = tensor_from_bytes(
+          transport_->recv(terminal, k - 1, kTagRequestBase + r).payload);
+      results[r] = model_.postprocess(hidden);
+    }
+  } catch (...) {
+    for (std::thread& t : threads) t.join();
+    throw;
+  }
+
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+Tensor PipelineRuntime::infer(std::span<const TokenId> tokens) {
+  const InferenceInput request =
+      std::vector<TokenId>(tokens.begin(), tokens.end());
+  return infer_batch(std::span<const InferenceInput>(&request, 1)).front();
+}
+
+Tensor PipelineRuntime::infer(const Image& image) {
+  const InferenceInput request = image;
+  return infer_batch(std::span<const InferenceInput>(&request, 1)).front();
+}
+
+}  // namespace voltage

@@ -1,0 +1,54 @@
+// Real (threaded) pipeline-parallel inference — the PipeEdge-style baseline
+// the paper discusses in §V-C, executed over the transport rather than just
+// modeled.
+//
+// Layers are split into K contiguous stages, one device (thread) per stage;
+// activations flow stage to stage tagged by request index, so a stream of
+// requests overlaps naturally: stage 0 works on request r+1 while stage 1
+// handles request r. A single request still traverses every layer
+// sequentially — which is exactly why this baseline cannot beat
+// single-device latency at batch size 1.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "net/transport.h"
+#include "partition/range.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+// One inference request: token ids or an image.
+using InferenceInput = std::variant<std::vector<TokenId>, Image>;
+
+class PipelineRuntime {
+ public:
+  // Requires 1 <= devices <= model layers.
+  PipelineRuntime(const TransformerModel& model, std::size_t devices,
+                  TransportKind transport = TransportKind::kInMemory);
+
+  // Runs a stream of requests through the pipeline; returns the logits in
+  // request order. Requests overlap across stages.
+  [[nodiscard]] std::vector<Tensor> infer_batch(
+      std::span<const InferenceInput> requests);
+
+  // Convenience single-request forms.
+  [[nodiscard]] Tensor infer(std::span<const TokenId> tokens);
+  [[nodiscard]] Tensor infer(const Image& image);
+
+  [[nodiscard]] const Transport& fabric() const noexcept {
+    return *transport_;
+  }
+  // Layer range owned by `stage` (exposed for tests).
+  [[nodiscard]] Range stage_layers(std::size_t stage) const;
+
+ private:
+  const TransformerModel& model_;
+  std::size_t devices_;
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace voltage

@@ -1,0 +1,175 @@
+#include "runtime/tensor_parallel_runtime.h"
+
+#include <exception>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "collective/collectives.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "transformer/attention.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+namespace {
+
+constexpr MessageTag kTagBroadcast = 1;
+constexpr MessageTag kTagFinal = 2;
+// Each ring all-reduce consumes up to 2*(K-1) consecutive tags; stride the
+// per-layer bases far apart.
+constexpr MessageTag kTagLayerBase = 1024;
+constexpr MessageTag kTagLayerStride = 64;
+
+Range even_shard(std::size_t total, std::size_t parts, std::size_t index) {
+  return Range{.begin = total * index / parts,
+               .end = total * (index + 1) / parts};
+}
+
+}  // namespace
+
+TensorParallelRuntime::TensorParallelRuntime(const TransformerModel& model,
+                                             std::size_t devices,
+                                             TransportKind transport,
+                                             bool star_allreduce)
+    : model_(model),
+      devices_(devices),
+      star_allreduce_(star_allreduce),
+      transport_(make_transport(transport,
+                                devices == 0 ? 1 : devices + 1)) {
+  if (devices == 0) {
+    throw std::invalid_argument("TensorParallelRuntime: zero devices");
+  }
+  if (devices > model.spec().layer.heads) {
+    throw std::invalid_argument(
+        "TensorParallelRuntime: more devices than attention heads");
+  }
+}
+
+Range TensorParallelRuntime::head_shard(std::size_t device) const {
+  return even_shard(model_.spec().layer.heads, devices_, device);
+}
+
+Range TensorParallelRuntime::ffn_shard(std::size_t device) const {
+  return even_shard(model_.spec().layer.ffn_dim, devices_, device);
+}
+
+Tensor TensorParallelRuntime::infer(std::span<const TokenId> tokens) {
+  return run(model_.preprocess(tokens));
+}
+
+Tensor TensorParallelRuntime::infer(const Image& image) {
+  return run(model_.preprocess(image));
+}
+
+Tensor TensorParallelRuntime::run(Tensor features) {
+  const std::size_t k = devices_;
+  const std::size_t n = features.rows();
+  const std::size_t f = features.cols();
+  const DeviceId terminal = terminal_id();
+
+  std::vector<DeviceId> everyone(k + 1);
+  std::iota(everyone.begin(), everyone.end(), DeviceId{0});
+  std::vector<DeviceId> workers(k);
+  std::iota(workers.begin(), workers.end(), DeviceId{0});
+
+  const auto layers = model_.layers();
+
+  std::vector<std::exception_ptr> errors(k);
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        const Range heads = head_shard(i);
+        const Range ffn_cols = ffn_shard(i);
+
+        Tensor x(0, 0);
+        broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+          const LayerConfig& cfg = layers[l].config();
+          const LayerWeights& w = layers[l].weights();
+          const MessageTag tag = kTagLayerBase + l * kTagLayerStride;
+
+          // --- attention: own heads, matching W_O rows, partial sum ------
+          Tensor partial(n, f);
+          if (!heads.empty()) {
+            std::vector<Tensor> outs;
+            outs.reserve(heads.size());
+            for (std::size_t h = heads.begin; h < heads.end; ++h) {
+              outs.push_back(attention_head_full(x, w.attention.heads[h],
+                                                 cfg.head_dim, cfg.causal));
+            }
+            const Tensor wo_rows = w.attention.wo.slice_rows(
+                heads.begin * cfg.head_dim, heads.end * cfg.head_dim);
+            partial = matmul(concat_cols(outs), wo_rows);
+          }
+          Tensor attn =
+              k == 1 ? std::move(partial)
+              : star_allreduce_
+                  ? naive_all_reduce_sum(*transport_, workers, i,
+                                         std::move(partial), tag)
+                  : ring_all_reduce_sum(*transport_, workers, i,
+                                        std::move(partial), tag);
+          // Replicated position-wise tail of the attention block.
+          add_bias_inplace(attn, w.attention.bo);
+          add_inplace(attn, x);
+          const Tensor y = layernorm_rows(attn, w.ln_attention.gamma,
+                                          w.ln_attention.beta);
+
+          // --- FFN: column shard of W1, row shard of W2, partial sum -----
+          Tensor ffn_partial(n, f);
+          if (!ffn_cols.empty()) {
+            Tensor hidden = matmul(
+                y, w.ffn.w1.slice_cols(ffn_cols.begin, ffn_cols.end));
+            add_bias_inplace(hidden,
+                             w.ffn.b1.slice_cols(ffn_cols.begin, ffn_cols.end));
+            hidden = cfg.activation == Activation::kGelu ? gelu(hidden)
+                                                         : relu(hidden);
+            ffn_partial = matmul(
+                hidden, w.ffn.w2.slice_rows(ffn_cols.begin, ffn_cols.end));
+          }
+          Tensor ffn =
+              k == 1 ? std::move(ffn_partial)
+              : star_allreduce_
+                  ? naive_all_reduce_sum(*transport_, workers, i,
+                                         std::move(ffn_partial),
+                                         tag + kTagLayerStride / 2)
+                  : ring_all_reduce_sum(*transport_, workers, i,
+                                        std::move(ffn_partial),
+                                        tag + kTagLayerStride / 2);
+          add_bias_inplace(ffn, w.ffn.b2);
+          add_inplace(ffn, y);
+          x = layernorm_rows(ffn, w.ln_ffn.gamma, w.ln_ffn.beta);
+        }
+        // Everyone holds the full output; the first worker reports it.
+        if (i == 0) {
+          transport_->send(Message{.source = i,
+                               .destination = terminal,
+                               .tag = kTagFinal,
+                               .payload = to_bytes(x)});
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+
+  Tensor hidden(0, 0);
+  try {
+    broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
+    hidden = tensor_from_bytes(transport_->recv(terminal, 0, kTagFinal).payload);
+  } catch (...) {
+    for (std::thread& t : threads) t.join();
+    throw;
+  }
+
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return model_.postprocess(hidden);
+}
+
+}  // namespace voltage

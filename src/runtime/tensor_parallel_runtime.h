@@ -1,0 +1,51 @@
+// Real (threaded) Megatron-style tensor-parallel inference — the baseline
+// the paper compares against (Fig. 2).
+//
+// Each device owns a subset of attention heads (with the matching rows of
+// W_O) and a column shard of the FFN; two ring all-reduces per layer merge
+// the partial sums. Produces the same output as single-device execution up
+// to float reassociation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include <memory>
+
+#include "net/transport.h"
+#include "partition/range.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+class TensorParallelRuntime {
+ public:
+  // Requires devices <= attention heads. `star_allreduce` swaps the
+  // chunked ring for the gather-to-root+broadcast schedule (the variant
+  // the latency simulation models by default — see EXPERIMENTS.md).
+  TensorParallelRuntime(const TransformerModel& model, std::size_t devices,
+                        TransportKind transport = TransportKind::kInMemory,
+                        bool star_allreduce = false);
+
+  [[nodiscard]] Tensor infer(std::span<const TokenId> tokens);
+  [[nodiscard]] Tensor infer(const Image& image);
+
+  [[nodiscard]] const Transport& fabric() const noexcept {
+    return *transport_;
+  }
+  [[nodiscard]] DeviceId terminal_id() const noexcept { return devices_; }
+
+  // Head / FFN-column shards owned by `device` (exposed for tests).
+  [[nodiscard]] Range head_shard(std::size_t device) const;
+  [[nodiscard]] Range ffn_shard(std::size_t device) const;
+
+ private:
+  [[nodiscard]] Tensor run(Tensor features);
+
+  const TransformerModel& model_;
+  std::size_t devices_;
+  bool star_allreduce_;
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace voltage

@@ -1,0 +1,141 @@
+#include "runtime/voltage_runtime.h"
+
+#include <exception>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "collective/collectives.h"
+#include "partition/partitioned_layer.h"
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+namespace {
+
+// Tag layout: one tag per layer's all-gather, well clear of the
+// broadcast/final tags.
+constexpr MessageTag kTagBroadcast = 1;
+constexpr MessageTag kTagFinal = 2;
+constexpr MessageTag kTagLayerBase = 16;
+
+}  // namespace
+
+VoltageRuntime::VoltageRuntime(const TransformerModel& model,
+                               PartitionScheme scheme, OrderPolicy policy,
+                               TransportKind transport)
+    : VoltageRuntime(model,
+                     LayerSchedule::uniform(std::move(scheme),
+                                            model.spec().num_layers),
+                     policy, transport) {}
+
+VoltageRuntime::VoltageRuntime(const TransformerModel& model,
+                               LayerSchedule schedule, OrderPolicy policy,
+                               TransportKind transport)
+    : VoltageRuntime(model, schedule, policy,
+                     make_transport(transport, schedule.devices() + 1)) {}
+
+VoltageRuntime::VoltageRuntime(const TransformerModel& model,
+                               LayerSchedule schedule, OrderPolicy policy,
+                               std::unique_ptr<Transport> transport)
+    : model_(model),
+      schedule_(std::move(schedule)),
+      policy_(policy),
+      transport_(std::move(transport)) {
+  if (schedule_.num_layers() != model_.spec().num_layers) {
+    throw std::invalid_argument(
+        "VoltageRuntime: schedule layer count does not match the model");
+  }
+  if (transport_->devices() != schedule_.devices() + 1) {
+    throw std::invalid_argument(
+        "VoltageRuntime: transport must have one endpoint per worker plus "
+        "the terminal");
+  }
+}
+
+Tensor VoltageRuntime::infer(std::span<const TokenId> tokens) {
+  return run(model_.preprocess(tokens));
+}
+
+Tensor VoltageRuntime::infer(const Image& image) {
+  return run(model_.preprocess(image));
+}
+
+Tensor VoltageRuntime::run(Tensor features) {
+  const std::size_t k = schedule_.devices();
+  const std::size_t n = features.rows();
+  const std::size_t f = features.cols();
+  const DeviceId terminal = terminal_id();
+  // Per-layer position assignments (identical rows when the schedule is
+  // uniform — the paper's default).
+  std::vector<std::vector<Range>> ranges(schedule_.num_layers());
+  for (std::size_t l = 0; l < schedule_.num_layers(); ++l) {
+    ranges[l] = schedule_.scheme_for(l).ranges(n);
+  }
+
+  // Broadcast group: workers + terminal (root).
+  std::vector<DeviceId> everyone(k + 1);
+  std::iota(everyone.begin(), everyone.end(), DeviceId{0});
+  std::vector<DeviceId> workers(k);
+  std::iota(workers.begin(), workers.end(), DeviceId{0});
+
+  const auto layers = model_.layers();
+
+  std::vector<std::exception_ptr> errors(k);
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        // Algorithm 2, step 3: receive the distributed input features.
+        Tensor x(0, 0);
+        broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+          // Step 6: compute the assigned output partition (Algorithm 1,
+          // or whatever kernel the executor substitutes).
+          const Tensor part =
+              executor_ ? executor_(l, x, ranges[l][i], policy_)
+                        : partitioned_layer_forward(layers[l], x,
+                                                    ranges[l][i], policy_);
+          if (l + 1 == layers.size()) {
+            // Step 8: last layer goes straight to the terminal.
+            transport_->send(Message{.source = i,
+                                 .destination = terminal,
+                                 .tag = kTagFinal,
+                                 .payload = to_bytes(part)});
+          } else {
+            // Steps 10-13: synchronize partitions, assemble next input.
+            const auto parts =
+                all_gather(*transport_, workers, i, part, kTagLayerBase + l);
+            x = assemble_rows(parts, ranges[l], n, f);
+          }
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+
+  // Terminal role: distribute features, collect final partitions.
+  Tensor hidden(n, f);
+  try {
+    broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
+    std::vector<Tensor> parts(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      parts[i] = tensor_from_bytes(transport_->recv(terminal, i, kTagFinal).payload);
+    }
+    hidden = assemble_rows(parts, ranges.back(), n, f);
+  } catch (...) {
+    for (std::thread& t : threads) t.join();
+    throw;
+  }
+
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  // Steps 16-17: terminal post-processes into the user-facing result.
+  return model_.postprocess(hidden);
+}
+
+}  // namespace voltage

@@ -1,0 +1,84 @@
+// Real (threaded) execution of distributed inference — paper Algorithm 2.
+//
+// Device k = worker thread k; the calling thread acts as the terminal
+// device. All intermediate results travel serialized through the Fabric, so
+// the traffic counters measure true wire volume. Weights are conceptually
+// replicated on every device (the paper's deployment); in-process we share
+// the one read-only model.
+#pragma once
+
+#include <span>
+
+#include <functional>
+#include <memory>
+
+#include "net/transport.h"
+#include "partition/order.h"
+#include "partition/schedule.h"
+#include "partition/scheme.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+// Computes one layer's output partition T_p(x). The default executor runs
+// float Algorithm 1 on the model's weights; alternatives swap the kernel
+// while keeping the distribution protocol (e.g. the INT8 layers from
+// src/quant, or a custom attention variant). Called concurrently from all
+// device threads — must be thread-safe and read-only.
+using PartitionExecutor = std::function<Tensor(
+    std::size_t layer, const Tensor& x, Range p, OrderPolicy policy)>;
+
+class VoltageRuntime {
+ public:
+  // `scheme.devices()` worker devices will be simulated as threads; every
+  // layer shares the scheme (the paper's default). `transport` picks the
+  // wire: in-memory mailboxes or a mesh of real kernel sockets.
+  VoltageRuntime(const TransformerModel& model, PartitionScheme scheme,
+                 OrderPolicy policy = OrderPolicy::kAdaptive,
+                 TransportKind transport = TransportKind::kInMemory);
+
+  // Per-layer partition schedule (paper §V-B future work): each layer may
+  // distribute positions differently. `schedule.num_layers()` must match
+  // the model's layer count.
+  VoltageRuntime(const TransformerModel& model, LayerSchedule schedule,
+                 OrderPolicy policy = OrderPolicy::kAdaptive,
+                 TransportKind transport = TransportKind::kInMemory);
+
+  // Bring-your-own transport (e.g. a ChaosTransport for fault-injection
+  // tests). Must have devices() == scheme devices + 1 (the terminal).
+  VoltageRuntime(const TransformerModel& model, LayerSchedule schedule,
+                 OrderPolicy policy, std::unique_ptr<Transport> transport);
+
+  // End-to-end distributed inference; returns the task logits.
+  [[nodiscard]] Tensor infer(std::span<const TokenId> tokens);
+  [[nodiscard]] Tensor infer(const Image& image);
+
+  // Byte-accurate traffic since construction (worker ids 0..K-1, terminal
+  // id K).
+  [[nodiscard]] const Transport& fabric() const noexcept {
+    return *transport_;
+  }
+  [[nodiscard]] DeviceId terminal_id() const noexcept {
+    return schedule_.devices();
+  }
+  [[nodiscard]] const LayerSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  // Swaps the per-layer kernel (see PartitionExecutor). Pass {} to restore
+  // the default float Algorithm 1 path.
+  void set_partition_executor(PartitionExecutor executor) {
+    executor_ = std::move(executor);
+  }
+
+ private:
+  [[nodiscard]] Tensor run(Tensor features);
+
+  const TransformerModel& model_;
+  LayerSchedule schedule_;
+  OrderPolicy policy_;
+  PartitionExecutor executor_;  // empty = default float path
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace voltage

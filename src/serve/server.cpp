@@ -1,0 +1,127 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace voltage {
+
+InferenceServer::InferenceServer(const TransformerModel& model,
+                                 Options options)
+    : model_(model),
+      runtime_(model, std::move(options.scheme), options.policy,
+               options.transport) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    const std::lock_guard lock(mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<Tensor> InferenceServer::enqueue(Job job) {
+  std::future<Tensor> future = job.result.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("InferenceServer: shut down");
+    }
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+std::future<Tensor> InferenceServer::submit(std::vector<TokenId> tokens) {
+  return enqueue(Job{.input = std::move(tokens),
+                     .result = {},
+                     .arrival = std::chrono::steady_clock::now()});
+}
+
+std::future<Tensor> InferenceServer::submit(Image image) {
+  return enqueue(Job{.input = std::move(image),
+                     .result = {},
+                     .arrival = std::chrono::steady_clock::now()});
+}
+
+void InferenceServer::shutdown() {
+  {
+    const std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  wake_.notify_all();
+}
+
+void InferenceServer::dispatch_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      Tensor logits = std::visit(
+          [this](const auto& input) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                         Image>) {
+              return runtime_.infer(input);
+            } else {
+              return runtime_.infer(
+                  std::span<const TokenId>(input.data(), input.size()));
+            }
+          },
+          job.input);
+      const Seconds sojourn =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        job.arrival)
+              .count();
+      {
+        const std::lock_guard lock(mutex_);
+        sojourns_.push_back(sojourn);
+      }
+      job.result.set_value(std::move(logits));
+    } catch (...) {
+      job.result.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  std::vector<Seconds> sojourns;
+  {
+    const std::lock_guard lock(mutex_);
+    sojourns = sojourns_;
+  }
+  ServerStats stats;
+  stats.completed = sojourns.size();
+  if (sojourns.empty()) return stats;
+  std::sort(sojourns.begin(), sojourns.end());
+  double sum = 0.0;
+  for (const Seconds s : sojourns) sum += s;
+  stats.mean = sum / static_cast<double>(sojourns.size());
+  const auto pct = [&](double q) {
+    return sojourns[static_cast<std::size_t>(
+        q * static_cast<double>(sojourns.size() - 1))];
+  };
+  stats.p50 = pct(0.5);
+  stats.p95 = pct(0.95);
+  stats.max = sojourns.back();
+  return stats;
+}
+
+std::size_t InferenceServer::queue_depth() const {
+  const std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace voltage

@@ -1,0 +1,89 @@
+// InferenceServer: the deployment wrapper for the paper's serving regime —
+// sporadic requests, batch size 1, one shared device cluster.
+//
+// Requests (token sequences or images) enter a FIFO queue from any thread
+// and resolve through std::future; a dispatcher thread drives a
+// VoltageRuntime one request at a time (the whole cluster serves each
+// request — that is the point of latency-oriented distribution). Sojourn
+// times (queue wait + service) are recorded so real deployments can be
+// compared against the queueing simulation in sim/serving.h.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "net/link.h"
+#include "partition/order.h"
+#include "partition/scheme.h"
+#include "runtime/voltage_runtime.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+struct ServerStats {
+  std::size_t completed = 0;
+  Seconds mean = 0.0;
+  Seconds p50 = 0.0;
+  Seconds p95 = 0.0;
+  Seconds max = 0.0;
+};
+
+class InferenceServer {
+ public:
+  struct Options {
+    PartitionScheme scheme = PartitionScheme::even(1);
+    OrderPolicy policy = OrderPolicy::kAdaptive;
+    TransportKind transport = TransportKind::kInMemory;
+  };
+
+  InferenceServer(const TransformerModel& model, Options options);
+  // Drains outstanding requests, then stops.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Enqueue a request; the future resolves with the logits (or the
+  // exception the inference raised). Throws std::runtime_error after
+  // shutdown().
+  [[nodiscard]] std::future<Tensor> submit(std::vector<TokenId> tokens);
+  [[nodiscard]] std::future<Tensor> submit(Image image);
+
+  // Stops accepting new requests; queued ones still complete.
+  void shutdown();
+
+  // Sojourn-time statistics over completed requests.
+  [[nodiscard]] ServerStats stats() const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    std::variant<std::vector<TokenId>, Image> input;
+    std::promise<Tensor> result;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  [[nodiscard]] std::future<Tensor> enqueue(Job job);
+  void dispatch_loop();
+
+  const TransformerModel& model_;
+  VoltageRuntime runtime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Job> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::vector<Seconds> sojourns_;
+  std::thread dispatcher_;
+};
+
+}  // namespace voltage

@@ -1,0 +1,36 @@
+// Simulated edge cluster: K worker devices plus a terminal device (paper
+// Fig. 3), all joined by links with a common LinkModel.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "net/link.h"
+#include "sim/device.h"
+
+namespace voltage::sim {
+
+struct Cluster {
+  std::vector<DeviceSpec> workers;
+  DeviceSpec terminal;
+  LinkModel link;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers.size(); }
+
+  void validate() const {
+    if (workers.empty()) throw std::invalid_argument("Cluster: no workers");
+  }
+
+  // K identical workers — the paper's homogeneous testbed.
+  [[nodiscard]] static Cluster homogeneous(std::size_t k,
+                                           const DeviceSpec& device,
+                                           const LinkModel& link) {
+    if (k == 0) throw std::invalid_argument("Cluster: k == 0");
+    return Cluster{.workers = std::vector<DeviceSpec>(k, device),
+                   .terminal = device,
+                   .link = link};
+  }
+};
+
+}  // namespace voltage::sim

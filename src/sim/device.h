@@ -1,0 +1,33 @@
+// Simulated edge-device compute model.
+//
+// Calibrated against the paper's testbed (one vCPU per VM): compute time of
+// a kernel is  MACs / mac_rate  +  elementwise_ops / elementwise_rate.
+// Splitting the memory-bound position-wise work (softmax, LayerNorm,
+// residuals, activations) from the GEMMs matters because the former does
+// not shrink when you add devices as fast as Γ suggests on real CPUs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "net/link.h"
+
+namespace voltage::sim {
+
+struct DeviceSpec {
+  std::string name = "edge-device";
+  double mac_rate = 25e9;          // multiply-accumulates per second
+  double elementwise_rate = 4e9;   // elementwise float ops per second
+
+  [[nodiscard]] Seconds compute_time(std::uint64_t macs,
+                                     std::uint64_t elementwise = 0) const {
+    if (mac_rate <= 0.0 || elementwise_rate <= 0.0) {
+      throw std::invalid_argument("DeviceSpec: non-positive rate");
+    }
+    return static_cast<double>(macs) / mac_rate +
+           static_cast<double>(elementwise) / elementwise_rate;
+  }
+};
+
+}  // namespace voltage::sim

@@ -1,0 +1,31 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace voltage::sim {
+
+void Engine::schedule(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Engine::schedule: time in the past");
+  }
+  queue_.push(Event{.time = t, .seq = next_seq_++, .fn = std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function must be moved out
+  // before pop, hence the const_cast-free copy of the small struct parts.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace voltage::sim

@@ -1,0 +1,123 @@
+#include "sim/netsim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace voltage::sim {
+
+namespace {
+
+void check_ranks(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("netsim: zero ranks");
+}
+
+}  // namespace
+
+std::vector<SimTime> sim_allgather_fullmesh(
+    const std::vector<SimTime>& ready,
+    const std::vector<std::size_t>& bytes_per_rank, const LinkModel& link) {
+  const std::size_t k = ready.size();
+  check_ranks(k);
+  if (bytes_per_rank.size() != k) {
+    throw std::invalid_argument("sim_allgather: bytes/ready size mismatch");
+  }
+  std::vector<SimTime> done = ready;  // a rank is never done before ready
+  if (k == 1) return done;
+
+  Engine engine;
+  // Sender i's NIC pipelines its K-1 identical uploads in rotated order
+  // (first to rank i+1, then i+2, ...) so no receiver is systematically
+  // last; peer j's copy arrives once (j - i) mod K uploads have serialized.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Seconds wire = link.wire_time(bytes_per_rank[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const std::size_t order = (j + k - i) % k;
+      const SimTime arrival = ready[i] + link.per_message_latency +
+                              static_cast<double>(order) * wire;
+      engine.schedule(arrival, [&done, j, arrival] {
+        done[j] = std::max(done[j], arrival);
+      });
+    }
+  }
+  engine.run();
+  return done;
+}
+
+std::vector<SimTime> sim_ring_allreduce(const std::vector<SimTime>& ready,
+                                        std::size_t total_bytes,
+                                        const LinkModel& link) {
+  const std::size_t k = ready.size();
+  check_ranks(k);
+  if (k == 1) return ready;
+  const std::size_t chunk = (total_bytes + k - 1) / k;
+  const Seconds step_cost = link.transfer_time(chunk);
+
+  // t[i] = time rank i finished its latest step. A step's send departs when
+  // the sender finished the previous step; the receiver proceeds once both
+  // it and the incoming chunk are ready.
+  std::vector<SimTime> t = ready;
+  std::vector<SimTime> next(k);
+  for (std::size_t step = 0; step < 2 * (k - 1); ++step) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t prev = (i + k - 1) % k;
+      next[i] = std::max(t[i], t[prev] + step_cost);
+    }
+    t = next;
+  }
+  return t;
+}
+
+std::vector<SimTime> sim_star_allreduce(const std::vector<SimTime>& ready,
+                                        std::size_t total_bytes,
+                                        const LinkModel& link) {
+  const std::size_t k = ready.size();
+  check_ranks(k);
+  if (k == 1) return ready;
+  // Reduce phase: ranks 1..K-1 send their full tensor to rank 0 over
+  // distinct uplinks; rank 0 holds the sum once the last arrives.
+  SimTime reduced = ready[0];
+  for (std::size_t i = 1; i < k; ++i) {
+    reduced = std::max(reduced, ready[i] + link.transfer_time(total_bytes));
+  }
+  // Broadcast phase: rank 0's NIC serializes K-1 copies of the result.
+  std::vector<SimTime> done(k);
+  done[0] = reduced;
+  const Seconds wire = link.wire_time(total_bytes);
+  for (std::size_t j = 1; j < k; ++j) {
+    done[j] = reduced + link.per_message_latency +
+              static_cast<double>(j) * wire;
+  }
+  return done;
+}
+
+std::vector<SimTime> sim_broadcast(SimTime root_ready, std::size_t bytes,
+                                   std::size_t k, const LinkModel& link) {
+  check_ranks(k);
+  std::vector<SimTime> done(k);
+  const Seconds wire = link.wire_time(bytes);
+  for (std::size_t j = 0; j < k; ++j) {
+    done[j] = root_ready + link.per_message_latency +
+              static_cast<double>(j + 1) * wire;
+  }
+  return done;
+}
+
+SimTime sim_gather_to_root(const std::vector<SimTime>& ready,
+                           const std::vector<std::size_t>& bytes,
+                           const LinkModel& link) {
+  const std::size_t k = ready.size();
+  check_ranks(k);
+  if (bytes.size() != k) {
+    throw std::invalid_argument("sim_gather: bytes/ready size mismatch");
+  }
+  // Senders are independent (distinct NICs); the root's downlink is modeled
+  // as uncontended, so the root has everything when the last arrival lands.
+  SimTime done = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    done = std::max(done, ready[i] + link.transfer_time(bytes[i]));
+  }
+  return done;
+}
+
+}  // namespace voltage::sim

@@ -1,0 +1,58 @@
+// Event-driven timing of the collectives over the simulated network.
+//
+// Unlike the closed forms in collective/cost.h (which assume everyone is
+// ready at t=0), these take per-rank ready times, so compute skew from
+// heterogeneous devices or uneven partitions propagates into communication
+// time exactly as it would on a real cluster: an all-gather finishes when
+// the slowest sender's data lands.
+//
+// NIC model: one full-duplex NIC per device; a device's outgoing messages
+// serialize through its NIC back-to-back (first message pays the
+// per-message latency, pipelined followers pay wire time only); receive
+// side is not contended (mirrors switched Ethernet/Wi-Fi APs downstream).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/link.h"
+#include "sim/engine.h"
+
+namespace voltage::sim {
+
+// Full-mesh all-gather: rank i becomes ready at ready[i] and sends
+// bytes_per_rank[i] to every peer. Returns per-rank completion times.
+[[nodiscard]] std::vector<SimTime> sim_allgather_fullmesh(
+    const std::vector<SimTime>& ready, const std::vector<std::size_t>& bytes_per_rank,
+    const LinkModel& link);
+
+// Chunked ring all-reduce of a tensor of `total_bytes`: 2*(K-1) dependent
+// steps of total_bytes/K each. Returns per-rank completion times.
+[[nodiscard]] std::vector<SimTime> sim_ring_allreduce(
+    const std::vector<SimTime>& ready, std::size_t total_bytes,
+    const LinkModel& link);
+
+// Gather-to-root + broadcast ("star") all-reduce of `total_bytes`: ranks
+// 1..K-1 ship their tensor to rank 0, which reduces and re-broadcasts.
+// This is how small-world CPU backends (e.g. gloo at the paper's scale)
+// typically reduce activations, and it reproduces the paper's measured
+// tensor-parallelism behaviour; the chunked ring above is the
+// bandwidth-optimal alternative kept for ablations.
+[[nodiscard]] std::vector<SimTime> sim_star_allreduce(
+    const std::vector<SimTime>& ready, std::size_t total_bytes,
+    const LinkModel& link);
+
+// Root (extra rank) broadcasts `bytes` to k receivers starting at
+// root_ready. Returns per-receiver completion times (size k).
+[[nodiscard]] std::vector<SimTime> sim_broadcast(SimTime root_ready,
+                                                 std::size_t bytes,
+                                                 std::size_t k,
+                                                 const LinkModel& link);
+
+// Every rank sends bytes[i] to an idle root as soon as it is ready; returns
+// the time the root holds everything.
+[[nodiscard]] SimTime sim_gather_to_root(const std::vector<SimTime>& ready,
+                                         const std::vector<std::size_t>& bytes,
+                                         const LinkModel& link);
+
+}  // namespace voltage::sim

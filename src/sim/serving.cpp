@@ -1,0 +1,88 @@
+#include "sim/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace voltage::sim {
+
+namespace {
+
+std::vector<Seconds> poisson_arrivals(const ArrivalProcess& p) {
+  if (p.rate_rps <= 0.0 || p.num_requests == 0) {
+    throw std::invalid_argument("ArrivalProcess: need rate > 0, requests > 0");
+  }
+  Rng rng(p.seed);
+  std::vector<Seconds> arrivals(p.num_requests);
+  double t = 0.0;
+  for (Seconds& a : arrivals) {
+    // Exponential inter-arrival via inverse CDF.
+    double u = rng.next_uniform();
+    if (u <= 0.0) u = 1e-12;
+    t += -std::log(u) / p.rate_rps;
+    a = t;
+  }
+  return arrivals;
+}
+
+ServingReport summarize(std::vector<Seconds> sojourns, double utilization) {
+  std::sort(sojourns.begin(), sojourns.end());
+  const auto percentile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sojourns.size() - 1));
+    return sojourns[idx];
+  };
+  ServingReport report;
+  double sum = 0.0;
+  for (const Seconds s : sojourns) sum += s;
+  report.mean = sum / static_cast<double>(sojourns.size());
+  report.p50 = percentile(0.50);
+  report.p95 = percentile(0.95);
+  report.p99 = percentile(0.99);
+  report.max = sojourns.back();
+  report.utilization = utilization;
+  return report;
+}
+
+}  // namespace
+
+ServingReport simulate_serving(Seconds service_time,
+                               const ArrivalProcess& arrivals) {
+  if (service_time <= 0.0) {
+    throw std::invalid_argument("simulate_serving: service_time <= 0");
+  }
+  const std::vector<Seconds> at = poisson_arrivals(arrivals);
+  std::vector<Seconds> sojourns(at.size());
+  Seconds server_free = 0.0;
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    const Seconds start = std::max(at[i], server_free);
+    server_free = start + service_time;
+    sojourns[i] = server_free - at[i];
+  }
+  return summarize(std::move(sojourns), arrivals.rate_rps * service_time);
+}
+
+ServingReport simulate_pipeline_serving(Seconds request_latency,
+                                        Seconds bottleneck,
+                                        const ArrivalProcess& arrivals) {
+  if (request_latency <= 0.0 || bottleneck <= 0.0) {
+    throw std::invalid_argument("simulate_pipeline_serving: bad times");
+  }
+  if (bottleneck > request_latency) {
+    throw std::invalid_argument(
+        "simulate_pipeline_serving: bottleneck exceeds request latency");
+  }
+  const std::vector<Seconds> at = poisson_arrivals(arrivals);
+  std::vector<Seconds> sojourns(at.size());
+  Seconds next_admission = 0.0;
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    const Seconds admitted = std::max(at[i], next_admission);
+    next_admission = admitted + bottleneck;
+    sojourns[i] = admitted + request_latency - at[i];
+  }
+  return summarize(std::move(sojourns), arrivals.rate_rps * bottleneck);
+}
+
+}  // namespace voltage::sim

@@ -1,0 +1,49 @@
+// Request-serving simulation: sporadic arrivals against each deployment.
+//
+// The paper motivates Voltage with the edge serving regime — requests
+// arrive sporadically, batch size 1, latency-bound — and argues pipeline
+// parallelism only helps throughput (§V-C). This module closes the loop
+// quantitatively: Poisson arrivals into a deployment and the resulting
+// sojourn-time distribution (queueing + service).
+//
+// Two server models cover the strategies:
+//   - Monolithic: the whole cluster serves one request at a time (single
+//     device, Voltage, tensor parallelism) — an M/D/1 queue with the
+//     strategy's end-to-end latency as service time.
+//   - Pipelined: a new request may enter every `bottleneck` seconds while
+//     each request still takes `request_latency` to traverse all stages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.h"
+
+namespace voltage::sim {
+
+struct ArrivalProcess {
+  double rate_rps = 1.0;         // mean arrival rate (Poisson)
+  std::size_t num_requests = 2000;
+  std::uint64_t seed = 1;
+};
+
+struct ServingReport {
+  Seconds mean = 0.0;
+  Seconds p50 = 0.0;
+  Seconds p95 = 0.0;
+  Seconds p99 = 0.0;
+  Seconds max = 0.0;
+  double utilization = 0.0;  // offered load / capacity
+};
+
+// Monolithic server: service one request at a time in `service_time`.
+[[nodiscard]] ServingReport simulate_serving(Seconds service_time,
+                                             const ArrivalProcess& arrivals);
+
+// Pipelined server: admission every `bottleneck` seconds, each request
+// spends `request_latency` in flight.
+[[nodiscard]] ServingReport simulate_pipeline_serving(
+    Seconds request_latency, Seconds bottleneck,
+    const ArrivalProcess& arrivals);
+
+}  // namespace voltage::sim

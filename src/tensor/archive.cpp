@@ -1,0 +1,102 @@
+#include "tensor/archive.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace voltage {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'L', 'T', 'A'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <class T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("TensorArchive: truncated file");
+}
+
+}  // namespace
+
+void TensorArchive::put(std::string name, Tensor tensor) {
+  entries_.insert_or_assign(std::move(name), std::move(tensor));
+}
+
+bool TensorArchive::contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+const Tensor& TensorArchive::get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("TensorArchive: no entry named " + name);
+  }
+  return it->second;
+}
+
+void TensorArchive::save(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TensorArchive: cannot open " + path.string());
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(entries_.size()));
+  for (const auto& [name, tensor] : entries_) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint64_t>(tensor.rows()));
+    write_pod(out, static_cast<std::uint64_t>(tensor.cols()));
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.byte_size()));
+  }
+  if (!out) {
+    throw std::runtime_error("TensorArchive: write failed for " +
+                             path.string());
+  }
+}
+
+TensorArchive TensorArchive::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("TensorArchive: cannot open " + path.string());
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("TensorArchive: bad magic in " + path.string());
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kVersion) {
+    throw std::runtime_error("TensorArchive: unsupported version");
+  }
+  std::uint64_t count = 0;
+  read_pod(in, count);
+  TensorArchive archive;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    read_pod(in, name_len);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) throw std::runtime_error("TensorArchive: truncated name");
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    read_pod(in, rows);
+    read_pod(in, cols);
+    Tensor tensor(rows, cols);
+    in.read(reinterpret_cast<char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.byte_size()));
+    if (!in) throw std::runtime_error("TensorArchive: truncated tensor data");
+    archive.put(std::move(name), std::move(tensor));
+  }
+  return archive;
+}
+
+}  // namespace voltage

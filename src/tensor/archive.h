@@ -1,0 +1,39 @@
+// Named-tensor archive: the on-disk checkpoint format.
+//
+// Layout: magic "VLTA", u32 version, u64 entry count, then per entry a
+// u32-length-prefixed UTF-8 name followed by the tensor in the same wire
+// format the fabric uses (u64 rows, u64 cols, f32 data). Everything is
+// little-endian; loading validates structure and sizes.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+class TensorArchive {
+ public:
+  // Inserts or replaces an entry.
+  void put(std::string name, Tensor tensor);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  // Throws std::out_of_range if missing.
+  [[nodiscard]] const Tensor& get(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::map<std::string, Tensor>& entries() const noexcept {
+    return entries_;
+  }
+
+  void save(const std::filesystem::path& path) const;
+  // Throws std::runtime_error on malformed files.
+  [[nodiscard]] static TensorArchive load(const std::filesystem::path& path);
+
+ private:
+  std::map<std::string, Tensor> entries_;
+};
+
+}  // namespace voltage

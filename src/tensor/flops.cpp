@@ -1,0 +1,21 @@
+#include "tensor/flops.h"
+
+namespace voltage::flops {
+
+namespace {
+thread_local std::uint64_t g_matmul_macs = 0;
+thread_local std::uint64_t g_elementwise = 0;
+}  // namespace
+
+std::uint64_t matmul_macs() noexcept { return g_matmul_macs; }
+std::uint64_t elementwise_ops() noexcept { return g_elementwise; }
+
+void add_matmul_macs(std::uint64_t n) noexcept { g_matmul_macs += n; }
+void add_elementwise(std::uint64_t n) noexcept { g_elementwise += n; }
+
+void reset() noexcept {
+  g_matmul_macs = 0;
+  g_elementwise = 0;
+}
+
+}  // namespace voltage::flops

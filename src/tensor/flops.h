@@ -1,0 +1,36 @@
+// Thread-local floating-operation accounting.
+//
+// The paper measures computation complexity Γ(·) in matrix-multiplication
+// "floating operations": Γ(xW) = N·F·F_H for x ∈ R^{N×F}, W ∈ R^{F×F_H}
+// (i.e. multiply-accumulate count). Kernels in ops.h report into these
+// counters so tests can check the closed-form Γ expressions of Theorems 1-3
+// against what the code actually executed — exactly, as integers.
+#pragma once
+
+#include <cstdint>
+
+namespace voltage::flops {
+
+// Multiply-accumulate count of all GEMMs since the last reset().
+[[nodiscard]] std::uint64_t matmul_macs() noexcept;
+
+// Elementwise/reduction op count (softmax, layernorm, activations, adds).
+// These are the O(PN) terms the paper folds into big-O.
+[[nodiscard]] std::uint64_t elementwise_ops() noexcept;
+
+void add_matmul_macs(std::uint64_t n) noexcept;
+void add_elementwise(std::uint64_t n) noexcept;
+
+void reset() noexcept;
+
+// RAII scope that resets on entry and exposes deltas.
+class Scope {
+ public:
+  Scope() noexcept { reset(); }
+  [[nodiscard]] std::uint64_t macs() const noexcept { return matmul_macs(); }
+  [[nodiscard]] std::uint64_t elementwise() const noexcept {
+    return elementwise_ops();
+  }
+};
+
+}  // namespace voltage::flops

@@ -1,0 +1,35 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace voltage {
+
+std::vector<std::byte> to_bytes(const Tensor& t) {
+  std::vector<std::byte> out(tensor_wire_bytes(t.size()));
+  const std::uint64_t rows = t.rows();
+  const std::uint64_t cols = t.cols();
+  std::memcpy(out.data(), &rows, sizeof(rows));
+  std::memcpy(out.data() + sizeof(rows), &cols, sizeof(cols));
+  std::memcpy(out.data() + kTensorWireHeaderBytes, t.data(), t.byte_size());
+  return out;
+}
+
+Tensor tensor_from_bytes(std::span<const std::byte> bytes) {
+  if (bytes.size() < kTensorWireHeaderBytes) {
+    throw std::invalid_argument("tensor_from_bytes: truncated header");
+  }
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::memcpy(&rows, bytes.data(), sizeof(rows));
+  std::memcpy(&cols, bytes.data() + sizeof(rows), sizeof(cols));
+  const std::size_t expected = tensor_wire_bytes(rows * cols);
+  if (bytes.size() != expected) {
+    throw std::invalid_argument("tensor_from_bytes: payload size mismatch");
+  }
+  Tensor t(rows, cols);
+  std::memcpy(t.data(), bytes.data() + kTensorWireHeaderBytes, t.byte_size());
+  return t;
+}
+
+}  // namespace voltage

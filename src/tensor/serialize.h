@@ -1,0 +1,31 @@
+// Byte-accurate tensor serialization for the message fabric.
+//
+// Wire format: u64 rows, u64 cols, then rows*cols little-endian float32.
+// The communication-volume experiments measure *these* byte counts, so the
+// format intentionally mirrors what a real system would put on the wire
+// (the paper's NF-elements-at-4-bytes accounting plus a fixed 16-byte
+// header).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+inline constexpr std::size_t kTensorWireHeaderBytes = 2 * sizeof(std::uint64_t);
+
+// Serialized size of a tensor with the given element count.
+[[nodiscard]] constexpr std::size_t tensor_wire_bytes(
+    std::size_t elements) noexcept {
+  return kTensorWireHeaderBytes + elements * sizeof(float);
+}
+
+[[nodiscard]] std::vector<std::byte> to_bytes(const Tensor& t);
+
+// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Tensor tensor_from_bytes(std::span<const std::byte> bytes);
+
+}  // namespace voltage

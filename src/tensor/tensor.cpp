@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace voltage {
+
+Tensor::Tensor(std::initializer_list<std::initializer_list<float>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Tensor: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Tensor Tensor::filled(std::size_t rows, std::size_t cols, float value) {
+  Tensor t(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t(n, n);
+  for (std::size_t i = 0; i < n; ++i) t(i, i) = 1.0F;
+  return t;
+}
+
+Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_) {
+    throw std::out_of_range("Tensor::slice_rows: bad range");
+  }
+  Tensor out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::slice_cols(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > cols_) {
+    throw std::out_of_range("Tensor::slice_cols: bad range");
+  }
+  Tensor out(rows_, end - begin);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* src = data_.data() + r * cols_ + begin;
+    std::copy(src, src + (end - begin), out.data() + r * out.cols());
+  }
+  return out;
+}
+
+Tensor Tensor::transposed() const {
+  Tensor out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+void Tensor::set_rows(std::size_t row_begin, const Tensor& block) {
+  if (block.cols() != cols_ || row_begin + block.rows() > rows_) {
+    throw std::out_of_range("Tensor::set_rows: block does not fit");
+  }
+  std::copy(block.data_.begin(), block.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(row_begin * cols_));
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  float worst = 0.0F;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    worst = std::max(worst, std::fabs(fa[i] - fb[i]));
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  return a.same_shape(b) && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace voltage

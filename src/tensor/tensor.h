@@ -1,0 +1,104 @@
+// Dense 2-D row-major float tensor used throughout Voltage.
+//
+// The whole system works on activations shaped [sequence x features] and
+// weights shaped [in_features x out_features], so a 2-D matrix type with
+// value semantics is the right altitude: cheap to reason about, trivially
+// serializable for the network fabric, and fast enough for the paper's
+// model sizes (N <= 300, F <= 1024).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace voltage {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0F) {}
+
+  Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  // Row-major construction from nested braces, e.g. {{1, 2}, {3, 4}}.
+  Tensor(std::initializer_list<std::initializer_list<float>> init);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) {
+    return Tensor(rows, cols);
+  }
+  static Tensor filled(std::size_t rows, std::size_t cols, float value);
+  // Identity-like square matrix (used by tests).
+  static Tensor identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return data_.size() * sizeof(float);
+  }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  // Copy of rows [begin, end).
+  [[nodiscard]] Tensor slice_rows(std::size_t begin, std::size_t end) const;
+  // Copy of columns [begin, end).
+  [[nodiscard]] Tensor slice_cols(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] Tensor transposed() const;
+
+  // Writes `block` into this tensor starting at row `row_begin`.
+  void set_rows(std::size_t row_begin, const Tensor& block);
+
+  void fill(float value);
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Maximum absolute elementwise difference; shapes must match.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+// True when all elements differ by at most `tol`.
+[[nodiscard]] bool allclose(const Tensor& a, const Tensor& b, float tol);
+
+}  // namespace voltage

@@ -1,0 +1,130 @@
+#include "train/backward_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+MatmulGrads matmul_grad(const Tensor& a, const Tensor& b, const Tensor& dy) {
+  if (dy.rows() != a.rows() || dy.cols() != b.cols() ||
+      a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_grad: shape mismatch");
+  }
+  return MatmulGrads{
+      .da = matmul(dy, b, Trans::kNo, Trans::kYes),
+      .db = matmul(a, dy, Trans::kYes, Trans::kNo),
+  };
+}
+
+Tensor bias_grad(const Tensor& dy) {
+  Tensor db(1, dy.cols());
+  auto acc = db.row(0);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const auto row = dy.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) acc[c] += row[c];
+  }
+  return db;
+}
+
+Tensor softmax_rows_grad(const Tensor& y, const Tensor& dy, float pre_scale) {
+  if (!y.same_shape(dy)) {
+    throw std::invalid_argument("softmax_rows_grad: shape mismatch");
+  }
+  Tensor dx(y.rows(), y.cols());
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const auto yr = y.row(r);
+    const auto dyr = dy.row(r);
+    auto out = dx.row(r);
+    float dot = 0.0F;
+    for (std::size_t c = 0; c < yr.size(); ++c) dot += yr[c] * dyr[c];
+    for (std::size_t c = 0; c < yr.size(); ++c) {
+      out[c] = pre_scale * yr[c] * (dyr[c] - dot);
+    }
+  }
+  return dx;
+}
+
+LayerNormGrads layernorm_rows_grad(const Tensor& x, const Tensor& gamma,
+                                   const Tensor& dy, float eps) {
+  if (!x.same_shape(dy) || gamma.rows() != 1 || gamma.cols() != x.cols()) {
+    throw std::invalid_argument("layernorm_rows_grad: shape mismatch");
+  }
+  const auto n = static_cast<float>(x.cols());
+  LayerNormGrads grads{.dx = Tensor(x.rows(), x.cols()),
+                       .dgamma = Tensor(1, x.cols()),
+                       .dbeta = Tensor(1, x.cols())};
+  const auto g = gamma.row(0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xr = x.row(r);
+    const auto dyr = dy.row(r);
+    float mean = 0.0F;
+    for (const float v : xr) mean += v;
+    mean /= n;
+    float var = 0.0F;
+    for (const float v : xr) var += (v - mean) * (v - mean);
+    var /= n;
+    const float inv_std = 1.0F / std::sqrt(var + eps);
+
+    // h = dY ∘ γ; dX = (h - mean(h) - x̂ ∘ mean(h ∘ x̂)) / σ.
+    float mean_h = 0.0F;
+    float mean_hx = 0.0F;
+    for (std::size_t c = 0; c < xr.size(); ++c) {
+      const float xhat = (xr[c] - mean) * inv_std;
+      const float h = dyr[c] * g[c];
+      mean_h += h;
+      mean_hx += h * xhat;
+    }
+    mean_h /= n;
+    mean_hx /= n;
+
+    auto dxr = grads.dx.row(r);
+    auto dg = grads.dgamma.row(0);
+    auto db = grads.dbeta.row(0);
+    for (std::size_t c = 0; c < xr.size(); ++c) {
+      const float xhat = (xr[c] - mean) * inv_std;
+      const float h = dyr[c] * g[c];
+      dxr[c] = (h - mean_h - xhat * mean_hx) * inv_std;
+      dg[c] += dyr[c] * xhat;
+      db[c] += dyr[c];
+    }
+  }
+  return grads;
+}
+
+Tensor relu_grad(const Tensor& x, const Tensor& dy) {
+  if (!x.same_shape(dy)) {
+    throw std::invalid_argument("relu_grad: shape mismatch");
+  }
+  Tensor dx = dy;
+  const auto fx = x.flat();
+  auto fdx = dx.flat();
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    if (fx[i] <= 0.0F) fdx[i] = 0.0F;
+  }
+  return dx;
+}
+
+Tensor gelu_grad(const Tensor& x, const Tensor& dy) {
+  if (!x.same_shape(dy)) {
+    throw std::invalid_argument("gelu_grad: shape mismatch");
+  }
+  constexpr float kC = 0.7978845608028654F;  // sqrt(2/pi)
+  constexpr float kA = 0.044715F;
+  Tensor dx(x.rows(), x.cols());
+  const auto fx = x.flat();
+  const auto fdy = dy.flat();
+  auto fdx = dx.flat();
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    const float v = fx[i];
+    const float u = kC * (v + kA * v * v * v);
+    const float t = std::tanh(u);
+    const float sech2 = 1.0F - t * t;
+    const float du = kC * (1.0F + 3.0F * kA * v * v);
+    fdx[i] = fdy[i] * (0.5F * (1.0F + t) + 0.5F * v * sech2 * du);
+  }
+  return dx;
+}
+
+}  // namespace voltage

@@ -1,0 +1,49 @@
+// Backward (gradient) kernels for the tensor ops.
+//
+// The paper's §V-C communication comparison extends to training: tensor
+// parallelism must all-reduce transposed activation gradients every
+// backward pass, while Voltage replicates weights and synchronizes
+// gradients once per batch. To make that argument executable this module
+// implements the actual gradients; everything is verified against central
+// finite differences in the test suite.
+//
+// Convention: for y = f(x), `*_grad` maps upstream dL/dy to dL/dx (and
+// parameter gradients where applicable).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+// y = A B.  dA = dY B^T,  dB = A^T dY.
+struct MatmulGrads {
+  Tensor da;
+  Tensor db;
+};
+[[nodiscard]] MatmulGrads matmul_grad(const Tensor& a, const Tensor& b,
+                                      const Tensor& dy);
+
+// y = x + 1·b (bias row broadcast).  db = column sums of dY.
+[[nodiscard]] Tensor bias_grad(const Tensor& dy);
+
+// y = softmax_rows(x, pre_scale).  Needs the forward output `y`:
+// dX = pre_scale * y ∘ (dY - rowsum(dY ∘ y)).
+[[nodiscard]] Tensor softmax_rows_grad(const Tensor& y, const Tensor& dy,
+                                       float pre_scale);
+
+// y = layernorm_rows(x, gamma, beta).
+struct LayerNormGrads {
+  Tensor dx;
+  Tensor dgamma;  // 1 x cols
+  Tensor dbeta;   // 1 x cols
+};
+[[nodiscard]] LayerNormGrads layernorm_rows_grad(const Tensor& x,
+                                                 const Tensor& gamma,
+                                                 const Tensor& dy,
+                                                 float eps = 1e-5F);
+
+// Activation gradients need the pre-activation input x.
+[[nodiscard]] Tensor relu_grad(const Tensor& x, const Tensor& dy);
+[[nodiscard]] Tensor gelu_grad(const Tensor& x, const Tensor& dy);
+
+}  // namespace voltage

@@ -1,0 +1,130 @@
+#include "train/layer_backward.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "transformer/attention.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+Tensor layer_forward_cached(const TransformerLayer& layer, const Tensor& x,
+                            LayerCache& cache) {
+  const LayerConfig& cfg = layer.config();
+  const LayerWeights& w = layer.weights();
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(cfg.head_dim));
+
+  cache.x = x;
+  cache.heads.clear();
+  cache.heads.reserve(cfg.heads);
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(cfg.heads);
+  for (const HeadWeights& hw : w.attention.heads) {
+    HeadCache hc;
+    hc.q = matmul(x, hw.wq);
+    hc.k = matmul(x, hw.wk);
+    hc.v = matmul(x, hw.wv);
+    Tensor scores = matmul(hc.q, hc.k, Trans::kNo, Trans::kYes);
+    if (cfg.causal) apply_causal_mask(scores, 0);
+    hc.probs = softmax_rows(scores, inv_sqrt);
+    head_outputs.push_back(matmul(hc.probs, hc.v));
+    cache.heads.push_back(std::move(hc));
+  }
+  cache.concat = concat_cols(head_outputs);
+
+  Tensor attn = matmul(cache.concat, w.attention.wo);
+  add_bias_inplace(attn, w.attention.bo);
+  add_inplace(attn, x);
+  cache.r_pre_ln1 = attn;
+  cache.y1 = layernorm_rows(cache.r_pre_ln1, w.ln_attention.gamma,
+                            w.ln_attention.beta);
+
+  cache.h_pre_act = matmul(cache.y1, w.ffn.w1);
+  add_bias_inplace(cache.h_pre_act, w.ffn.b1);
+  cache.h_act = cfg.activation == Activation::kGelu ? gelu(cache.h_pre_act)
+                                                    : relu(cache.h_pre_act);
+  Tensor f = matmul(cache.h_act, w.ffn.w2);
+  add_bias_inplace(f, w.ffn.b2);
+  add_inplace(f, cache.y1);
+  cache.f_pre_ln2 = f;
+  return layernorm_rows(cache.f_pre_ln2, w.ln_ffn.gamma, w.ln_ffn.beta);
+}
+
+LayerBackwardResult layer_backward(const TransformerLayer& layer,
+                                   const LayerCache& cache,
+                                   const Tensor& dout) {
+  const LayerConfig& cfg = layer.config();
+  const LayerWeights& w = layer.weights();
+  if (cache.heads.size() != cfg.heads) {
+    throw std::invalid_argument("layer_backward: cache/config mismatch");
+  }
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(cfg.head_dim));
+
+  LayerBackwardResult res;
+
+  // --- LN2 --------------------------------------------------------------
+  LayerNormGrads ln2 =
+      layernorm_rows_grad(cache.f_pre_ln2, w.ln_ffn.gamma, dout);
+  res.grads.dln2_gamma = std::move(ln2.dgamma);
+  res.grads.dln2_beta = std::move(ln2.dbeta);
+  const Tensor& dr2 = ln2.dx;  // flows into FFN branch AND the residual
+
+  // --- FFN branch ---------------------------------------------------------
+  res.grads.db2 = bias_grad(dr2);
+  MatmulGrads w2g = matmul_grad(cache.h_act, w.ffn.w2, dr2);
+  res.grads.dw2 = std::move(w2g.db);
+  const Tensor dh = cfg.activation == Activation::kGelu
+                        ? gelu_grad(cache.h_pre_act, w2g.da)
+                        : relu_grad(cache.h_pre_act, w2g.da);
+  res.grads.db1 = bias_grad(dh);
+  MatmulGrads w1g = matmul_grad(cache.y1, w.ffn.w1, dh);
+  res.grads.dw1 = std::move(w1g.db);
+
+  // dY1 = residual path + FFN path.
+  Tensor dy1 = dr2;
+  add_inplace(dy1, w1g.da);
+
+  // --- LN1 ----------------------------------------------------------------
+  LayerNormGrads ln1 =
+      layernorm_rows_grad(cache.r_pre_ln1, w.ln_attention.gamma, dy1);
+  res.grads.dln1_gamma = std::move(ln1.dgamma);
+  res.grads.dln1_beta = std::move(ln1.dbeta);
+  const Tensor& dr = ln1.dx;  // attention output grad AND input residual
+
+  // --- attention output projection ----------------------------------------
+  res.grads.dbo = bias_grad(dr);
+  MatmulGrads wog = matmul_grad(cache.concat, w.attention.wo, dr);
+  res.grads.dwo = std::move(wog.db);
+  const Tensor& dconcat = wog.da;  // N x H*F_H
+
+  // --- per-head attention backward -----------------------------------------
+  res.dx = dr;  // residual path
+  res.grads.heads.resize(cfg.heads);
+  for (std::size_t h = 0; h < cfg.heads; ++h) {
+    const HeadCache& hc = cache.heads[h];
+    const HeadWeights& hw = w.attention.heads[h];
+    const Tensor dhead =
+        dconcat.slice_cols(h * cfg.head_dim, (h + 1) * cfg.head_dim);
+
+    // out = probs · V
+    MatmulGrads pv = matmul_grad(hc.probs, hc.v, dhead);
+    // probs = softmax(scores / ... ) — masked entries have probs == 0, so
+    // their gradient vanishes automatically.
+    const Tensor dscores = softmax_rows_grad(hc.probs, pv.da, inv_sqrt);
+    // scores = Q K^T
+    const Tensor dq = matmul(dscores, hc.k);
+    const Tensor dk = matmul(dscores, hc.q, Trans::kYes, Trans::kNo);
+
+    res.grads.heads[h].dwq = matmul(cache.x, dq, Trans::kYes, Trans::kNo);
+    res.grads.heads[h].dwk = matmul(cache.x, dk, Trans::kYes, Trans::kNo);
+    res.grads.heads[h].dwv = matmul(cache.x, pv.db, Trans::kYes, Trans::kNo);
+
+    add_inplace(res.dx, matmul(dq, hw.wq, Trans::kNo, Trans::kYes));
+    add_inplace(res.dx, matmul(dk, hw.wk, Trans::kNo, Trans::kYes));
+    add_inplace(res.dx, matmul(pv.db, hw.wv, Trans::kNo, Trans::kYes));
+  }
+  return res;
+}
+
+}  // namespace voltage

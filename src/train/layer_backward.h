@@ -1,0 +1,70 @@
+// Full backward pass through a transformer layer (and its multi-head
+// attention), with explicit forward caches. Built to quantify the paper's
+// §V-C training-communication comparison and verified end to end against
+// finite differences.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "train/backward_ops.h"
+#include "transformer/layer.h"
+
+namespace voltage {
+
+// Per-head forward intermediates needed by the backward pass.
+struct HeadCache {
+  Tensor q;      // N x F_H
+  Tensor k;      // N x F_H
+  Tensor v;      // N x F_H
+  Tensor probs;  // N x N (post-softmax)
+};
+
+struct LayerCache {
+  Tensor x;  // layer input
+  std::vector<HeadCache> heads;
+  Tensor concat;      // N x H*F_H (head outputs, pre-W_O)
+  Tensor r_pre_ln1;   // attention out + bias + residual, pre-LayerNorm
+  Tensor y1;          // LN1 output (FFN input)
+  Tensor h_pre_act;   // x W1 + b1
+  Tensor h_act;       // activation(h_pre_act)
+  Tensor f_pre_ln2;   // FFN out + residual, pre-LayerNorm
+};
+
+// Parameter gradients, mirroring LayerWeights.
+struct HeadGrads {
+  Tensor dwq;
+  Tensor dwk;
+  Tensor dwv;
+};
+
+struct LayerGrads {
+  std::vector<HeadGrads> heads;
+  Tensor dwo;
+  Tensor dbo;
+  Tensor dln1_gamma;
+  Tensor dln1_beta;
+  Tensor dw1;
+  Tensor db1;
+  Tensor dw2;
+  Tensor db2;
+  Tensor dln2_gamma;
+  Tensor dln2_beta;
+};
+
+// Forward pass identical to TransformerLayer::forward but recording every
+// intermediate the backward pass needs.
+[[nodiscard]] Tensor layer_forward_cached(const TransformerLayer& layer,
+                                          const Tensor& x, LayerCache& cache);
+
+struct LayerBackwardResult {
+  Tensor dx;         // gradient w.r.t. the layer input
+  LayerGrads grads;  // gradients w.r.t. every parameter
+};
+
+// dL/d(everything) from upstream dL/d(layer output).
+[[nodiscard]] LayerBackwardResult layer_backward(const TransformerLayer& layer,
+                                                 const LayerCache& cache,
+                                                 const Tensor& dout);
+
+}  // namespace voltage

@@ -1,0 +1,33 @@
+#include "train/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::size_t> labels) {
+  if (labels.size() != logits.rows() || logits.rows() == 0) {
+    throw std::invalid_argument("softmax_cross_entropy: one label per row");
+  }
+  const Tensor probs = softmax_rows(logits);
+  LossResult result{.loss = 0.0F, .dlogits = probs};
+  const float inv_rows = 1.0F / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] >= logits.cols()) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    result.loss -= std::log(std::max(probs(r, labels[r]), 1e-30F));
+    // d(loss)/d(logits) = (softmax - onehot) / rows.
+    result.dlogits(r, labels[r]) -= 1.0F;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      result.dlogits(r, c) *= inv_rows;
+    }
+  }
+  result.loss *= inv_rows;
+  return result;
+}
+
+}  // namespace voltage

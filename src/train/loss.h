@@ -1,0 +1,20 @@
+// Softmax cross-entropy loss — the training head for gradient-check tests
+// and the training-communication analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+struct LossResult {
+  float loss = 0.0F;
+  Tensor dlogits;  // same shape as the logits
+};
+
+// Mean softmax cross-entropy over rows; labels[r] is row r's class index.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace voltage

@@ -1,0 +1,136 @@
+#include "train/sgd.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+namespace {
+
+// Applies `fn` to every gradient tensor in a fixed traversal order — the
+// single order keeps accumulate/flatten/unflatten/apply consistent.
+template <class Grads, class Fn>
+void for_each_grad(Grads& grads, Fn&& fn) {
+  for (auto& head : grads.heads) {
+    fn(head.dwq);
+    fn(head.dwk);
+    fn(head.dwv);
+  }
+  fn(grads.dwo);
+  fn(grads.dbo);
+  fn(grads.dln1_gamma);
+  fn(grads.dln1_beta);
+  fn(grads.dw1);
+  fn(grads.db1);
+  fn(grads.dw2);
+  fn(grads.db2);
+  fn(grads.dln2_gamma);
+  fn(grads.dln2_beta);
+}
+
+}  // namespace
+
+void accumulate_grads(LayerGrads& target, const LayerGrads& other) {
+  if (target.heads.size() != other.heads.size()) {
+    throw std::invalid_argument("accumulate_grads: head count mismatch");
+  }
+  std::vector<const Tensor*> sources;
+  for_each_grad(other, [&](const Tensor& t) { sources.push_back(&t); });
+  std::size_t i = 0;
+  for_each_grad(target, [&](Tensor& t) { add_inplace(t, *sources[i++]); });
+}
+
+void scale_grads(LayerGrads& grads, float factor) {
+  for_each_grad(grads, [&](Tensor& t) { scale_inplace(t, factor); });
+}
+
+void apply_sgd(LayerWeights& weights, const LayerGrads& grads,
+               float learning_rate) {
+  if (weights.attention.heads.size() != grads.heads.size()) {
+    throw std::invalid_argument("apply_sgd: head count mismatch");
+  }
+  std::vector<Tensor*> params;
+  for (HeadWeights& h : weights.attention.heads) {
+    params.push_back(&h.wq);
+    params.push_back(&h.wk);
+    params.push_back(&h.wv);
+  }
+  params.push_back(&weights.attention.wo);
+  params.push_back(&weights.attention.bo);
+  params.push_back(&weights.ln_attention.gamma);
+  params.push_back(&weights.ln_attention.beta);
+  params.push_back(&weights.ffn.w1);
+  params.push_back(&weights.ffn.b1);
+  params.push_back(&weights.ffn.w2);
+  params.push_back(&weights.ffn.b2);
+  params.push_back(&weights.ln_ffn.gamma);
+  params.push_back(&weights.ln_ffn.beta);
+
+  std::size_t i = 0;
+  for_each_grad(grads, [&](const Tensor& g) {
+    Tensor* p = params.at(i++);
+    if (!p->same_shape(g)) {
+      throw std::invalid_argument("apply_sgd: gradient shape mismatch");
+    }
+    auto fp = p->flat();
+    const auto fg = g.flat();
+    for (std::size_t j = 0; j < fp.size(); ++j) {
+      fp[j] -= learning_rate * fg[j];
+    }
+  });
+}
+
+LayerGrads zero_grads_like(const LayerWeights& weights) {
+  LayerGrads grads;
+  grads.heads.resize(weights.attention.heads.size());
+  for (std::size_t h = 0; h < grads.heads.size(); ++h) {
+    const HeadWeights& hw = weights.attention.heads[h];
+    grads.heads[h].dwq = Tensor(hw.wq.rows(), hw.wq.cols());
+    grads.heads[h].dwk = Tensor(hw.wk.rows(), hw.wk.cols());
+    grads.heads[h].dwv = Tensor(hw.wv.rows(), hw.wv.cols());
+  }
+  grads.dwo = Tensor(weights.attention.wo.rows(), weights.attention.wo.cols());
+  grads.dbo = Tensor(1, weights.attention.bo.cols());
+  grads.dln1_gamma = Tensor(1, weights.ln_attention.gamma.cols());
+  grads.dln1_beta = Tensor(1, weights.ln_attention.beta.cols());
+  grads.dw1 = Tensor(weights.ffn.w1.rows(), weights.ffn.w1.cols());
+  grads.db1 = Tensor(1, weights.ffn.b1.cols());
+  grads.dw2 = Tensor(weights.ffn.w2.rows(), weights.ffn.w2.cols());
+  grads.db2 = Tensor(1, weights.ffn.b2.cols());
+  grads.dln2_gamma = Tensor(1, weights.ln_ffn.gamma.cols());
+  grads.dln2_beta = Tensor(1, weights.ln_ffn.beta.cols());
+  return grads;
+}
+
+Tensor flatten_grads(const LayerGrads& grads) {
+  std::size_t total = 0;
+  for_each_grad(grads, [&](const Tensor& t) { total += t.size(); });
+  Tensor flat(1, total);
+  std::size_t offset = 0;
+  auto out = flat.flat();
+  for_each_grad(grads, [&](const Tensor& t) {
+    const auto src = t.flat();
+    for (std::size_t i = 0; i < src.size(); ++i) out[offset + i] = src[i];
+    offset += src.size();
+  });
+  return flat;
+}
+
+void unflatten_grads(const Tensor& flat, LayerGrads& grads) {
+  std::size_t total = 0;
+  for_each_grad(grads, [&](Tensor& t) { total += t.size(); });
+  if (flat.size() != total) {
+    throw std::invalid_argument("unflatten_grads: size mismatch");
+  }
+  std::size_t offset = 0;
+  const auto src = flat.flat();
+  for_each_grad(grads, [&](Tensor& t) {
+    auto dst = t.flat();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[offset + i];
+    offset += dst.size();
+  });
+}
+
+}  // namespace voltage

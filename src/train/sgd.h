@@ -1,0 +1,28 @@
+// Gradient aggregation and SGD application for LayerGrads — enough
+// optimizer machinery to run real (data-parallel, replicated-weights)
+// training steps and demonstrate the §V-C weight-synchronization story.
+#pragma once
+
+#include "train/layer_backward.h"
+
+namespace voltage {
+
+// Element-wise accumulate: target += other (shapes must match).
+void accumulate_grads(LayerGrads& target, const LayerGrads& other);
+
+// Element-wise scale (e.g. 1/batch for averaging).
+void scale_grads(LayerGrads& grads, float factor);
+
+// weights -= lr * grads.
+void apply_sgd(LayerWeights& weights, const LayerGrads& grads,
+               float learning_rate);
+
+// Zero-initialized gradients matching `weights`' shapes.
+[[nodiscard]] LayerGrads zero_grads_like(const LayerWeights& weights);
+
+// Flattens all gradient tensors into one vector and back — the transport
+// format for the per-batch gradient ring all-reduce.
+[[nodiscard]] Tensor flatten_grads(const LayerGrads& grads);
+void unflatten_grads(const Tensor& flat, LayerGrads& grads);
+
+}  // namespace voltage

@@ -1,0 +1,33 @@
+#include "train/stack_backward.h"
+
+#include <stdexcept>
+
+namespace voltage {
+
+Tensor stack_forward_cached(std::span<const TransformerLayer> layers,
+                            Tensor x, StackCache& cache) {
+  cache.layers.assign(layers.size(), LayerCache{});
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    x = layer_forward_cached(layers[l], x, cache.layers[l]);
+  }
+  return x;
+}
+
+StackBackwardResult stack_backward(std::span<const TransformerLayer> layers,
+                                   const StackCache& cache, Tensor dout) {
+  if (cache.layers.size() != layers.size()) {
+    throw std::invalid_argument("stack_backward: cache/layer count mismatch");
+  }
+  StackBackwardResult result;
+  result.grads.resize(layers.size());
+  for (std::size_t l = layers.size(); l-- > 0;) {
+    LayerBackwardResult back =
+        layer_backward(layers[l], cache.layers[l], dout);
+    result.grads[l] = std::move(back.grads);
+    dout = std::move(back.dx);
+  }
+  result.dx = std::move(dout);
+  return result;
+}
+
+}  // namespace voltage

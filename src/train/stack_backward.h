@@ -1,0 +1,30 @@
+// Backward pass through a stack of transformer layers — chains the
+// per-layer backward so whole model bodies can be trained and
+// gradient-checked.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "train/layer_backward.h"
+
+namespace voltage {
+
+struct StackCache {
+  std::vector<LayerCache> layers;
+};
+
+// Forward through all layers, recording every layer's cache.
+[[nodiscard]] Tensor stack_forward_cached(
+    std::span<const TransformerLayer> layers, Tensor x, StackCache& cache);
+
+struct StackBackwardResult {
+  Tensor dx;                      // gradient w.r.t. the stack input
+  std::vector<LayerGrads> grads;  // per layer, same order as `layers`
+};
+
+[[nodiscard]] StackBackwardResult stack_backward(
+    std::span<const TransformerLayer> layers, const StackCache& cache,
+    Tensor dout);
+
+}  // namespace voltage

@@ -1,0 +1,45 @@
+#include "transformer/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+void apply_causal_mask(Tensor& scores, std::size_t row_offset) {
+  // -1e30 survives the softmax pre-scale and underflows exp() to exactly 0.
+  constexpr float kMasked = -1e30F;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const std::size_t first_masked = row_offset + i + 1;
+    auto row = scores.row(i);
+    for (std::size_t j = first_masked; j < row.size(); ++j) row[j] = kMasked;
+  }
+}
+
+Tensor attention_head_full(const Tensor& x, const HeadWeights& w,
+                           std::size_t head_dim, bool causal) {
+  const Tensor q = matmul(x, w.wq);
+  const Tensor k = matmul(x, w.wk);
+  const Tensor v = matmul(x, w.wv);
+  Tensor scores = matmul(q, k, Trans::kNo, Trans::kYes);
+  if (causal) apply_causal_mask(scores, 0);
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(head_dim));
+  const Tensor probs = softmax_rows(scores, inv_sqrt);
+  return matmul(probs, v);
+}
+
+Tensor multi_head_attention(const Tensor& x, const AttentionWeights& w,
+                            const LayerConfig& config) {
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(w.heads.size());
+  for (const HeadWeights& head : w.heads) {
+    head_outputs.push_back(
+        attention_head_full(x, head, config.head_dim, config.causal));
+  }
+  Tensor out = matmul(concat_cols(head_outputs), w.wo);
+  add_bias_inplace(out, w.bo);
+  return out;
+}
+
+}  // namespace voltage

@@ -1,0 +1,28 @@
+// Full-sequence multi-head self-attention (the single-device baseline).
+//
+// The partitioned/reordered variants used by Voltage live in
+// src/partition/partitioned_attention.h; this file is the reference
+// implementation they are tested against.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+// Masks scores[i][j] for j > row_offset + i to a large negative value.
+// `row_offset` is the global position of scores row 0, which lets the same
+// mask serve both full (offset 0, square) and partitioned (P x N) scores.
+void apply_causal_mask(Tensor& scores, std::size_t row_offset);
+
+// Attn(xW_Q, xW_K, xW_V) for one head over the full sequence — paper Eq. (1).
+[[nodiscard]] Tensor attention_head_full(const Tensor& x, const HeadWeights& w,
+                                         std::size_t head_dim, bool causal);
+
+// MultiHead(x) = Concat(A_1(x), ..., A_H(x)) W_O + b_O — paper Eq. (2).
+[[nodiscard]] Tensor multi_head_attention(const Tensor& x,
+                                          const AttentionWeights& w,
+                                          const LayerConfig& config);
+
+}  // namespace voltage

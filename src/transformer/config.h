@@ -1,0 +1,74 @@
+// Layer and model configuration for the transformer substrate.
+//
+// Notation follows the paper: F = model feature width, H = attention heads,
+// F_H = per-head attention dimension, with the usual H * F_H = F.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace voltage {
+
+enum class Activation : std::uint8_t { kRelu, kGelu };
+
+struct LayerConfig {
+  std::size_t hidden = 0;    // F
+  std::size_t heads = 0;     // H
+  std::size_t head_dim = 0;  // F_H
+  std::size_t ffn_dim = 0;   // inner width of the position-wise FFN
+  Activation activation = Activation::kGelu;
+  // Decoder-style (GPT) layers mask attention to future positions.
+  bool causal = false;
+
+  void validate() const {
+    if (hidden == 0 || heads == 0 || head_dim == 0 || ffn_dim == 0) {
+      throw std::invalid_argument("LayerConfig: zero dimension");
+    }
+    if (heads * head_dim != hidden) {
+      // The paper's multi-head analysis (Theorem 2) assumes H * F_H = F.
+      throw std::invalid_argument("LayerConfig: heads * head_dim != hidden");
+    }
+  }
+};
+
+enum class ModelKind : std::uint8_t {
+  kTextClassifier,   // BERT-style encoder + classification head
+  kImageClassifier,  // ViT-style patch encoder + classification head
+  kCausalLm,         // GPT-style decoder + LM head
+};
+
+struct ModelSpec {
+  std::string name;
+  ModelKind kind = ModelKind::kTextClassifier;
+  std::size_t num_layers = 0;
+  LayerConfig layer;
+  std::size_t vocab_size = 0;     // text models
+  std::size_t max_positions = 0;  // learned positional table size
+  std::size_t num_classes = 0;    // classifier models
+  // ViT only: image geometry.
+  std::size_t image_size = 0;
+  std::size_t patch_size = 0;
+  std::size_t channels = 3;
+
+  void validate() const {
+    layer.validate();
+    if (num_layers == 0) throw std::invalid_argument("ModelSpec: no layers");
+    if (kind == ModelKind::kImageClassifier) {
+      if (patch_size == 0 || image_size % patch_size != 0) {
+        throw std::invalid_argument("ModelSpec: bad patch geometry");
+      }
+    } else if (vocab_size == 0) {
+      throw std::invalid_argument("ModelSpec: text model needs a vocabulary");
+    }
+  }
+
+  // Sequence length seen by the transformer stack for a ViT input
+  // (patches + [CLS]).
+  [[nodiscard]] std::size_t vit_sequence_length() const {
+    const std::size_t per_side = image_size / patch_size;
+    return per_side * per_side + 1;
+  }
+};
+
+}  // namespace voltage

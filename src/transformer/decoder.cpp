@@ -1,0 +1,95 @@
+#include "transformer/decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "transformer/attention.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+IncrementalDecoder::IncrementalDecoder(const TransformerModel& model)
+    : model_(model) {
+  if (model.spec().kind != ModelKind::kCausalLm) {
+    throw std::invalid_argument("IncrementalDecoder: needs a causal LM");
+  }
+  reset();
+}
+
+void IncrementalDecoder::reset() {
+  caches_.assign(model_.spec().num_layers, LayerKvCache{});
+  for (LayerKvCache& cache : caches_) {
+    cache.heads.resize(model_.spec().layer.heads);
+  }
+  position_ = 0;
+}
+
+Tensor IncrementalDecoder::feed(Tensor x) {
+  const auto layers = model_.layers();
+  const float inv_sqrt =
+      1.0F / std::sqrt(static_cast<float>(model_.spec().layer.head_dim));
+
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerConfig& cfg = layers[l].config();
+    const LayerWeights& w = layers[l].weights();
+    LayerKvCache& cache = caches_[l];
+
+    std::vector<Tensor> head_outputs;
+    head_outputs.reserve(cfg.heads);
+    for (std::size_t h = 0; h < cfg.heads; ++h) {
+      const HeadWeights& hw = w.attention.heads[h];
+      HeadKvCache& hc = cache.heads[h];
+      const Tensor q = matmul(x, hw.wq);
+      const Tensor k_new = matmul(x, hw.wk);
+      const Tensor v_new = matmul(x, hw.wv);
+      // Extend the cache with this block's keys/values.
+      if (hc.k.rows() == 0) {
+        hc.k = k_new;
+        hc.v = v_new;
+      } else {
+        const std::vector<Tensor> ks{hc.k, k_new};
+        const std::vector<Tensor> vs{hc.v, v_new};
+        hc.k = concat_rows(ks);
+        hc.v = concat_rows(vs);
+      }
+      // Attend over everything cached; rows of x start at position_, so
+      // the causal mask offsets accordingly (prefill feeds m > 1 rows).
+      Tensor scores = matmul(q, hc.k, Trans::kNo, Trans::kYes);
+      apply_causal_mask(scores, position_);
+      head_outputs.push_back(matmul(softmax_rows(scores, inv_sqrt), hc.v));
+    }
+    Tensor attn = matmul(concat_cols(head_outputs), w.attention.wo);
+    add_bias_inplace(attn, w.attention.bo);
+    add_inplace(attn, x);
+    const Tensor y =
+        layernorm_rows(attn, w.ln_attention.gamma, w.ln_attention.beta);
+    Tensor f = ffn_forward(y, w.ffn, cfg.activation);
+    add_inplace(f, y);
+    x = layernorm_rows(f, w.ln_ffn.gamma, w.ln_ffn.beta);
+  }
+  position_ += x.rows();
+  return model_.postprocess(x);
+}
+
+Tensor IncrementalDecoder::prime(std::span<const TokenId> prompt) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("IncrementalDecoder: empty prompt");
+  }
+  if (position_ != 0) reset();
+  return feed(model_.preprocess(prompt));
+}
+
+Tensor IncrementalDecoder::step(TokenId token) {
+  if (position_ == 0) {
+    throw std::logic_error("IncrementalDecoder: prime() before step()");
+  }
+  if (position_ + 1 > model_.spec().max_positions) {
+    throw std::length_error("IncrementalDecoder: context window exhausted");
+  }
+  // Embed just the new token at its true global position.
+  const TokenId ids[] = {token};
+  return feed(model_.preprocess_at(std::span<const TokenId>(ids), position_));
+}
+
+}  // namespace voltage

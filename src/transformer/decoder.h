@@ -1,0 +1,55 @@
+// Incremental autoregressive decoding with per-layer KV caches.
+//
+// The paper's position partition accelerates the *prefill* (the full-
+// sequence forward that dominates classification and the first token of
+// generation). For subsequent tokens the input is a single position, so the
+// natural companion is the standard KV-cache decode path: each layer stores
+// the K and V rows of every past position and each new token costs O(T)
+// attention instead of O(T^2) recompute. This decoder provides that path
+// and is verified token-for-token against full recomputation.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+// Cached keys/values of one attention head (rows grow with the sequence).
+struct HeadKvCache {
+  Tensor k;  // T x F_H
+  Tensor v;  // T x F_H
+};
+
+struct LayerKvCache {
+  std::vector<HeadKvCache> heads;
+};
+
+class IncrementalDecoder {
+ public:
+  // Requires a causal LM (ModelKind::kCausalLm); throws otherwise.
+  explicit IncrementalDecoder(const TransformerModel& model);
+
+  // Runs the full prompt through the stack once, filling every cache, and
+  // returns next-token logits [1 x vocab].
+  [[nodiscard]] Tensor prime(std::span<const TokenId> prompt);
+
+  // Appends one token and returns next-token logits; costs O(T) per layer.
+  [[nodiscard]] Tensor step(TokenId token);
+
+  // Forgets all cached state (start a new sequence).
+  void reset();
+
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  // Feeds embedded rows [m x F] whose global positions start at position_.
+  [[nodiscard]] Tensor feed(Tensor x);
+
+  const TransformerModel& model_;
+  std::vector<LayerKvCache> caches_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace voltage

@@ -1,0 +1,90 @@
+#include "transformer/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace voltage {
+
+TokenEmbedding::TokenEmbedding(std::size_t vocab_size,
+                               std::size_t max_positions, std::size_t hidden,
+                               Rng& rng)
+    : table_(rng.normal_tensor(vocab_size, hidden, 0.02F)),
+      positions_(rng.normal_tensor(max_positions, hidden, 0.02F)) {}
+
+Tensor TokenEmbedding::embed_at(std::span<const TokenId> tokens,
+                                std::size_t start) const {
+  if (start + tokens.size() > positions_.rows()) {
+    throw std::invalid_argument("TokenEmbedding: sequence too long");
+  }
+  Tensor out(tokens.size(), table_.cols());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const TokenId id = tokens[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= table_.rows()) {
+      throw std::out_of_range("TokenEmbedding: token id out of vocabulary");
+    }
+    const auto tok = table_.row(static_cast<std::size_t>(id));
+    const auto pos = positions_.row(start + i);
+    auto o = out.row(i);
+    for (std::size_t c = 0; c < o.size(); ++c) o[c] = tok[c] + pos[c];
+  }
+  return out;
+}
+
+PatchEmbedding::PatchEmbedding(std::size_t image_size, std::size_t patch_size,
+                               std::size_t channels, std::size_t hidden,
+                               Rng& rng)
+    : image_size_(image_size),
+      patch_size_(patch_size),
+      channels_(channels),
+      projection_(rng.normal_tensor(patch_size * patch_size * channels, hidden,
+                                    0.02F)),
+      cls_token_(rng.normal_tensor(1, hidden, 0.02F)),
+      positions_(rng.normal_tensor(sequence_length(), hidden, 0.02F)) {
+  if (patch_size == 0 || image_size % patch_size != 0) {
+    throw std::invalid_argument("PatchEmbedding: bad patch geometry");
+  }
+}
+
+std::size_t PatchEmbedding::sequence_length() const noexcept {
+  const std::size_t per_side = image_size_ / patch_size_;
+  return per_side * per_side + 1;
+}
+
+Tensor PatchEmbedding::embed(const Image& image) const {
+  if (image.height != image_size_ || image.width != image_size_ ||
+      image.channels != channels_) {
+    throw std::invalid_argument("PatchEmbedding: image geometry mismatch");
+  }
+  const std::size_t per_side = image_size_ / patch_size_;
+  const std::size_t patch_dim = patch_size_ * patch_size_ * channels_;
+
+  // Unfold into [num_patches x patch_dim], then one GEMM — equivalent to the
+  // stride-P convolution ViT uses.
+  Tensor patches(per_side * per_side, patch_dim);
+  for (std::size_t py = 0; py < per_side; ++py) {
+    for (std::size_t px = 0; px < per_side; ++px) {
+      auto row = patches.row(py * per_side + px);
+      std::size_t idx = 0;
+      for (std::size_t y = 0; y < patch_size_; ++y) {
+        for (std::size_t x = 0; x < patch_size_; ++x) {
+          for (std::size_t c = 0; c < channels_; ++c) {
+            row[idx++] =
+                image.at(py * patch_size_ + y, px * patch_size_ + x, c);
+          }
+        }
+      }
+    }
+  }
+  const Tensor projected = matmul(patches, projection_);
+
+  Tensor out(sequence_length(), projected.cols());
+  out.set_rows(0, cls_token_);
+  out.set_rows(1, projected);
+  add_inplace(out, positions_);
+  return out;
+}
+
+}  // namespace voltage

@@ -1,0 +1,17 @@
+#include "transformer/ffn.h"
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+Tensor ffn_forward(const Tensor& x, const FfnWeights& w,
+                   Activation activation) {
+  Tensor hidden = matmul(x, w.w1);
+  add_bias_inplace(hidden, w.b1);
+  hidden = activation == Activation::kGelu ? gelu(hidden) : relu(hidden);
+  Tensor out = matmul(hidden, w.w2);
+  add_bias_inplace(out, w.b2);
+  return out;
+}
+
+}  // namespace voltage

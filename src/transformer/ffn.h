@@ -1,0 +1,13 @@
+// Position-wise feed-forward network: FFN(x) = Act(xW1 + b1)W2 + b2.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+[[nodiscard]] Tensor ffn_forward(const Tensor& x, const FfnWeights& w,
+                                 Activation activation);
+
+}  // namespace voltage

@@ -1,0 +1,32 @@
+// Minimal dense image container for the ViT path (HWC float layout).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace voltage {
+
+struct Image {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t channels = 0;
+  std::vector<float> pixels;  // height * width * channels, HWC order
+
+  Image() = default;
+  Image(std::size_t h, std::size_t w, std::size_t c)
+      : height(h), width(w), channels(c), pixels(h * w * c, 0.0F) {}
+
+  [[nodiscard]] float& at(std::size_t y, std::size_t x,
+                          std::size_t c) noexcept {
+    assert(y < height && x < width && c < channels);
+    return pixels[(y * width + x) * channels + c];
+  }
+  [[nodiscard]] float at(std::size_t y, std::size_t x,
+                         std::size_t c) const noexcept {
+    assert(y < height && x < width && c < channels);
+    return pixels[(y * width + x) * channels + c];
+  }
+};
+
+}  // namespace voltage

@@ -1,0 +1,19 @@
+#include "transformer/layer.h"
+
+#include "tensor/ops.h"
+#include "transformer/attention.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+Tensor TransformerLayer::forward(const Tensor& x) const {
+  Tensor attn = multi_head_attention(x, weights_.attention, config_);
+  add_inplace(attn, x);
+  const Tensor y = layernorm_rows(attn, weights_.ln_attention.gamma,
+                                  weights_.ln_attention.beta);
+  Tensor ffn = ffn_forward(y, weights_.ffn, config_.activation);
+  add_inplace(ffn, y);
+  return layernorm_rows(ffn, weights_.ln_ffn.gamma, weights_.ln_ffn.beta);
+}
+
+}  // namespace voltage

@@ -1,0 +1,124 @@
+#include "transformer/linear_attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/flops.h"
+#include "tensor/ops.h"
+
+namespace voltage {
+
+Tensor linear_attention_feature_map(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.flat()) {
+    v = v > 0.0F ? v + 1.0F : std::exp(v);
+  }
+  flops::add_elementwise(2 * x.size());
+  return out;
+}
+
+LinearAttentionState& LinearAttentionState::operator+=(
+    const LinearAttentionState& other) {
+  add_inplace(s, other.s);
+  add_inplace(z, other.z);
+  return *this;
+}
+
+LinearAttentionState linear_attention_local_state(const Tensor& x, Range p,
+                                                  const HeadWeights& w) {
+  if (p.end > x.rows()) {
+    throw std::out_of_range("linear_attention_local_state: bad range");
+  }
+  const Tensor xp = x.slice_rows(p.begin, p.end);
+  const Tensor k = linear_attention_feature_map(matmul(xp, w.wk));
+  const Tensor v = matmul(xp, w.wv);
+  LinearAttentionState state;
+  state.s = matmul(k, v, Trans::kYes, Trans::kNo);  // F_H x F_H
+  state.z = Tensor(1, k.cols());
+  for (std::size_t r = 0; r < k.rows(); ++r) {
+    const auto row = k.row(r);
+    auto acc = state.z.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) acc[c] += row[c];
+  }
+  flops::add_elementwise(k.size());
+  return state;
+}
+
+Tensor linear_attention_head_partition(const Tensor& x, Range p,
+                                       const HeadWeights& w,
+                                       const LinearAttentionState& state) {
+  if (p.end > x.rows()) {
+    throw std::out_of_range("linear_attention_head_partition: bad range");
+  }
+  const Tensor xp = x.slice_rows(p.begin, p.end);
+  const Tensor q = linear_attention_feature_map(matmul(xp, w.wq));
+  Tensor out = matmul(q, state.s);          // P x F_H
+  const Tensor norm = matmul(q, state.z, Trans::kNo, Trans::kYes);  // P x 1
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const float inv = 1.0F / norm(r, 0);
+    for (float& v : out.row(r)) v *= inv;
+  }
+  flops::add_elementwise(out.size());
+  return out;
+}
+
+Tensor linear_attention_head_full(const Tensor& x, const HeadWeights& w) {
+  const Range all{0, x.rows()};
+  return linear_attention_head_partition(
+      x, all, w, linear_attention_local_state(x, all, w));
+}
+
+Tensor multi_head_linear_attention(const Tensor& x, const AttentionWeights& w,
+                                   const LayerConfig& config) {
+  std::vector<Tensor> heads;
+  heads.reserve(w.heads.size());
+  for (const HeadWeights& head : w.heads) {
+    heads.push_back(linear_attention_head_full(x, head));
+  }
+  Tensor out = matmul(concat_cols(heads), w.wo);
+  add_bias_inplace(out, w.bo);
+  (void)config;
+  return out;
+}
+
+std::vector<LinearAttentionState> multi_head_linear_states(
+    const Tensor& x, Range p, const AttentionWeights& w,
+    const LayerConfig& config) {
+  if (config.causal) {
+    throw std::invalid_argument(
+        "linear attention distribution supports encoder layers only");
+  }
+  std::vector<LinearAttentionState> states;
+  states.reserve(w.heads.size());
+  for (const HeadWeights& head : w.heads) {
+    states.push_back(linear_attention_local_state(x, p, head));
+  }
+  return states;
+}
+
+Tensor multi_head_linear_attention_partition(
+    const Tensor& x, Range p, const AttentionWeights& w,
+    const LayerConfig& config,
+    const std::vector<LinearAttentionState>& global_states) {
+  if (global_states.size() != w.heads.size()) {
+    throw std::invalid_argument(
+        "multi_head_linear_attention_partition: one state per head required");
+  }
+  if (p.empty()) return Tensor(0, config.hidden);
+  std::vector<Tensor> heads;
+  heads.reserve(w.heads.size());
+  for (std::size_t h = 0; h < w.heads.size(); ++h) {
+    heads.push_back(linear_attention_head_partition(x, p, w.heads[h],
+                                                    global_states[h]));
+  }
+  Tensor out = matmul(concat_cols(heads), w.wo);
+  add_bias_inplace(out, w.bo);
+  return out;
+}
+
+std::uint64_t linear_attention_sync_elements(const LayerConfig& config) {
+  return static_cast<std::uint64_t>(config.heads) * config.head_dim *
+         (config.head_dim + 1);
+}
+
+}  // namespace voltage

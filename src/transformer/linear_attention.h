@@ -1,0 +1,79 @@
+// Linear (kernelized) attention and its position-wise distribution — the
+// extension the paper sketches in §VII-C for linear-transformer variants
+// (Katharopoulos et al., "Transformers are RNNs").
+//
+// With feature map φ(u) = elu(u) + 1 > 0:
+//   Attn_lin(x)_i = φ(q_i)^T S / (φ(q_i)^T z),   S = Σ_j φ(k_j) v_j^T,
+//                                                z = Σ_j φ(k_j).
+// S ∈ R^{F_H x F_H} and z ∈ R^{F_H} are SUMS over positions, so a position
+// partition distributes perfectly: each device builds the (S, z) summary of
+// ITS positions, the K summaries are all-reduce-summed (a tensor of
+// F_H x (F_H + 1) per head — independent of N!), and every device finishes
+// its output partition locally. Per-layer communication drops from the
+// softmax path's Θ(N·F) activations to Θ(H·F_H²).
+//
+// Bidirectional (encoder) attention only; causal linear attention needs
+// per-position prefix states, which do not partition by position.
+#pragma once
+
+#include <vector>
+
+#include "partition/range.h"
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+// φ(u) = elu(u) + 1, applied elementwise; output is strictly positive so
+// the normalizer can never vanish.
+[[nodiscard]] Tensor linear_attention_feature_map(const Tensor& x);
+
+// The distributable per-head summary of a set of positions.
+struct LinearAttentionState {
+  Tensor s;  // F_H x F_H : Σ φ(k_j) v_j^T
+  Tensor z;  // 1 x F_H   : Σ φ(k_j)
+
+  // Elementwise sum — the all-reduce combiner.
+  LinearAttentionState& operator+=(const LinearAttentionState& other);
+
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return s.size() + z.size();
+  }
+};
+
+// Summary of positions [p.begin, p.end) for one head.
+[[nodiscard]] LinearAttentionState linear_attention_local_state(
+    const Tensor& x, Range p, const HeadWeights& w);
+
+// Output rows for partition `p` of one head given the GLOBAL state.
+[[nodiscard]] Tensor linear_attention_head_partition(
+    const Tensor& x, Range p, const HeadWeights& w,
+    const LinearAttentionState& global_state);
+
+// Reference: full-sequence single-head linear attention.
+[[nodiscard]] Tensor linear_attention_head_full(const Tensor& x,
+                                                const HeadWeights& w);
+
+// Full multi-head linear attention with the W_O projection (drop-in
+// replacement for multi_head_attention on encoder layers).
+[[nodiscard]] Tensor multi_head_linear_attention(const Tensor& x,
+                                                 const AttentionWeights& w,
+                                                 const LayerConfig& config);
+
+// Distributed flavour: per-head states for this device's range...
+[[nodiscard]] std::vector<LinearAttentionState> multi_head_linear_states(
+    const Tensor& x, Range p, const AttentionWeights& w,
+    const LayerConfig& config);
+// ...then, after states are all-reduced, the device's output partition.
+[[nodiscard]] Tensor multi_head_linear_attention_partition(
+    const Tensor& x, Range p, const AttentionWeights& w,
+    const LayerConfig& config,
+    const std::vector<LinearAttentionState>& global_states);
+
+// Per-layer elements a device must synchronize: softmax Voltage all-gathers
+// its activation partition; linear attention all-reduces H tiny states.
+[[nodiscard]] std::uint64_t linear_attention_sync_elements(
+    const LayerConfig& config);
+
+}  // namespace voltage

@@ -1,0 +1,77 @@
+#include "transformer/linformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace voltage {
+
+LinformerProjections init_linformer_projections(std::size_t rank,
+                                                std::size_t max_positions,
+                                                Rng& rng) {
+  if (rank == 0 || max_positions == 0) {
+    throw std::invalid_argument("LinformerProjections: zero dimension");
+  }
+  const float std =
+      1.0F / std::sqrt(static_cast<float>(max_positions));
+  return LinformerProjections{
+      .e = rng.normal_tensor(rank, max_positions, std),
+      .f = rng.normal_tensor(rank, max_positions, std),
+  };
+}
+
+LinformerState& LinformerState::operator+=(const LinformerState& other) {
+  add_inplace(k_proj, other.k_proj);
+  add_inplace(v_proj, other.v_proj);
+  return *this;
+}
+
+LinformerState linformer_local_state(const Tensor& x, Range p,
+                                     const HeadWeights& w,
+                                     const LinformerProjections& proj) {
+  if (p.end > x.rows()) {
+    throw std::out_of_range("linformer_local_state: bad range");
+  }
+  if (x.rows() > proj.max_positions()) {
+    throw std::invalid_argument(
+        "linformer_local_state: sequence exceeds projection width");
+  }
+  const Tensor xp = x.slice_rows(p.begin, p.end);
+  const Tensor e_cols = proj.e.slice_cols(p.begin, p.end);  // k x P
+  const Tensor f_cols = proj.f.slice_cols(p.begin, p.end);  // k x P
+  return LinformerState{
+      .k_proj = matmul(e_cols, matmul(xp, w.wk)),
+      .v_proj = matmul(f_cols, matmul(xp, w.wv)),
+  };
+}
+
+Tensor linformer_head_partition(const Tensor& x, Range p,
+                                const HeadWeights& w, std::size_t head_dim,
+                                const LinformerState& state) {
+  if (p.end > x.rows()) {
+    throw std::out_of_range("linformer_head_partition: bad range");
+  }
+  const Tensor xp = x.slice_rows(p.begin, p.end);
+  const Tensor q = matmul(xp, w.wq);                          // P x F_H
+  const Tensor scores =
+      matmul(q, state.k_proj, Trans::kNo, Trans::kYes);       // P x k
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(head_dim));
+  return matmul(softmax_rows(scores, inv_sqrt), state.v_proj);
+}
+
+Tensor linformer_head_full(const Tensor& x, const HeadWeights& w,
+                           std::size_t head_dim,
+                           const LinformerProjections& proj) {
+  const Range all{0, x.rows()};
+  return linformer_head_partition(
+      x, all, w, head_dim, linformer_local_state(x, all, w, proj));
+}
+
+std::uint64_t linformer_sync_elements(const LayerConfig& config,
+                                      std::size_t rank) {
+  return 2ULL * config.heads * rank * config.head_dim;
+}
+
+}  // namespace voltage

@@ -1,0 +1,74 @@
+// Linformer-style low-rank attention and its position-wise distribution —
+// the second §VII-C variant ("Linformer proposes to approximate the
+// original attention function through low-rank matrix multiplications...
+// Voltage can be easily extended to distribute them").
+//
+// Linformer projects keys and values along the SEQUENCE dimension with
+// learned E, F ∈ R^{k x N} (k << N):
+//   K' = E (x W_K) ∈ R^{k x F_H},   V' = F (x W_V) ∈ R^{k x F_H},
+//   Attn(x)_p = softmax((x_p W_Q) K'^T / sqrt(F_H)) V'.
+// Because E(xW_K) = Σ_j E[:, j] ⊗ (x_j W_K) is a SUM over positions, each
+// device can build the (K', V') contribution of its own positions and a
+// tiny 2·k·F_H-per-head all-reduce replaces the N·F activation all-gather —
+// the same distribution pattern as linear attention, with a k x N low-rank
+// bottleneck instead of a kernel feature map.
+#pragma once
+
+#include <vector>
+
+#include "partition/range.h"
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+class Rng;
+
+// Shared-across-heads sequence projections (Linformer's parameter-sharing
+// variant): E, F ∈ R^{k x max_positions}; inputs of length N <= max use the
+// first N columns.
+struct LinformerProjections {
+  Tensor e;  // k x max_positions
+  Tensor f;  // k x max_positions
+
+  [[nodiscard]] std::size_t rank() const noexcept { return e.rows(); }
+  [[nodiscard]] std::size_t max_positions() const noexcept {
+    return e.cols();
+  }
+};
+
+[[nodiscard]] LinformerProjections init_linformer_projections(
+    std::size_t rank, std::size_t max_positions, Rng& rng);
+
+// Per-head distributable summary of a set of positions.
+struct LinformerState {
+  Tensor k_proj;  // k x F_H : E[:, p] (x_p W_K)
+  Tensor v_proj;  // k x F_H : F[:, p] (x_p W_V)
+
+  LinformerState& operator+=(const LinformerState& other);
+};
+
+// Summary of positions [p.begin, p.end) for one head.
+[[nodiscard]] LinformerState linformer_local_state(
+    const Tensor& x, Range p, const HeadWeights& w,
+    const LinformerProjections& proj);
+
+// Output rows for partition `p` given the GLOBAL (summed) state.
+[[nodiscard]] Tensor linformer_head_partition(const Tensor& x, Range p,
+                                              const HeadWeights& w,
+                                              std::size_t head_dim,
+                                              const LinformerState& state);
+
+// Reference: full-sequence single-head Linformer attention.
+[[nodiscard]] Tensor linformer_head_full(const Tensor& x,
+                                         const HeadWeights& w,
+                                         std::size_t head_dim,
+                                         const LinformerProjections& proj);
+
+// Elements a device must synchronize per layer (all heads): 2·H·k·F_H —
+// compare against the softmax path's (K-1)/K·N·F all-gather.
+[[nodiscard]] std::uint64_t linformer_sync_elements(const LayerConfig& config,
+                                                    std::size_t rank);
+
+}  // namespace voltage

@@ -1,0 +1,38 @@
+#include "transformer/model_io.h"
+
+#include <stdexcept>
+
+#include "tensor/archive.h"
+
+namespace voltage {
+
+void save_model(TransformerModel& model, const std::filesystem::path& path) {
+  TensorArchive archive;
+  model.visit_parameters([&archive](const std::string& name, Tensor& tensor) {
+    archive.put(name, tensor);
+  });
+  archive.save(path);
+}
+
+void load_model(TransformerModel& model, const std::filesystem::path& path) {
+  const TensorArchive archive = TensorArchive::load(path);
+  std::size_t assigned = 0;
+  model.visit_parameters([&](const std::string& name, Tensor& tensor) {
+    if (!archive.contains(name)) {
+      throw std::runtime_error("load_model: checkpoint misses " + name);
+    }
+    const Tensor& loaded = archive.get(name);
+    if (!loaded.same_shape(tensor)) {
+      throw std::runtime_error("load_model: shape mismatch for " + name);
+    }
+    tensor = loaded;
+    ++assigned;
+  });
+  if (assigned != archive.size()) {
+    throw std::runtime_error(
+        "load_model: checkpoint has entries the model does not "
+        "(architecture mismatch)");
+  }
+}
+
+}  // namespace voltage

@@ -1,0 +1,22 @@
+// Model checkpointing: save every parameter to a TensorArchive on disk and
+// load it back into an architecturally identical model. Voltage's latency
+// results hold for random weights; checkpointing is what lets a deployment
+// carry real (e.g. converted pretrained) weights instead.
+#pragma once
+
+#include <filesystem>
+
+#include "transformer/model.h"
+
+namespace voltage {
+
+// Writes every parameter under its hierarchical name, plus nothing else —
+// the spec travels out of band (construct the model first, then load).
+void save_model(TransformerModel& model, const std::filesystem::path& path);
+
+// Strict load: every model parameter must be present with the exact shape;
+// extra archive entries are rejected too (they indicate a spec mismatch).
+// Throws std::runtime_error on any discrepancy.
+void load_model(TransformerModel& model, const std::filesystem::path& path);
+
+}  // namespace voltage

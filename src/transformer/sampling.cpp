@@ -1,0 +1,78 @@
+#include "transformer/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace voltage {
+
+TokenId greedy_sample(const Tensor& logits) {
+  if (logits.rows() != 1 || logits.cols() == 0) {
+    throw std::invalid_argument("greedy_sample: need a 1 x vocab row");
+  }
+  return static_cast<TokenId>(argmax_row(logits, 0));
+}
+
+TokenId sample_top_k(const Tensor& logits, std::size_t top_k,
+                     float temperature, Rng& rng) {
+  if (logits.rows() != 1 || logits.cols() == 0) {
+    throw std::invalid_argument("sample_top_k: need a 1 x vocab row");
+  }
+  if (top_k == 0 || top_k > logits.cols()) {
+    throw std::invalid_argument("sample_top_k: top_k out of range");
+  }
+  if (temperature <= 0.0F) {
+    throw std::invalid_argument("sample_top_k: temperature must be > 0");
+  }
+  const auto row = logits.row(0);
+
+  // Indices of the k largest logits.
+  std::vector<std::size_t> order(row.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(top_k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return row[a] > row[b];
+                    });
+  order.resize(top_k);
+
+  // Temperature softmax over the shortlist (max-shifted for stability).
+  std::vector<double> probs(top_k);
+  const double maxv = row[order.front()];
+  double sum = 0.0;
+  for (std::size_t i = 0; i < top_k; ++i) {
+    probs[i] = std::exp((static_cast<double>(row[order[i]]) - maxv) /
+                        static_cast<double>(temperature));
+    sum += probs[i];
+  }
+  double draw = static_cast<double>(rng.next_uniform()) * sum;
+  for (std::size_t i = 0; i < top_k; ++i) {
+    draw -= probs[i];
+    if (draw <= 0.0) return static_cast<TokenId>(order[i]);
+  }
+  return static_cast<TokenId>(order.back());
+}
+
+std::vector<TokenId> generate(IncrementalDecoder& decoder,
+                              std::span<const TokenId> prompt,
+                              std::size_t count, const SamplingConfig& config,
+                              Rng& rng) {
+  std::vector<TokenId> out;
+  out.reserve(count);
+  Tensor logits = decoder.prime(prompt);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TokenId next =
+        config.top_k == 0
+            ? greedy_sample(logits)
+            : sample_top_k(logits, config.top_k, config.temperature, rng);
+    out.push_back(next);
+    if (i + 1 < count) logits = decoder.step(next);
+  }
+  return out;
+}
+
+}  // namespace voltage

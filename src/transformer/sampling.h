@@ -1,0 +1,36 @@
+// Token sampling strategies for autoregressive generation, plus a
+// generation driver over the KV-cache decoder.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "transformer/decoder.h"
+
+namespace voltage {
+
+class Rng;
+
+struct SamplingConfig {
+  // 0 = greedy argmax. Otherwise sample from the top_k most likely tokens.
+  std::size_t top_k = 0;
+  // Softmax temperature; < 1 sharpens, > 1 flattens. Ignored for greedy.
+  float temperature = 1.0F;
+};
+
+// Argmax over a [1 x vocab] logits row.
+[[nodiscard]] TokenId greedy_sample(const Tensor& logits);
+
+// Samples from the temperature-scaled softmax restricted to the top-k
+// logits. top_k == 1 degenerates to greedy. Throws on bad arguments.
+[[nodiscard]] TokenId sample_top_k(const Tensor& logits, std::size_t top_k,
+                                   float temperature, Rng& rng);
+
+// Generates `count` tokens continuing `prompt` with the cached decoder.
+[[nodiscard]] std::vector<TokenId> generate(IncrementalDecoder& decoder,
+                                            std::span<const TokenId> prompt,
+                                            std::size_t count,
+                                            const SamplingConfig& config,
+                                            Rng& rng);
+
+}  // namespace voltage

@@ -1,0 +1,64 @@
+#include "transformer/tokenizer.h"
+
+#include <cctype>
+
+#include "tensor/rng.h"
+
+namespace voltage {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashingTokenizer::HashingTokenizer(std::size_t vocab_size)
+    : vocab_size_(vocab_size) {}
+
+std::vector<TokenId> HashingTokenizer::encode(std::string_view text) const {
+  std::vector<TokenId> tokens;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    while (start < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[start])) != 0) {
+      ++start;
+    }
+    std::size_t end = start;
+    while (end < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[end])) == 0) {
+      ++end;
+    }
+    if (end > start) {
+      tokens.push_back(static_cast<TokenId>(fnv1a(text.substr(start, end - start)) %
+                                            vocab_size_));
+    }
+    start = end;
+  }
+  return tokens;
+}
+
+std::vector<TokenId> random_tokens(std::size_t count, std::size_t vocab_size,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TokenId> tokens(count);
+  for (TokenId& t : tokens) {
+    t = static_cast<TokenId>(rng.next_below(vocab_size));
+  }
+  return tokens;
+}
+
+Image random_image(std::size_t size, std::size_t channels, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(size, size, channels);
+  for (float& p : img.pixels) p = rng.next_uniform();
+  return img;
+}
+
+}  // namespace voltage

@@ -1,0 +1,40 @@
+// Toy deterministic tokenizer for the examples.
+//
+// The paper feeds "a random string with 200 words" to BERT/GPT-2; latency is
+// independent of which ids those words map to, so a hashing tokenizer (one
+// id per whitespace-separated word, FNV-1a modulo vocabulary) is a faithful
+// stand-in for WordPiece/BPE here. It is NOT a linguistic tokenizer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "transformer/embedding.h"
+
+namespace voltage {
+
+class HashingTokenizer {
+ public:
+  explicit HashingTokenizer(std::size_t vocab_size);
+
+  // One token per whitespace-separated word.
+  [[nodiscard]] std::vector<TokenId> encode(std::string_view text) const;
+
+  [[nodiscard]] std::size_t vocab_size() const noexcept { return vocab_size_; }
+
+ private:
+  std::size_t vocab_size_;
+};
+
+// `count` deterministic pseudo-random tokens in [0, vocab) — the paper's
+// random-string workload.
+[[nodiscard]] std::vector<TokenId> random_tokens(std::size_t count,
+                                                 std::size_t vocab_size,
+                                                 std::uint64_t seed);
+
+// Deterministic pseudo-random image (the paper's 224x224 ViT input).
+[[nodiscard]] Image random_image(std::size_t size, std::size_t channels,
+                                 std::uint64_t seed);
+
+}  // namespace voltage

@@ -1,0 +1,210 @@
+#include "transformer/zoo.h"
+
+namespace voltage {
+
+ModelSpec bert_large_spec() {
+  return ModelSpec{
+      .name = "bert-large-uncased",
+      .kind = ModelKind::kTextClassifier,
+      .num_layers = 24,
+      .layer = {.hidden = 1024,
+                .heads = 16,
+                .head_dim = 64,
+                .ffn_dim = 4096,
+                .activation = Activation::kGelu,
+                .causal = false},
+      .vocab_size = 30522,
+      .max_positions = 512,
+      .num_classes = 2,
+  };
+}
+
+ModelSpec vit_base_spec() {
+  return ModelSpec{
+      .name = "vit-base-patch16-224",
+      .kind = ModelKind::kImageClassifier,
+      .num_layers = 12,
+      .layer = {.hidden = 768,
+                .heads = 12,
+                .head_dim = 64,
+                .ffn_dim = 3072,
+                .activation = Activation::kGelu,
+                .causal = false},
+      .max_positions = 197,
+      .num_classes = 1000,
+      .image_size = 224,
+      .patch_size = 16,
+      .channels = 3,
+  };
+}
+
+ModelSpec gpt2_spec() {
+  return ModelSpec{
+      .name = "gpt2",
+      .kind = ModelKind::kCausalLm,
+      .num_layers = 12,
+      .layer = {.hidden = 768,
+                .heads = 12,
+                .head_dim = 64,
+                .ffn_dim = 3072,
+                .activation = Activation::kGelu,
+                .causal = true},
+      .vocab_size = 50257,
+      .max_positions = 1024,
+  };
+}
+
+ModelSpec bert_base_spec() {
+  ModelSpec spec = bert_large_spec();
+  spec.name = "bert-base-uncased";
+  spec.num_layers = 12;
+  spec.layer.hidden = 768;
+  spec.layer.heads = 12;
+  spec.layer.head_dim = 64;
+  spec.layer.ffn_dim = 3072;
+  return spec;
+}
+
+ModelSpec distilbert_spec() {
+  ModelSpec spec = bert_base_spec();
+  spec.name = "distilbert-base-uncased";
+  spec.num_layers = 6;
+  return spec;
+}
+
+ModelSpec gpt2_medium_spec() {
+  ModelSpec spec = gpt2_spec();
+  spec.name = "gpt2-medium";
+  spec.num_layers = 24;
+  spec.layer.hidden = 1024;
+  spec.layer.heads = 16;
+  spec.layer.head_dim = 64;
+  spec.layer.ffn_dim = 4096;
+  return spec;
+}
+
+ModelSpec vit_large_spec() {
+  ModelSpec spec = vit_base_spec();
+  spec.name = "vit-large-patch16-224";
+  spec.num_layers = 24;
+  spec.layer.hidden = 1024;
+  spec.layer.heads = 16;
+  spec.layer.head_dim = 64;
+  spec.layer.ffn_dim = 4096;
+  return spec;
+}
+
+std::size_t spec_parameter_count(const ModelSpec& spec) {
+  spec.validate();
+  const std::size_t f = spec.layer.hidden;
+  const std::size_t fh = spec.layer.head_dim;
+  const std::size_t h = spec.layer.heads;
+  const std::size_t ffn = spec.layer.ffn_dim;
+  // Per layer: Q/K/V (3 F x F_H per head), W_O + b_O, two LayerNorms,
+  // W1 + b1 + W2 + b2 — mirrors LayerWeights::parameter_count().
+  const std::size_t per_layer = 3 * h * f * fh + (h * fh) * f + f +
+                                2 * (2 * f) + f * ffn + ffn + ffn * f + f;
+  std::size_t total = spec.num_layers * per_layer;
+  switch (spec.kind) {
+    case ModelKind::kTextClassifier:
+      total += spec.vocab_size * f + spec.max_positions * f;  // embeddings
+      total += f * spec.num_classes + spec.num_classes;       // classifier
+      break;
+    case ModelKind::kCausalLm:
+      total += spec.vocab_size * f + spec.max_positions * f;
+      total += f * spec.vocab_size;  // untied LM head
+      break;
+    case ModelKind::kImageClassifier: {
+      const std::size_t patch_dim =
+          spec.patch_size * spec.patch_size * spec.channels;
+      total += patch_dim * f + f + spec.vit_sequence_length() * f;
+      total += f * spec.num_classes + spec.num_classes;
+      break;
+    }
+  }
+  return total;
+}
+
+ModelSpec mini_bert_spec() {
+  return ModelSpec{
+      .name = "mini-bert",
+      .kind = ModelKind::kTextClassifier,
+      .num_layers = 4,
+      .layer = {.hidden = 128,
+                .heads = 4,
+                .head_dim = 32,
+                .ffn_dim = 512,
+                .activation = Activation::kGelu,
+                .causal = false},
+      .vocab_size = 1024,
+      .max_positions = 128,
+      .num_classes = 2,
+  };
+}
+
+ModelSpec mini_vit_spec() {
+  return ModelSpec{
+      .name = "mini-vit",
+      .kind = ModelKind::kImageClassifier,
+      .num_layers = 4,
+      .layer = {.hidden = 128,
+                .heads = 4,
+                .head_dim = 32,
+                .ffn_dim = 512,
+                .activation = Activation::kGelu,
+                .causal = false},
+      .max_positions = 17,
+      .num_classes = 10,
+      .image_size = 32,
+      .patch_size = 8,
+      .channels = 3,
+  };
+}
+
+ModelSpec mini_gpt2_spec() {
+  return ModelSpec{
+      .name = "mini-gpt2",
+      .kind = ModelKind::kCausalLm,
+      .num_layers = 4,
+      .layer = {.hidden = 128,
+                .heads = 4,
+                .head_dim = 32,
+                .ffn_dim = 512,
+                .activation = Activation::kGelu,
+                .causal = true},
+      .vocab_size = 1024,
+      .max_positions = 128,
+  };
+}
+
+TransformerModel make_model(const ModelSpec& spec, std::uint64_t seed) {
+  return TransformerModel(spec, seed);
+}
+
+namespace {
+
+std::vector<ModelSpec> all_specs() {
+  return {bert_large_spec(), bert_base_spec(),   distilbert_spec(),
+          gpt2_spec(),       gpt2_medium_spec(), vit_base_spec(),
+          vit_large_spec(),  mini_bert_spec(),   mini_vit_spec(),
+          mini_gpt2_spec()};
+}
+
+}  // namespace
+
+std::optional<ModelSpec> spec_by_name(std::string_view name) {
+  if (name == "bert") return bert_large_spec();
+  if (name == "vit") return vit_base_spec();
+  for (const ModelSpec& spec : all_specs()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> registered_spec_names() {
+  std::vector<std::string> names;
+  for (const ModelSpec& spec : all_specs()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace voltage

@@ -1,0 +1,56 @@
+// The model zoo used in the paper's evaluation (§VI-A): BERT-Large-Uncased,
+// ViT-Base/16 and GPT-2 (small). Full-size specs drive the analytic latency
+// profiles; the `mini_*` variants are architecturally identical scaled-down
+// models that the examples and integration tests can instantiate cheaply.
+//
+// Substitution note (see DESIGN.md): weights are deterministic random, not
+// the pretrained checkpoints — latency and communication volume depend only
+// on shapes, and correctness is established by distributed == single-device
+// equivalence.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "transformer/config.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+// --- full-size specs (paper §VI-A) ---------------------------------------
+[[nodiscard]] ModelSpec bert_large_spec();  // L=24, F=1024, H=16, F_H=64
+[[nodiscard]] ModelSpec vit_base_spec();    // L=12, F=768,  H=12, 224x224/16
+[[nodiscard]] ModelSpec gpt2_spec();        // L=12, F=768,  H=12, causal
+
+// --- additional well-known architectures ---------------------------------
+[[nodiscard]] ModelSpec bert_base_spec();    // L=12, F=768, H=12
+[[nodiscard]] ModelSpec distilbert_spec();   // L=6,  F=768, H=12
+[[nodiscard]] ModelSpec gpt2_medium_spec();  // L=24, F=1024, H=16, causal
+[[nodiscard]] ModelSpec vit_large_spec();    // L=24, F=1024, H=16
+
+// Parameter count implied by a spec, computed analytically (no weights are
+// materialized — safe for BERT-Large-scale specs on small machines).
+[[nodiscard]] std::size_t spec_parameter_count(const ModelSpec& spec);
+
+// Sequence lengths the paper evaluates with ("a random string with 200
+// words" for text, one 224x224 image for ViT).
+inline constexpr std::size_t kPaperTextSequenceLength = 200;
+
+// --- scaled-down variants for runnable examples/tests --------------------
+[[nodiscard]] ModelSpec mini_bert_spec();
+[[nodiscard]] ModelSpec mini_vit_spec();
+[[nodiscard]] ModelSpec mini_gpt2_spec();
+
+[[nodiscard]] TransformerModel make_model(const ModelSpec& spec,
+                                          std::uint64_t seed = 42);
+
+// Registry lookup by the spec's canonical name (e.g. "gpt2",
+// "bert-large-uncased") or the short aliases "bert" / "vit" / "gpt2".
+// Returns std::nullopt for unknown names.
+[[nodiscard]] std::optional<ModelSpec> spec_by_name(std::string_view name);
+
+// Names of every registered spec (for CLI help).
+[[nodiscard]] std::vector<std::string> registered_spec_names();
+
+}  // namespace voltage

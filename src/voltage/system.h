@@ -1,0 +1,124 @@
+// Voltage public API façade.
+//
+// One object that owns a model and a partition scheme and offers:
+//   - infer():            real distributed inference (threaded devices,
+//                         byte-accurate fabric) — Algorithm 2;
+//   - estimate_latency(): what this deployment would cost on a described
+//                         edge cluster (discrete-event simulation);
+//   - traffic():          measured wire volume so far.
+//
+// Quick start:
+//   auto model  = voltage::make_model(voltage::mini_bert_spec());
+//   voltage::System system(std::move(model),
+//                          {.scheme = voltage::PartitionScheme::even(4)});
+//   auto logits = system.infer(tokens);
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "parallel/latency_model.h"
+#include "parallel/pipeline.h"
+#include "partition/order.h"
+#include "partition/scheme.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/tensor_parallel_runtime.h"
+#include "runtime/voltage_runtime.h"
+#include "sim/cluster.h"
+#include "transformer/model.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+
+// Which distribution strategy serves the requests. All three produce the
+// same logits; they differ in communication pattern and latency (see the
+// bench/ comparisons).
+enum class Strategy : std::uint8_t {
+  kVoltage,         // position partition, one all-gather per layer (default)
+  kTensorParallel,  // Megatron-style weight split, two all-reduces per layer
+  kPipeline,        // contiguous layer stages
+};
+
+struct SystemOptions {
+  PartitionScheme scheme = PartitionScheme::even(1);
+  OrderPolicy policy = OrderPolicy::kAdaptive;
+  Strategy strategy = Strategy::kVoltage;
+  TransportKind transport = TransportKind::kInMemory;
+};
+
+class System {
+ public:
+  System(TransformerModel model, SystemOptions options)
+      : model_(std::move(model)), options_(std::move(options)) {
+    const std::size_t devices = options_.scheme.devices();
+    switch (options_.strategy) {
+      case Strategy::kVoltage:
+        voltage_.emplace(model_, options_.scheme, options_.policy,
+                         options_.transport);
+        break;
+      case Strategy::kTensorParallel:
+        tensor_parallel_.emplace(model_, devices, options_.transport);
+        break;
+      case Strategy::kPipeline:
+        pipeline_.emplace(model_, devices, options_.transport);
+        break;
+    }
+  }
+
+  [[nodiscard]] Tensor infer(std::span<const TokenId> tokens) {
+    if (voltage_) return voltage_->infer(tokens);
+    if (tensor_parallel_) return tensor_parallel_->infer(tokens);
+    return pipeline_->infer(tokens);
+  }
+  [[nodiscard]] Tensor infer(const Image& image) {
+    if (voltage_) return voltage_->infer(image);
+    if (tensor_parallel_) return tensor_parallel_->infer(image);
+    return pipeline_->infer(image);
+  }
+
+  // Predicted end-to-end latency of this deployment (same strategy and
+  // scheme) on `cluster` for an input of length `n` (0 = the paper's
+  // workload length for this model).
+  [[nodiscard]] LatencyReport estimate_latency(const sim::Cluster& cluster,
+                                               std::size_t n = 0) const {
+    const std::size_t seq = n == 0 ? paper_sequence_length(model_.spec()) : n;
+    switch (options_.strategy) {
+      case Strategy::kTensorParallel:
+        return simulate_tensor_parallel(model_.spec(), seq, cluster);
+      case Strategy::kPipeline: {
+        const PipelineReport pipe =
+            simulate_pipeline(model_.spec(), seq, cluster);
+        LatencyReport report;
+        report.total = pipe.request_latency;
+        report.devices = pipe.stages;
+        return report;
+      }
+      case Strategy::kVoltage:
+        break;
+    }
+    return simulate_voltage(model_.spec(), seq, cluster, options_.scheme,
+                            options_.policy);
+  }
+
+  [[nodiscard]] const TransformerModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const SystemOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] TrafficStats traffic() const {
+    if (voltage_) return voltage_->fabric().total_stats();
+    if (tensor_parallel_) return tensor_parallel_->fabric().total_stats();
+    return pipeline_->fabric().total_stats();
+  }
+
+ private:
+  TransformerModel model_;
+  SystemOptions options_;
+  // Exactly one engaged, per options_.strategy.
+  std::optional<VoltageRuntime> voltage_;
+  std::optional<TensorParallelRuntime> tensor_parallel_;
+  std::optional<PipelineRuntime> pipeline_;
+};
+
+}  // namespace voltage

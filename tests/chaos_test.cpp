@@ -1,0 +1,123 @@
+// Fault-injection tests: the collectives and Algorithm 2 must be correct
+// under adversarial message delivery timing (ChaosTransport scrambles
+// arrival order with random per-message delays).
+#include <numeric>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "collective/collectives.h"
+#include "net/chaos.h"
+#include "partition/schedule.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+std::unique_ptr<Transport> chaotic(std::size_t devices, std::uint64_t seed) {
+  return std::make_unique<ChaosTransport>(
+      make_transport(TransportKind::kInMemory, devices),
+      ChaosOptions{.max_delay_seconds = 1e-3, .seed = seed});
+}
+
+TEST(Chaos, DeliveryStillReliable) {
+  const auto t = chaotic(2, 1);
+  for (MessageTag tag = 0; tag < 20; ++tag) {
+    t->send(Message{.source = 0, .destination = 1, .tag = tag,
+                    .payload = std::vector<std::byte>(tag + 1)});
+  }
+  // Every message arrives exactly once regardless of scrambled timing.
+  for (MessageTag tag = 0; tag < 20; ++tag) {
+    EXPECT_EQ(t->recv(1, 0, tag).payload.size(), tag + 1);
+  }
+}
+
+TEST(Chaos, AllGatherCorrectUnderReordering) {
+  constexpr std::size_t kRanks = 4;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto t = chaotic(kRanks, seed);
+    std::vector<DeviceId> group(kRanks);
+    std::iota(group.begin(), group.end(), DeviceId{0});
+    std::vector<std::vector<Tensor>> results(kRanks);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kRanks; ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = all_gather(
+            *t, group, i, Tensor::filled(2, 2, static_cast<float>(i)), 9);
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (std::size_t i = 0; i < kRanks; ++i) {
+      for (std::size_t j = 0; j < kRanks; ++j) {
+        EXPECT_EQ(results[i][j],
+                  Tensor::filled(2, 2, static_cast<float>(j)));
+      }
+    }
+  }
+}
+
+TEST(Chaos, RingAllReduceCorrectUnderReordering) {
+  constexpr std::size_t kRanks = 3;
+  const auto t = chaotic(kRanks, 7);
+  std::vector<DeviceId> group(kRanks);
+  std::iota(group.begin(), group.end(), DeviceId{0});
+  Rng rng(5);
+  std::vector<Tensor> inputs;
+  Tensor expected(4, 4);
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    inputs.push_back(rng.normal_tensor(4, 4, 1.0F));
+    add_inplace(expected, inputs.back());
+  }
+  std::vector<Tensor> results(kRanks);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = ring_all_reduce_sum(*t, group, i, inputs[i], 77);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Tensor& r : results) EXPECT_TRUE(allclose(r, expected, 1e-4F));
+}
+
+TEST(Chaos, EndToEndInferenceSurvivesJitter) {
+  // Full Algorithm 2 over a jittering wire, several seeds.
+  const TransformerModel model = make_model(mini_bert_spec());
+  const auto tokens = random_tokens(20, model.spec().vocab_size, 9);
+  const Tensor expected = model.infer(tokens);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    VoltageRuntime runtime(
+        model,
+        LayerSchedule::uniform(PartitionScheme::even(3),
+                               model.spec().num_layers),
+        OrderPolicy::kAdaptive, chaotic(4, seed));
+    EXPECT_TRUE(allclose(runtime.infer(tokens), expected, 2e-3F))
+        << "seed " << seed;
+  }
+}
+
+TEST(Chaos, TransportSizeValidatedByRuntime) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  EXPECT_THROW(
+      VoltageRuntime(model,
+                     LayerSchedule::uniform(PartitionScheme::even(3),
+                                            model.spec().num_layers),
+                     OrderPolicy::kAdaptive, chaotic(3, 1)),  // needs 4
+      std::invalid_argument);
+}
+
+TEST(Chaos, StatsPassThrough) {
+  const auto t = chaotic(2, 2);
+  t->send(Message{.source = 0, .destination = 1, .tag = 1,
+                  .payload = std::vector<std::byte>(10)});
+  (void)t->recv(1, 0, 1);
+  EXPECT_EQ(t->stats(0).bytes_sent, 10U);
+  t->reset_stats();
+  EXPECT_EQ(t->total_stats().bytes_sent, 0U);
+}
+
+}  // namespace
+}  // namespace voltage

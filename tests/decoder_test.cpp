@@ -1,0 +1,91 @@
+// Tests of the KV-cache incremental decoder: token-for-token equivalence
+// with full recomputation, cache bookkeeping, and misuse handling.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "transformer/decoder.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+TEST(IncrementalDecoder, RequiresCausalLm) {
+  const TransformerModel bert = make_model(mini_bert_spec());
+  EXPECT_THROW(IncrementalDecoder{bert}, std::invalid_argument);
+}
+
+TEST(IncrementalDecoder, PrimeMatchesFullForward) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  IncrementalDecoder decoder(model);
+  const auto prompt = random_tokens(14, model.spec().vocab_size, 1);
+  const Tensor incremental = decoder.prime(prompt);
+  const Tensor full = model.infer(prompt);
+  EXPECT_TRUE(allclose(incremental, full, 2e-3F));
+  EXPECT_EQ(decoder.position(), 14U);
+}
+
+TEST(IncrementalDecoder, GreedyDecodeMatchesRecompute) {
+  // The expensive invariant: N cached steps == N full recomputations.
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  IncrementalDecoder decoder(model);
+
+  std::vector<TokenId> context =
+      random_tokens(10, model.spec().vocab_size, 2);
+  Tensor logits = decoder.prime(context);
+  for (int step = 0; step < 8; ++step) {
+    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
+    // Reference: rerun the whole grown context from scratch.
+    context.push_back(next);
+    const Tensor reference = model.infer(context);
+    logits = decoder.step(next);
+    EXPECT_TRUE(allclose(logits, reference, 5e-3F)) << "step " << step;
+    EXPECT_EQ(argmax_row(logits, 0), argmax_row(reference, 0))
+        << "diverged at step " << step;
+  }
+  EXPECT_EQ(decoder.position(), context.size());
+}
+
+TEST(IncrementalDecoder, ResetStartsFresh) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  IncrementalDecoder decoder(model);
+  const auto a = random_tokens(6, model.spec().vocab_size, 3);
+  const auto b = random_tokens(9, model.spec().vocab_size, 4);
+  (void)decoder.prime(a);
+  (void)decoder.step(1);
+  decoder.reset();
+  EXPECT_EQ(decoder.position(), 0U);
+  // After reset, priming with b must equal a fresh decoder's output.
+  IncrementalDecoder fresh(model);
+  EXPECT_TRUE(allclose(decoder.prime(b), fresh.prime(b), 1e-5F));
+}
+
+TEST(IncrementalDecoder, RePrimeImplicitlyResets) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  IncrementalDecoder decoder(model);
+  const auto a = random_tokens(5, model.spec().vocab_size, 5);
+  (void)decoder.prime(a);
+  const Tensor again = decoder.prime(a);
+  EXPECT_TRUE(allclose(again, model.infer(a), 2e-3F));
+  EXPECT_EQ(decoder.position(), 5U);
+}
+
+TEST(IncrementalDecoder, MisuseThrows) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  IncrementalDecoder decoder(model);
+  EXPECT_THROW((void)decoder.step(0), std::logic_error);
+  EXPECT_THROW((void)decoder.prime({}), std::invalid_argument);
+}
+
+TEST(IncrementalDecoder, ContextWindowBound) {
+  ModelSpec tiny = mini_gpt2_spec();
+  tiny.max_positions = 8;
+  const TransformerModel model(tiny, 1);
+  IncrementalDecoder decoder(model);
+  (void)decoder.prime(random_tokens(7, tiny.vocab_size, 6));
+  (void)decoder.step(1);  // position 8 == limit
+  EXPECT_THROW((void)decoder.step(2), std::length_error);
+}
+
+}  // namespace
+}  // namespace voltage

@@ -1,0 +1,359 @@
+// Validation of the paper's complexity analysis (§IV, Theorems 1-3):
+//  - the closed-form Γ of every computation order equals the MACs the
+//    kernels actually execute (exact integer equality);
+//  - the Theorem-2 threshold picks the argmin over all ten orders;
+//  - Theorem 1's non-scaling 2NFF_H term and Theorem 3's O(1/K) behaviour.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "parallel/profile.h"
+#include "partition/flop_model.h"
+#include "partition/order.h"
+#include "partition/partitioned_attention.h"
+#include "partition/partitioned_layer.h"
+#include "tensor/flops.h"
+#include "tensor/rng.h"
+#include "transformer/layer.h"
+#include "transformer/weights.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+// --- closed forms -----------------------------------------------------------
+
+TEST(FlopModel, QkOrderFormulas) {
+  // Spot-check Eqs. (10)-(14) at N=10, P=2, F=8, F_H=4.
+  const AttentionDims d{.n = 10, .p = 2, .f = 8, .fh = 4};
+  EXPECT_EQ(qk_cost(QkOrder::kLeftToRight, d), 2U * 2 * 8 * 4 + 2U * 8 * 10);
+  EXPECT_EQ(qk_cost(QkOrder::kProjectBoth, d),
+            2U * 8 * 4 + 10U * 8 * 4 + 2U * 10 * 4);
+  EXPECT_EQ(qk_cost(QkOrder::kFuseWeightsLeft, d), 2U * 8 * 8 + 2U * 8 * 10);
+  EXPECT_EQ(qk_cost(QkOrder::kFuseWeightsRight, d),
+            10U * 8 * 8 + 2U * 8 * 10);
+  EXPECT_EQ(qk_cost(QkOrder::kInnermostFirst, d),
+            2U * 10 * 8 * 4 + 2U * 8 * 10);
+}
+
+TEST(FlopModel, SvOrderFormulas) {
+  const AttentionDims d{.n = 10, .p = 2, .f = 8, .fh = 4};
+  EXPECT_EQ(sv_cost(SvOrder::kProjectV, d), 2U * 10 * 4 + 10U * 8 * 4);
+  EXPECT_EQ(sv_cost(SvOrder::kAggregateFirst, d), 2U * 10 * 8 + 2U * 8 * 4);
+}
+
+TEST(FlopModel, NamedCompositesMatchTheorems) {
+  const AttentionDims d{.n = 100, .p = 25, .f = 64, .fh = 16};
+  // Theorem 1: Γ(Eq.3) = PFF_H + 2NFF_H + 2PNF_H.
+  EXPECT_EQ(gamma_eq3(d), 25U * 64 * 16 + 2U * 100 * 64 * 16 +
+                              2U * 25 * 100 * 16);
+  // Theorem 3: Γ(Eq.8) = 3PFF_H + 2PNF.
+  EXPECT_EQ(gamma_eq8(d), 3U * 25 * 64 * 16 + 2U * 25 * 100 * 64);
+}
+
+TEST(FlopModel, InvalidDimsThrow) {
+  EXPECT_THROW((void)gamma_eq3({.n = 4, .p = 5, .f = 8, .fh = 4}),
+               std::invalid_argument);
+  EXPECT_THROW((void)gamma_eq3({.n = 0, .p = 0, .f = 8, .fh = 4}),
+               std::invalid_argument);
+}
+
+// --- executed MACs == closed form (exact) ------------------------------------
+
+class ExecutedMacs
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ExecutedMacs, PartitionedHeadMatchesGamma) {
+  const auto [n, p] = GetParam();
+  Rng rng(41);
+  const LayerConfig cfg{.hidden = 32,
+                        .heads = 4,
+                        .head_dim = 8,
+                        .ffn_dim = 64,
+                        .activation = Activation::kGelu};
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  const AttentionDims dims{.n = n, .p = p, .f = cfg.hidden,
+                           .fh = cfg.head_dim};
+  const Range range{0, p};
+
+  {
+    const flops::Scope scope;
+    (void)attention_head_partition(x, range, w.attention.heads[0],
+                                   cfg.head_dim, false,
+                                   AttentionOrder::kNaive);
+    EXPECT_EQ(scope.macs(), gamma_eq3(dims));
+  }
+  {
+    const flops::Scope scope;
+    (void)attention_head_partition(x, range, w.attention.heads[0],
+                                   cfg.head_dim, false,
+                                   AttentionOrder::kReordered);
+    EXPECT_EQ(scope.macs(), gamma_eq8(dims));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExecutedMacs,
+                         ::testing::Values(std::tuple{16, 16},
+                                           std::tuple{16, 8},
+                                           std::tuple{24, 3},
+                                           std::tuple{50, 10},
+                                           std::tuple{50, 1}));
+
+TEST(ExecutedMacsLayer, PartitionedLayerMatchesGamma) {
+  Rng rng(42);
+  const LayerConfig cfg{.hidden = 32,
+                        .heads = 4,
+                        .head_dim = 8,
+                        .ffn_dim = 64,
+                        .activation = Activation::kGelu};
+  const TransformerLayer layer(cfg, init_layer_weights(cfg, rng));
+  const std::size_t n = 30;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  for (const std::size_t p : {30U, 10U, 5U, 1U}) {
+    for (const auto policy :
+         {OrderPolicy::kAlwaysNaive, OrderPolicy::kAlwaysReordered}) {
+      const AttentionOrder order = select_order(
+          policy, {.n = n, .p = p, .f = cfg.hidden, .fh = cfg.head_dim});
+      const flops::Scope scope;
+      (void)partitioned_layer_forward(layer, x, Range{0, p}, policy);
+      EXPECT_EQ(scope.macs(), gamma_partitioned_layer(cfg, n, p, order))
+          << "p=" << p << " order=" << to_string(order);
+    }
+  }
+}
+
+TEST(ExecutedElementwise, ProfileMirrorsKernels) {
+  // LayerWork.elementwise must equal the kernel-reported elementwise ops,
+  // term for term.
+  Rng rng(43);
+  const LayerConfig cfg{.hidden = 32,
+                        .heads = 4,
+                        .head_dim = 8,
+                        .ffn_dim = 64,
+                        .activation = Activation::kGelu};
+  const TransformerLayer layer(cfg, init_layer_weights(cfg, rng));
+  const std::size_t n = 24;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  for (const std::size_t p : {24U, 8U, 3U}) {
+    for (const auto policy :
+         {OrderPolicy::kAdaptive, OrderPolicy::kAlwaysNaive}) {
+      const LayerWork predicted =
+          voltage_layer_work(cfg, n, Range{0, p}, policy);
+      const flops::Scope scope;
+      (void)partitioned_layer_forward(layer, x, Range{0, p}, policy);
+      EXPECT_EQ(scope.elementwise(), predicted.elementwise) << "p=" << p;
+      EXPECT_EQ(scope.macs(), predicted.macs) << "p=" << p;
+    }
+  }
+}
+
+// --- Theorem 2: the selector is optimal ---------------------------------------
+
+class Theorem2 : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(Theorem2, SelectorMatchesExhaustiveOracle) {
+  const auto [n, h, fh] = GetParam();
+  const std::size_t f = h * fh;
+  for (std::size_t p = 1; p <= n; p += (n > 64 ? 7 : 1)) {
+    const AttentionDims d{.n = n, .p = p, .f = f, .fh = fh};
+    const OrderChoice oracle = cheapest_order_exhaustive(d);
+    const std::uint64_t chosen = theorem2_prefers_reordered(d)
+                                     ? gamma_eq8(d)
+                                     : gamma_eq3(d);
+    // Ties are fine; the selected composite must cost exactly the optimum.
+    EXPECT_EQ(chosen, oracle.cost)
+        << "N=" << n << " P=" << p << " F=" << f << " F_H=" << fh;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSettings, Theorem2,
+    ::testing::Values(std::tuple{100, 16, 64},   // Fig. 6a geometry
+                      std::tuple{200, 8, 128},   // Fig. 6b
+                      std::tuple{300, 4, 256},   // Fig. 6c
+                      std::tuple{197, 12, 64},   // ViT
+                      std::tuple{200, 16, 64},   // BERT-Large
+                      std::tuple{31, 2, 4},      // tiny odd shapes
+                      std::tuple{64, 4, 16}));
+
+TEST(Theorem2Condition, SingleDevicePrefersNaive) {
+  // P = N (single device): the original order is already optimal.
+  const AttentionDims d{.n = 128, .p = 128, .f = 768, .fh = 64};
+  EXPECT_FALSE(theorem2_prefers_reordered(d));
+  EXPECT_EQ(select_order(OrderPolicy::kAdaptive, d), AttentionOrder::kNaive);
+}
+
+TEST(Theorem2Condition, SmallPartitionPrefersReordered) {
+  // K = N/P large: reordering wins.
+  const AttentionDims d{.n = 300, .p = 10, .f = 1024, .fh = 64};
+  EXPECT_TRUE(theorem2_prefers_reordered(d));
+  EXPECT_LT(gamma_eq8(d), gamma_eq3(d));
+}
+
+TEST(Theorem2Condition, ThresholdIsExact) {
+  // Paper threshold: K > (F - F_H)/(F F_H) * N + 1 with P = N/K.
+  // F=64, F_H=16, H=4: (F-F_H)/(F*F_H) = 48/1024 = 3/64.
+  // N=64: threshold K > 4. At K=4 (P=16): equality -> NOT reordered.
+  const AttentionDims at_threshold{.n = 64, .p = 16, .f = 64, .fh = 16};
+  EXPECT_FALSE(theorem2_prefers_reordered(at_threshold));
+  EXPECT_EQ(gamma_eq3(at_threshold), gamma_eq8(at_threshold));
+  // One position fewer -> strictly reordered.
+  const AttentionDims past{.n = 64, .p = 15, .f = 64, .fh = 16};
+  EXPECT_TRUE(theorem2_prefers_reordered(past));
+  EXPECT_LT(gamma_eq8(past), gamma_eq3(past));
+}
+
+TEST(Theorem2Policies, FixedPoliciesIgnoreDims) {
+  const AttentionDims d{.n = 300, .p = 10, .f = 1024, .fh = 64};
+  EXPECT_EQ(select_order(OrderPolicy::kAlwaysNaive, d),
+            AttentionOrder::kNaive);
+  EXPECT_EQ(select_order(OrderPolicy::kAlwaysReordered, d),
+            AttentionOrder::kReordered);
+}
+
+// --- Theorem 1 and Theorem 3: scaling behaviour -------------------------------
+
+TEST(Theorem1, NaiveHasNonScalingTerm) {
+  // As K -> N (P -> 1), Γ(Eq.3) approaches the constant 2NFF_H term.
+  const std::size_t n = 256;
+  const std::size_t f = 512;
+  const std::size_t fh = 64;
+  const std::uint64_t constant_term = 2ULL * n * f * fh;
+  const std::uint64_t at_p1 = gamma_eq3({.n = n, .p = 1, .f = f, .fh = fh});
+  EXPECT_GT(at_p1, constant_term);
+  // The non-constant remainder is tiny relative to the constant term.
+  EXPECT_LT(at_p1 - constant_term, constant_term / 50);
+}
+
+TEST(Theorem3, AdaptiveCostScalesLinearlyInK) {
+  // Γ(Algorithm 1 with adaptive order) at P = N/K must drop by ~K.
+  const LayerConfig cfg{.hidden = 512,
+                        .heads = 8,
+                        .head_dim = 64,
+                        .ffn_dim = 2048,
+                        .activation = Activation::kGelu};
+  const std::size_t n = 240;
+  const std::uint64_t full =
+      gamma_full_layer(cfg, n);
+  for (const std::size_t k : {2U, 4U, 8U, 16U}) {
+    const std::size_t p = n / k;
+    const AttentionOrder order = select_order(
+        OrderPolicy::kAdaptive, {.n = n, .p = p, .f = cfg.hidden,
+                                 .fh = cfg.head_dim});
+    const std::uint64_t part = gamma_partitioned_layer(cfg, n, p, order);
+    const double speedup = static_cast<double>(full) /
+                           static_cast<double>(part);
+    EXPECT_GT(speedup, 0.6 * static_cast<double>(k)) << "k=" << k;
+    // Strictly better than the naive order's plateau at large K.
+    const std::uint64_t naive =
+        gamma_partitioned_layer(cfg, n, p, AttentionOrder::kNaive);
+    EXPECT_LE(part, naive);
+  }
+}
+
+TEST(Theorem3, NaiveSpeedupPlateaus) {
+  // The naive order's speed-up must saturate as K grows (Fig. 6 claim).
+  const LayerConfig cfg{.hidden = 1024,
+                        .heads = 4,
+                        .head_dim = 256,
+                        .ffn_dim = 4096,
+                        .activation = Activation::kGelu};
+  const std::size_t n = 300;
+  const AttentionDims base{.n = n, .p = n, .f = cfg.hidden,
+                           .fh = cfg.head_dim};
+  const std::uint64_t full = gamma_eq3(base) * cfg.heads;
+  const auto speedup_at = [&](std::size_t k) {
+    const AttentionDims d{.n = n, .p = n / k, .f = cfg.hidden,
+                          .fh = cfg.head_dim};
+    return static_cast<double>(full) /
+           static_cast<double>(gamma_eq3(d) * cfg.heads);
+  };
+  // Going from K=10 to K=30 must improve naive by less than 15% (plateau),
+  // while the adaptive path keeps scaling.
+  EXPECT_LT(speedup_at(30) / speedup_at(10), 1.15);
+}
+
+TEST(FlopModel, DeceptiveWeightFusionIsWorseForMultiHead) {
+  // §IV-B: precomputing W_Q W_K^T looks free but inflates x_p(W_Q W_K^T) to
+  // P x F x F work; for H >= 2 it can never beat left-to-right.
+  for (const std::size_t h : {2U, 4U, 8U, 16U}) {
+    const std::size_t fh = 32;
+    const AttentionDims d{.n = 128, .p = 16, .f = h * fh, .fh = fh};
+    EXPECT_GE(qk_cost(QkOrder::kFuseWeightsLeft, d),
+              qk_cost(QkOrder::kLeftToRight, d));
+    EXPECT_GE(qk_cost(QkOrder::kFuseWeightsRight, d),
+              qk_cost(QkOrder::kFuseWeightsLeft, d));
+  }
+}
+
+TEST(FlopModel, ProjectBothAlwaysBeatsInnermostFirst) {
+  // Eq. (11) <= Eq. (14) whenever P < N (the paper's first elimination).
+  for (const std::size_t p : {1U, 10U, 50U, 99U}) {
+    const AttentionDims d{.n = 100, .p = p, .f = 256, .fh = 32};
+    EXPECT_LE(qk_cost(QkOrder::kProjectBoth, d),
+              qk_cost(QkOrder::kInnermostFirst, d));
+  }
+}
+
+// --- strategy work profiles ---------------------------------------------------
+
+TEST(Profile, FullLayerEqualsPartitionAtPN) {
+  const LayerConfig cfg{.hidden = 64,
+                        .heads = 4,
+                        .head_dim = 16,
+                        .ffn_dim = 256,
+                        .activation = Activation::kGelu};
+  const LayerWork full = full_layer_work(cfg, 50);
+  const LayerWork part = voltage_layer_work(cfg, 50, Range{0, 50},
+                                            OrderPolicy::kAdaptive);
+  EXPECT_EQ(full.macs, part.macs);  // adaptive picks naive at P=N
+  EXPECT_EQ(full.elementwise, part.elementwise);
+}
+
+TEST(Profile, EmptyPartitionIsFree) {
+  const LayerConfig cfg{.hidden = 64,
+                        .heads = 4,
+                        .head_dim = 16,
+                        .ffn_dim = 256,
+                        .activation = Activation::kGelu};
+  const LayerWork work =
+      voltage_layer_work(cfg, 50, Range{10, 10}, OrderPolicy::kAdaptive);
+  EXPECT_EQ(work.macs, 0U);
+  EXPECT_EQ(work.elementwise, 0U);
+}
+
+TEST(Profile, TpShardsSumToFullLayerMacs) {
+  // The K tensor-parallel shards must jointly perform the same GEMM work as
+  // one device (perfect weight partitioning, paper §III observation).
+  const LayerConfig cfg{.hidden = 64,
+                        .heads = 8,
+                        .head_dim = 8,
+                        .ffn_dim = 256,
+                        .activation = Activation::kGelu};
+  const std::size_t n = 40;
+  const std::uint64_t full = full_layer_work(cfg, n).macs;
+  for (const std::size_t k : {1U, 2U, 4U, 8U}) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t heads = cfg.heads / k + (i < cfg.heads % k ? 1 : 0);
+      const std::size_t cols =
+          cfg.ffn_dim / k + (i < cfg.ffn_dim % k ? 1 : 0);
+      total += tp_layer_work(cfg, n, heads, cols, false).macs;
+    }
+    EXPECT_EQ(total, full) << "k=" << k;
+  }
+}
+
+TEST(Profile, HeadAndEmbeddingWork) {
+  const ModelSpec bert = mini_bert_spec();
+  EXPECT_EQ(head_work(bert).macs, bert.layer.hidden * bert.num_classes);
+  EXPECT_EQ(embedding_work(bert, 10).macs, 0U);
+  const ModelSpec vit = mini_vit_spec();
+  const std::size_t n = vit.vit_sequence_length();
+  EXPECT_GT(embedding_work(vit, n).macs, 0U);
+}
+
+}  // namespace
+}  // namespace voltage

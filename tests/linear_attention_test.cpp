@@ -1,0 +1,159 @@
+// Tests of the linear-attention extension (§VII-C): correctness of the
+// kernelized attention, perfect distribution of the (S, z) summaries by
+// position, and the communication advantage over softmax Voltage.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "collective/cost.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/linear_attention.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+namespace {
+
+LayerConfig test_config() {
+  return LayerConfig{.hidden = 32,
+                     .heads = 4,
+                     .head_dim = 8,
+                     .ffn_dim = 64,
+                     .activation = Activation::kGelu,
+                     .causal = false};
+}
+
+TEST(FeatureMap, StrictlyPositiveAndContinuous) {
+  const Tensor x{{-5.0F, -1.0F, 0.0F, 1.0F, 5.0F}};
+  const Tensor y = linear_attention_feature_map(x);
+  for (const float v : y.flat()) EXPECT_GT(v, 0.0F);
+  EXPECT_NEAR(y(0, 2), 1.0F, 1e-6F);  // elu(0)+1
+  EXPECT_NEAR(y(0, 3), 2.0F, 1e-6F);  // x+1 for x>0
+  EXPECT_NEAR(y(0, 1), std::exp(-1.0F), 1e-6F);
+}
+
+TEST(LinearAttention, OutputRowsAreConvexStructured) {
+  // Each output row is a positive-weighted average of value rows: with all
+  // value projections equal across positions, every output row equals it.
+  Rng rng(1);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  Tensor x(6, cfg.hidden);
+  const Tensor row = rng.normal_tensor(1, cfg.hidden, 1.0F);
+  for (std::size_t r = 0; r < 6; ++r) x.set_rows(r, row);
+  const Tensor out = linear_attention_head_full(x, w.attention.heads[0]);
+  for (std::size_t r = 1; r < 6; ++r) {
+    for (std::size_t c = 0; c < cfg.head_dim; ++c) {
+      EXPECT_NEAR(out(r, c), out(0, c), 1e-5F);
+    }
+  }
+}
+
+TEST(LinearAttention, StatesSumToGlobalState) {
+  // Σ over any disjoint cover of local states == whole-sequence state.
+  Rng rng(2);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(17, cfg.hidden, 1.0F);
+  const HeadWeights& head = w.attention.heads[1];
+
+  const LinearAttentionState global =
+      linear_attention_local_state(x, Range{0, 17}, head);
+  LinearAttentionState sum =
+      linear_attention_local_state(x, Range{0, 5}, head);
+  sum += linear_attention_local_state(x, Range{5, 11}, head);
+  sum += linear_attention_local_state(x, Range{11, 17}, head);
+  EXPECT_TRUE(allclose(sum.s, global.s, 1e-4F));
+  EXPECT_TRUE(allclose(sum.z, global.z, 1e-4F));
+}
+
+TEST(LinearAttention, PartitionMatchesFullRows) {
+  Rng rng(3);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(15, cfg.hidden, 1.0F);
+  const HeadWeights& head = w.attention.heads[0];
+  const LinearAttentionState global =
+      linear_attention_local_state(x, Range{0, 15}, head);
+  const Tensor full = linear_attention_head_full(x, head);
+  for (const Range p : {Range{0, 4}, Range{4, 11}, Range{11, 15}}) {
+    const Tensor part =
+        linear_attention_head_partition(x, p, head, global);
+    EXPECT_TRUE(allclose(part, full.slice_rows(p.begin, p.end), 1e-4F));
+  }
+}
+
+TEST(LinearAttention, DistributedMultiHeadAssemblesToFull) {
+  // Emulate the distributed flow: local states per device, merged (the
+  // all-reduce), partition outputs assembled — must equal the full result.
+  Rng rng(4);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const std::size_t n = 20;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  const Tensor full = multi_head_linear_attention(x, w.attention, cfg);
+
+  const std::vector<Range> parts{{0, 7}, {7, 13}, {13, 20}};
+  // All-reduce of the per-head states.
+  std::vector<LinearAttentionState> merged =
+      multi_head_linear_states(x, parts[0], w.attention, cfg);
+  for (std::size_t d = 1; d < parts.size(); ++d) {
+    const auto local =
+        multi_head_linear_states(x, parts[d], w.attention, cfg);
+    for (std::size_t h = 0; h < merged.size(); ++h) merged[h] += local[h];
+  }
+  Tensor assembled(n, cfg.hidden);
+  for (const Range& p : parts) {
+    assembled.set_rows(p.begin,
+                       multi_head_linear_attention_partition(
+                           x, p, w.attention, cfg, merged));
+  }
+  EXPECT_TRUE(allclose(assembled, full, 2e-4F));
+}
+
+TEST(LinearAttention, EmptyPartitionAndValidation) {
+  Rng rng(5);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(8, cfg.hidden, 1.0F);
+  const auto states = multi_head_linear_states(x, Range{0, 8}, w.attention,
+                                               cfg);
+  const Tensor empty = multi_head_linear_attention_partition(
+      x, Range{3, 3}, w.attention, cfg, states);
+  EXPECT_EQ(empty.rows(), 0U);
+  EXPECT_THROW((void)multi_head_linear_attention_partition(
+                   x, Range{0, 4}, w.attention, cfg, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)linear_attention_local_state(x, Range{4, 9},
+                                                  w.attention.heads[0]),
+               std::out_of_range);
+}
+
+TEST(LinearAttention, CausalLayersRejected) {
+  Rng rng(6);
+  LayerConfig cfg = test_config();
+  cfg.causal = true;
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const Tensor x = rng.normal_tensor(8, cfg.hidden, 1.0F);
+  EXPECT_THROW(
+      (void)multi_head_linear_states(x, Range{0, 4}, w.attention, cfg),
+      std::invalid_argument);
+}
+
+TEST(LinearAttention, SyncVolumeBeatsActivationAllGather) {
+  // Per layer, per device: softmax Voltage all-gathers (K-1)NF/K elements;
+  // linear attention all-reduces H * F_H * (F_H + 1), independent of N.
+  const LayerConfig bert{.hidden = 1024,
+                         .heads = 16,
+                         .head_dim = 64,
+                         .ffn_dim = 4096,
+                         .activation = Activation::kGelu};
+  const std::uint64_t state = linear_attention_sync_elements(bert);
+  EXPECT_EQ(state, 16ULL * 64 * 65);
+  const std::uint64_t softmax_path =
+      voltage_elements_per_device_layer(200, 1024, 6);
+  EXPECT_LT(state, softmax_path);  // 66.6k vs 170k elements
+}
+
+}  // namespace
+}  // namespace voltage

@@ -1,0 +1,130 @@
+// Tests of the Linformer-style low-rank attention extension (§VII-C):
+// low-rank state distribution by position, equivalence of partitioned and
+// full evaluation, and the sync-volume advantage.
+#include <gtest/gtest.h>
+
+#include "collective/cost.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/linformer.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+namespace {
+
+LayerConfig test_config() {
+  return LayerConfig{.hidden = 32,
+                     .heads = 4,
+                     .head_dim = 8,
+                     .ffn_dim = 64,
+                     .activation = Activation::kGelu,
+                     .causal = false};
+}
+
+struct Fixture {
+  LayerConfig cfg = test_config();
+  Rng rng{31};
+  LayerWeights w = init_layer_weights(cfg, rng);
+  LinformerProjections proj = init_linformer_projections(6, 64, rng);
+};
+
+TEST(Linformer, ProjectionShapes) {
+  Rng rng(1);
+  const LinformerProjections proj = init_linformer_projections(4, 32, rng);
+  EXPECT_EQ(proj.rank(), 4U);
+  EXPECT_EQ(proj.max_positions(), 32U);
+  EXPECT_THROW((void)init_linformer_projections(0, 32, rng),
+               std::invalid_argument);
+}
+
+TEST(Linformer, FullOutputShape) {
+  Fixture f;
+  const Tensor x = f.rng.normal_tensor(20, f.cfg.hidden, 1.0F);
+  const Tensor out = linformer_head_full(x, f.w.attention.heads[0],
+                                         f.cfg.head_dim, f.proj);
+  EXPECT_EQ(out.rows(), 20U);
+  EXPECT_EQ(out.cols(), f.cfg.head_dim);
+}
+
+TEST(Linformer, StatesSumToGlobal) {
+  Fixture f;
+  const Tensor x = f.rng.normal_tensor(19, f.cfg.hidden, 1.0F);
+  const HeadWeights& head = f.w.attention.heads[2];
+  const LinformerState global =
+      linformer_local_state(x, Range{0, 19}, head, f.proj);
+  LinformerState sum = linformer_local_state(x, Range{0, 6}, head, f.proj);
+  sum += linformer_local_state(x, Range{6, 14}, head, f.proj);
+  sum += linformer_local_state(x, Range{14, 19}, head, f.proj);
+  EXPECT_TRUE(allclose(sum.k_proj, global.k_proj, 1e-4F));
+  EXPECT_TRUE(allclose(sum.v_proj, global.v_proj, 1e-4F));
+}
+
+TEST(Linformer, PartitionMatchesFullRows) {
+  Fixture f;
+  const Tensor x = f.rng.normal_tensor(16, f.cfg.hidden, 1.0F);
+  const HeadWeights& head = f.w.attention.heads[1];
+  const LinformerState global =
+      linformer_local_state(x, Range{0, 16}, head, f.proj);
+  const Tensor full =
+      linformer_head_full(x, head, f.cfg.head_dim, f.proj);
+  for (const Range p : {Range{0, 5}, Range{5, 12}, Range{12, 16}}) {
+    const Tensor part =
+        linformer_head_partition(x, p, head, f.cfg.head_dim, global);
+    EXPECT_TRUE(allclose(part, full.slice_rows(p.begin, p.end), 1e-4F));
+  }
+}
+
+TEST(Linformer, DistributedAssemblyEqualsFull) {
+  // Emulate the full distributed flow: local states, all-reduce (sum),
+  // partition outputs, assembly.
+  Fixture f;
+  const std::size_t n = 21;
+  const Tensor x = f.rng.normal_tensor(n, f.cfg.hidden, 1.0F);
+  const HeadWeights& head = f.w.attention.heads[0];
+  const std::vector<Range> parts{{0, 7}, {7, 14}, {14, 21}};
+  LinformerState merged =
+      linformer_local_state(x, parts[0], head, f.proj);
+  for (std::size_t d = 1; d < parts.size(); ++d) {
+    merged += linformer_local_state(x, parts[d], head, f.proj);
+  }
+  Tensor assembled(n, f.cfg.head_dim);
+  for (const Range& p : parts) {
+    assembled.set_rows(
+        p.begin,
+        linformer_head_partition(x, p, head, f.cfg.head_dim, merged));
+  }
+  EXPECT_TRUE(allclose(
+      assembled, linformer_head_full(x, head, f.cfg.head_dim, f.proj),
+      2e-4F));
+}
+
+TEST(Linformer, RankBottlenecksScores) {
+  // The attention matrix is P x k, not P x N: increasing N does not grow
+  // the per-head sync state.
+  const LayerConfig cfg = test_config();
+  EXPECT_EQ(linformer_sync_elements(cfg, 6), 2ULL * 4 * 6 * 8);
+  // BERT-Large geometry, rank 64: far below the softmax all-gather volume.
+  const LayerConfig bert{.hidden = 1024,
+                         .heads = 16,
+                         .head_dim = 64,
+                         .ffn_dim = 4096,
+                         .activation = Activation::kGelu};
+  EXPECT_LT(linformer_sync_elements(bert, 64),
+            voltage_elements_per_device_layer(200, 1024, 6));
+}
+
+TEST(Linformer, Validation) {
+  Fixture f;
+  const Tensor x = f.rng.normal_tensor(10, f.cfg.hidden, 1.0F);
+  const HeadWeights& head = f.w.attention.heads[0];
+  EXPECT_THROW((void)linformer_local_state(x, Range{8, 12}, head, f.proj),
+               std::out_of_range);
+  // Sequence longer than the projection width is rejected.
+  Rng rng(2);
+  const LinformerProjections narrow = init_linformer_projections(4, 8, rng);
+  EXPECT_THROW((void)linformer_local_state(x, Range{0, 10}, head, narrow),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace voltage

@@ -1,0 +1,136 @@
+// Tests of the named-tensor archive and model checkpointing.
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "tensor/archive.h"
+#include "tensor/rng.h"
+#include "transformer/model_io.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* stem)
+      : path_(std::filesystem::temp_directory_path() /
+              (std::string("voltage_test_") + stem + "_" +
+               std::to_string(::getpid()) + ".vlta")) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(TensorArchive, RoundTripsEntries) {
+  Rng rng(1);
+  TensorArchive archive;
+  archive.put("a", rng.normal_tensor(3, 4, 1.0F));
+  archive.put("nested.name.b", rng.normal_tensor(7, 2, 1.0F));
+  archive.put("empty", Tensor(0, 5));
+
+  const TempFile file("roundtrip");
+  archive.save(file.path());
+  const TensorArchive loaded = TensorArchive::load(file.path());
+  ASSERT_EQ(loaded.size(), 3U);
+  EXPECT_EQ(loaded.get("a"), archive.get("a"));
+  EXPECT_EQ(loaded.get("nested.name.b"), archive.get("nested.name.b"));
+  EXPECT_EQ(loaded.get("empty").cols(), 5U);
+}
+
+TEST(TensorArchive, PutReplaces) {
+  TensorArchive archive;
+  archive.put("x", Tensor::filled(1, 1, 1.0F));
+  archive.put("x", Tensor::filled(1, 1, 2.0F));
+  EXPECT_EQ(archive.size(), 1U);
+  EXPECT_EQ(archive.get("x")(0, 0), 2.0F);
+  EXPECT_TRUE(archive.contains("x"));
+  EXPECT_FALSE(archive.contains("y"));
+  EXPECT_THROW((void)archive.get("y"), std::out_of_range);
+}
+
+TEST(TensorArchive, RejectsCorruptFiles) {
+  const TempFile file("corrupt");
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an archive at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)TensorArchive::load(file.path()), std::runtime_error);
+  EXPECT_THROW((void)TensorArchive::load("/nonexistent/nowhere.vlta"),
+               std::runtime_error);
+}
+
+TEST(TensorArchive, RejectsTruncatedFile) {
+  Rng rng(2);
+  TensorArchive archive;
+  archive.put("w", rng.normal_tensor(16, 16, 1.0F));
+  const TempFile file("truncated");
+  archive.save(file.path());
+  std::filesystem::resize_file(file.path(),
+                               std::filesystem::file_size(file.path()) / 2);
+  EXPECT_THROW((void)TensorArchive::load(file.path()), std::runtime_error);
+}
+
+TEST(ModelIo, SaveLoadPreservesInference) {
+  TransformerModel original = make_model(mini_bert_spec(), /*seed=*/7);
+  const TempFile file("bert");
+  save_model(original, file.path());
+
+  // A differently-seeded model produces different logits ...
+  TransformerModel other = make_model(mini_bert_spec(), /*seed=*/8);
+  const auto tokens = random_tokens(18, other.spec().vocab_size, 3);
+  EXPECT_GT(max_abs_diff(other.infer(tokens), original.infer(tokens)), 1e-5F);
+
+  // ... until the checkpoint is loaded: then they match exactly.
+  load_model(other, file.path());
+  EXPECT_EQ(other.infer(tokens), original.infer(tokens));
+}
+
+TEST(ModelIo, WorksForAllModelFamilies) {
+  for (const ModelSpec& spec :
+       {mini_bert_spec(), mini_vit_spec(), mini_gpt2_spec()}) {
+    TransformerModel a = make_model(spec, 11);
+    TransformerModel b = make_model(spec, 12);
+    const TempFile file(spec.name.c_str());
+    save_model(a, file.path());
+    load_model(b, file.path());
+    if (spec.kind == ModelKind::kImageClassifier) {
+      const Image img = random_image(spec.image_size, spec.channels, 4);
+      EXPECT_EQ(a.infer(img), b.infer(img)) << spec.name;
+    } else {
+      const auto tokens = random_tokens(12, spec.vocab_size, 4);
+      EXPECT_EQ(a.infer(tokens), b.infer(tokens)) << spec.name;
+    }
+  }
+}
+
+TEST(ModelIo, RejectsArchitectureMismatch) {
+  TransformerModel bert = make_model(mini_bert_spec());
+  const TempFile file("mismatch");
+  save_model(bert, file.path());
+  // GPT-2 mini has a different shape inventory: must refuse to load.
+  TransformerModel gpt2 = make_model(mini_gpt2_spec());
+  EXPECT_THROW(load_model(gpt2, file.path()), std::runtime_error);
+}
+
+TEST(ModelIo, VisitCoversEveryParameter) {
+  TransformerModel model = make_model(mini_vit_spec());
+  std::size_t visited_elements = 0;
+  model.visit_parameters([&](const std::string& name, Tensor& tensor) {
+    EXPECT_FALSE(name.empty());
+    visited_elements += tensor.size();
+  });
+  EXPECT_EQ(visited_elements, model.parameter_count());
+}
+
+}  // namespace
+}  // namespace voltage

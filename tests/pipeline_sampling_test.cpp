@@ -1,0 +1,171 @@
+// Tests of the real pipeline-parallel runtime and the sampling utilities.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "runtime/pipeline_runtime.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/sampling.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+// --- pipeline runtime -----------------------------------------------------------
+
+class PipelineRuntimeK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineRuntimeK, SingleRequestMatchesModel) {
+  const std::size_t k = GetParam();
+  const TransformerModel model = make_model(mini_bert_spec());
+  PipelineRuntime runtime(model, k);
+  const auto tokens = random_tokens(20, model.spec().vocab_size, 61);
+  EXPECT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, PipelineRuntimeK,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4));
+
+TEST(PipelineRuntime, BatchOfMixedRequestsInOrder) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  PipelineRuntime runtime(model, 2);
+  std::vector<InferenceInput> requests;
+  std::vector<Tensor> expected;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto tokens =
+        random_tokens(8 + 3 * seed, model.spec().vocab_size, seed);
+    expected.push_back(model.infer(tokens));
+    requests.emplace_back(tokens);
+  }
+  const auto results = runtime.infer_batch(requests);
+  ASSERT_EQ(results.size(), 5U);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    EXPECT_TRUE(allclose(results[r], expected[r], 2e-3F)) << "request " << r;
+  }
+}
+
+TEST(PipelineRuntime, VisionRequests) {
+  const TransformerModel model = make_model(mini_vit_spec());
+  PipelineRuntime runtime(model, 3);
+  const Image image = random_image(32, 3, 5);
+  EXPECT_TRUE(allclose(runtime.infer(image), model.infer(image), 2e-3F));
+}
+
+TEST(PipelineRuntime, StagesCoverAllLayersContiguously) {
+  const TransformerModel model = make_model(mini_bert_spec());  // 4 layers
+  PipelineRuntime runtime(model, 3);
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const Range r = runtime.stage_layers(s);
+    EXPECT_EQ(r.begin, next);
+    EXPECT_GE(r.size(), 1U);
+    next = r.end;
+  }
+  EXPECT_EQ(next, model.spec().num_layers);
+}
+
+TEST(PipelineRuntime, RejectsBadStageCounts) {
+  const TransformerModel model = make_model(mini_bert_spec());  // 4 layers
+  EXPECT_THROW(PipelineRuntime(model, 0), std::invalid_argument);
+  EXPECT_THROW(PipelineRuntime(model, 5), std::invalid_argument);
+}
+
+TEST(PipelineRuntime, WorksOverRealSockets) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  PipelineRuntime runtime(model, 2, TransportKind::kUnixSocket);
+  const auto tokens = random_tokens(12, model.spec().vocab_size, 71);
+  EXPECT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F));
+}
+
+// --- sampling ---------------------------------------------------------------------
+
+TEST(Sampling, GreedyIsArgmax) {
+  const Tensor logits{{0.1F, 2.5F, -1.0F, 2.4F}};
+  EXPECT_EQ(greedy_sample(logits), 1);
+  EXPECT_THROW((void)greedy_sample(Tensor(2, 4)), std::invalid_argument);
+}
+
+TEST(Sampling, TopKOneIsGreedy) {
+  Rng rng(1);
+  const Tensor logits{{0.5F, 3.0F, 1.0F, -2.0F, 2.9F}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sample_top_k(logits, 1, 1.0F, rng), 1);
+  }
+}
+
+TEST(Sampling, SamplesStayInsideTopK) {
+  Rng rng(2);
+  const Tensor logits{{5.0F, 4.0F, 3.0F, -10.0F, -11.0F, -12.0F}};
+  const std::set<TokenId> allowed{0, 1, 2};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(allowed.contains(sample_top_k(logits, 3, 1.0F, rng)));
+  }
+}
+
+TEST(Sampling, LowTemperatureConcentratesOnMax) {
+  Rng rng(3);
+  const Tensor logits{{1.0F, 1.2F, 0.9F}};
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (sample_top_k(logits, 3, 0.01F, rng) == 1) ++hits;
+  }
+  EXPECT_GE(hits, 198);
+}
+
+TEST(Sampling, HighTemperatureSpreadsMass) {
+  Rng rng(4);
+  const Tensor logits{{1.0F, 1.2F, 0.9F}};
+  std::set<TokenId> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(sample_top_k(logits, 3, 50.0F, rng));
+  }
+  EXPECT_EQ(seen.size(), 3U);
+}
+
+TEST(Sampling, Validation) {
+  Rng rng(5);
+  const Tensor logits{{1.0F, 2.0F}};
+  EXPECT_THROW((void)sample_top_k(logits, 0, 1.0F, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_top_k(logits, 3, 1.0F, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_top_k(logits, 2, 0.0F, rng),
+               std::invalid_argument);
+}
+
+TEST(Sampling, GenerateGreedyMatchesManualLoop) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  const auto prompt = random_tokens(10, model.spec().vocab_size, 6);
+
+  IncrementalDecoder decoder(model);
+  Rng rng(7);
+  const auto generated =
+      generate(decoder, prompt, 6, SamplingConfig{.top_k = 0}, rng);
+
+  std::vector<TokenId> context = prompt;
+  std::vector<TokenId> reference;
+  for (int i = 0; i < 6; ++i) {
+    const auto next = static_cast<TokenId>(argmax_row(model.infer(context), 0));
+    reference.push_back(next);
+    context.push_back(next);
+  }
+  EXPECT_EQ(generated, reference);
+}
+
+TEST(Sampling, GenerateStochasticIsSeedDeterministic) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  const auto prompt = random_tokens(8, model.spec().vocab_size, 8);
+  const SamplingConfig config{.top_k = 5, .temperature = 0.8F};
+
+  IncrementalDecoder d1(model);
+  Rng r1(9);
+  IncrementalDecoder d2(model);
+  Rng r2(9);
+  EXPECT_EQ(generate(d1, prompt, 5, config, r1),
+            generate(d2, prompt, 5, config, r2));
+}
+
+}  // namespace
+}  // namespace voltage

@@ -1,0 +1,197 @@
+// Randomized property sweeps: the system's core invariants checked across
+// randomly drawn geometries, partitions, schemes and payloads. Each TEST_P
+// instance derives everything deterministically from its seed, so failures
+// reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "collective/collectives.h"
+#include "partition/flop_model.h"
+#include "partition/partitioned_layer.h"
+#include "partition/scheme.h"
+#include "runtime/voltage_runtime.h"
+#include "sim/netsim.h"
+#include "tensor/archive.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+#include "transformer/layer.h"
+#include "transformer/tokenizer.h"
+#include "transformer/weights.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+
+  LayerConfig random_config(bool allow_causal = true) {
+    const std::size_t heads = 1ULL << (1 + rng_.next_below(3));   // 2/4/8
+    const std::size_t head_dim = 1ULL << (2 + rng_.next_below(3));  // 4/8/16
+    return LayerConfig{
+        .hidden = heads * head_dim,
+        .heads = heads,
+        .head_dim = head_dim,
+        .ffn_dim = heads * head_dim * (1 + rng_.next_below(4)),
+        .activation =
+            rng_.next_below(2) == 0 ? Activation::kGelu : Activation::kRelu,
+        .causal = allow_causal && rng_.next_below(2) == 0,
+    };
+  }
+
+  Range random_range(std::size_t n) {
+    const std::size_t a = rng_.next_below(n);
+    const std::size_t b = rng_.next_below(n) + 1;
+    return a < b ? Range{a, b} : Range{b - 1, a + 1};
+  }
+};
+
+TEST_P(Fuzz, PartitionedLayerMatchesFullRows) {
+  const LayerConfig cfg = random_config();
+  const LayerWeights w = init_layer_weights(cfg, rng_);
+  const TransformerLayer layer(cfg, w);
+  const std::size_t n = 8 + rng_.next_below(24);
+  const Tensor x = rng_.normal_tensor(n, cfg.hidden, 1.0F);
+  const Tensor full = layer.forward(x);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Range p = random_range(n);
+    const OrderPolicy policy = static_cast<OrderPolicy>(rng_.next_below(3));
+    const Tensor part = partitioned_layer_forward(layer, x, p, policy);
+    EXPECT_TRUE(allclose(part, full.slice_rows(p.begin, p.end), 1e-3F))
+        << "seed=" << GetParam() << " range=[" << p.begin << "," << p.end
+        << ") H=" << cfg.heads << " F_H=" << cfg.head_dim
+        << " causal=" << cfg.causal;
+  }
+}
+
+TEST_P(Fuzz, RandomSchemesCoverExactly) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t k = 1 + rng_.next_below(8);
+    std::vector<double> weights(k);
+    for (double& v : weights) {
+      v = 0.05 + static_cast<double>(rng_.next_uniform());
+    }
+    const PartitionScheme scheme = PartitionScheme::proportional(weights);
+    const std::size_t n = 1 + rng_.next_below(500);
+    std::size_t begin = 0;
+    for (const Range& r : scheme.ranges(n)) {
+      ASSERT_EQ(r.begin, begin);
+      begin = r.end;
+    }
+    EXPECT_EQ(begin, n);
+  }
+}
+
+TEST_P(Fuzz, Theorem2OptimalOnRandomGeometries) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t h = 2 + rng_.next_below(15);
+    const std::size_t fh = 1 + rng_.next_below(256);
+    const std::size_t n = 2 + rng_.next_below(512);
+    const std::size_t p = 1 + rng_.next_below(n);
+    const AttentionDims d{.n = n, .p = p, .f = h * fh, .fh = fh};
+    const std::uint64_t chosen =
+        theorem2_prefers_reordered(d) ? gamma_eq8(d) : gamma_eq3(d);
+    EXPECT_EQ(chosen, cheapest_order_exhaustive(d).cost)
+        << "seed=" << GetParam() << " N=" << n << " P=" << p << " H=" << h
+        << " F_H=" << fh;
+  }
+}
+
+TEST_P(Fuzz, SerializationRoundTripsRandomShapes) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t rows = rng_.next_below(20);
+    const std::size_t cols = 1 + rng_.next_below(40);
+    const Tensor t = rng_.normal_tensor(rows, cols, 3.0F);
+    EXPECT_EQ(tensor_from_bytes(to_bytes(t)), t);
+  }
+}
+
+TEST_P(Fuzz, AllGatherNeverFinishesBeforeDependencies) {
+  const LinkModel link =
+      LinkModel::mbps(50.0 + 950.0 * rng_.next_uniform(),
+                      1e-4 + 5e-3 * rng_.next_uniform());
+  const std::size_t k = 2 + rng_.next_below(7);
+  std::vector<sim::SimTime> ready(k);
+  std::vector<std::size_t> bytes(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ready[i] = rng_.next_uniform();
+    bytes[i] = rng_.next_below(1 << 20);
+  }
+  const auto done = sim::sim_allgather_fullmesh(ready, bytes, link);
+  const double slowest = *std::max_element(ready.begin(), ready.end());
+  for (std::size_t j = 0; j < k; ++j) {
+    // Can't finish before your own readiness...
+    EXPECT_GE(done[j], ready[j]);
+    // ...nor before the last sender has even started (k >= 2 means every
+    // rank waits for at least one message from the slowest peer).
+    if (std::count(ready.begin(), ready.end(), slowest) == 1 &&
+        done[j] == ready[j]) {
+      EXPECT_GE(ready[j], slowest);
+    }
+  }
+}
+
+TEST_P(Fuzz, FasterLinkNeverSlowsCollectives) {
+  const std::size_t k = 2 + rng_.next_below(5);
+  std::vector<sim::SimTime> ready(k);
+  for (auto& r : ready) r = rng_.next_uniform();
+  const std::size_t bytes = 1 + rng_.next_below(1 << 21);
+  const LinkModel slow = LinkModel::mbps(100, 2e-3);
+  const LinkModel fast = LinkModel::mbps(400, 2e-3);
+  const auto d_slow = sim::sim_ring_allreduce(ready, bytes, slow);
+  const auto d_fast = sim::sim_ring_allreduce(ready, bytes, fast);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_LE(d_fast[i], d_slow[i]);
+}
+
+TEST_P(Fuzz, ArchiveRoundTripsRandomContents) {
+  TensorArchive archive;
+  const std::size_t entries = 1 + rng_.next_below(6);
+  for (std::size_t i = 0; i < entries; ++i) {
+    archive.put("entry." + std::to_string(rng_.next_u64() % 1000),
+                rng_.normal_tensor(rng_.next_below(8), 1 + rng_.next_below(8),
+                                   1.0F));
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("voltage_fuzz_" + std::to_string(GetParam()) + ".vlta");
+  archive.save(path);
+  const TensorArchive loaded = TensorArchive::load(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), archive.size());
+  for (const auto& [name, tensor] : archive.entries()) {
+    EXPECT_EQ(loaded.get(name), tensor);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                          8));
+
+// Heavier end-to-end fuzz: random scheme, random device count, random
+// sequence length — distributed inference must match single-device.
+class RuntimeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeFuzz, RandomSchemesMatchSingleDevice) {
+  Rng rng(GetParam());
+  const TransformerModel model = make_model(
+      rng.next_below(2) == 0 ? mini_bert_spec() : mini_gpt2_spec());
+  const std::size_t k = 1 + rng.next_below(5);
+  std::vector<double> weights(k);
+  for (double& v : weights) {
+    v = 0.1 + static_cast<double>(rng.next_uniform());
+  }
+  const std::size_t n = 6 + rng.next_below(26);
+  const auto tokens = random_tokens(n, model.spec().vocab_size,
+                                    rng.next_u64());
+  VoltageRuntime runtime(model, PartitionScheme::proportional(weights),
+                         static_cast<OrderPolicy>(rng.next_below(3)));
+  EXPECT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F))
+      << "seed=" << GetParam() << " k=" << k << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz,
+                         ::testing::Values<std::uint64_t>(11, 12, 13, 14, 15,
+                                                          16));
+
+}  // namespace
+}  // namespace voltage

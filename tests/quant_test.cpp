@@ -1,0 +1,250 @@
+// Tests of the INT8 quantization extension (§VII-A): quantization error
+// bounds, the int8 GEMM, quantized Algorithm 1, and the composition with
+// position-wise partitioning.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "quant/quantized_layer.h"
+#include "quant/quantized_stack.h"
+#include "quant/quantized_tensor.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/layer.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+LayerConfig test_config(bool causal = false) {
+  return LayerConfig{.hidden = 32,
+                     .heads = 4,
+                     .head_dim = 8,
+                     .ffn_dim = 64,
+                     .activation = Activation::kGelu,
+                     .causal = causal};
+}
+
+float relative_error(const Tensor& approx, const Tensor& exact) {
+  double num = 0.0;
+  double den = 0.0;
+  const auto fa = approx.flat();
+  const auto fe = exact.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    num += static_cast<double>(fa[i] - fe[i]) * (fa[i] - fe[i]);
+    den += static_cast<double>(fe[i]) * fe[i];
+  }
+  return den == 0.0 ? 0.0F : static_cast<float>(std::sqrt(num / den));
+}
+
+TEST(Quantize, ActivationRoundTripWithinOneStep) {
+  Rng rng(1);
+  const Tensor x = rng.normal_tensor(10, 20, 2.0F);
+  const QuantizedActivations q = quantize_activations(x);
+  const Tensor back = dequantize(q);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    // Error bounded by half a quantization step per element.
+    float absmax = 0.0F;
+    for (const float v : x.row(r)) absmax = std::max(absmax, std::fabs(v));
+    const float step = absmax / 127.0F;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_LE(std::fabs(back(r, c) - x(r, c)), 0.5F * step + 1e-7F);
+    }
+  }
+}
+
+TEST(Quantize, WeightRoundTripPerColumn) {
+  Rng rng(2);
+  Tensor w = rng.normal_tensor(16, 8, 0.3F);
+  // Give one column a much larger range: per-column scales must absorb it.
+  for (std::size_t r = 0; r < w.rows(); ++r) w(r, 3) *= 50.0F;
+  const Tensor back = dequantize(quantize_weights(w));
+  EXPECT_LT(relative_error(back, w), 0.01F);
+}
+
+TEST(Quantize, ZeroTensorIsExact) {
+  const Tensor zero(4, 4);
+  EXPECT_EQ(dequantize(quantize_activations(zero)), zero);
+  EXPECT_EQ(dequantize(quantize_weights(zero)), zero);
+}
+
+TEST(QuantizedMatmul, CloseToFloatGemm) {
+  Rng rng(3);
+  const Tensor x = rng.normal_tensor(12, 32, 1.0F);
+  const Tensor w = rng.normal_tensor(32, 16, 0.2F);
+  const Tensor exact = matmul(x, w);
+  const Tensor approx = quantized_matmul(x, quantize_weights(w));
+  EXPECT_LT(relative_error(approx, exact), 0.02F);
+}
+
+TEST(QuantizedMatmul, ShapeMismatchThrows) {
+  const Tensor x(2, 3);
+  EXPECT_THROW((void)quantized_matmul(x, quantize_weights(Tensor(4, 2))),
+               std::invalid_argument);
+}
+
+TEST(QuantizedLayer, MemoryIsRoughlyQuarter) {
+  Rng rng(4);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const QuantizedLayerWeights q = quantize_layer(w);
+  const double ratio = static_cast<double>(float_layer_byte_size(w)) /
+                       static_cast<double>(q.byte_size());
+  // The duplicated W_K^T copy and the scales eat into the ideal 4x.
+  EXPECT_GT(ratio, 2.8);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(QuantizedLayer, FullForwardTracksFloatLayer) {
+  Rng rng(5);
+  const LayerConfig cfg = test_config();
+  const LayerWeights w = init_layer_weights(cfg, rng);
+  const TransformerLayer layer(cfg, w);
+  const QuantizedLayerWeights q = quantize_layer(w);
+  const Tensor x = rng.normal_tensor(14, cfg.hidden, 1.0F);
+  const Tensor exact = layer.forward(x);
+  const Tensor approx = quantized_layer_forward(cfg, q, x);
+  // LayerNorm keeps activations O(1); int8 noise stays small end to end.
+  EXPECT_LT(relative_error(approx, exact), 0.15F);
+}
+
+class QuantizedPartition : public ::testing::TestWithParam<OrderPolicy> {};
+
+TEST_P(QuantizedPartition, PartitionsAssembleToQuantizedFull) {
+  // The distribution invariant must hold *within* the quantized model:
+  // partition outputs equal the quantized full forward's rows, both orders.
+  Rng rng(6);
+  const LayerConfig cfg = test_config();
+  const QuantizedLayerWeights q =
+      quantize_layer(init_layer_weights(cfg, rng));
+  const std::size_t n = 18;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  const Tensor full =
+      quantized_partitioned_layer_forward(cfg, q, x, Range{0, n}, GetParam());
+  Tensor assembled(n, cfg.hidden);
+  for (const Range p : {Range{0, 6}, Range{6, 13}, Range{13, 18}}) {
+    assembled.set_rows(p.begin, quantized_partitioned_layer_forward(
+                                    cfg, q, x, p, GetParam()));
+  }
+  // Same policy and same P would pick the same kernels; across partition
+  // sizes the order may flip (adaptive), so allow small numeric drift.
+  EXPECT_LT(relative_error(assembled, full), 0.12F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, QuantizedPartition,
+                         ::testing::Values(OrderPolicy::kAlwaysNaive,
+                                           OrderPolicy::kAlwaysReordered,
+                                           OrderPolicy::kAdaptive));
+
+TEST(QuantizedPartition, FixedOrderPartitionIsExactlyConsistent) {
+  // With a FIXED order the per-position computation is identical whether
+  // computed in one block or per partition (same kernels, same operands),
+  // so rows must match to float tolerance, not just statistically.
+  Rng rng(7);
+  const LayerConfig cfg = test_config();
+  const QuantizedLayerWeights q =
+      quantize_layer(init_layer_weights(cfg, rng));
+  const std::size_t n = 12;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  const Tensor full = quantized_partitioned_layer_forward(
+      cfg, q, x, Range{0, n}, OrderPolicy::kAlwaysNaive);
+  const Tensor part = quantized_partitioned_layer_forward(
+      cfg, q, x, Range{4, 9}, OrderPolicy::kAlwaysNaive);
+  EXPECT_TRUE(allclose(part, full.slice_rows(4, 9), 2e-3F));
+}
+
+TEST(QuantizedPartition, CausalSupported) {
+  Rng rng(8);
+  const LayerConfig cfg = test_config(/*causal=*/true);
+  const QuantizedLayerWeights q =
+      quantize_layer(init_layer_weights(cfg, rng));
+  const std::size_t n = 10;
+  const Tensor x = rng.normal_tensor(n, cfg.hidden, 1.0F);
+  const Tensor full = quantized_layer_forward(cfg, q, x);
+  const Tensor part = quantized_partitioned_layer_forward(
+      cfg, q, x, Range{5, 10}, OrderPolicy::kAlwaysNaive);
+  EXPECT_TRUE(allclose(part, full.slice_rows(5, 10), 2e-3F));
+}
+
+TEST(QuantizedPartition, Validation) {
+  Rng rng(9);
+  const LayerConfig cfg = test_config();
+  const QuantizedLayerWeights q =
+      quantize_layer(init_layer_weights(cfg, rng));
+  const Tensor x = rng.normal_tensor(8, cfg.hidden, 1.0F);
+  EXPECT_THROW((void)quantized_partitioned_layer_forward(cfg, q, x,
+                                                         Range{6, 10}),
+               std::out_of_range);
+  EXPECT_EQ(
+      quantized_partitioned_layer_forward(cfg, q, x, Range{3, 3}).rows(),
+      0U);
+}
+
+// --- whole-model stack + distributed execution --------------------------------
+
+TEST(QuantizedStack, TracksFloatModel) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  const QuantizedStack stack(model);
+  EXPECT_EQ(stack.num_layers(), model.spec().num_layers);
+  EXPECT_GT(static_cast<double>(stack.float_byte_size()) /
+                static_cast<double>(stack.byte_size()),
+            2.8);
+  const auto tokens = random_tokens(20, model.spec().vocab_size, 50);
+  const Tensor x = model.preprocess(tokens);
+  const Tensor q = model.postprocess(stack.forward_layers(x));
+  const Tensor f = model.postprocess(model.forward_layers(x));
+  // Same prediction, bounded logit drift.
+  EXPECT_EQ(argmax_row(q, 0), argmax_row(f, 0));
+  EXPECT_LT(max_abs_diff(q, f), 0.25F);
+}
+
+TEST(QuantizedStack, DistributedExecutorMatchesQuantizedSingleDevice) {
+  // Fixed order makes distributed int8 and single-device int8 follow the
+  // exact same kernel path per position: rows must agree tightly.
+  const TransformerModel model = make_model(mini_bert_spec());
+  const QuantizedStack stack(model);
+  const auto tokens = random_tokens(24, model.spec().vocab_size, 51);
+
+  VoltageRuntime runtime(model, PartitionScheme::even(4),
+                         OrderPolicy::kAlwaysNaive);
+  runtime.set_partition_executor([&stack](std::size_t layer, const Tensor& x,
+                                          Range p, OrderPolicy policy) {
+    return stack.partition_forward(layer, x, p, policy);
+  });
+  const Tensor distributed = runtime.infer(tokens);
+
+  Tensor x = model.preprocess(tokens);
+  for (std::size_t l = 0; l < stack.num_layers(); ++l) {
+    x = stack.partition_forward(l, x, Range{0, x.rows()},
+                                OrderPolicy::kAlwaysNaive);
+  }
+  const Tensor single = model.postprocess(x);
+  EXPECT_TRUE(allclose(distributed, single, 2e-3F));
+}
+
+TEST(QuantizedStack, ExecutorResetRestoresFloatPath) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  const QuantizedStack stack(model);
+  const auto tokens = random_tokens(12, model.spec().vocab_size, 52);
+  VoltageRuntime runtime(model, PartitionScheme::even(2));
+  runtime.set_partition_executor([&stack](std::size_t layer, const Tensor& x,
+                                          Range p, OrderPolicy policy) {
+    return stack.partition_forward(layer, x, p, policy);
+  });
+  (void)runtime.infer(tokens);
+  runtime.set_partition_executor({});
+  EXPECT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F));
+}
+
+TEST(QuantizedStack, LayerIndexValidated) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  const QuantizedStack stack(model);
+  EXPECT_THROW(
+      (void)stack.partition_forward(99, Tensor(4, 128), Range{0, 2}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace voltage

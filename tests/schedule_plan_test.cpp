@@ -1,0 +1,219 @@
+// Tests of the extension modules: per-layer partition schedules (paper
+// §V-B future work), the heterogeneous partition planner, and the pipeline
+// parallelism baseline model (§V-C).
+#include <gtest/gtest.h>
+
+#include "parallel/pipeline.h"
+#include "partition/schedule.h"
+#include "plan/planner.h"
+#include "runtime/voltage_runtime.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+sim::Cluster test_cluster(std::size_t k, double mbps = 500.0) {
+  return sim::Cluster::homogeneous(
+      k,
+      sim::DeviceSpec{.name = "edge", .mac_rate = 25e9,
+                      .elementwise_rate = 4e9},
+      LinkModel::mbps(mbps));
+}
+
+// --- LayerSchedule -------------------------------------------------------------
+
+TEST(LayerSchedule, UniformRepeatsScheme) {
+  const LayerSchedule schedule =
+      LayerSchedule::uniform(PartitionScheme::even(3), 5);
+  EXPECT_EQ(schedule.num_layers(), 5U);
+  EXPECT_EQ(schedule.devices(), 3U);
+  for (std::size_t l = 0; l < 5; ++l) {
+    EXPECT_EQ(schedule.scheme_for(l).ratios(), PartitionScheme::even(3).ratios());
+  }
+}
+
+TEST(LayerSchedule, RejectsMixedDeviceCounts) {
+  std::vector<PartitionScheme> schemes{PartitionScheme::even(2),
+                                       PartitionScheme::even(3)};
+  EXPECT_THROW(LayerSchedule(std::move(schemes)), std::invalid_argument);
+  EXPECT_THROW(LayerSchedule({}), std::invalid_argument);
+  EXPECT_THROW(LayerSchedule::uniform(PartitionScheme::even(2), 0),
+               std::invalid_argument);
+}
+
+TEST(LayerSchedule, SetSchemeValidates) {
+  LayerSchedule schedule = LayerSchedule::uniform(PartitionScheme::even(2), 3);
+  schedule.set_scheme(1, PartitionScheme({0.9, 0.1}));
+  EXPECT_EQ(schedule.scheme_for(1).ratios()[0], 0.9);
+  EXPECT_THROW(schedule.set_scheme(1, PartitionScheme::even(3)),
+               std::invalid_argument);
+  EXPECT_THROW(schedule.set_scheme(9, PartitionScheme::even(2)),
+               std::out_of_range);
+}
+
+TEST(LayerScheduleRuntime, PerLayerSchemesStillCorrect) {
+  // Rotate wildly different schemes across layers — Algorithm 2 must not
+  // care (paper: "without any penalty").
+  const TransformerModel model = make_model(mini_bert_spec());
+  std::vector<PartitionScheme> schemes;
+  for (std::size_t l = 0; l < model.spec().num_layers; ++l) {
+    switch (l % 3) {
+      case 0:
+        schemes.push_back(PartitionScheme::even(3));
+        break;
+      case 1:
+        schemes.push_back(PartitionScheme({0.7, 0.2, 0.1}));
+        break;
+      default:
+        schemes.push_back(PartitionScheme({0.0, 0.5, 0.5}));
+        break;
+    }
+  }
+  VoltageRuntime runtime(model, LayerSchedule(std::move(schemes)));
+  const auto tokens = random_tokens(22, model.spec().vocab_size, 3);
+  EXPECT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F));
+}
+
+TEST(LayerScheduleRuntime, RejectsWrongLayerCount) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  EXPECT_THROW(VoltageRuntime(model,
+                              LayerSchedule::uniform(PartitionScheme::even(2),
+                                                     model.spec().num_layers +
+                                                         1)),
+               std::invalid_argument);
+}
+
+TEST(LayerScheduleSim, UniformScheduleMatchesSchemeOverload) {
+  const ModelSpec spec = gpt2_spec();
+  const auto cluster = test_cluster(4);
+  const LatencyReport a = simulate_voltage(
+      spec, 200, cluster, PartitionScheme::even(4), OrderPolicy::kAdaptive);
+  const LatencyReport b = simulate_voltage(
+      spec, 200, cluster,
+      LayerSchedule::uniform(PartitionScheme::even(4), spec.num_layers),
+      OrderPolicy::kAdaptive);
+  EXPECT_DOUBLE_EQ(a.total, b.total);
+  EXPECT_EQ(a.total_bytes_sent, b.total_bytes_sent);
+}
+
+TEST(LayerScheduleSim, ValidatesLayerCount) {
+  const ModelSpec spec = gpt2_spec();
+  EXPECT_THROW(
+      (void)simulate_voltage(spec, 200, test_cluster(2),
+                             LayerSchedule::uniform(PartitionScheme::even(2),
+                                                    spec.num_layers - 1),
+                             OrderPolicy::kAdaptive),
+      std::invalid_argument);
+}
+
+// --- planner --------------------------------------------------------------------
+
+TEST(Planner, ProportionalUsesMacRates) {
+  sim::Cluster cluster = test_cluster(2);
+  cluster.workers[0].mac_rate = 30e9;
+  cluster.workers[1].mac_rate = 10e9;
+  const PartitionScheme scheme = plan_proportional(cluster);
+  EXPECT_NEAR(scheme.ratios()[0], 0.75, 1e-9);
+  EXPECT_NEAR(scheme.ratios()[1], 0.25, 1e-9);
+}
+
+TEST(Planner, HomogeneousOptimumIsNearEven) {
+  const ModelSpec spec = gpt2_spec();
+  const auto cluster = test_cluster(4);
+  const PlanResult plan =
+      optimize_scheme(spec, 200, cluster, OrderPolicy::kAdaptive);
+  for (const double r : plan.scheme.ratios()) {
+    EXPECT_NEAR(r, 0.25, 0.02);
+  }
+  EXPECT_GE(plan.evaluations, 1U);
+}
+
+TEST(Planner, BeatsEvenSplitOnSkewedCluster) {
+  const ModelSpec spec = bert_large_spec();
+  sim::Cluster cluster = test_cluster(3);
+  cluster.workers[0].mac_rate *= 4.0;
+  cluster.workers[0].elementwise_rate *= 4.0;
+
+  const Seconds even = simulate_voltage(spec, 200, cluster,
+                                        PartitionScheme::even(3),
+                                        OrderPolicy::kAdaptive)
+                           .total;
+  const PlanResult plan =
+      optimize_scheme(spec, 200, cluster, OrderPolicy::kAdaptive);
+  EXPECT_LT(plan.predicted_latency, even);
+  // And never worse than its own proportional seed.
+  const Seconds proportional =
+      simulate_voltage(spec, 200, cluster, plan_proportional(cluster),
+                       OrderPolicy::kAdaptive)
+          .total;
+  EXPECT_LE(plan.predicted_latency, proportional + 1e-12);
+}
+
+TEST(Planner, SchemeRangesAreExactPositions) {
+  // The optimizer's ratios are multiples of 1/N, so ranges reproduce its
+  // integer position counts exactly.
+  const ModelSpec spec = gpt2_spec();
+  sim::Cluster cluster = test_cluster(3);
+  cluster.workers[2].mac_rate *= 2.0;
+  const PlanResult plan =
+      optimize_scheme(spec, 199, cluster, OrderPolicy::kAdaptive);
+  const auto ranges = plan.scheme.ranges(199);
+  std::size_t covered = 0;
+  for (const Range& r : ranges) covered += r.size();
+  EXPECT_EQ(covered, 199U);
+}
+
+TEST(Planner, RejectsBadInputs) {
+  const ModelSpec spec = gpt2_spec();
+  EXPECT_THROW(
+      (void)optimize_scheme(spec, 2, test_cluster(3), OrderPolicy::kAdaptive),
+      std::invalid_argument);
+  EXPECT_THROW((void)profile_this_device("x", 0), std::invalid_argument);
+}
+
+TEST(Planner, ProfileThisDeviceMeasuresPositiveRates) {
+  const sim::DeviceSpec spec = profile_this_device("host", 96, 1);
+  EXPECT_GT(spec.mac_rate, 1e6);
+  EXPECT_GT(spec.elementwise_rate, 1e6);
+  EXPECT_EQ(spec.name, "host");
+}
+
+// --- pipeline baseline ------------------------------------------------------------
+
+TEST(Pipeline, NoLatencyBenefitForBatchOne) {
+  // The paper's §V-C claim, quantified: pipelining K devices does not
+  // reduce the latency of a single request below single-device deployment.
+  const ModelSpec spec = bert_large_spec();
+  for (const std::size_t k : {2U, 4U, 6U}) {
+    const auto cluster = test_cluster(k);
+    const Seconds single =
+        simulate_single_device(spec, 200, test_cluster(1)).total;
+    const PipelineReport pipe = simulate_pipeline(spec, 200, cluster);
+    EXPECT_GE(pipe.request_latency, single) << "k=" << k;
+    // ... while Voltage does reduce it on the same cluster.
+    EXPECT_LT(simulate_voltage(spec, 200, cluster, PartitionScheme::even(k),
+                               OrderPolicy::kAdaptive)
+                  .total,
+              single);
+  }
+}
+
+TEST(Pipeline, ThroughputScalesWithStages) {
+  // Given a saturated request stream, the pipeline's strength appears.
+  const ModelSpec spec = bert_large_spec();
+  const double single = single_device_throughput(spec, 200, test_cluster(1));
+  const PipelineReport pipe = simulate_pipeline(spec, 200, test_cluster(6));
+  EXPECT_GT(pipe.throughput_rps, 3.0 * single);
+  EXPECT_EQ(pipe.stages, 6U);
+}
+
+TEST(Pipeline, MoreDevicesThanLayersClamps) {
+  const ModelSpec spec = mini_bert_spec();  // 4 layers
+  const PipelineReport pipe = simulate_pipeline(spec, 32, test_cluster(6));
+  EXPECT_EQ(pipe.stages, 4U);
+  EXPECT_GT(pipe.request_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace voltage

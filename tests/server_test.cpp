@@ -1,0 +1,122 @@
+// Tests of the InferenceServer: correctness of served results, concurrency
+// from multiple submitters, statistics, and lifecycle handling.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.h"
+#include "tensor/ops.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+InferenceServer::Options options(std::size_t k) {
+  return InferenceServer::Options{.scheme = PartitionScheme::even(k),
+                                  .policy = OrderPolicy::kAdaptive,
+                                  .transport = TransportKind::kInMemory};
+}
+
+TEST(InferenceServer, ServesCorrectResults) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(3));
+  const auto tokens = random_tokens(20, model.spec().vocab_size, 81);
+  auto future = server.submit(tokens);
+  EXPECT_TRUE(allclose(future.get(), model.infer(tokens), 2e-3F));
+  EXPECT_EQ(server.stats().completed, 1U);
+}
+
+TEST(InferenceServer, HandlesBurstsInFifoOrder) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(2));
+  std::vector<std::vector<TokenId>> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    inputs.push_back(random_tokens(10 + seed, model.spec().vocab_size, seed));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(allclose(futures[i].get(), model.infer(inputs[i]), 2e-3F))
+        << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8U);
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_GE(stats.max, stats.p95);
+  EXPECT_GE(stats.p95, stats.p50);
+}
+
+TEST(InferenceServer, ConcurrentSubmitters) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  InferenceServer server(model, options(2));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> submitters;
+  std::vector<bool> ok(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const auto tokens =
+          random_tokens(8 + t, model.spec().vocab_size, 100 + t);
+      auto future = server.submit(tokens);
+      ok[t] = allclose(future.get(), model.infer(tokens), 2e-3F);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << t;
+}
+
+TEST(InferenceServer, MixedModalities) {
+  const TransformerModel model = make_model(mini_vit_spec());
+  InferenceServer server(model, options(2));
+  const Image image = random_image(32, 3, 9);
+  auto future = server.submit(image);
+  EXPECT_TRUE(allclose(future.get(), model.infer(image), 2e-3F));
+}
+
+TEST(InferenceServer, ShutdownRejectsNewButDrainsQueued) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(2));
+  const auto tokens = random_tokens(15, model.spec().vocab_size, 7);
+  auto pending = server.submit(tokens);
+  server.shutdown();
+  EXPECT_THROW((void)server.submit(tokens), std::runtime_error);
+  // The already-queued request still completes.
+  EXPECT_TRUE(allclose(pending.get(), model.infer(tokens), 2e-3F));
+}
+
+TEST(InferenceServer, PropagatesInferenceErrors) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(2));
+  // A token beyond the vocabulary makes preprocessing throw; the future
+  // must carry that exception instead of hanging.
+  auto future = server.submit(std::vector<TokenId>{
+      static_cast<TokenId>(model.spec().vocab_size + 5)});
+  EXPECT_THROW((void)future.get(), std::out_of_range);
+  // The server remains usable afterwards.
+  const auto good = random_tokens(10, model.spec().vocab_size, 3);
+  EXPECT_TRUE(allclose(server.submit(good).get(), model.infer(good), 2e-3F));
+}
+
+TEST(InferenceServer, WorksOverRealSockets) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model,
+                         {.scheme = PartitionScheme::even(2),
+                          .policy = OrderPolicy::kAdaptive,
+                          .transport = TransportKind::kUnixSocket});
+  const auto tokens = random_tokens(14, model.spec().vocab_size, 91);
+  EXPECT_TRUE(
+      allclose(server.submit(tokens).get(), model.infer(tokens), 2e-3F));
+}
+
+TEST(InferenceServer, EmptyStats) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(1));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 0U);
+  EXPECT_EQ(stats.mean, 0.0);
+  EXPECT_EQ(server.queue_depth(), 0U);
+}
+
+}  // namespace
+}  // namespace voltage

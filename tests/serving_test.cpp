@@ -1,0 +1,96 @@
+// Tests of the request-serving (queueing) simulator.
+#include <gtest/gtest.h>
+
+#include "sim/serving.h"
+
+namespace voltage::sim {
+namespace {
+
+ArrivalProcess arrivals(double rate, std::size_t n = 4000,
+                        std::uint64_t seed = 1) {
+  return ArrivalProcess{.rate_rps = rate, .num_requests = n, .seed = seed};
+}
+
+TEST(Serving, LightLoadSojournIsServiceTime) {
+  // At negligible utilization nearly every request finds the server idle.
+  const ServingReport r = simulate_serving(0.5, arrivals(0.01));
+  EXPECT_NEAR(r.p50, 0.5, 1e-6);
+  EXPECT_LT(r.p99, 1.5);
+  EXPECT_LT(r.utilization, 0.01);
+}
+
+TEST(Serving, SojournNeverBelowServiceTime) {
+  const ServingReport r = simulate_serving(0.7, arrivals(1.0));
+  EXPECT_GE(r.p50, 0.7);
+  EXPECT_GE(r.mean, 0.7);
+  EXPECT_GE(r.max, r.p99);
+  EXPECT_GE(r.p99, r.p95);
+  EXPECT_GE(r.p95, r.p50);
+}
+
+TEST(Serving, QueueingDelayGrowsWithLoad) {
+  const ServingReport light = simulate_serving(0.5, arrivals(0.4));
+  const ServingReport heavy = simulate_serving(0.5, arrivals(1.8));
+  EXPECT_GT(heavy.mean, light.mean);
+  EXPECT_GT(heavy.p99, light.p99);
+  EXPECT_NEAR(light.utilization, 0.2, 1e-9);
+  EXPECT_NEAR(heavy.utilization, 0.9, 1e-9);
+}
+
+TEST(Serving, OverloadedQueueDiverges) {
+  // rho > 1: the backlog grows with the number of requests observed.
+  const ServingReport small =
+      simulate_serving(1.0, arrivals(1.5, 500, 3));
+  const ServingReport large =
+      simulate_serving(1.0, arrivals(1.5, 5000, 3));
+  EXPECT_GT(large.max, 3.0 * small.max);
+  EXPECT_GT(large.utilization, 1.0);
+}
+
+TEST(Serving, FasterServiceImprovesTail) {
+  // A strategy that halves latency more than halves the loaded p99 —
+  // exactly why Voltage matters in the paper's serving regime.
+  const ServingReport slow = simulate_serving(1.0, arrivals(0.8, 4000, 7));
+  const ServingReport fast = simulate_serving(0.5, arrivals(0.8, 4000, 7));
+  EXPECT_LT(fast.p99, 0.5 * slow.p99);
+}
+
+TEST(Serving, DeterministicAcrossRuns) {
+  const ServingReport a = simulate_serving(0.5, arrivals(1.0, 1000, 9));
+  const ServingReport b = simulate_serving(0.5, arrivals(1.0, 1000, 9));
+  EXPECT_EQ(a.p99, b.p99);
+  const ServingReport c = simulate_serving(0.5, arrivals(1.0, 1000, 10));
+  EXPECT_NE(a.p99, c.p99);  // different arrival draw
+}
+
+TEST(PipelineServing, HighThroughputButFullLatencyFloor) {
+  // The pipeline admits quickly yet every request pays the deep latency.
+  const ServingReport pipe =
+      simulate_pipeline_serving(2.6, 0.45, arrivals(1.5));
+  EXPECT_GE(pipe.p50, 2.6);
+  // A monolithic server with 1.0 s service collapses at the same load...
+  const ServingReport mono = simulate_serving(1.0, arrivals(1.5));
+  EXPECT_GT(mono.utilization, 1.0);
+  EXPECT_GT(mono.p99, pipe.p99);
+  // ...while at light load the monolithic low-latency server wins the tail.
+  const ServingReport pipe_light =
+      simulate_pipeline_serving(2.6, 0.45, arrivals(0.2));
+  const ServingReport mono_light = simulate_serving(1.0, arrivals(0.2));
+  EXPECT_LT(mono_light.p99, pipe_light.p99);
+}
+
+TEST(Serving, Validation) {
+  EXPECT_THROW((void)simulate_serving(0.0, arrivals(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_serving(1.0, arrivals(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_pipeline_serving(1.0, 2.0, arrivals(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)simulate_serving(
+          1.0, ArrivalProcess{.rate_rps = 1.0, .num_requests = 0, .seed = 1}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace voltage::sim

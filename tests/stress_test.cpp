@@ -1,0 +1,171 @@
+// Stress and soak tests: heavier concurrency and volume than the unit
+// suites, exercising the transports, engine and runtimes under load.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/socket_fabric.h"
+#include "sim/engine.h"
+#include "sim/netsim.h"
+#include "tensor/rng.h"
+#include "runtime/voltage_runtime.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+TEST(Stress, FabricManyToOneFanIn) {
+  // Four senders hammer one receiver with interleaved tags; every message
+  // must arrive exactly once with intact payload length.
+  Fabric fabric(5);
+  constexpr std::size_t kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (DeviceId s = 1; s <= 4; ++s) {
+    senders.emplace_back([&, s] {
+      for (std::size_t m = 0; m < kPerSender; ++m) {
+        fabric.send(Message{.source = s,
+                            .destination = 0,
+                            .tag = m % 7,
+                            .payload = std::vector<std::byte>(s * 10 + m % 3)});
+      }
+    });
+  }
+  std::size_t received = 0;
+  std::size_t bytes = 0;
+  std::thread receiver([&] {
+    // Mirror the senders' (source, tag) pattern exactly; recv blocks until
+    // the matching message lands, whatever the interleaving.
+    for (std::size_t m = 0; m < kPerSender; ++m) {
+      for (DeviceId s = 1; s <= 4; ++s) {
+        const Message msg = fabric.recv(0, s, m % 7);
+        ++received;
+        bytes += msg.payload.size();
+      }
+    }
+  });
+  for (auto& t : senders) t.join();
+  receiver.join();
+  EXPECT_EQ(received, 4 * kPerSender);
+  EXPECT_EQ(fabric.stats(0).messages_received, 4 * kPerSender);
+  EXPECT_EQ(fabric.stats(0).bytes_received, bytes);
+}
+
+TEST(Stress, SocketFabricBidirectionalSoak) {
+  SocketFabric fabric(2);
+  constexpr std::size_t kMessages = 300;
+  std::thread peer([&] {
+    for (std::size_t m = 0; m < kMessages; ++m) {
+      const Message in = fabric.recv(1, 0, m);
+      // Echo back with tag shifted.
+      fabric.send(Message{.source = 1,
+                          .destination = 0,
+                          .tag = m + kMessages,
+                          .payload = in.payload});
+    }
+  });
+  Rng rng(1);
+  for (std::size_t m = 0; m < kMessages; ++m) {
+    fabric.send(Message{.source = 0,
+                        .destination = 1,
+                        .tag = m,
+                        .payload = std::vector<std::byte>(
+                            1 + rng.next_below(4096))});
+  }
+  std::size_t echoed = 0;
+  for (std::size_t m = 0; m < kMessages; ++m) {
+    echoed += fabric.recv(0, 1, m + kMessages).payload.size();
+  }
+  peer.join();
+  EXPECT_EQ(fabric.stats(0).bytes_sent, echoed);
+  EXPECT_EQ(fabric.total_stats().messages_sent, 2 * kMessages);
+}
+
+TEST(Stress, EngineHandlesLargeRandomSchedule) {
+  // 5000 events at random times must fire in exactly sorted order.
+  sim::Engine engine;
+  Rng rng(2);
+  std::vector<double> times(5000);
+  for (double& t : times) t = rng.next_uniform() * 100.0;
+  std::vector<double> fired;
+  fired.reserve(times.size());
+  for (const double t : times) {
+    engine.schedule(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(fired.size(), times.size());
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(fired, times);
+}
+
+TEST(Stress, StarAllReduceSkewMonotonicity) {
+  // Star all-reduce completion can only get later as any rank's readiness
+  // slips.
+  const LinkModel link = LinkModel::mbps(500, 0.002);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t k = 2 + rng.next_below(6);
+    std::vector<double> ready(k);
+    for (double& r : ready) r = rng.next_uniform();
+    const std::size_t bytes = 1 + rng.next_below(1 << 20);
+    const auto base = sim::sim_star_allreduce(ready, bytes, link);
+    auto delayed = ready;
+    const std::size_t victim = rng.next_below(k);
+    delayed[victim] += 0.5;
+    const auto slower = sim::sim_star_allreduce(delayed, bytes, link);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_GE(slower[i] + 1e-12, base[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Stress, RuntimeSoakManyInferences) {
+  // 20 back-to-back distributed inferences through one runtime: no tag
+  // leakage, no cross-request contamination.
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  VoltageRuntime runtime(model, PartitionScheme::even(3));
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const auto tokens =
+        random_tokens(5 + i % 11, model.spec().vocab_size, i);
+    ASSERT_TRUE(allclose(runtime.infer(tokens), model.infer(tokens), 2e-3F))
+        << "iteration " << i;
+  }
+  // Traffic must be the exact sum of per-inference traffic (no strays).
+  EXPECT_EQ(runtime.fabric().total_stats().messages_sent,
+            runtime.fabric().total_stats().messages_received);
+}
+
+TEST(Stress, ParallelRuntimesDoNotInterfere) {
+  // Two independent runtimes inferring concurrently from separate threads.
+  const TransformerModel model_a = make_model(mini_bert_spec(), 1);
+  const TransformerModel model_b = make_model(mini_bert_spec(), 2);
+  VoltageRuntime runtime_a(model_a, PartitionScheme::even(2));
+  VoltageRuntime runtime_b(model_b, PartitionScheme::even(3));
+  std::atomic<int> failures{0};
+  std::thread ta([&] {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto tokens = random_tokens(12, model_a.spec().vocab_size, i);
+      if (!allclose(runtime_a.infer(tokens), model_a.infer(tokens), 2e-3F)) {
+        ++failures;
+      }
+    }
+  });
+  std::thread tb([&] {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto tokens = random_tokens(9, model_b.spec().vocab_size, i);
+      if (!allclose(runtime_b.infer(tokens), model_b.infer(tokens), 2e-3F)) {
+        ++failures;
+      }
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace voltage

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSVs the benches emit.
+
+Usage:
+    cd build && ./bench/fig4_latency && ./bench/fig5_bandwidth \
+             && ./bench/fig6_partition_efficiency
+    python3 ../tools/plot_results.py          # writes fig4.png fig5.png fig6.png
+
+Requires matplotlib. Reads fig4_latency.csv / fig5_bandwidth.csv /
+fig6_partition_efficiency.csv from the current directory.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - environment dependent
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def read_rows(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def plot_fig4():
+    rows = read_rows("fig4_latency.csv")
+    by_model = defaultdict(list)
+    for row in rows:
+        by_model[row["model"]].append(row)
+    fig, axes = plt.subplots(1, len(by_model), figsize=(5 * len(by_model), 4))
+    for ax, (model, data) in zip(axes, sorted(by_model.items())):
+        ks = [int(float(r["devices"])) for r in data]
+        ax.plot(ks, [float(r["tensor_parallel_s"]) for r in data],
+                "s--", label="Tensor Parallelism")
+        ax.plot(ks, [float(r["voltage_s"]) for r in data], "o-",
+                label="Voltage")
+        ax.axhline(float(data[0]["single_s"]), color="orange", ls=":",
+                   label="single device")
+        ax.set_title(model)
+        ax.set_xlabel("Device Number")
+        ax.set_ylabel("Inference Latency (s)")
+        ax.legend()
+    fig.suptitle("Fig. 4 — latency vs device number (500 Mbps)")
+    fig.tight_layout()
+    fig.savefig("fig4.png", dpi=150)
+
+
+def plot_fig5():
+    rows = read_rows("fig5_bandwidth.csv")
+    by_model = defaultdict(list)
+    for row in rows:
+        by_model[row["model"]].append(row)
+    fig, axes = plt.subplots(1, len(by_model), figsize=(5 * len(by_model), 4))
+    for ax, (model, data) in zip(axes, sorted(by_model.items())):
+        bw = [float(r["mbps"]) for r in data]
+        ax.plot(bw, [float(r["tensor_parallel_s"]) for r in data], "s--",
+                label="Tensor Parallelism")
+        ax.plot(bw, [float(r["voltage_s"]) for r in data], "o-",
+                label="Voltage")
+        ax.axhline(float(data[0]["single_s"]), color="orange", ls=":",
+                   label="single device")
+        ax.set_title(model)
+        ax.set_xlabel("Bandwidth (Mbps)")
+        ax.set_ylabel("Inference Latency (s)")
+        ax.set_xscale("log")
+        ax.legend()
+    fig.suptitle("Fig. 5 — latency vs bandwidth (K=6)")
+    fig.tight_layout()
+    fig.savefig("fig5.png", dpi=150)
+
+
+def plot_fig6():
+    rows = read_rows("fig6_partition_efficiency.csv")
+    settings = defaultdict(lambda: defaultdict(list))
+    for row in rows:
+        key = (int(float(row["heads"])), int(float(row["head_dim"])))
+        settings[key][int(float(row["N"]))].append(row)
+    fig, axes = plt.subplots(1, len(settings), figsize=(5 * len(settings), 4))
+    for ax, (key, by_n) in zip(axes, sorted(settings.items())):
+        for n, data in sorted(by_n.items()):
+            ks = [int(float(r["K"])) for r in data]
+            ax.plot(ks, [float(r["voltage_speedup"]) for r in data], "o-",
+                    label=f"Voltage (N={n})")
+            ax.plot(ks, [float(r["naive_speedup"]) for r in data], "s--",
+                    label=f"Naive (N={n})")
+        ax.set_title(f"H={key[0]}, F_H={key[1]}")
+        ax.set_xlabel("Number of Partitions (K)")
+        ax.set_ylabel("Speed Up Ratio")
+        ax.legend(fontsize=7)
+    fig.suptitle("Fig. 6 — partitioned MHSA speed-up (wall-clock)")
+    fig.tight_layout()
+    fig.savefig("fig6.png", dpi=150)
+
+
+if __name__ == "__main__":
+    plot_fig4()
+    plot_fig5()
+    plot_fig6()
+    print("wrote fig4.png fig5.png fig6.png")
