@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_order_selection.dir/ablation_order_selection.cpp.o"
+  "CMakeFiles/ablation_order_selection.dir/ablation_order_selection.cpp.o.d"
+  "ablation_order_selection"
+  "ablation_order_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_order_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_quantization.dir/extension_quantization.cpp.o"
+  "CMakeFiles/extension_quantization.dir/extension_quantization.cpp.o.d"
+  "extension_quantization"
+  "extension_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

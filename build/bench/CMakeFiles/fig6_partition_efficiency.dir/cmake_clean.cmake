@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_partition_efficiency.dir/fig6_partition_efficiency.cpp.o"
+  "CMakeFiles/fig6_partition_efficiency.dir/fig6_partition_efficiency.cpp.o.d"
+  "fig6_partition_efficiency"
+  "fig6_partition_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_partition_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_training_comm.dir/table_training_comm.cpp.o"
+  "CMakeFiles/table_training_comm.dir/table_training_comm.cpp.o.d"
+  "table_training_comm"
+  "table_training_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_training_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_server.dir/edge_server.cpp.o"
+  "CMakeFiles/edge_server.dir/edge_server.cpp.o.d"
+  "edge_server"
+  "edge_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generation.dir/generation.cpp.o"
+  "CMakeFiles/generation.dir/generation.cpp.o.d"
+  "generation"
+  "generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_deployment.dir/quantized_deployment.cpp.o"
+  "CMakeFiles/quantized_deployment.dir/quantized_deployment.cpp.o.d"
+  "quantized_deployment"
+  "quantized_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("transformer")
+subdirs("partition")
+subdirs("net")
+subdirs("collective")
+subdirs("sim")
+subdirs("parallel")
+subdirs("plan")
+subdirs("quant")
+subdirs("train")
+subdirs("runtime")
+subdirs("serve")
+subdirs("voltage")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/collectives.cpp" "src/collective/CMakeFiles/voltage_collective.dir/collectives.cpp.o" "gcc" "src/collective/CMakeFiles/voltage_collective.dir/collectives.cpp.o.d"
+  "/root/repo/src/collective/cost.cpp" "src/collective/CMakeFiles/voltage_collective.dir/cost.cpp.o" "gcc" "src/collective/CMakeFiles/voltage_collective.dir/cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/voltage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/voltage_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/voltage_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_collective.dir/collectives.cpp.o"
+  "CMakeFiles/voltage_collective.dir/collectives.cpp.o.d"
+  "CMakeFiles/voltage_collective.dir/cost.cpp.o"
+  "CMakeFiles/voltage_collective.dir/cost.cpp.o.d"
+  "libvoltage_collective.a"
+  "libvoltage_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

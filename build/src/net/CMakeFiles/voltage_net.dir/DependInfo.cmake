@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/chaos.cpp" "src/net/CMakeFiles/voltage_net.dir/chaos.cpp.o" "gcc" "src/net/CMakeFiles/voltage_net.dir/chaos.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/voltage_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/voltage_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/socket_fabric.cpp" "src/net/CMakeFiles/voltage_net.dir/socket_fabric.cpp.o" "gcc" "src/net/CMakeFiles/voltage_net.dir/socket_fabric.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/voltage_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/voltage_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

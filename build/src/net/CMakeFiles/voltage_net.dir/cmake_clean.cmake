@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_net.dir/chaos.cpp.o"
+  "CMakeFiles/voltage_net.dir/chaos.cpp.o.d"
+  "CMakeFiles/voltage_net.dir/fabric.cpp.o"
+  "CMakeFiles/voltage_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/voltage_net.dir/socket_fabric.cpp.o"
+  "CMakeFiles/voltage_net.dir/socket_fabric.cpp.o.d"
+  "CMakeFiles/voltage_net.dir/transport.cpp.o"
+  "CMakeFiles/voltage_net.dir/transport.cpp.o.d"
+  "libvoltage_net.a"
+  "libvoltage_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

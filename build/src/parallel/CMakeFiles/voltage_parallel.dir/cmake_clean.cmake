@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_parallel.dir/latency_model.cpp.o"
+  "CMakeFiles/voltage_parallel.dir/latency_model.cpp.o.d"
+  "CMakeFiles/voltage_parallel.dir/pipeline.cpp.o"
+  "CMakeFiles/voltage_parallel.dir/pipeline.cpp.o.d"
+  "CMakeFiles/voltage_parallel.dir/profile.cpp.o"
+  "CMakeFiles/voltage_parallel.dir/profile.cpp.o.d"
+  "libvoltage_parallel.a"
+  "libvoltage_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/flop_model.cpp" "src/partition/CMakeFiles/voltage_partition.dir/flop_model.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/flop_model.cpp.o.d"
+  "/root/repo/src/partition/order.cpp" "src/partition/CMakeFiles/voltage_partition.dir/order.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/order.cpp.o.d"
+  "/root/repo/src/partition/partitioned_attention.cpp" "src/partition/CMakeFiles/voltage_partition.dir/partitioned_attention.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/partitioned_attention.cpp.o.d"
+  "/root/repo/src/partition/partitioned_layer.cpp" "src/partition/CMakeFiles/voltage_partition.dir/partitioned_layer.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/partitioned_layer.cpp.o.d"
+  "/root/repo/src/partition/schedule.cpp" "src/partition/CMakeFiles/voltage_partition.dir/schedule.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/schedule.cpp.o.d"
+  "/root/repo/src/partition/scheme.cpp" "src/partition/CMakeFiles/voltage_partition.dir/scheme.cpp.o" "gcc" "src/partition/CMakeFiles/voltage_partition.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transformer/CMakeFiles/voltage_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

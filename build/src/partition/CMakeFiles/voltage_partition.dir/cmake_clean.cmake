@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_partition.dir/flop_model.cpp.o"
+  "CMakeFiles/voltage_partition.dir/flop_model.cpp.o.d"
+  "CMakeFiles/voltage_partition.dir/order.cpp.o"
+  "CMakeFiles/voltage_partition.dir/order.cpp.o.d"
+  "CMakeFiles/voltage_partition.dir/partitioned_attention.cpp.o"
+  "CMakeFiles/voltage_partition.dir/partitioned_attention.cpp.o.d"
+  "CMakeFiles/voltage_partition.dir/partitioned_layer.cpp.o"
+  "CMakeFiles/voltage_partition.dir/partitioned_layer.cpp.o.d"
+  "CMakeFiles/voltage_partition.dir/schedule.cpp.o"
+  "CMakeFiles/voltage_partition.dir/schedule.cpp.o.d"
+  "CMakeFiles/voltage_partition.dir/scheme.cpp.o"
+  "CMakeFiles/voltage_partition.dir/scheme.cpp.o.d"
+  "libvoltage_partition.a"
+  "libvoltage_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_plan.dir/planner.cpp.o"
+  "CMakeFiles/voltage_plan.dir/planner.cpp.o.d"
+  "libvoltage_plan.a"
+  "libvoltage_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/quantized_layer.cpp" "src/quant/CMakeFiles/voltage_quant.dir/quantized_layer.cpp.o" "gcc" "src/quant/CMakeFiles/voltage_quant.dir/quantized_layer.cpp.o.d"
+  "/root/repo/src/quant/quantized_stack.cpp" "src/quant/CMakeFiles/voltage_quant.dir/quantized_stack.cpp.o" "gcc" "src/quant/CMakeFiles/voltage_quant.dir/quantized_stack.cpp.o.d"
+  "/root/repo/src/quant/quantized_tensor.cpp" "src/quant/CMakeFiles/voltage_quant.dir/quantized_tensor.cpp.o" "gcc" "src/quant/CMakeFiles/voltage_quant.dir/quantized_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/voltage_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/voltage_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

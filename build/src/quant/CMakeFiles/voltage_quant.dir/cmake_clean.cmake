@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_quant.dir/quantized_layer.cpp.o"
+  "CMakeFiles/voltage_quant.dir/quantized_layer.cpp.o.d"
+  "CMakeFiles/voltage_quant.dir/quantized_stack.cpp.o"
+  "CMakeFiles/voltage_quant.dir/quantized_stack.cpp.o.d"
+  "CMakeFiles/voltage_quant.dir/quantized_tensor.cpp.o"
+  "CMakeFiles/voltage_quant.dir/quantized_tensor.cpp.o.d"
+  "libvoltage_quant.a"
+  "libvoltage_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

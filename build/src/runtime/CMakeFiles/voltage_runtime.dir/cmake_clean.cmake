@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_runtime.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/voltage_runtime.dir/pipeline_runtime.cpp.o.d"
+  "CMakeFiles/voltage_runtime.dir/tensor_parallel_runtime.cpp.o"
+  "CMakeFiles/voltage_runtime.dir/tensor_parallel_runtime.cpp.o.d"
+  "CMakeFiles/voltage_runtime.dir/voltage_runtime.cpp.o"
+  "CMakeFiles/voltage_runtime.dir/voltage_runtime.cpp.o.d"
+  "libvoltage_runtime.a"
+  "libvoltage_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_serve.dir/server.cpp.o"
+  "CMakeFiles/voltage_serve.dir/server.cpp.o.d"
+  "libvoltage_serve.a"
+  "libvoltage_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvoltage_serve.a"
+)

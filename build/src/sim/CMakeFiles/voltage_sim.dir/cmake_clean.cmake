@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_sim.dir/engine.cpp.o"
+  "CMakeFiles/voltage_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/voltage_sim.dir/netsim.cpp.o"
+  "CMakeFiles/voltage_sim.dir/netsim.cpp.o.d"
+  "CMakeFiles/voltage_sim.dir/serving.cpp.o"
+  "CMakeFiles/voltage_sim.dir/serving.cpp.o.d"
+  "libvoltage_sim.a"
+  "libvoltage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

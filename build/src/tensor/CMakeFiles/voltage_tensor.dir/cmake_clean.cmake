@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_tensor.dir/archive.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/archive.cpp.o.d"
+  "CMakeFiles/voltage_tensor.dir/flops.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/flops.cpp.o.d"
+  "CMakeFiles/voltage_tensor.dir/ops.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/voltage_tensor.dir/rng.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/voltage_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/voltage_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/voltage_tensor.dir/tensor.cpp.o.d"
+  "libvoltage_tensor.a"
+  "libvoltage_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/backward_ops.cpp" "src/train/CMakeFiles/voltage_train.dir/backward_ops.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/backward_ops.cpp.o.d"
+  "/root/repo/src/train/comm.cpp" "src/train/CMakeFiles/voltage_train.dir/comm.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/comm.cpp.o.d"
+  "/root/repo/src/train/data_parallel.cpp" "src/train/CMakeFiles/voltage_train.dir/data_parallel.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/train/layer_backward.cpp" "src/train/CMakeFiles/voltage_train.dir/layer_backward.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/layer_backward.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/voltage_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/sgd.cpp" "src/train/CMakeFiles/voltage_train.dir/sgd.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/sgd.cpp.o.d"
+  "/root/repo/src/train/stack_backward.cpp" "src/train/CMakeFiles/voltage_train.dir/stack_backward.cpp.o" "gcc" "src/train/CMakeFiles/voltage_train.dir/stack_backward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transformer/CMakeFiles/voltage_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/voltage_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/voltage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/voltage_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

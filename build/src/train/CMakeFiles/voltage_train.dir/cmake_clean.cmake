@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_train.dir/backward_ops.cpp.o"
+  "CMakeFiles/voltage_train.dir/backward_ops.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/comm.cpp.o"
+  "CMakeFiles/voltage_train.dir/comm.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/data_parallel.cpp.o"
+  "CMakeFiles/voltage_train.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/layer_backward.cpp.o"
+  "CMakeFiles/voltage_train.dir/layer_backward.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/loss.cpp.o"
+  "CMakeFiles/voltage_train.dir/loss.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/sgd.cpp.o"
+  "CMakeFiles/voltage_train.dir/sgd.cpp.o.d"
+  "CMakeFiles/voltage_train.dir/stack_backward.cpp.o"
+  "CMakeFiles/voltage_train.dir/stack_backward.cpp.o.d"
+  "libvoltage_train.a"
+  "libvoltage_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transformer/attention.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/attention.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/attention.cpp.o.d"
+  "/root/repo/src/transformer/decoder.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/decoder.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/decoder.cpp.o.d"
+  "/root/repo/src/transformer/embedding.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/embedding.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/embedding.cpp.o.d"
+  "/root/repo/src/transformer/ffn.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/ffn.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/ffn.cpp.o.d"
+  "/root/repo/src/transformer/heads.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/heads.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/heads.cpp.o.d"
+  "/root/repo/src/transformer/layer.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/layer.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/layer.cpp.o.d"
+  "/root/repo/src/transformer/linear_attention.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/linear_attention.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/linear_attention.cpp.o.d"
+  "/root/repo/src/transformer/linformer.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/linformer.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/linformer.cpp.o.d"
+  "/root/repo/src/transformer/model.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/model.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/model.cpp.o.d"
+  "/root/repo/src/transformer/model_io.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/model_io.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/model_io.cpp.o.d"
+  "/root/repo/src/transformer/sampling.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/sampling.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/sampling.cpp.o.d"
+  "/root/repo/src/transformer/tokenizer.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/tokenizer.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/transformer/weights.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/weights.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/weights.cpp.o.d"
+  "/root/repo/src/transformer/zoo.cpp" "src/transformer/CMakeFiles/voltage_transformer.dir/zoo.cpp.o" "gcc" "src/transformer/CMakeFiles/voltage_transformer.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_transformer.dir/attention.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/attention.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/decoder.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/decoder.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/embedding.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/embedding.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/ffn.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/ffn.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/heads.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/heads.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/layer.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/layer.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/linear_attention.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/linear_attention.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/linformer.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/linformer.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/model.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/model.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/model_io.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/model_io.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/sampling.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/sampling.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/tokenizer.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/weights.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/weights.cpp.o.d"
+  "CMakeFiles/voltage_transformer.dir/zoo.cpp.o"
+  "CMakeFiles/voltage_transformer.dir/zoo.cpp.o.d"
+  "libvoltage_transformer.a"
+  "libvoltage_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

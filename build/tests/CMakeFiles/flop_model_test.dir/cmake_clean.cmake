@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flop_model_test.dir/flop_model_test.cpp.o"
+  "CMakeFiles/flop_model_test.dir/flop_model_test.cpp.o.d"
+  "flop_model_test"
+  "flop_model_test.pdb"
+  "flop_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flop_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

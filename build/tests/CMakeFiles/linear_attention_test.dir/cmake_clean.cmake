@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_attention_test.dir/linear_attention_test.cpp.o"
+  "CMakeFiles/linear_attention_test.dir/linear_attention_test.cpp.o.d"
+  "linear_attention_test"
+  "linear_attention_test.pdb"
+  "linear_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

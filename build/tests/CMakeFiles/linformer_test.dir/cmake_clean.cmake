@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linformer_test.dir/linformer_test.cpp.o"
+  "CMakeFiles/linformer_test.dir/linformer_test.cpp.o.d"
+  "linformer_test"
+  "linformer_test.pdb"
+  "linformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

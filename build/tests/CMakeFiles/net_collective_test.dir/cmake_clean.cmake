@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_collective_test.dir/net_collective_test.cpp.o"
+  "CMakeFiles/net_collective_test.dir/net_collective_test.cpp.o.d"
+  "net_collective_test"
+  "net_collective_test.pdb"
+  "net_collective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_collective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sampling_test.dir/pipeline_sampling_test.cpp.o"
+  "CMakeFiles/pipeline_sampling_test.dir/pipeline_sampling_test.cpp.o.d"
+  "pipeline_sampling_test"
+  "pipeline_sampling_test.pdb"
+  "pipeline_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_plan_test.dir/schedule_plan_test.cpp.o"
+  "CMakeFiles/schedule_plan_test.dir/schedule_plan_test.cpp.o.d"
+  "schedule_plan_test"
+  "schedule_plan_test.pdb"
+  "schedule_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train_test.cpp" "tests/CMakeFiles/train_test.dir/train_test.cpp.o" "gcc" "tests/CMakeFiles/train_test.dir/train_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/voltage_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/voltage_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/voltage_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voltage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/voltage_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/voltage_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/voltage_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/voltage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/voltage_train.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
