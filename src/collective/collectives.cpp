@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 
@@ -30,6 +31,13 @@ std::vector<Tensor> all_gather(Transport& fabric,
   check_group(group, my_index);
   const DeviceId self = group[my_index];
   auto payload = to_bytes(local);
+  // Span covers the full synchronization point — sends plus the wait for
+  // every peer's partition; bytes counts what *this* rank puts on the wire.
+  obs::TraceSpan span(obs::thread_tracer(), "all_gather", "comm",
+                      obs::thread_track());
+  span.device(static_cast<std::int64_t>(self))
+      .layer(obs::thread_layer())
+      .bytes(static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (i == my_index) continue;
     fabric.send(Message{.source = self,
@@ -54,8 +62,13 @@ void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
     throw std::invalid_argument("broadcast: root outside group");
   }
   const DeviceId self = group[my_index];
+  obs::TraceSpan span(obs::thread_tracer(), "broadcast", "comm",
+                      obs::thread_track());
+  span.device(static_cast<std::int64_t>(self));
   if (my_index == root_index) {
     const auto payload = to_bytes(data);
+    span.bytes(
+        static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
     for (std::size_t i = 0; i < group.size(); ++i) {
       if (i == root_index) continue;
       fabric.send(Message{.source = self,
@@ -80,12 +93,19 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
   const std::size_t prev = (my_index + k - 1) % k;
   const std::size_t rows = local.rows();
 
+  obs::TraceSpan span(obs::thread_tracer(), "ring_all_reduce", "comm",
+                      obs::thread_track());
+  span.device(static_cast<std::int64_t>(self)).layer(obs::thread_layer());
+  std::int64_t sent_bytes = 0;
+
   const auto send_chunk = [&](std::size_t chunk, std::uint64_t step) {
     const Range r = ring_chunk(rows, k, chunk);
+    auto payload = to_bytes(local.slice_rows(r.begin, r.end));
+    sent_bytes += static_cast<std::int64_t>(payload.size());
     fabric.send(Message{.source = self,
                         .destination = group[next],
                         .tag = tag + step,
-                        .payload = to_bytes(local.slice_rows(r.begin, r.end))});
+                        .payload = std::move(payload)});
   };
   const auto recv_chunk = [&](std::uint64_t step) {
     return tensor_from_bytes(
@@ -115,6 +135,7 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
     const Range r = ring_chunk(rows, k, recv_idx);
     if (!r.empty()) local.set_rows(r.begin, incoming);
   }
+  span.bytes(sent_bytes);
   return local;
 }
 
@@ -124,16 +145,22 @@ Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& grou
   check_group(group, my_index);
   const DeviceId self = group[my_index];
   constexpr std::size_t kRoot = 0;
+  obs::TraceSpan span(obs::thread_tracer(), "star_all_reduce", "comm",
+                      obs::thread_track());
+  span.device(static_cast<std::int64_t>(self)).layer(obs::thread_layer());
   if (my_index == kRoot) {
+    span.bytes(0);
     for (std::size_t i = 1; i < group.size(); ++i) {
       add_inplace(local,
                   tensor_from_bytes(fabric.recv(self, group[i], tag).payload));
     }
   } else {
+    auto payload = to_bytes(local);
+    span.bytes(static_cast<std::int64_t>(payload.size()));
     fabric.send(Message{.source = self,
                         .destination = group[kRoot],
                         .tag = tag,
-                        .payload = to_bytes(local)});
+                        .payload = std::move(payload)});
   }
   broadcast(fabric, group, my_index, kRoot, local, tag + 1);
   return local;

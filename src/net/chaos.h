@@ -49,6 +49,9 @@ class ChaosTransport final : public Transport {
     return inner_->total_stats();
   }
   void reset_stats() override { inner_->reset_stats(); }
+  void set_metrics(obs::MetricsRegistry* metrics) override {
+    inner_->set_metrics(metrics);
+  }
 
  private:
   std::unique_ptr<Transport> inner_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace voltage {
 
 Fabric::Fabric(std::size_t devices) {
@@ -28,6 +30,10 @@ void Fabric::send(Message message) {
     throw std::invalid_argument("Fabric: self-send");
   }
   const std::size_t bytes = message.byte_size();
+  if (metrics_.enabled()) {
+    metrics_.messages_sent->add(1);
+    metrics_.bytes_sent->add(bytes);
+  }
   {
     Mailbox& src = box(message.source);
     const std::lock_guard lock(src.mutex);
@@ -55,6 +61,10 @@ Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag) {
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
       mb.queue.erase(it);
+      if (metrics_.enabled()) {
+        metrics_.messages_received->add(1);
+        metrics_.bytes_received->add(out.byte_size());
+      }
       return out;
     }
     mb.arrived.wait(lock);
@@ -71,6 +81,10 @@ Message Fabric::recv_any(DeviceId receiver, MessageTag tag) {
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
       mb.queue.erase(it);
+      if (metrics_.enabled()) {
+        metrics_.messages_received->add(1);
+        metrics_.bytes_received->add(out.byte_size());
+      }
       return out;
     }
     mb.arrived.wait(lock);
@@ -93,6 +107,10 @@ TrafficStats Fabric::total_stats() const {
     total.bytes_received += mb->stats.bytes_received;
   }
   return total;
+}
+
+void Fabric::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = resolve_transport_counters(metrics);
 }
 
 void Fabric::reset_stats() {

@@ -42,6 +42,8 @@ class Fabric final : public Transport {
   [[nodiscard]] TrafficStats total_stats() const override;
   void reset_stats() override;
 
+  void set_metrics(obs::MetricsRegistry* metrics) override;
+
  private:
   struct Mailbox {
     mutable std::mutex mutex;
@@ -54,6 +56,7 @@ class Fabric final : public Transport {
   [[nodiscard]] const Mailbox& box(DeviceId id) const;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TransportCounters metrics_;
 };
 
 }  // namespace voltage

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/metrics.h"
+
 namespace voltage {
 
 namespace {
@@ -200,6 +202,10 @@ void SocketFabric::send(Message message) {
       write_all(fd, message.payload.data(), message.payload.size());
     }
   }
+  if (metrics_.enabled()) {
+    metrics_.messages_sent->add(1);
+    metrics_.bytes_sent->add(message.payload.size());
+  }
   const std::lock_guard lock(src.mutex);
   src.stats.messages_sent += 1;
   src.stats.bytes_sent += message.payload.size();
@@ -217,6 +223,10 @@ Message SocketFabric::recv(DeviceId receiver, DeviceId source,
     if (it != ep.inbox.end()) {
       Message out = std::move(*it);
       ep.inbox.erase(it);
+      if (metrics_.enabled()) {
+        metrics_.messages_received->add(1);
+        metrics_.bytes_received->add(out.byte_size());
+      }
       return out;
     }
     if (ep.closed) {
@@ -236,6 +246,10 @@ Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag) {
     if (it != ep.inbox.end()) {
       Message out = std::move(*it);
       ep.inbox.erase(it);
+      if (metrics_.enabled()) {
+        metrics_.messages_received->add(1);
+        metrics_.bytes_received->add(out.byte_size());
+      }
       return out;
     }
     if (ep.closed) {
@@ -261,6 +275,10 @@ TrafficStats SocketFabric::total_stats() const {
     total.bytes_received += ep->stats.bytes_received;
   }
   return total;
+}
+
+void SocketFabric::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = resolve_transport_counters(metrics);
 }
 
 void SocketFabric::reset_stats() {

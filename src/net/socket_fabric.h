@@ -44,6 +44,8 @@ class SocketFabric final : public Transport {
   [[nodiscard]] TrafficStats total_stats() const override;
   void reset_stats() override;
 
+  void set_metrics(obs::MetricsRegistry* metrics) override;
+
  private:
   struct Endpoint {
     // peer_fd[j]: this endpoint's socket to device j (-1 for self).
@@ -63,6 +65,7 @@ class SocketFabric final : public Transport {
   [[nodiscard]] const Endpoint& endpoint(DeviceId id) const;
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  TransportCounters metrics_;
 };
 
 }  // namespace voltage

@@ -4,8 +4,19 @@
 
 #include "net/fabric.h"
 #include "net/socket_fabric.h"
+#include "obs/metrics.h"
 
 namespace voltage {
+
+TransportCounters resolve_transport_counters(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return {};
+  return TransportCounters{
+      .messages_sent = &metrics->counter("transport.messages_sent"),
+      .bytes_sent = &metrics->counter("transport.bytes_sent"),
+      .messages_received = &metrics->counter("transport.messages_received"),
+      .bytes_received = &metrics->counter("transport.bytes_received"),
+  };
+}
 
 std::unique_ptr<Transport> make_transport(TransportKind kind,
                                           std::size_t devices) {

@@ -11,7 +11,25 @@
 
 #include "net/message.h"
 
+namespace voltage::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace voltage::obs
+
 namespace voltage {
+
+// Cached counter handles a transport increments on its hot path — resolved
+// once at attach time so send/recv never touch the registry's name map.
+struct TransportCounters {
+  obs::Counter* messages_sent = nullptr;
+  obs::Counter* bytes_sent = nullptr;
+  obs::Counter* messages_received = nullptr;
+  obs::Counter* bytes_received = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return messages_sent != nullptr;
+  }
+};
 
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
@@ -42,7 +60,19 @@ class Transport {
   [[nodiscard]] virtual TrafficStats stats(DeviceId device) const = 0;
   [[nodiscard]] virtual TrafficStats total_stats() const = 0;
   virtual void reset_stats() = 0;
+
+  // Attaches a metrics registry: sends and receives increment the
+  // "transport.{messages,bytes}_{sent,received}" counters. Pass nullptr to
+  // detach. Not synchronized against in-flight traffic — attach before the
+  // mesh is busy (construction time). Default: no-op for transports without
+  // an instrumented hot path.
+  virtual void set_metrics(obs::MetricsRegistry* /*metrics*/) {}
 };
+
+// Resolves the standard transport counters in `metrics` (nullptr in, empty
+// handles out). Shared by every instrumented Transport implementation.
+[[nodiscard]] TransportCounters resolve_transport_counters(
+    obs::MetricsRegistry* metrics);
 
 enum class TransportKind : std::uint8_t {
   kInMemory,    // lock-guarded mailboxes, zero syscalls (default)

@@ -1,0 +1,25 @@
+// Monotonic microsecond clock shared by every trace producer.
+//
+// All spans stamp times from one steady-clock epoch (captured on first use),
+// so events recorded by different threads and different Tracer instances
+// land on a single comparable timeline — exactly what a Chrome trace needs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace voltage::obs {
+
+// Microseconds on the shared steady timeline.
+using Micros = std::int64_t;
+
+// Now, in microseconds since the process trace epoch. Thread-safe.
+[[nodiscard]] inline Micros now_us() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+}  // namespace voltage::obs

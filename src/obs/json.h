@@ -1,0 +1,82 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Just enough to read back the Chrome trace-event files this repo writes
+// (tools/trace_report, the round-trip tests): objects, arrays, strings with
+// escapes, doubles, booleans, null. Throws std::runtime_error with a byte
+// offset on malformed input. Not a general-purpose JSON library — no
+// surrogate-pair decoding, no serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace voltage::obs::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  // std::vector supports incomplete element types, so the recursive
+  // members below are fine without indirection.
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  // Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed). Throws
+// std::runtime_error on any syntax error.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace voltage::obs::json

@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace voltage::obs {
+
+void Histogram::record(double value) {
+  const std::lock_guard lock(mutex_);
+  samples_.push_back(value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard lock(mutex_);
+    samples = samples_;
+  }
+  HistogramSnapshot snap;
+  snap.count = samples.size();
+  if (samples.empty()) return snap;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  snap.min = samples.front();
+  snap.max = samples.back();
+  snap.mean = sum / static_cast<double>(samples.size());
+  const auto pct = [&](double q) {
+    return samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1))];
+  };
+  snap.p50 = pct(0.50);
+  snap.p95 = pct(0.95);
+  snap.p99 = pct(0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  const std::lock_guard lock(mutex_);
+  samples_.clear();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histograms() const {
+  std::vector<std::pair<std::string, const Histogram*>> refs;
+  {
+    const std::lock_guard lock(mutex_);
+    refs.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      refs.emplace_back(name, histogram.get());
+    }
+  }
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(refs.size());
+  for (const auto& [name, histogram] : refs) {
+    out.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::report() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters()) {
+    std::snprintf(line, sizeof(line), "%-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, snap] : histograms()) {
+    std::snprintf(line, sizeof(line),
+                  "%-36s count=%zu mean=%.6g p50=%.6g p95=%.6g p99=%.6g "
+                  "max=%.6g\n",
+                  name.c_str(), snap.count, snap.mean, snap.p50, snap.p95,
+                  snap.p99, snap.max);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace voltage::obs

@@ -1,0 +1,245 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace voltage::obs {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::runtime_error("trace: " + what);
+}
+
+std::int64_t require_int(const json::Value& event, std::string_view key) {
+  const json::Value* v = event.find(key);
+  if (v == nullptr || !v->is_number()) {
+    invalid("duration event missing numeric \"" + std::string(key) + "\"");
+  }
+  return static_cast<std::int64_t>(v->as_number());
+}
+
+const char* intern(LoadedTrace& trace, const std::string& s) {
+  trace.strings.push_back(std::make_unique<std::string>(s));
+  return trace.strings.back()->c_str();
+}
+
+// Fills the attribute fields from the event's "args" object, if present.
+void read_args(const json::Value& event, TraceEvent& out) {
+  const json::Value* args = event.find("args");
+  if (args == nullptr || !args->is_object()) return;
+  if (const json::Value* v = args->find("device");
+      v != nullptr && v->is_number()) {
+    out.device = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("layer");
+      v != nullptr && v->is_number()) {
+    out.layer = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("bytes");
+      v != nullptr && v->is_number()) {
+    out.bytes = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("request");
+      v != nullptr && v->is_number()) {
+    out.request = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("tag");
+      v != nullptr && v->is_string()) {
+    out.tag = v->as_string();
+  }
+}
+
+}  // namespace
+
+LoadedTrace load_chrome_trace(std::string_view json_text) {
+  const json::Value root = json::parse(json_text);
+  const json::Value* trace_events = root.find("traceEvents");
+  if (trace_events == nullptr) {
+    // A bare array of events is also a valid Chrome trace.
+    if (!root.is_array()) invalid("no \"traceEvents\" array");
+    trace_events = &root;
+  }
+  if (!trace_events->is_array()) invalid("\"traceEvents\" is not an array");
+
+  LoadedTrace trace;
+  // Open "B" events per track, awaiting their "E".
+  std::map<TrackId, std::vector<TraceEvent>> open;
+  Micros last_ts = std::numeric_limits<Micros>::min();
+
+  for (const json::Value& entry : trace_events->as_array()) {
+    if (!entry.is_object()) invalid("event is not an object");
+    const json::Value* ph = entry.find("ph");
+    if (ph == nullptr || !ph->is_string()) invalid("event without \"ph\"");
+    const std::string& phase = ph->as_string();
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) {
+      invalid("event without \"name\"");
+    }
+
+    if (phase == "M") {
+      if (name->as_string() == "thread_name") {
+        const json::Value* args = entry.find("args");
+        const json::Value* label =
+            args != nullptr ? args->find("name") : nullptr;
+        if (label != nullptr && label->is_string()) {
+          trace.track_names.emplace_back(
+              static_cast<TrackId>(require_int(entry, "tid")),
+              label->as_string());
+        }
+      }
+      continue;  // other metadata is legal and ignored
+    }
+
+    if (phase != "X" && phase != "B" && phase != "E") {
+      invalid("unsupported event phase \"" + phase + "\"");
+    }
+
+    TraceEvent e;
+    e.name = intern(trace, name->as_string());
+    if (const json::Value* cat = entry.find("cat");
+        cat != nullptr && cat->is_string()) {
+      e.category = intern(trace, cat->as_string());
+    }
+    (void)require_int(entry, "pid");  // structural requirement only
+    e.track = static_cast<TrackId>(require_int(entry, "tid"));
+    e.start_us = require_int(entry, "ts");
+    if (e.start_us < last_ts) invalid("timestamps not sorted");
+    last_ts = e.start_us;
+    read_args(entry, e);
+
+    if (phase == "X") {
+      e.duration_us = require_int(entry, "dur");
+      if (e.duration_us < 0) invalid("negative duration");
+      trace.events.push_back(std::move(e));
+    } else if (phase == "B") {
+      open[e.track].push_back(std::move(e));
+    } else {  // "E"
+      auto& stack = open[e.track];
+      if (stack.empty()) invalid("\"E\" event without matching \"B\"");
+      TraceEvent begun = std::move(stack.back());
+      stack.pop_back();
+      if (std::string_view(begun.name) != std::string_view(e.name)) {
+        invalid("mismatched B/E pair: \"" + std::string(begun.name) +
+                "\" closed by \"" + e.name + "\"");
+      }
+      begun.duration_us = e.start_us - begun.start_us;
+      trace.events.push_back(std::move(begun));
+    }
+  }
+
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) {
+      invalid("unclosed \"B\" event \"" + std::string(stack.back().name) +
+              "\" on track " + std::to_string(track));
+    }
+  }
+
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return trace;
+}
+
+LoadedTrace load_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return load_chrome_trace(text.str());
+}
+
+TraceReport build_report(const LoadedTrace& trace) {
+  TraceReport report;
+  report.events = trace.events.size();
+
+  std::map<std::pair<std::int64_t, std::int64_t>, LayerRow> layers;
+  std::map<std::int64_t, DeviceRow> devices;
+  Micros first = std::numeric_limits<Micros>::max();
+  Micros last = std::numeric_limits<Micros>::min();
+
+  for (const TraceEvent& e : trace.events) {
+    first = std::min(first, e.start_us);
+    last = std::max(last, e.start_us + e.duration_us);
+
+    const std::int64_t device =
+        e.device >= 0 ? e.device : static_cast<std::int64_t>(e.track);
+    const std::string_view category(e.category);
+    DeviceRow& dev = devices[device];
+    dev.device = device;
+    dev.spans += 1;
+    if (category == "compute") dev.compute_us += e.duration_us;
+    if (category == "comm") {
+      dev.comm_us += e.duration_us;
+      if (e.bytes > 0) dev.bytes_sent += e.bytes;
+    }
+
+    if (e.layer < 0) continue;
+    LayerRow& row = layers[{e.layer, device}];
+    row.device = device;
+    row.layer = e.layer;
+    const std::string_view name(e.name);
+    if (name == "layer") {
+      row.compute_us += e.duration_us;
+      if (!e.tag.empty()) row.order = e.tag;
+    } else if (name == "all_gather") {
+      row.all_gather_us += e.duration_us;
+      if (e.bytes > 0) row.all_gather_bytes += e.bytes;
+    }
+  }
+
+  if (!trace.events.empty()) report.wall_us = last - first;
+  report.layers.reserve(layers.size());
+  for (auto& [key, row] : layers) report.layers.push_back(std::move(row));
+  report.devices.reserve(devices.size());
+  for (auto& [key, row] : devices) report.devices.push_back(std::move(row));
+  return report;
+}
+
+std::string format_report(const TraceReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "trace: %zu events, wall time %.3f ms\n\n", report.events,
+                static_cast<double>(report.wall_us) / 1000.0);
+  out += line;
+
+  if (!report.layers.empty()) {
+    out +=
+        "layer  device  compute_us  all_gather_us  all_gather_bytes  "
+        "order\n";
+    for (const LayerRow& row : report.layers) {
+      std::snprintf(line, sizeof(line),
+                    "%5lld  %6lld  %10lld  %13lld  %16lld  %s\n",
+                    static_cast<long long>(row.layer),
+                    static_cast<long long>(row.device),
+                    static_cast<long long>(row.compute_us),
+                    static_cast<long long>(row.all_gather_us),
+                    static_cast<long long>(row.all_gather_bytes),
+                    row.order.empty() ? "-" : row.order.c_str());
+      out += line;
+    }
+    out += "\n";
+  }
+
+  out += "device  compute_us  comm_us  bytes_sent  spans\n";
+  for (const DeviceRow& row : report.devices) {
+    std::snprintf(line, sizeof(line), "%6lld  %10lld  %7lld  %10lld  %5zu\n",
+                  static_cast<long long>(row.device),
+                  static_cast<long long>(row.compute_us),
+                  static_cast<long long>(row.comm_us),
+                  static_cast<long long>(row.bytes_sent), row.spans);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace voltage::obs

@@ -1,0 +1,69 @@
+// Loading, structural validation and aggregation of Chrome trace-event
+// files — the library behind tools/trace_report and the trace round-trip
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace voltage::obs {
+
+// A trace read back from Chrome trace-event JSON. Metadata ("M") events are
+// consumed into track_names; duration events become TraceEvents (name,
+// category and tag own their storage via `strings`).
+struct LoadedTrace {
+  std::vector<TraceEvent> events;  // sorted by start_us
+  std::vector<std::pair<TrackId, std::string>> track_names;
+
+  // Backing store for the const char* fields of `events`.
+  std::vector<std::unique_ptr<std::string>> strings;
+};
+
+// Parses and structurally validates trace JSON. Accepts complete ("X")
+// events and matched begin/end ("B"/"E") pairs; requires the traceEvents
+// array be sorted by "ts", every duration event carry pid/tid, and B/E
+// events nest properly per track. Throws std::runtime_error describing the
+// first violation.
+[[nodiscard]] LoadedTrace load_chrome_trace(std::string_view json_text);
+
+// Same, reading the file at `path`.
+[[nodiscard]] LoadedTrace load_chrome_trace_file(const std::string& path);
+
+// Per-(device, layer) and per-device aggregation of a loaded trace.
+struct LayerRow {
+  std::int64_t device = -1;
+  std::int64_t layer = -1;
+  Micros compute_us = 0;    // "layer" spans (attention+FFN nested inside)
+  Micros all_gather_us = 0;
+  std::int64_t all_gather_bytes = 0;
+  std::string order;        // attention order tag seen on the layer span
+};
+
+struct DeviceRow {
+  std::int64_t device = -1;
+  Micros compute_us = 0;
+  Micros comm_us = 0;
+  std::int64_t bytes_sent = 0;
+  std::size_t spans = 0;
+};
+
+struct TraceReport {
+  std::vector<LayerRow> layers;    // sorted by (layer, device)
+  std::vector<DeviceRow> devices;  // sorted by device
+  Micros wall_us = 0;              // last end - first start
+  std::size_t events = 0;
+};
+
+[[nodiscard]] TraceReport build_report(const LoadedTrace& trace);
+
+// Fixed-width tables: per-layer/per-device compute + all-gather time and
+// bytes, then per-device totals.
+[[nodiscard]] std::string format_report(const TraceReport& report);
+
+}  // namespace voltage::obs

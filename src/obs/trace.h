@@ -1,0 +1,218 @@
+// Span tracer with Chrome-trace-event export (Perfetto / chrome://tracing).
+//
+// Design constraints, in order:
+//   1. Off by default, near-zero cost when off. Instrumentation sites hold a
+//      `Tracer*` that is null unless the user attached one; a TraceSpan built
+//      from a null tracer reads no clock, takes no lock and allocates
+//      nothing — it is a branch.
+//   2. Lock-cheap when on. Each thread appends to its own buffer; the only
+//      mutex a span ever touches is that buffer's own (contended only by a
+//      concurrent snapshot/export, never by other producer threads).
+//   3. One timeline. All timestamps come from obs::now_us(), so spans from
+//      the K device threads, the terminal and the server dispatcher sort
+//      into a single coherent trace.
+//
+// Producers either hold an explicit Tracer* (VoltageRuntime,
+// InferenceServer) or read the ambient per-thread tracer (collectives and
+// partitioned kernels, whose signatures stay collective-shaped); the runtime
+// installs the ambient tracer on each device thread via ThreadTracerScope.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace voltage::obs {
+
+// Chrome "tid" of a span. Device threads use their DeviceId, the terminal
+// uses K, and the serving plane uses kServeTrack.
+using TrackId = std::uint32_t;
+
+inline constexpr TrackId kServeTrack = 9000;
+
+// One completed span. `name` and `category` must be string literals (or
+// otherwise outlive the tracer) — spans never copy them.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";  // "compute" | "comm" | "serve"
+  TrackId track = 0;
+  Micros start_us = 0;
+  Micros duration_us = 0;
+  // Optional attributes; negative means "not set".
+  std::int64_t device = -1;
+  std::int64_t layer = -1;
+  std::int64_t bytes = -1;
+  std::int64_t request = -1;
+  std::string tag;  // free-form, e.g. the attention order Theorem 2 chose
+};
+
+// Thread-safe span sink. record() appends to a per-thread buffer created on
+// the calling thread's first use; events()/export merge and sort all
+// buffers.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Appends one finished event (called by ~TraceSpan; usable directly for
+  // retroactive spans such as queue-wait, whose start predates the call).
+  void record(TraceEvent event);
+
+  // Human-readable label for a track, shown by Perfetto ("device 0",
+  // "terminal", "server").
+  void set_track_name(TrackId track, std::string name);
+
+  // Merged snapshot of every thread's events, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Total events recorded so far.
+  [[nodiscard]] std::size_t size() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with complete ("X")
+  // events sorted by timestamp plus thread_name metadata. Load it at
+  // https://ui.perfetto.dev or chrome://tracing.
+  void write_chrome_trace(std::ostream& out) const;
+
+  // Convenience: write_chrome_trace to `path`; throws std::runtime_error on
+  // I/O failure.
+  void write_chrome_trace_file(const std::string& path) const;
+
+  // Drops all recorded events (buffers stay registered).
+  void clear();
+
+ private:
+  struct Buffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+
+  const std::uint64_t id_;  // process-unique, never reused
+  mutable std::mutex mutex_;  // guards buffers_ (the list) and track_names_
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::map<TrackId, std::string> track_names_;
+};
+
+// RAII span. Construction stamps the start, destruction stamps the duration
+// and records the event. With a null tracer every member is a no-op.
+class TraceSpan {
+ public:
+  TraceSpan() noexcept = default;
+
+  TraceSpan(Tracer* tracer, const char* name, const char* category,
+            TrackId track) noexcept {
+    if (tracer == nullptr) return;
+    tracer_ = tracer;
+    event_.name = name;
+    event_.category = category;
+    event_.track = track;
+    event_.start_us = now_us();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { finish(); }
+
+  [[nodiscard]] bool enabled() const noexcept { return tracer_ != nullptr; }
+
+  // Attribute setters; no-ops (no allocation) when disabled.
+  TraceSpan& device(std::int64_t d) noexcept {
+    if (tracer_ != nullptr) event_.device = d;
+    return *this;
+  }
+  TraceSpan& layer(std::int64_t l) noexcept {
+    if (tracer_ != nullptr) event_.layer = l;
+    return *this;
+  }
+  TraceSpan& bytes(std::int64_t b) noexcept {
+    if (tracer_ != nullptr) event_.bytes = b;
+    return *this;
+  }
+  TraceSpan& request(std::int64_t r) noexcept {
+    if (tracer_ != nullptr) event_.request = r;
+    return *this;
+  }
+  TraceSpan& tag(const char* t) {
+    if (tracer_ != nullptr) event_.tag = t;
+    return *this;
+  }
+
+  // Ends the span now (idempotent; the destructor calls it).
+  void finish() {
+    if (tracer_ == nullptr) return;
+    event_.duration_us = now_us() - event_.start_us;
+    tracer_->record(std::move(event_));
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+// Ambient tracer of the calling thread (null unless a ThreadTracerScope is
+// live). Read by instrumentation that cannot carry a Tracer* through its
+// signature — the collectives and the partitioned layer kernels.
+[[nodiscard]] Tracer* thread_tracer() noexcept;
+
+// Installs `tracer` (may be null) as the calling thread's ambient tracer for
+// the scope's lifetime; restores the previous one on exit.
+class ThreadTracerScope {
+ public:
+  explicit ThreadTracerScope(Tracer* tracer) noexcept;
+  ~ThreadTracerScope();
+
+  ThreadTracerScope(const ThreadTracerScope&) = delete;
+  ThreadTracerScope& operator=(const ThreadTracerScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+// Ambient track of the calling thread (0 by default). The runtime pins each
+// device thread's spans to its device id so nested instrumentation (kernels,
+// collectives) lands on the right Perfetto row.
+[[nodiscard]] TrackId thread_track() noexcept;
+
+class ThreadTrackScope {
+ public:
+  explicit ThreadTrackScope(TrackId track) noexcept;
+  ~ThreadTrackScope();
+
+  ThreadTrackScope(const ThreadTrackScope&) = delete;
+  ThreadTrackScope& operator=(const ThreadTrackScope&) = delete;
+
+ private:
+  TrackId previous_;
+};
+
+// Ambient layer index of the calling thread (-1 outside any layer). The
+// runtime sets it around each layer so spans emitted below it — the
+// collectives' all-gather, the partitioned kernels — can attribute
+// themselves to the layer they serve without widening every signature.
+[[nodiscard]] std::int64_t thread_layer() noexcept;
+
+class ThreadLayerScope {
+ public:
+  explicit ThreadLayerScope(std::int64_t layer) noexcept;
+  ~ThreadLayerScope();
+
+  ThreadLayerScope(const ThreadLayerScope&) = delete;
+  ThreadLayerScope& operator=(const ThreadLayerScope&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+}  // namespace voltage::obs

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "partition/partitioned_attention.h"
 #include "tensor/ops.h"
 #include "transformer/ffn.h"
@@ -18,15 +19,22 @@ Tensor partitioned_layer_forward(const TransformerLayer& layer,
   }
   if (p.empty()) return Tensor(0, config.hidden);
 
-  // Algorithm 1, lines 2-9: partitioned multi-head attention.
-  Tensor r = multi_head_attention_partition(x, p, w.attention, config, policy);
-  // Line 10: residual with x_p, then LayerNorm.
-  add_inplace(r, x.slice_rows(p.begin, p.end));
-  const Tensor y =
-      layernorm_rows(r, w.ln_attention.gamma, w.ln_attention.beta);
+  obs::Tracer* const tracer = obs::thread_tracer();
+  Tensor r(0, 0);
+  {
+    // Algorithm 1, lines 2-9: partitioned multi-head attention.
+    obs::TraceSpan span(tracer, "attention", "compute", obs::thread_track());
+    span.layer(obs::thread_layer());
+    r = multi_head_attention_partition(x, p, w.attention, config, policy);
+    // Line 10: residual with x_p, then LayerNorm.
+    add_inplace(r, x.slice_rows(p.begin, p.end));
+    r = layernorm_rows(r, w.ln_attention.gamma, w.ln_attention.beta);
+  }
   // Line 11: position-wise FFN block on the partition only.
-  Tensor f = ffn_forward(y, w.ffn, config.activation);
-  add_inplace(f, y);
+  obs::TraceSpan span(tracer, "ffn", "compute", obs::thread_track());
+  span.layer(obs::thread_layer());
+  Tensor f = ffn_forward(r, w.ffn, config.activation);
+  add_inplace(f, r);
   return layernorm_rows(f, w.ln_ffn.gamma, w.ln_ffn.beta);
 }
 

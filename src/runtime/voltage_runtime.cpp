@@ -53,12 +53,37 @@ VoltageRuntime::VoltageRuntime(const TransformerModel& model,
   }
 }
 
+void VoltageRuntime::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  for (std::size_t i = 0; i < schedule_.devices(); ++i) {
+    tracer_->set_track_name(static_cast<obs::TrackId>(i),
+                            "device " + std::to_string(i));
+  }
+  tracer_->set_track_name(static_cast<obs::TrackId>(terminal_id()),
+                          "terminal");
+}
+
 Tensor VoltageRuntime::infer(std::span<const TokenId> tokens) {
-  return run(model_.preprocess(tokens));
+  Tensor features(0, 0);
+  {
+    obs::TraceSpan span(tracer_, "embed", "compute",
+                        static_cast<obs::TrackId>(terminal_id()));
+    span.device(static_cast<std::int64_t>(terminal_id()));
+    features = model_.preprocess(tokens);
+  }
+  return run(std::move(features));
 }
 
 Tensor VoltageRuntime::infer(const Image& image) {
-  return run(model_.preprocess(image));
+  Tensor features(0, 0);
+  {
+    obs::TraceSpan span(tracer_, "embed", "compute",
+                        static_cast<obs::TrackId>(terminal_id()));
+    span.device(static_cast<std::int64_t>(terminal_id()));
+    features = model_.preprocess(image);
+  }
+  return run(std::move(features));
 }
 
 Tensor VoltageRuntime::run(Tensor features) {
@@ -81,28 +106,58 @@ Tensor VoltageRuntime::run(Tensor features) {
 
   const auto layers = model_.layers();
 
+  // Attention dimensions only vary with the partition length, so the
+  // Theorem-2 annotation on each layer span can be derived up front.
+  const LayerConfig& config = model_.spec().layer;
+
   std::vector<std::exception_ptr> errors(k);
   std::vector<std::thread> threads;
   threads.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     threads.emplace_back([&, i] {
+      // Device thread i publishes the tracer and its track so the
+      // collectives and kernels below emit onto the right timeline row.
+      const obs::ThreadTracerScope tracer_scope(tracer_);
+      const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
       try {
         // Algorithm 2, step 3: receive the distributed input features.
         Tensor x(0, 0);
         broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
         for (std::size_t l = 0; l < layers.size(); ++l) {
+          const obs::ThreadLayerScope layer_scope(
+              static_cast<std::int64_t>(l));
           // Step 6: compute the assigned output partition (Algorithm 1,
           // or whatever kernel the executor substitutes).
-          const Tensor part =
-              executor_ ? executor_(l, x, ranges[l][i], policy_)
-                        : partitioned_layer_forward(layers[l], x,
-                                                    ranges[l][i], policy_);
+          Tensor part(0, 0);
+          {
+            obs::TraceSpan span(tracer_, "layer", "compute",
+                                static_cast<obs::TrackId>(i));
+            if (span.enabled()) {
+              const AttentionDims dims{.n = n,
+                                       .p = ranges[l][i].size(),
+                                       .f = config.hidden,
+                                       .fh = config.head_dim};
+              span.device(static_cast<std::int64_t>(i))
+                  .layer(static_cast<std::int64_t>(l))
+                  .tag(to_string(select_order(policy_, dims)));
+            }
+            part = executor_ ? executor_(l, x, ranges[l][i], policy_)
+                             : partitioned_layer_forward(layers[l], x,
+                                                         ranges[l][i],
+                                                         policy_);
+          }
           if (l + 1 == layers.size()) {
             // Step 8: last layer goes straight to the terminal.
+            auto payload = to_bytes(part);
+            obs::TraceSpan span(tracer_, "send_final", "comm",
+                                static_cast<obs::TrackId>(i));
+            span.device(static_cast<std::int64_t>(i))
+                .layer(static_cast<std::int64_t>(l))
+                .bytes(static_cast<std::int64_t>(payload.size()));
             transport_->send(Message{.source = i,
                                  .destination = terminal,
                                  .tag = kTagFinal,
-                                 .payload = to_bytes(part)});
+                                 .payload = std::move(payload)});
           } else {
             // Steps 10-13: synchronize partitions, assemble next input.
             const auto parts =
@@ -117,12 +172,21 @@ Tensor VoltageRuntime::run(Tensor features) {
   }
 
   // Terminal role: distribute features, collect final partitions.
+  const obs::ThreadTracerScope tracer_scope(tracer_);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal));
   Tensor hidden(n, f);
   try {
     broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
     std::vector<Tensor> parts(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      parts[i] = tensor_from_bytes(transport_->recv(terminal, i, kTagFinal).payload);
+    {
+      obs::TraceSpan span(tracer_, "collect_final", "comm",
+                          static_cast<obs::TrackId>(terminal));
+      span.device(static_cast<std::int64_t>(terminal));
+      for (std::size_t i = 0; i < k; ++i) {
+        parts[i] =
+            tensor_from_bytes(transport_->recv(terminal, i, kTagFinal).payload);
+      }
     }
     hidden = assemble_rows(parts, ranges.back(), n, f);
   } catch (...) {
@@ -135,6 +199,9 @@ Tensor VoltageRuntime::run(Tensor features) {
     if (e) std::rethrow_exception(e);
   }
   // Steps 16-17: terminal post-processes into the user-facing result.
+  obs::TraceSpan span(tracer_, "postprocess", "compute",
+                      static_cast<obs::TrackId>(terminal));
+  span.device(static_cast<std::int64_t>(terminal));
   return model_.postprocess(hidden);
 }
 

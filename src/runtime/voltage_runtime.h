@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/schedule.h"
 #include "partition/scheme.h"
@@ -71,6 +72,20 @@ class VoltageRuntime {
     executor_ = std::move(executor);
   }
 
+  // Attaches a span tracer (nullptr detaches — the default). When attached,
+  // every run emits per-device per-layer "layer" spans tagged with the
+  // attention order Theorem 2 selected, embed/attention/ffn phase spans, and
+  // all-gather/broadcast/final-send communication spans with byte counts.
+  // When detached, instrumentation is a null-pointer check per site: no
+  // clock reads, no allocation, no locking.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  // Attaches transport.* counters (see Transport::set_metrics).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    transport_->set_metrics(metrics);
+  }
+
  private:
   [[nodiscard]] Tensor run(Tensor features);
 
@@ -79,6 +94,7 @@ class VoltageRuntime {
   OrderPolicy policy_;
   PartitionExecutor executor_;  // empty = default float path
   std::unique_ptr<Transport> transport_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
 };
 
 }  // namespace voltage

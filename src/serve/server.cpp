@@ -2,14 +2,47 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace voltage {
+
+namespace {
+
+constexpr Seconds to_seconds(obs::Micros us) {
+  return static_cast<Seconds>(us) / 1e6;
+}
+
+LatencyStats summarize(std::vector<Seconds> samples) {
+  LatencyStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const Seconds s : samples) sum += s;
+  stats.mean = sum / static_cast<double>(samples.size());
+  const auto pct = [&](double q) {
+    return samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1))];
+  };
+  stats.p50 = pct(0.5);
+  stats.p95 = pct(0.95);
+  stats.max = samples.back();
+  return stats;
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(const TransformerModel& model,
                                  Options options)
     : model_(model),
       runtime_(model, std::move(options.scheme), options.policy,
-               options.transport) {
+               options.transport),
+      tracer_(options.tracer),
+      metrics_(options.metrics) {
+  runtime_.set_tracer(tracer_);
+  if (metrics_ != nullptr) runtime_.set_metrics(metrics_);
+  if (tracer_ != nullptr) {
+    tracer_->set_track_name(obs::kServeTrack, "server");
+  }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -30,6 +63,7 @@ std::future<Tensor> InferenceServer::enqueue(Job job) {
     if (!accepting_) {
       throw std::runtime_error("InferenceServer: shut down");
     }
+    job.id = next_request_id_++;
     queue_.push_back(std::move(job));
   }
   wake_.notify_one();
@@ -39,13 +73,15 @@ std::future<Tensor> InferenceServer::enqueue(Job job) {
 std::future<Tensor> InferenceServer::submit(std::vector<TokenId> tokens) {
   return enqueue(Job{.input = std::move(tokens),
                      .result = {},
-                     .arrival = std::chrono::steady_clock::now()});
+                     .id = 0,
+                     .arrival_us = obs::now_us()});
 }
 
 std::future<Tensor> InferenceServer::submit(Image image) {
   return enqueue(Job{.input = std::move(image),
                      .result = {},
-                     .arrival = std::chrono::steady_clock::now()});
+                     .id = 0,
+                     .arrival_us = obs::now_us()});
 }
 
 void InferenceServer::shutdown() {
@@ -69,53 +105,82 @@ void InferenceServer::dispatch_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    const obs::Micros dispatched_us = obs::now_us();
+    const obs::Micros wait_us = dispatched_us - job.arrival_us;
+    if (tracer_ != nullptr) {
+      // Retroactive span: the wait started at submit time on this track.
+      tracer_->record(
+          obs::TraceEvent{.name = "queue_wait",
+                          .category = "serve",
+                          .track = obs::kServeTrack,
+                          .start_us = job.arrival_us,
+                          .duration_us = wait_us,
+                          .request = static_cast<std::int64_t>(job.id),
+                          .tag = {}});
+    }
     try {
-      Tensor logits = std::visit(
-          [this](const auto& input) {
-            if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
-                                         Image>) {
-              return runtime_.infer(input);
-            } else {
-              return runtime_.infer(
-                  std::span<const TokenId>(input.data(), input.size()));
-            }
-          },
-          job.input);
-      const Seconds sojourn =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        job.arrival)
-              .count();
+      Tensor logits(0, 0);
+      {
+        obs::TraceSpan span(tracer_, "service", "serve", obs::kServeTrack);
+        span.request(static_cast<std::int64_t>(job.id));
+        logits = std::visit(
+            [this](const auto& input) {
+              if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                           Image>) {
+                return runtime_.infer(input);
+              } else {
+                return runtime_.infer(
+                    std::span<const TokenId>(input.data(), input.size()));
+              }
+            },
+            job.input);
+      }
+      const obs::Micros done_us = obs::now_us();
+      const Seconds wait = to_seconds(wait_us);
+      const Seconds service = to_seconds(done_us - dispatched_us);
+      const Seconds sojourn = to_seconds(done_us - job.arrival_us);
       {
         const std::lock_guard lock(mutex_);
+        waits_.push_back(wait);
+        services_.push_back(service);
         sojourns_.push_back(sojourn);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("server.requests_completed").add(1);
+        metrics_->histogram("server.queue_wait_seconds").record(wait);
+        metrics_->histogram("server.service_seconds").record(service);
+        metrics_->histogram("server.sojourn_seconds").record(sojourn);
       }
       job.result.set_value(std::move(logits));
     } catch (...) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("server.requests_failed").add(1);
+      }
       job.result.set_exception(std::current_exception());
     }
   }
 }
 
 ServerStats InferenceServer::stats() const {
+  std::vector<Seconds> waits;
+  std::vector<Seconds> services;
   std::vector<Seconds> sojourns;
   {
     const std::lock_guard lock(mutex_);
+    waits = waits_;
+    services = services_;
     sojourns = sojourns_;
   }
   ServerStats stats;
   stats.completed = sojourns.size();
   if (sojourns.empty()) return stats;
-  std::sort(sojourns.begin(), sojourns.end());
-  double sum = 0.0;
-  for (const Seconds s : sojourns) sum += s;
-  stats.mean = sum / static_cast<double>(sojourns.size());
-  const auto pct = [&](double q) {
-    return sojourns[static_cast<std::size_t>(
-        q * static_cast<double>(sojourns.size() - 1))];
-  };
-  stats.p50 = pct(0.5);
-  stats.p95 = pct(0.95);
-  stats.max = sojourns.back();
+  const LatencyStats total = summarize(std::move(sojourns));
+  stats.mean = total.mean;
+  stats.p50 = total.p50;
+  stats.p95 = total.p95;
+  stats.max = total.max;
+  stats.queue_wait = summarize(std::move(waits));
+  stats.service = summarize(std::move(services));
   return stats;
 }
 

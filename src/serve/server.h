@@ -4,13 +4,16 @@
 // Requests (token sequences or images) enter a FIFO queue from any thread
 // and resolve through std::future; a dispatcher thread drives a
 // VoltageRuntime one request at a time (the whole cluster serves each
-// request — that is the point of latency-oriented distribution). Sojourn
-// times (queue wait + service) are recorded so real deployments can be
-// compared against the queueing simulation in sim/serving.h.
+// request — that is the point of latency-oriented distribution). Queue-wait,
+// service and total sojourn times are recorded per request so real
+// deployments can be compared against the queueing simulation in
+// sim/serving.h; attach an obs::Tracer to see each request's queue_wait and
+// service spans (with request ids) on the serving track of the trace, next
+// to the per-device spans the runtime emits while serving it.
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -20,6 +23,8 @@
 #include <vector>
 
 #include "net/link.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/scheme.h"
 #include "runtime/voltage_runtime.h"
@@ -27,12 +32,23 @@
 
 namespace voltage {
 
-struct ServerStats {
-  std::size_t completed = 0;
+struct LatencyStats {
   Seconds mean = 0.0;
   Seconds p50 = 0.0;
   Seconds p95 = 0.0;
   Seconds max = 0.0;
+};
+
+struct ServerStats {
+  std::size_t completed = 0;
+  // Total sojourn = queue wait + service.
+  Seconds mean = 0.0;
+  Seconds p50 = 0.0;
+  Seconds p95 = 0.0;
+  Seconds max = 0.0;
+  // The two components, recorded separately per request.
+  LatencyStats queue_wait;
+  LatencyStats service;
 };
 
 class InferenceServer {
@@ -41,6 +57,9 @@ class InferenceServer {
     PartitionScheme scheme = PartitionScheme::even(1);
     OrderPolicy policy = OrderPolicy::kAdaptive;
     TransportKind transport = TransportKind::kInMemory;
+    // Optional observability sinks (both non-owning; nullptr = off).
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   InferenceServer(const TransformerModel& model, Options options);
@@ -59,7 +78,7 @@ class InferenceServer {
   // Stops accepting new requests; queued ones still complete.
   void shutdown();
 
-  // Sojourn-time statistics over completed requests.
+  // Latency statistics over completed requests.
   [[nodiscard]] ServerStats stats() const;
 
   [[nodiscard]] std::size_t queue_depth() const;
@@ -68,7 +87,8 @@ class InferenceServer {
   struct Job {
     std::variant<std::vector<TokenId>, Image> input;
     std::promise<Tensor> result;
-    std::chrono::steady_clock::time_point arrival;
+    std::uint64_t id = 0;
+    obs::Micros arrival_us = 0;
   };
 
   [[nodiscard]] std::future<Tensor> enqueue(Job job);
@@ -76,12 +96,17 @@ class InferenceServer {
 
   const TransformerModel& model_;
   VoltageRuntime runtime_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<Job> queue_;
   bool accepting_ = true;
   bool stopping_ = false;
+  std::uint64_t next_request_id_ = 0;
+  std::vector<Seconds> waits_;
+  std::vector<Seconds> services_;
   std::vector<Seconds> sojourns_;
   std::thread dispatcher_;
 };

@@ -1,0 +1,379 @@
+// Tests of the observability subsystem: tracer thread-safety and ordering,
+// Chrome trace-event export structure and round-tripping, metrics
+// counters/histograms, and the instrumentation threaded through the real
+// distributed runtime (span counts and byte accounting against the
+// transport's ground-truth traffic statistics).
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "runtime/voltage_runtime.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+// --- tracer core --------------------------------------------------------
+
+TEST(Tracer, ConcurrentSpansFromManyThreadsFormAValidTrace) {
+  obs::Tracer tracer;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (std::size_t s = 0; s < kSpansPerThread; ++s) {
+        obs::TraceSpan span(&tracer, "work", "compute",
+                            static_cast<obs::TrackId>(t));
+        span.device(static_cast<std::int64_t>(t))
+            .layer(static_cast<std::int64_t>(s));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), kThreads * kSpansPerThread);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i].duration_us, 0) << i;
+    if (i > 0) {
+      // events() returns a single merged timeline sorted by start.
+      EXPECT_GE(events[i].start_us, events[i - 1].start_us) << i;
+    }
+  }
+  // Per-thread span streams must each be strictly ordered and complete.
+  std::vector<std::size_t> per_track(kThreads, 0);
+  for (const obs::TraceEvent& e : events) {
+    ASSERT_LT(e.track, kThreads);
+    per_track[e.track] += 1;
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_track[t], kSpansPerThread) << t;
+  }
+}
+
+TEST(Tracer, NullTracerSpanIsInertAndCheap) {
+  obs::TraceSpan span(nullptr, "never", "compute", 0);
+  EXPECT_FALSE(span.enabled());
+  // Setters must be safe no-ops (no tag allocation, no recording).
+  span.device(1).layer(2).bytes(3).tag("unused");
+  span.finish();  // idempotent on a disabled span
+}
+
+TEST(Tracer, ClearDropsEventsButKeepsAccepting) {
+  obs::Tracer tracer;
+  { obs::TraceSpan span(&tracer, "a", "compute", 0); }
+  EXPECT_EQ(tracer.size(), 1U);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0U);
+  { obs::TraceSpan span(&tracer, "b", "compute", 0); }
+  EXPECT_EQ(tracer.size(), 1U);
+  EXPECT_STREQ(tracer.events()[0].name, "b");
+}
+
+TEST(Tracer, AmbientThreadTracerNestsAndRestores) {
+  obs::Tracer tracer;
+  EXPECT_EQ(obs::thread_tracer(), nullptr);
+  {
+    const obs::ThreadTracerScope outer(&tracer);
+    EXPECT_EQ(obs::thread_tracer(), &tracer);
+    {
+      const obs::ThreadTracerScope inner(nullptr);
+      EXPECT_EQ(obs::thread_tracer(), nullptr);
+    }
+    EXPECT_EQ(obs::thread_tracer(), &tracer);
+    const obs::ThreadLayerScope layer(7);
+    EXPECT_EQ(obs::thread_layer(), 7);
+  }
+  EXPECT_EQ(obs::thread_tracer(), nullptr);
+  EXPECT_EQ(obs::thread_layer(), -1);
+}
+
+// --- chrome trace export ------------------------------------------------
+
+TEST(ChromeTrace, ExportedJsonParsesAndRoundTrips) {
+  obs::Tracer tracer;
+  tracer.set_track_name(0, "device 0");
+  {
+    obs::TraceSpan span(&tracer, "layer", "compute", 0);
+    span.device(0).layer(4).tag("reordered(Eq.8)");
+  }
+  {
+    obs::TraceSpan span(&tracer, "all_gather", "comm", 0);
+    span.device(0).layer(4).bytes(12345);
+  }
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string text = out.str();
+
+  // Parses as plain JSON with the documented shape.
+  const obs::json::Value root = obs::json::parse(text);
+  const obs::json::Value* trace_events = root.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  // thread_name metadata + the two spans.
+  ASSERT_EQ(trace_events->as_array().size(), 3U);
+
+  // Round-trips through the loader with every attribute intact.
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(text);
+  ASSERT_EQ(loaded.events.size(), 2U);
+  ASSERT_EQ(loaded.track_names.size(), 1U);
+  EXPECT_EQ(loaded.track_names[0].second, "device 0");
+
+  const std::vector<obs::TraceEvent> original = tracer.events();
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    EXPECT_STREQ(loaded.events[i].name, original[i].name) << i;
+    EXPECT_STREQ(loaded.events[i].category, original[i].category) << i;
+    EXPECT_EQ(loaded.events[i].track, original[i].track) << i;
+    EXPECT_EQ(loaded.events[i].start_us, original[i].start_us) << i;
+    EXPECT_EQ(loaded.events[i].duration_us, original[i].duration_us) << i;
+    EXPECT_EQ(loaded.events[i].device, original[i].device) << i;
+    EXPECT_EQ(loaded.events[i].layer, original[i].layer) << i;
+    EXPECT_EQ(loaded.events[i].bytes, original[i].bytes) << i;
+    EXPECT_EQ(loaded.events[i].tag, original[i].tag) << i;
+  }
+}
+
+TEST(ChromeTrace, EscapesSpecialCharactersInTags) {
+  obs::Tracer tracer;
+  {
+    obs::TraceSpan span(&tracer, "span", "compute", 0);
+    span.tag("quote \" backslash \\ newline \n tab \t");
+  }
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  ASSERT_EQ(loaded.events.size(), 1U);
+  EXPECT_EQ(loaded.events[0].tag, "quote \" backslash \\ newline \n tab \t");
+}
+
+TEST(ChromeTrace, LoaderAcceptsMatchedBeginEndPairs) {
+  const char* text = R"({"traceEvents":[
+    {"name":"outer","ph":"B","ts":10,"pid":1,"tid":0},
+    {"name":"inner","ph":"X","ts":12,"dur":3,"pid":1,"tid":0},
+    {"name":"outer","ph":"E","ts":20,"pid":1,"tid":0}]})";
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(text);
+  ASSERT_EQ(loaded.events.size(), 2U);
+  EXPECT_STREQ(loaded.events[0].name, "outer");
+  EXPECT_EQ(loaded.events[0].duration_us, 10);
+  EXPECT_STREQ(loaded.events[1].name, "inner");
+}
+
+TEST(ChromeTrace, LoaderRejectsStructuralViolations) {
+  // Unsorted timestamps.
+  EXPECT_THROW((void)obs::load_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":0},
+    {"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":0}]})"),
+               std::runtime_error);
+  // Unmatched "B".
+  EXPECT_THROW((void)obs::load_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"B","ts":10,"pid":1,"tid":0}]})"),
+               std::runtime_error);
+  // "E" without "B".
+  EXPECT_THROW((void)obs::load_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"E","ts":10,"pid":1,"tid":0}]})"),
+               std::runtime_error);
+  // Mismatched B/E names.
+  EXPECT_THROW((void)obs::load_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"B","ts":10,"pid":1,"tid":0},
+    {"name":"b","ph":"E","ts":12,"pid":1,"tid":0}]})"),
+               std::runtime_error);
+  // Duration event without a thread id.
+  EXPECT_THROW((void)obs::load_chrome_trace(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":10,"dur":1,"pid":1}]})"),
+               std::runtime_error);
+  // Not JSON at all.
+  EXPECT_THROW((void)obs::load_chrome_trace("not json"), std::runtime_error);
+}
+
+// --- json ---------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjectsAndEscapes) {
+  const obs::json::Value v = obs::json::parse(
+      R"({"s":"a\"b\n","n":-2.5e2,"t":true,"f":false,"z":null,"a":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\n");
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number(), -250.0);
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_EQ(v.find("a")->as_array().size(), 3U);
+  EXPECT_DOUBLE_EQ(v.find("a")->as_array()[2].as_number(), 3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)obs::json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("tru"), std::runtime_error);
+}
+
+// --- metrics ------------------------------------------------------------
+
+TEST(Metrics, CountersAreAtomicAcrossThreads) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("hits");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kAdds; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kAdds);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&registry.counter("hits"), &counter);
+}
+
+TEST(Metrics, HistogramQuantilesMatchAKnownDistribution) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("latency");
+  std::vector<double> values(1000);
+  std::iota(values.begin(), values.end(), 1.0);  // 1..1000
+  std::shuffle(values.begin(), values.end(), std::mt19937{7});
+  for (const double v : values) histogram.record(v);
+
+  const obs::HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1000U);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 500.5);
+  EXPECT_DOUBLE_EQ(snap.p50, 500.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 950.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 990.0);
+}
+
+TEST(Metrics, ReportListsEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.histogram("b.seconds").record(0.5);
+  const std::string report = registry.report();
+  EXPECT_NE(report.find("a.count"), std::string::npos);
+  EXPECT_NE(report.find("b.seconds"), std::string::npos);
+}
+
+// --- instrumented runtime ------------------------------------------------
+
+TEST(InstrumentedRuntime, EmitsLayersTimesDevicesSpansAndExactByteCounts) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  constexpr std::size_t kDevices = 3;
+  VoltageRuntime runtime(model, PartitionScheme::even(kDevices));
+  obs::Tracer tracer;
+  runtime.set_tracer(&tracer);
+
+  const auto tokens = random_tokens(24, model.spec().vocab_size, 11);
+  const Tensor logits = runtime.infer(tokens);
+  EXPECT_EQ(logits.rows(), 1U);
+
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  std::size_t layer_spans = 0;
+  std::size_t all_gather_spans = 0;
+  std::uint64_t comm_bytes = 0;
+  for (const obs::TraceEvent& e : events) {
+    const std::string_view name(e.name);
+    if (name == "layer") {
+      layer_spans += 1;
+      // Every layer span is annotated with the Theorem-2 decision.
+      EXPECT_FALSE(e.tag.empty());
+      EXPECT_GE(e.device, 0);
+      EXPECT_GE(e.layer, 0);
+    }
+    if (name == "all_gather") all_gather_spans += 1;
+    if (std::string_view(e.category) == "comm" && e.bytes > 0) {
+      comm_bytes += static_cast<std::uint64_t>(e.bytes);
+    }
+  }
+  // Exactly one compute span per (layer, device).
+  EXPECT_EQ(layer_spans, model.spec().num_layers * kDevices);
+  // One all-gather per non-final layer per device (Algorithm 2).
+  EXPECT_EQ(all_gather_spans, (model.spec().num_layers - 1) * kDevices);
+  // The spans' byte annotations account for every byte the transport
+  // actually put on the wire (broadcast + all-gathers + final sends).
+  EXPECT_EQ(comm_bytes, runtime.fabric().total_stats().bytes_sent);
+}
+
+TEST(InstrumentedRuntime, DisabledTracerEmitsNothingAndStaysCorrect) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  VoltageRuntime runtime(model, PartitionScheme::even(2));
+  const auto tokens = random_tokens(16, model.spec().vocab_size, 3);
+  const Tensor logits = runtime.infer(tokens);  // no tracer attached
+  EXPECT_EQ(logits.rows(), 1U);
+
+  obs::Tracer tracer;
+  runtime.set_tracer(&tracer);
+  runtime.set_tracer(nullptr);  // detach again
+  (void)runtime.infer(tokens);
+  EXPECT_EQ(tracer.size(), 0U);
+}
+
+TEST(InstrumentedRuntime, ExportRoundTripsThroughTheReportPipeline) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  constexpr std::size_t kDevices = 3;
+  VoltageRuntime runtime(model, PartitionScheme::even(kDevices));
+  obs::Tracer tracer;
+  runtime.set_tracer(&tracer);
+  (void)runtime.infer(random_tokens(20, model.spec().vocab_size, 5));
+
+  // Export exactly as examples/traced_inference does, then validate the
+  // file structurally and aggregate it as tools/trace_report does.
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  EXPECT_EQ(loaded.events.size(), tracer.size());
+  // Track labels for every device plus the terminal.
+  EXPECT_EQ(loaded.track_names.size(), kDevices + 1);
+
+  const obs::TraceReport report = obs::build_report(loaded);
+  // Per-layer rows for every (layer, device) pair.
+  EXPECT_EQ(report.layers.size(), model.spec().num_layers * kDevices);
+  for (const obs::LayerRow& row : report.layers) {
+    EXPECT_FALSE(row.order.empty());
+    if (static_cast<std::size_t>(row.layer) + 1 < model.spec().num_layers) {
+      EXPECT_GT(row.all_gather_bytes, 0) << "layer " << row.layer;
+    }
+  }
+  // Devices 0..K-1 plus the terminal appear in the per-device table.
+  EXPECT_EQ(report.devices.size(), kDevices + 1);
+  const std::string table = obs::format_report(report);
+  EXPECT_NE(table.find("all_gather_bytes"), std::string::npos);
+  EXPECT_NE(table.find("reordered"), std::string::npos);
+}
+
+TEST(InstrumentedRuntime, TransportMetricsMatchTrafficStats) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  VoltageRuntime runtime(model, PartitionScheme::even(2));
+  obs::MetricsRegistry metrics;
+  runtime.set_metrics(&metrics);
+  (void)runtime.infer(random_tokens(12, model.spec().vocab_size, 9));
+
+  const TrafficStats stats = runtime.fabric().total_stats();
+  EXPECT_EQ(metrics.counter("transport.messages_sent").value(),
+            stats.messages_sent);
+  EXPECT_EQ(metrics.counter("transport.bytes_sent").value(),
+            stats.bytes_sent);
+  EXPECT_EQ(metrics.counter("transport.messages_received").value(),
+            stats.messages_received);
+  EXPECT_EQ(metrics.counter("transport.bytes_received").value(),
+            stats.bytes_received);
+}
+
+}  // namespace
+}  // namespace voltage

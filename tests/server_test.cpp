@@ -1,10 +1,14 @@
 // Tests of the InferenceServer: correctness of served results, concurrency
 // from multiple submitters, statistics, and lifecycle handling.
+#include <cstdint>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
 #include "transformer/tokenizer.h"
@@ -46,6 +50,20 @@ TEST(InferenceServer, HandlesBurstsInFifoOrder) {
   EXPECT_GT(stats.mean, 0.0);
   EXPECT_GE(stats.max, stats.p95);
   EXPECT_GE(stats.p95, stats.p50);
+  // The sojourn decomposes into queue wait + service; with 8 requests
+  // arriving at once behind a single dispatcher, later requests must have
+  // waited, and every request was actually serviced.
+  EXPECT_GT(stats.service.mean, 0.0);
+  EXPECT_GT(stats.queue_wait.max, 0.0);
+  EXPECT_GE(stats.queue_wait.max, stats.queue_wait.p95);
+  EXPECT_GE(stats.queue_wait.p95, stats.queue_wait.p50);
+  EXPECT_GE(stats.service.max, stats.service.p95);
+  EXPECT_GE(stats.service.p95, stats.service.p50);
+  // Mean sojourn is the mean of (wait + service); allow scheduling jitter.
+  EXPECT_NEAR(stats.mean, stats.queue_wait.mean + stats.service.mean,
+              0.25 * stats.mean);
+  EXPECT_LE(stats.queue_wait.max, stats.max);
+  EXPECT_LE(stats.service.max, stats.max);
 }
 
 TEST(InferenceServer, ConcurrentSubmitters) {
@@ -115,7 +133,45 @@ TEST(InferenceServer, EmptyStats) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed, 0U);
   EXPECT_EQ(stats.mean, 0.0);
+  EXPECT_EQ(stats.queue_wait.mean, 0.0);
+  EXPECT_EQ(stats.service.mean, 0.0);
   EXPECT_EQ(server.queue_depth(), 0U);
+}
+
+TEST(InferenceServer, TracesQueueWaitAndServicePerRequest) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  auto opts = options(2);
+  opts.tracer = &tracer;
+  opts.metrics = &metrics;
+  InferenceServer server(model, opts);
+  constexpr std::size_t kRequests = 3;
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        server.submit(random_tokens(10 + i, model.spec().vocab_size, i + 1)));
+  }
+  for (auto& f : futures) (void)f.get();
+
+  // One queue_wait and one service span per request, on the serving track,
+  // each carrying the request id.
+  std::size_t waits = 0;
+  std::size_t services = 0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (std::string_view(e.category) != "serve") continue;
+    EXPECT_EQ(e.track, obs::kServeTrack);
+    EXPECT_GE(e.request, 0);
+    EXPECT_LT(e.request, static_cast<std::int64_t>(kRequests));
+    const std::string_view name(e.name);
+    if (name == "queue_wait") waits += 1;
+    if (name == "service") services += 1;
+  }
+  EXPECT_EQ(waits, kRequests);
+  EXPECT_EQ(services, kRequests);
+  EXPECT_EQ(metrics.counter("server.requests_completed").value(), kRequests);
+  EXPECT_EQ(metrics.histogram("server.service_seconds").snapshot().count,
+            kRequests);
 }
 
 }  // namespace

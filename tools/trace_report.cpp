@@ -1,0 +1,36 @@
+// trace_report: offline breakdown of an exported Chrome trace.
+//
+//   ./build/tools/trace_report trace.json
+//
+// Loads a trace written by obs::Tracer::write_chrome_trace (or any
+// structurally valid Chrome trace-event file), validates it, and prints the
+// per-layer/per-device compute and all-gather breakdown plus per-device
+// totals — the textual counterpart of opening the file in Perfetto.
+#include <cstdio>
+#include <exception>
+
+#include "obs/report.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const voltage::obs::LoadedTrace trace =
+        voltage::obs::load_chrome_trace_file(argv[1]);
+    const voltage::obs::TraceReport report =
+        voltage::obs::build_report(trace);
+    std::fputs(voltage::obs::format_report(report).c_str(), stdout);
+    if (!trace.track_names.empty()) {
+      std::printf("\ntracks:\n");
+      for (const auto& [track, name] : trace.track_names) {
+        std::printf("%6u  %s\n", track, name.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
