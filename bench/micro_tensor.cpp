@@ -2,6 +2,7 @@
 // attention evaluation paths — the kernels whose cost the Γ model predicts.
 #include <benchmark/benchmark.h>
 
+#include "core/thread_pool.h"
 #include "net/socket_fabric.h"
 #include "partition/partitioned_attention.h"
 #include "quant/quantized_tensor.h"
@@ -28,6 +29,60 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+// The pre-rewrite gemm_nn (row-blocked i-k-j, no packing, no register tile),
+// kept verbatim as the perf-trajectory baseline: BENCH_kernels.json records
+// BM_Matmul/256 vs BM_MatmulSeedKernel/256 on the same machine.
+void seed_gemm_nn(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  constexpr std::size_t kRowBlock = 4;
+  std::size_t i = 0;
+  for (; i + kRowBlock <= m; i += kRowBlock) {
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a0 = a[(i + 0) * k + p];
+      const float a1 = a[(i + 1) * k + p];
+      const float a2 = a[(i + 2) * k + p];
+      const float a3 = a[(i + 3) * k + p];
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = bp[j];
+        c0[j] += a0 * bv;
+        c1[j] += a1 * bv;
+        c2[j] += a2 * bv;
+        c3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+void BM_MatmulSeedKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  for (auto _ : state) {
+    Tensor c(n, n);
+    seed_gemm_nn(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_MatmulSeedKernel)->Arg(256);
+
 void BM_MatmulTransposed(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
@@ -36,8 +91,59 @@ void BM_MatmulTransposed(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul(a, b, Trans::kNo, Trans::kYes));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
 }
 BENCHMARK(BM_MatmulTransposed)->Arg(128);
+
+// Dedicated NT / TN kernels (attention's scores and reordered paths) at the
+// BERT-Large score shape: no transposed copy is ever materialized.
+void BM_MatmulNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b, Trans::kNo, Trans::kYes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(256);
+
+void BM_MatmulTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b, Trans::kYes, Trans::kNo));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_MatmulTN)->Arg(256);
+
+// Intra-op scaling of one GEMM across thread budgets (results are bitwise
+// identical at every budget; see tests/gemm_test.cpp).
+void BM_MatmulThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  Rng rng(23);
+  const Tensor a = rng.normal_tensor(n, n, 1.0F);
+  const Tensor b = rng.normal_tensor(n, n, 1.0F);
+  const IntraOpScope scope(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_MatmulThreaded)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->ArgNames({"n", "threads"});
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(3);

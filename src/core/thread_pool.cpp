@@ -1,0 +1,229 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace voltage {
+
+namespace {
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+// VOLTAGE_THREADS, parsed once. 0 / unset / garbage means "auto".
+std::size_t env_threads() noexcept {
+  static const std::size_t parsed = [] {
+    const char* s = std::getenv("VOLTAGE_THREADS");
+    if (s == nullptr || *s == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0') return std::size_t{0};
+    return static_cast<std::size_t>(v);
+  }();
+  return parsed;
+}
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = auto
+thread_local std::size_t t_override = 0;        // 0 = no override
+thread_local bool t_in_parallel_region = false;
+
+// One completed chunk of a parallel_for; chunks from concurrent regions
+// interleave freely on the queue.
+struct Chunk {
+  void (*fn)(void*, std::size_t, std::size_t);
+  void* ctx;
+  std::size_t begin;
+  std::size_t end;
+  struct Region* region;
+};
+
+// Shared state of one parallel_for call, on the caller's stack.
+struct Region {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void run(const Chunk& c) noexcept {
+    t_in_parallel_region = true;
+    try {
+      c.fn(c.ctx, c.begin, c.end);
+    } catch (...) {
+      const std::lock_guard lock(mutex);
+      if (!error) error = std::current_exception();
+    }
+    t_in_parallel_region = false;
+    {
+      const std::lock_guard lock(mutex);
+      --pending;
+      if (pending == 0) done_cv.notify_all();
+    }
+  }
+};
+
+// Lazily started fixed-size worker pool. Sized generously relative to the
+// host so tests can ask for budgets above the core count (the determinism
+// suite runs 4 "threads" on a 1-core CI box).
+class Pool {
+ public:
+  static Pool& shared() {
+    static Pool pool(std::max<std::size_t>(hardware_threads(), 8) - 1);
+    return pool;
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return workers_.size();
+  }
+
+  void submit(std::vector<Chunk> chunks) {
+    {
+      const std::lock_guard lock(mutex_);
+      for (Chunk& c : chunks) queue_.push_back(c);
+    }
+    if (chunks.size() == 1) {
+      work_cv_.notify_one();
+    } else {
+      work_cv_.notify_all();
+    }
+  }
+
+  // Caller-side help: drain queued chunks while waiting for its region.
+  bool try_run_one() {
+    Chunk c;
+    {
+      const std::lock_guard lock(mutex_);
+      if (queue_.empty()) return false;
+      c = queue_.front();
+      queue_.pop_front();
+    }
+    c.region->run(c);
+    return true;
+  }
+
+ private:
+  explicit Pool(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Chunk c;
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+        if (queue_.empty()) return;  // only on stop
+        c = queue_.front();
+        queue_.pop_front();
+      }
+      c.region->run(c);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Chunk> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+void set_intra_op_threads(std::size_t n) noexcept {
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+std::size_t intra_op_threads() noexcept {
+  if (t_override != 0) return t_override;
+  const std::size_t set = g_default_threads.load(std::memory_order_relaxed);
+  if (set != 0) return set;
+  const std::size_t env = env_threads();
+  if (env != 0) return env;
+  return hardware_threads();
+}
+
+IntraOpScope::IntraOpScope(std::size_t n) noexcept : previous_(t_override) {
+  t_override = n == 0 ? 1 : n;
+}
+
+IntraOpScope::~IntraOpScope() { t_override = previous_; }
+
+namespace detail {
+
+void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void (*fn)(void*, std::size_t, std::size_t),
+                       void* ctx) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  const std::size_t min_chunk = std::max<std::size_t>(grain, 1);
+  std::size_t budget = intra_op_threads();
+  if (t_in_parallel_region) budget = 1;  // nested regions serialize
+  const std::size_t max_chunks =
+      std::min(budget, Pool::shared().workers() + 1);
+  const std::size_t chunks =
+      std::min(max_chunks, (range + min_chunk - 1) / min_chunk);
+  if (chunks <= 1) {
+    fn(ctx, begin, end);
+    return;
+  }
+
+  // Even contiguous split; the first `rem` chunks get one extra index.
+  const std::size_t base = range / chunks;
+  const std::size_t rem = range % chunks;
+  Region region;
+  region.pending = chunks;
+  std::vector<Chunk> posted;
+  posted.reserve(chunks - 1);
+  std::size_t at = begin;
+  Chunk first{};
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t len = base + (i < rem ? 1 : 0);
+    const Chunk c{fn, ctx, at, at + len, &region};
+    at += len;
+    if (i == 0) {
+      first = c;
+    } else {
+      posted.push_back(c);
+    }
+  }
+  Pool::shared().submit(std::move(posted));
+  region.run(first);
+
+  // Help drain the queue (our chunks or someone else's) until ours finish.
+  for (;;) {
+    {
+      const std::lock_guard lock(region.mutex);
+      if (region.pending == 0) break;
+    }
+    if (!Pool::shared().try_run_one()) {
+      std::unique_lock lock(region.mutex);
+      region.done_cv.wait(lock, [&region] { return region.pending == 0; });
+      break;
+    }
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace detail
+
+}  // namespace voltage

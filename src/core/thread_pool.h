@@ -1,0 +1,77 @@
+// Shared intra-op thread pool and deterministic parallel_for.
+//
+// Design constraints, in order:
+//   1. Determinism. parallel_for splits [begin, end) into contiguous chunks
+//      and every index is processed exactly once by exactly one chunk. Callers
+//      partition *rows* of row-major tensors, so each row's FP summation order
+//      is fixed regardless of the thread count or which worker runs a chunk —
+//      results are bitwise identical at any intra-op budget.
+//   2. One pool per process. Workers are started lazily on first parallel use
+//      and shared by every kernel; oversubscription is bounded by the pool
+//      size, not by the number of concurrent GEMMs.
+//   3. A per-thread budget, not a global one. The paper's deployment model is
+//      one vCPU per edge device, so VoltageRuntime device threads run with an
+//      intra-op budget of 1 (kernels inline, zero pool traffic) while
+//      single-device baselines and the serving terminal use every core.
+//
+// Budget resolution for the calling thread:
+//   IntraOpScope override (thread-local, RAII)
+//     else set_intra_op_threads() process default
+//     else VOLTAGE_THREADS environment variable
+//     else std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace voltage {
+
+// Process-wide default intra-op thread budget. 0 restores "auto"
+// (VOLTAGE_THREADS, else hardware concurrency).
+void set_intra_op_threads(std::size_t n) noexcept;
+
+// Effective budget for the calling thread (>= 1): the innermost live
+// IntraOpScope, else the process default.
+[[nodiscard]] std::size_t intra_op_threads() noexcept;
+
+// Thread-local budget override for the scope's lifetime. The runtime wraps
+// each device thread's body in IntraOpScope(1) to preserve the paper's
+// 1-vCPU-per-device model.
+class IntraOpScope {
+ public:
+  explicit IntraOpScope(std::size_t n) noexcept;
+  ~IntraOpScope();
+
+  IntraOpScope(const IntraOpScope&) = delete;
+  IntraOpScope& operator=(const IntraOpScope&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+namespace detail {
+
+// Type-erased body: fn(ctx, chunk_begin, chunk_end). Runs chunks on the
+// shared pool (caller participates), rethrows the first chunk exception.
+void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void (*fn)(void*, std::size_t, std::size_t), void* ctx);
+
+}  // namespace detail
+
+// Calls f(chunk_begin, chunk_end) over disjoint contiguous chunks covering
+// [begin, end). Runs inline when the caller's budget is 1, the range fits in
+// one grain, or the caller is itself a pool worker (nested parallelism never
+// deadlocks — it serializes). `grain` is the smallest chunk worth a task.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  F&& f) {
+  using Fn = std::remove_reference_t<F>;
+  detail::parallel_for_impl(
+      begin, end, grain,
+      [](void* ctx, std::size_t b, std::size_t e) {
+        (*static_cast<Fn*>(ctx))(b, e);
+      },
+      const_cast<void*>(static_cast<const void*>(&f)));
+}
+
+}  // namespace voltage

@@ -177,6 +177,7 @@ TraceReport build_report(const LoadedTrace& trace) {
     dev.device = device;
     dev.spans += 1;
     if (category == "compute") dev.compute_us += e.duration_us;
+    if (category == "kernel") dev.gemm_us += e.duration_us;
     if (category == "comm") {
       dev.comm_us += e.duration_us;
       if (e.bytes > 0) dev.bytes_sent += e.bytes;
@@ -190,6 +191,8 @@ TraceReport build_report(const LoadedTrace& trace) {
     if (name == "layer") {
       row.compute_us += e.duration_us;
       if (!e.tag.empty()) row.order = e.tag;
+    } else if (name == "gemm") {
+      row.gemm_us += e.duration_us;
     } else if (name == "all_gather") {
       row.all_gather_us += e.duration_us;
       if (e.bytes > 0) row.all_gather_bytes += e.bytes;
@@ -214,14 +217,15 @@ std::string format_report(const TraceReport& report) {
 
   if (!report.layers.empty()) {
     out +=
-        "layer  device  compute_us  all_gather_us  all_gather_bytes  "
-        "order\n";
+        "layer  device  compute_us  gemm_us  all_gather_us  "
+        "all_gather_bytes  order\n";
     for (const LayerRow& row : report.layers) {
       std::snprintf(line, sizeof(line),
-                    "%5lld  %6lld  %10lld  %13lld  %16lld  %s\n",
+                    "%5lld  %6lld  %10lld  %7lld  %13lld  %16lld  %s\n",
                     static_cast<long long>(row.layer),
                     static_cast<long long>(row.device),
                     static_cast<long long>(row.compute_us),
+                    static_cast<long long>(row.gemm_us),
                     static_cast<long long>(row.all_gather_us),
                     static_cast<long long>(row.all_gather_bytes),
                     row.order.empty() ? "-" : row.order.c_str());
@@ -230,11 +234,13 @@ std::string format_report(const TraceReport& report) {
     out += "\n";
   }
 
-  out += "device  compute_us  comm_us  bytes_sent  spans\n";
+  out += "device  compute_us  gemm_us  comm_us  bytes_sent  spans\n";
   for (const DeviceRow& row : report.devices) {
-    std::snprintf(line, sizeof(line), "%6lld  %10lld  %7lld  %10lld  %5zu\n",
+    std::snprintf(line, sizeof(line),
+                  "%6lld  %10lld  %7lld  %7lld  %10lld  %5zu\n",
                   static_cast<long long>(row.device),
                   static_cast<long long>(row.compute_us),
+                  static_cast<long long>(row.gemm_us),
                   static_cast<long long>(row.comm_us),
                   static_cast<long long>(row.bytes_sent), row.spans);
     out += line;

@@ -40,6 +40,7 @@ struct LayerRow {
   std::int64_t device = -1;
   std::int64_t layer = -1;
   Micros compute_us = 0;    // "layer" spans (attention+FFN nested inside)
+  Micros gemm_us = 0;       // "gemm" kernel spans nested inside the layer
   Micros all_gather_us = 0;
   std::int64_t all_gather_bytes = 0;
   std::string order;        // attention order tag seen on the layer span
@@ -48,6 +49,10 @@ struct LayerRow {
 struct DeviceRow {
   std::int64_t device = -1;
   Micros compute_us = 0;
+  // Time inside "kernel"-category spans (the matmul GEMM kernels). Nested
+  // within compute_us, not additional to it: the non-GEMM remainder of a
+  // layer is compute_us - gemm_us.
+  Micros gemm_us = 0;
   Micros comm_us = 0;
   std::int64_t bytes_sent = 0;
   std::size_t spans = 0;

@@ -147,6 +147,10 @@ class TraceSpan {
     if (tracer_ != nullptr) event_.tag = t;
     return *this;
   }
+  TraceSpan& tag(std::string t) {
+    if (tracer_ != nullptr) event_.tag = std::move(t);
+    return *this;
+  }
 
   // Ends the span now (idempotent; the destructor calls it).
   void finish() {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 #include "transformer/attention.h"
 
@@ -63,12 +64,19 @@ Tensor multi_head_attention_partition(const Tensor& x, Range p,
                            .fh = config.head_dim};
   const AttentionOrder order = select_order(policy, dims);
 
-  std::vector<Tensor> head_outputs;
-  head_outputs.reserve(w.heads.size());
-  for (const HeadWeights& head : w.heads) {
-    head_outputs.push_back(attention_head_partition(
-        x, p, head, config.head_dim, config.causal, order));
-  }
+  // Heads are independent; each slot is written by exactly one chunk and a
+  // head's own FP chains are untouched by the split, so the concatenated
+  // result is bitwise identical at any intra-op thread count — and matches
+  // the single-device evaluation of the same rows.
+  std::vector<Tensor> head_outputs(w.heads.size());
+  parallel_for(std::size_t{0}, w.heads.size(), std::size_t{1},
+               [&](std::size_t h0, std::size_t h1) {
+                 for (std::size_t h = h0; h < h1; ++h) {
+                   head_outputs[h] = attention_head_partition(
+                       x, p, w.heads[h], config.head_dim, config.causal,
+                       order);
+                 }
+               });
   Tensor out = matmul(concat_cols(head_outputs), w.wo);
   add_bias_inplace(out, w.bo);
   return out;

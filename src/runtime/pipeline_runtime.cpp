@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/thread_pool.h"
 #include "tensor/serialize.h"
 
 namespace voltage {
@@ -46,6 +47,9 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
   threads.reserve(k);
   for (std::size_t stage = 0; stage < k; ++stage) {
     threads.emplace_back([&, stage] {
+      // Stages are the parallelism; keep each stage's kernels
+      // single-threaded so K stages don't oversubscribe the host.
+      const IntraOpScope intra_scope(1);
       try {
         const Range mine = stage_layers(stage);
         const DeviceId upstream = stage == 0 ? terminal : stage - 1;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "collective/collectives.h"
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "transformer/attention.h"
@@ -81,6 +82,9 @@ Tensor TensorParallelRuntime::run(Tensor features) {
   threads.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     threads.emplace_back([&, i] {
+      // One shard per core is the parallelism here; keep each shard's
+      // kernels single-threaded so K shards don't oversubscribe the host.
+      const IntraOpScope intra_scope(1);
       try {
         const Range heads = head_shard(i);
         const Range ffn_cols = ffn_shard(i);

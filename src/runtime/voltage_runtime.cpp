@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "collective/collectives.h"
+#include "core/thread_pool.h"
 #include "partition/partitioned_layer.h"
 #include "tensor/serialize.h"
 
@@ -116,9 +117,11 @@ Tensor VoltageRuntime::run(Tensor features) {
   for (std::size_t i = 0; i < k; ++i) {
     threads.emplace_back([&, i] {
       // Device thread i publishes the tracer and its track so the
-      // collectives and kernels below emit onto the right timeline row.
+      // collectives and kernels below emit onto the right timeline row, and
+      // pins its kernels' intra-op budget (bitwise-neutral; see gemm.h).
       const obs::ThreadTracerScope tracer_scope(tracer_);
       const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
+      const IntraOpScope intra_scope(intra_op_threads_);
       try {
         // Algorithm 2, step 3: receive the distributed input features.
         Tensor x(0, 0);

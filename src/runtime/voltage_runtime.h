@@ -86,6 +86,18 @@ class VoltageRuntime {
     transport_->set_metrics(metrics);
   }
 
+  // Intra-op thread budget for each device thread's kernels (default 1:
+  // device threads already are the parallelism, and K devices times a
+  // many-way GEMM split would oversubscribe the host). Raising it lets a
+  // device use `n` pool threads per GEMM / attention op — results are
+  // bitwise identical at any value. 0 is clamped to 1.
+  void set_intra_op_threads(std::size_t n) noexcept {
+    intra_op_threads_ = n == 0 ? 1 : n;
+  }
+  [[nodiscard]] std::size_t intra_op_threads() const noexcept {
+    return intra_op_threads_;
+  }
+
  private:
   [[nodiscard]] Tensor run(Tensor features);
 
@@ -95,6 +107,7 @@ class VoltageRuntime {
   PartitionExecutor executor_;  // empty = default float path
   std::unique_ptr<Transport> transport_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
+  std::size_t intra_op_threads_ = 1;
 };
 
 }  // namespace voltage

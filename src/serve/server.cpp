@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/thread_pool.h"
+
 namespace voltage {
 
 namespace {
@@ -38,6 +40,12 @@ InferenceServer::InferenceServer(const TransformerModel& model,
                options.transport),
       tracer_(options.tracer),
       metrics_(options.metrics) {
+  std::size_t per_device = options.device_intra_op_threads;
+  if (per_device == 0) {
+    per_device = std::max<std::size_t>(
+        1, intra_op_threads() / (runtime_.terminal_id() + 1));
+  }
+  runtime_.set_intra_op_threads(per_device);
   runtime_.set_tracer(tracer_);
   if (metrics_ != nullptr) runtime_.set_metrics(metrics_);
   if (tracer_ != nullptr) {

@@ -57,6 +57,12 @@ class InferenceServer {
     PartitionScheme scheme = PartitionScheme::even(1);
     OrderPolicy policy = OrderPolicy::kAdaptive;
     TransportKind transport = TransportKind::kInMemory;
+    // Intra-op thread budget per device thread. 0 (default) divides the
+    // ambient budget (VOLTAGE_THREADS or the core count) evenly across the
+    // devices, so a serving cluster uses the whole host; any other value is
+    // forwarded to VoltageRuntime::set_intra_op_threads verbatim. Results
+    // are bitwise identical at every setting.
+    std::size_t device_intra_op_threads = 0;
     // Optional observability sinks (both non-owning; nullptr = off).
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;

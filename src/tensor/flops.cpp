@@ -1,21 +1,36 @@
 #include "tensor/flops.h"
 
+#include <atomic>
+
 namespace voltage::flops {
 
 namespace {
-thread_local std::uint64_t g_matmul_macs = 0;
-thread_local std::uint64_t g_elementwise = 0;
+// Process-wide atomics: kernels now run on pool workers and runtime device
+// threads, and every thread's MACs must land in the same ledger. Relaxed
+// ordering is enough — tests only read after joining/awaiting the work.
+std::atomic<std::uint64_t> g_matmul_macs{0};
+std::atomic<std::uint64_t> g_elementwise{0};
 }  // namespace
 
-std::uint64_t matmul_macs() noexcept { return g_matmul_macs; }
-std::uint64_t elementwise_ops() noexcept { return g_elementwise; }
+std::uint64_t matmul_macs() noexcept {
+  return g_matmul_macs.load(std::memory_order_relaxed);
+}
 
-void add_matmul_macs(std::uint64_t n) noexcept { g_matmul_macs += n; }
-void add_elementwise(std::uint64_t n) noexcept { g_elementwise += n; }
+std::uint64_t elementwise_ops() noexcept {
+  return g_elementwise.load(std::memory_order_relaxed);
+}
+
+void add_matmul_macs(std::uint64_t n) noexcept {
+  g_matmul_macs.fetch_add(n, std::memory_order_relaxed);
+}
+
+void add_elementwise(std::uint64_t n) noexcept {
+  g_elementwise.fetch_add(n, std::memory_order_relaxed);
+}
 
 void reset() noexcept {
-  g_matmul_macs = 0;
-  g_elementwise = 0;
+  g_matmul_macs.store(0, std::memory_order_relaxed);
+  g_elementwise.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace voltage::flops

@@ -1,10 +1,13 @@
-// Thread-local floating-operation accounting.
+// Process-wide, thread-safe floating-operation accounting.
 //
 // The paper measures computation complexity Γ(·) in matrix-multiplication
 // "floating operations": Γ(xW) = N·F·F_H for x ∈ R^{N×F}, W ∈ R^{F×F_H}
 // (i.e. multiply-accumulate count). Kernels in ops.h report into these
 // counters so tests can check the closed-form Γ expressions of Theorems 1-3
-// against what the code actually executed — exactly, as integers.
+// against what the code actually executed — exactly, as integers. The
+// counters are atomics shared by every thread: intra-op pool workers and
+// runtime device threads contribute to the same totals, so parallel kernels
+// never drop MACs.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,100 @@
+// Runtime ISA dispatch for the blocked GEMM. The kernel and the naive
+// reference always come from the same translation unit, so the compiler's
+// FP-contraction choice (mul+add on baseline, fused FMA under -mfma) applies
+// to both identically and the bitwise contract in gemm.h holds on every ISA.
+#include "tensor/gemm.h"
+
+namespace voltage::detail {
+
+namespace base {
+void gemm_blocked(const float* a, bool trans_a, const float* b, bool trans_b,
+                  float* c, std::size_t m, std::size_t i0, std::size_t i1,
+                  std::size_t k, std::size_t n);
+void gemm_reference(const float* a, bool trans_a, const float* b, bool trans_b,
+                    float* c, std::size_t m, std::size_t k, std::size_t n);
+}  // namespace base
+
+#if defined(__x86_64__) || defined(_M_X64)
+namespace avx2 {
+void gemm_blocked(const float* a, bool trans_a, const float* b, bool trans_b,
+                  float* c, std::size_t m, std::size_t i0, std::size_t i1,
+                  std::size_t k, std::size_t n);
+void gemm_reference(const float* a, bool trans_a, const float* b, bool trans_b,
+                    float* c, std::size_t m, std::size_t k, std::size_t n);
+}  // namespace avx2
+namespace avx512 {
+void gemm_blocked(const float* a, bool trans_a, const float* b, bool trans_b,
+                  float* c, std::size_t m, std::size_t i0, std::size_t i1,
+                  std::size_t k, std::size_t n);
+void gemm_reference(const float* a, bool trans_a, const float* b, bool trans_b,
+                    float* c, std::size_t m, std::size_t k, std::size_t n);
+}  // namespace avx512
+#endif
+
+namespace {
+
+using BlockedFn = void (*)(const float*, bool, const float*, bool, float*,
+                           std::size_t, std::size_t, std::size_t, std::size_t,
+                           std::size_t);
+using ReferenceFn = void (*)(const float*, bool, const float*, bool, float*,
+                             std::size_t, std::size_t, std::size_t);
+
+struct Dispatch {
+  BlockedFn blocked;
+  ReferenceFn reference;
+  const char* arch;
+};
+
+Dispatch pick() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("fma")) {
+    return {&avx512::gemm_blocked, &avx512::gemm_reference, "avx512"};
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {&avx2::gemm_blocked, &avx2::gemm_reference, "avx2"};
+  }
+#endif
+  return {&base::gemm_blocked, &base::gemm_reference, "base"};
+}
+
+const Dispatch& dispatch() noexcept {
+  static const Dispatch d = pick();
+  return d;
+}
+
+}  // namespace
+
+void gemm_blocked(const float* a, bool trans_a, const float* b, bool trans_b,
+                  float* c, std::size_t m, std::size_t i0, std::size_t i1,
+                  std::size_t k, std::size_t n) {
+  dispatch().blocked(a, trans_a, b, trans_b, c, m, i0, i1, k, n);
+}
+
+void gemm_nn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  gemm_blocked(a, false, b, false, c, m, 0, m, k, n);
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  gemm_blocked(a, false, b, true, c, m, 0, m, k, n);
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  gemm_blocked(a, true, b, false, c, m, 0, m, k, n);
+}
+
+void gemm_tt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  gemm_blocked(a, true, b, true, c, m, 0, m, k, n);
+}
+
+void gemm_reference(const float* a, bool trans_a, const float* b, bool trans_b,
+                    float* c, std::size_t m, std::size_t k, std::size_t n) {
+  dispatch().reference(a, trans_a, b, trans_b, c, m, k, n);
+}
+
+const char* gemm_kernel_arch() noexcept { return dispatch().arch; }
+
+}  // namespace voltage::detail

@@ -4,8 +4,12 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
+#include "core/thread_pool.h"
+#include "obs/trace.h"
 #include "tensor/flops.h"
+#include "tensor/gemm.h"
 
 namespace voltage {
 
@@ -15,44 +19,9 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
 
-// Row-blocked i-k-j GEMM on row-major data. Processing four C rows per
-// sweep reuses every loaded B row four times, which roughly triples
-// arithmetic intensity over the scalar i-k-j loop; the j loop stays
-// branch-free and contiguous so the compiler vectorizes it.
-void gemm_nn(const float* a, const float* b, float* c, std::size_t m,
-             std::size_t k, std::size_t n) {
-  constexpr std::size_t kRowBlock = 4;
-  std::size_t i = 0;
-  for (; i + kRowBlock <= m; i += kRowBlock) {
-    float* c0 = c + (i + 0) * n;
-    float* c1 = c + (i + 1) * n;
-    float* c2 = c + (i + 2) * n;
-    float* c3 = c + (i + 3) * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float a0 = a[(i + 0) * k + p];
-      const float a1 = a[(i + 1) * k + p];
-      const float a2 = a[(i + 2) * k + p];
-      const float a3 = a[(i + 3) * k + p];
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float bv = bp[j];
-        c0[j] += a0 * bv;
-        c1[j] += a1 * bv;
-        c2[j] += a2 * bv;
-        c3[j] += a3 * bv;
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    float* ci = c + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = a[i * k + p];
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        ci[j] += aip * bp[j];
-      }
-    }
-  }
+const char* gemm_variant(Trans ta, Trans tb) {
+  if (ta == Trans::kNo) return tb == Trans::kNo ? "nn" : "nt";
+  return tb == Trans::kNo ? "tn" : "tt";
 }
 
 }  // namespace
@@ -64,15 +33,34 @@ Tensor matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
   const std::size_t n = tb == Trans::kNo ? b.cols() : b.rows();
   require(ka == kb, "matmul: inner dimensions do not conform");
 
-  // Transposed operands are materialized once; the copy is O(size) against
-  // the O(m*k*n) multiply and keeps a single fast kernel.
-  const Tensor at = ta == Trans::kYes ? a.transposed() : Tensor();
-  const Tensor bt = tb == Trans::kYes ? b.transposed() : Tensor();
-  const float* pa = ta == Trans::kYes ? at.data() : a.data();
-  const float* pb = tb == Trans::kYes ? bt.data() : b.data();
-
   Tensor c(m, n);
-  gemm_nn(pa, pb, c.data(), m, ka, n);
+  if (m != 0 && n != 0 && ka != 0) {
+    // Kernel-time attribution: when a tracer is ambient (device threads, the
+    // serving terminal), each GEMM reports its variant and shape so
+    // trace_report can split layer time into kernel time.
+    obs::TraceSpan span(obs::thread_tracer(), "gemm", "kernel",
+                        obs::thread_track());
+    if (span.enabled()) {
+      span.layer(obs::thread_layer());
+      span.tag(std::string(gemm_variant(ta, tb)) + " " + std::to_string(m) +
+               "x" + std::to_string(ka) + "x" + std::to_string(n));
+    }
+    const bool trans_a = ta == Trans::kYes;
+    const bool trans_b = tb == Trans::kYes;
+    // Row-panel parallelism: every chunk owns whole C rows, so each row's FP
+    // summation order — and therefore the result — is bitwise identical at
+    // any intra-op thread count. The grain keeps tasks above ~256k MACs so
+    // small GEMMs never pay pool latency.
+    constexpr std::uint64_t kMacsPerTask = 1ULL << 18;
+    const std::uint64_t row_macs = static_cast<std::uint64_t>(ka) * n;
+    const std::size_t grain = static_cast<std::size_t>(
+        std::max<std::uint64_t>(detail::kGemmMr, kMacsPerTask / row_macs));
+    parallel_for(0, m, grain, [&, trans_a, trans_b](std::size_t r0,
+                                                    std::size_t r1) {
+      detail::gemm_blocked(a.data(), trans_a, b.data(), trans_b, c.data(), m,
+                           r0, r1, ka, n);
+    });
+  }
   flops::add_matmul_macs(static_cast<std::uint64_t>(m) * ka * n);
   return c;
 }

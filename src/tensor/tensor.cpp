@@ -1,10 +1,18 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 namespace voltage {
+
+namespace {
+// Materialized transposes are a smell on the GEMM hot path — the packed
+// kernels read transposed operands in place. Tests pin the count at zero
+// around matmul(..., Trans::kYes).
+std::atomic<std::uint64_t> g_transpose_copies{0};
+}  // namespace
 
 Tensor::Tensor(std::initializer_list<std::initializer_list<float>> init) {
   rows_ = init.size();
@@ -53,7 +61,12 @@ Tensor Tensor::slice_cols(std::size_t begin, std::size_t end) const {
   return out;
 }
 
+std::uint64_t Tensor::transpose_copy_count() noexcept {
+  return g_transpose_copies.load(std::memory_order_relaxed);
+}
+
 Tensor Tensor::transposed() const {
+  g_transpose_copies.fetch_add(1, std::memory_order_relaxed);
   Tensor out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {

@@ -76,6 +76,10 @@ class Tensor {
   [[nodiscard]] Tensor slice_cols(std::size_t begin, std::size_t end) const;
   [[nodiscard]] Tensor transposed() const;
 
+  // Process-wide count of transposed() materializations — the GEMM path must
+  // never bump it (kernels read transposed operands through packing).
+  [[nodiscard]] static std::uint64_t transpose_copy_count() noexcept;
+
   // Writes `block` into this tensor starting at row `row_begin`.
   void set_rows(std::size_t row_begin, const Tensor& block);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace voltage {
@@ -31,12 +32,17 @@ Tensor attention_head_full(const Tensor& x, const HeadWeights& w,
 
 Tensor multi_head_attention(const Tensor& x, const AttentionWeights& w,
                             const LayerConfig& config) {
-  std::vector<Tensor> head_outputs;
-  head_outputs.reserve(w.heads.size());
-  for (const HeadWeights& head : w.heads) {
-    head_outputs.push_back(
-        attention_head_full(x, head, config.head_dim, config.causal));
-  }
+  // Heads are independent; each slot is written by exactly one chunk and a
+  // head's own FP chains are untouched by the split, so the concatenated
+  // result is bitwise identical at any intra-op thread count.
+  std::vector<Tensor> head_outputs(w.heads.size());
+  parallel_for(std::size_t{0}, w.heads.size(), std::size_t{1},
+               [&](std::size_t h0, std::size_t h1) {
+                 for (std::size_t h = h0; h < h1; ++h) {
+                   head_outputs[h] = attention_head_full(
+                       x, w.heads[h], config.head_dim, config.causal);
+                 }
+               });
   Tensor out = matmul(concat_cols(head_outputs), w.wo);
   add_bias_inplace(out, w.bo);
   return out;

@@ -1,0 +1,159 @@
+// The intra-op concurrency substrate (src/core/thread_pool.h): coverage and
+// exactly-once semantics of parallel_for, budget resolution and scoping,
+// nested-region serialization, exception propagation, and exactness of the
+// shared atomic FLOP counters under concurrent accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "tensor/flops.h"
+
+namespace voltage {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const IntraOpScope scope(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{64}}) {
+    const std::size_t begin = 100;
+    const std::size_t end = 1037;
+    std::vector<std::atomic<int>> hits(end);
+    parallel_for(begin, end, grain, [&](std::size_t b, std::size_t e) {
+      ASSERT_LE(b, e);
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < begin; ++i) EXPECT_EQ(hits[i].load(), 0);
+    for (std::size_t i = begin; i < end; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  const IntraOpScope scope(4);
+  std::atomic<int> calls{0};
+  parallel_for(std::size_t{10}, std::size_t{10}, std::size_t{1},
+               [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RunsInlineWhenBudgetIsOne) {
+  const IntraOpScope scope(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::set<std::thread::id> runners;
+  std::atomic<int> chunks{0};
+  parallel_for(std::size_t{0}, std::size_t{500}, std::size_t{1},
+               [&](std::size_t, std::size_t) {
+                 chunks.fetch_add(1);
+                 const std::lock_guard lock(mu);
+                 runners.insert(std::this_thread::get_id());
+               });
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(runners.size(), 1U);
+  EXPECT_EQ(*runners.begin(), caller);
+}
+
+TEST(ParallelFor, NestedRegionsSerializeAndStayExact) {
+  const IntraOpScope scope(4);
+  constexpr std::size_t kOuter = 4;
+  constexpr std::size_t kInner = 100;
+  std::atomic<std::uint64_t> total{0};
+  parallel_for(std::size_t{0}, kOuter, std::size_t{1},
+               [&](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) {
+                   parallel_for(std::size_t{0}, kInner, std::size_t{1},
+                                [&](std::size_t ib, std::size_t ie) {
+                                  total.fetch_add(ie - ib);
+                                });
+                 }
+               });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ParallelFor, PropagatesTheChunkException) {
+  const IntraOpScope scope(4);
+  EXPECT_THROW(
+      parallel_for(std::size_t{0}, std::size_t{100}, std::size_t{1},
+                   [&](std::size_t b, std::size_t e) {
+                     if (b <= 50 && 50 < e) {
+                       throw std::runtime_error("chunk failed");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+TEST(IntraOpBudget, ScopeNestsAndRestores) {
+  const std::size_t base = intra_op_threads();
+  EXPECT_GE(base, 1U);
+  {
+    const IntraOpScope outer(3);
+    EXPECT_EQ(intra_op_threads(), 3U);
+    {
+      const IntraOpScope inner(1);
+      EXPECT_EQ(intra_op_threads(), 1U);
+    }
+    EXPECT_EQ(intra_op_threads(), 3U);
+  }
+  EXPECT_EQ(intra_op_threads(), base);
+}
+
+TEST(IntraOpBudget, ProcessDefaultAppliesWithoutAScope) {
+  const std::size_t base = intra_op_threads();
+  set_intra_op_threads(2);
+  EXPECT_EQ(intra_op_threads(), 2U);
+  {
+    // A scope still takes precedence over the process default.
+    const IntraOpScope scope(5);
+    EXPECT_EQ(intra_op_threads(), 5U);
+  }
+  EXPECT_EQ(intra_op_threads(), 2U);
+  set_intra_op_threads(0);  // restore auto
+  EXPECT_EQ(intra_op_threads(), base);
+}
+
+TEST(IntraOpBudget, DefaultAppliesToFreshThreads) {
+  set_intra_op_threads(2);
+  std::size_t seen = 0;
+  std::thread t([&] { seen = intra_op_threads(); });
+  t.join();
+  set_intra_op_threads(0);
+  EXPECT_EQ(seen, 2U);
+}
+
+TEST(FlopCounters, ExactUnderConcurrentAccounting) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 1000;
+  flops::reset();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        flops::add_matmul_macs(3);
+        flops::add_elementwise(2);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(flops::matmul_macs(), kThreads * kIters * 3);
+  EXPECT_EQ(flops::elementwise_ops(), kThreads * kIters * 2);
+}
+
+TEST(FlopCounters, ExactWhenAccountedFromPoolWorkers) {
+  const IntraOpScope scope(4);
+  flops::reset();
+  constexpr std::size_t kRange = 1000;
+  parallel_for(std::size_t{0}, kRange, std::size_t{1},
+               [&](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) flops::add_matmul_macs(1);
+               });
+  EXPECT_EQ(flops::matmul_macs(), kRange);
+}
+
+}  // namespace
+}  // namespace voltage

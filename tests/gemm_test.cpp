@@ -1,0 +1,192 @@
+// Bitwise contracts of the blocked GEMM substrate (src/tensor/gemm.h):
+// every kernel variant must equal the naive i-j-k reference exactly, results
+// must not change with the intra-op thread budget, transposed operands must
+// never be materialized, and the distributed runtime must reproduce
+// single-device inference bit for bit under the naive attention order.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/flops.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace voltage {
+namespace {
+
+void expect_bitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        a.rows() * a.cols() * sizeof(float)),
+            0);
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// Mixes tile-aligned shapes with shapes that exercise every edge path:
+// m/n/k not divisible by any micro-tile or cache-block size, degenerate
+// single-row/column cases, and k spanning multiple KC blocks.
+const std::vector<Shape>& test_shapes() {
+  static const std::vector<Shape> shapes = {
+      {1, 1, 1},     {2, 3, 4},      {5, 7, 9},      {8, 8, 8},
+      {13, 1, 31},   {1, 257, 1},    {33, 17, 29},   {64, 64, 64},
+      {65, 300, 33}, {100, 48, 129}, {128, 256, 96}, {141, 260, 70},
+  };
+  return shapes;
+}
+
+TEST(GemmKernels, MatchNaiveReferenceBitwiseForAllVariantsAndShapes) {
+  Rng rng(42);
+  for (const Shape& s : test_shapes()) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        // Stored layouts: A is m x k (or k x m when transposed), likewise B.
+        const Tensor a = ta ? rng.normal_tensor(s.k, s.m, 1.0F)
+                            : rng.normal_tensor(s.m, s.k, 1.0F);
+        const Tensor b = tb ? rng.normal_tensor(s.n, s.k, 1.0F)
+                            : rng.normal_tensor(s.k, s.n, 1.0F);
+        // Both sides accumulate onto the same nonzero C.
+        const Tensor c0 = rng.normal_tensor(s.m, s.n, 1.0F);
+        Tensor c_kernel = c0;
+        Tensor c_ref = c0;
+        detail::gemm_blocked(a.data(), ta, b.data(), tb, c_kernel.data(),
+                             s.m, 0, s.m, s.k, s.n);
+        detail::gemm_reference(a.data(), ta, b.data(), tb, c_ref.data(),
+                               s.m, s.k, s.n);
+        expect_bitwise(c_kernel, c_ref);
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, DedicatedEntryPointsMatchReference) {
+  Rng rng(7);
+  const std::size_t m = 37, k = 53, n = 29;
+  const Tensor a = rng.normal_tensor(m, k, 1.0F);
+  const Tensor at = rng.normal_tensor(k, m, 1.0F);
+  const Tensor b = rng.normal_tensor(k, n, 1.0F);
+  const Tensor bt = rng.normal_tensor(n, k, 1.0F);
+
+  const auto check = [&](const Tensor& sa, bool ta, const Tensor& sb, bool tb,
+                         auto kernel) {
+    Tensor c_kernel(m, n);
+    Tensor c_ref(m, n);
+    kernel(sa.data(), sb.data(), c_kernel.data(), m, k, n);
+    detail::gemm_reference(sa.data(), ta, sb.data(), tb, c_ref.data(), m, k,
+                           n);
+    expect_bitwise(c_kernel, c_ref);
+  };
+  check(a, false, b, false, detail::gemm_nn);
+  check(a, false, bt, true, detail::gemm_nt);
+  check(at, true, b, false, detail::gemm_tn);
+  check(at, true, bt, true, detail::gemm_tt);
+}
+
+TEST(GemmKernels, RowRangeSplitsReproduceTheFullResult) {
+  Rng rng(11);
+  const std::size_t m = 67, k = 40, n = 51;
+  const Tensor a = rng.normal_tensor(m, k, 1.0F);
+  const Tensor b = rng.normal_tensor(k, n, 1.0F);
+  Tensor full(m, n);
+  detail::gemm_blocked(a.data(), false, b.data(), false, full.data(), m, 0, m,
+                       k, n);
+
+  // Uneven split points, including a single-row chunk.
+  Tensor split(m, n);
+  const std::size_t cuts[] = {0, 5, 6, 40, m};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    detail::gemm_blocked(a.data(), false, b.data(), false, split.data(), m,
+                         cuts[c], cuts[c + 1], k, n);
+  }
+  expect_bitwise(full, split);
+}
+
+TEST(GemmKernels, MatmulIsBitwiseIdenticalAcrossIntraOpBudgets) {
+  Rng rng(13);
+  for (const Shape& s : {Shape{37, 23, 41}, Shape{130, 64, 50}}) {
+    const Tensor a = rng.normal_tensor(s.m, s.k, 1.0F);
+    const Tensor b = rng.normal_tensor(s.k, s.n, 1.0F);
+    std::vector<Tensor> results;
+    for (const std::size_t threads : {1U, 2U, 4U}) {
+      const IntraOpScope scope(threads);
+      results.push_back(matmul(a, b));
+    }
+    expect_bitwise(results[0], results[1]);
+    expect_bitwise(results[0], results[2]);
+  }
+}
+
+TEST(GemmKernels, TransposedMatmulNeverMaterializesACopy) {
+  Rng rng(17);
+  const Tensor a = rng.normal_tensor(45, 33, 1.0F);
+  const Tensor b = rng.normal_tensor(51, 33, 1.0F);     // op(b)^T is 33 x 51
+  const Tensor at = rng.normal_tensor(33, 45, 1.0F);    // op(at)^T is 45 x 33
+  const Tensor c = rng.normal_tensor(33, 20, 1.0F);
+  const std::uint64_t before = Tensor::transpose_copy_count();
+  (void)matmul(a, b, Trans::kNo, Trans::kYes);    // NT: 45x33 · 33x51
+  (void)matmul(at, b, Trans::kYes, Trans::kYes);  // TT: 45x33 · 33x51
+  (void)matmul(at, c, Trans::kYes, Trans::kNo);   // TN: 45x33 · 33x20
+  EXPECT_EQ(Tensor::transpose_copy_count(), before);
+  // The counter itself is live: an explicit transpose still registers.
+  (void)a.transposed();
+  EXPECT_EQ(Tensor::transpose_copy_count(), before + 1);
+}
+
+TEST(GemmKernels, MacAccountingIsExactUnderThreading) {
+  Rng rng(19);
+  const std::size_t m = 96, k = 64, n = 80;
+  const Tensor a = rng.normal_tensor(m, k, 1.0F);
+  const Tensor b = rng.normal_tensor(k, n, 1.0F);
+  const IntraOpScope scope(4);
+  const flops::Scope counter;
+  (void)matmul(a, b);
+  EXPECT_EQ(counter.macs(), static_cast<std::uint64_t>(m) * k * n);
+}
+
+TEST(GemmKernels, DispatchReportsAKnownArch) {
+  const std::string_view arch = detail::gemm_kernel_arch();
+  EXPECT_TRUE(arch == "avx512" || arch == "avx2" || arch == "base") << arch;
+}
+
+TEST(GemmDeterminism, ModelForwardBitwiseIdenticalAcrossIntraOpBudgets) {
+  for (const ModelSpec& spec : {mini_bert_spec(), mini_gpt2_spec()}) {
+    const TransformerModel model = make_model(spec);
+    const auto tokens = random_tokens(24, model.spec().vocab_size, 7);
+    std::vector<Tensor> logits;
+    for (const std::size_t threads : {1U, 2U, 4U}) {
+      const IntraOpScope scope(threads);
+      logits.push_back(model.infer(tokens));
+    }
+    expect_bitwise(logits[0], logits[1]);
+    expect_bitwise(logits[0], logits[2]);
+  }
+}
+
+// Stronger than the runtime_test tolerance checks: under the naive attention
+// order the distributed computation performs exactly the same per-row FP
+// chains as the single-device baseline, so K devices must reproduce it bit
+// for bit (row-splitting a GEMM never changes any row's summation order).
+TEST(GemmDeterminism, DistributedInferenceBitwiseMatchesSingleDevice) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  const auto tokens = random_tokens(30, model.spec().vocab_size, 23);
+  const Tensor expected = model.infer(tokens);
+  for (const std::size_t k : {2U, 3U}) {
+    VoltageRuntime runtime(model, PartitionScheme::even(k),
+                           OrderPolicy::kAlwaysNaive);
+    const Tensor logits = runtime.infer(tokens);
+    expect_bitwise(logits, expected);
+  }
+}
+
+}  // namespace
+}  // namespace voltage
