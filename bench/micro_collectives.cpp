@@ -1,0 +1,174 @@
+// Microbenchmarks of the per-layer synchronization collectives over the
+// in-process Fabric: the seed all_gather + assemble_rows path vs the
+// zero-copy all_gather_into rewrite, plus the ring all-reduce for the
+// tensor-parallel comparison. Shapes follow the paper's models — activations
+// are N x F with F = 1024 (BERT-Large) and 768 (GPT-2) — at K in {2, 4, 8}.
+//
+// Each benchmark drives a persistent K-rank mesh: rank 0 is the timed
+// thread, ranks 1..K-1 loop on a pair of barriers so every iteration times
+// one full collective with all ranks participating (barrier overhead is
+// identical across variants).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "collective/collectives.h"
+#include "net/fabric.h"
+#include "partition/range.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace voltage;
+
+constexpr std::size_t kSeqLen = 200;
+
+std::vector<Range> even_ranges(std::size_t n, std::size_t k) {
+  std::vector<Range> ranges(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ranges[i] = Range{.begin = n * i / k, .end = n * (i + 1) / k};
+  }
+  return ranges;
+}
+
+// Runs `op(rank)` on all K ranks per benchmark iteration; rank 0 is timed.
+template <typename Op>
+void run_mesh(benchmark::State& state, std::size_t k, const Op& op) {
+  std::barrier start(static_cast<std::ptrdiff_t>(k));
+  std::barrier done(static_cast<std::ptrdiff_t>(k));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> peers;
+  peers.reserve(k - 1);
+  for (std::size_t r = 1; r < k; ++r) {
+    peers.emplace_back([&, r] {
+      for (;;) {
+        start.arrive_and_wait();
+        if (stop.load(std::memory_order_relaxed)) return;
+        op(r);
+        done.arrive_and_wait();
+      }
+    });
+  }
+  for (auto _ : state) {
+    start.arrive_and_wait();
+    op(0);
+    done.arrive_and_wait();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  start.arrive_and_wait();
+  for (auto& t : peers) t.join();
+}
+
+// Seed path: serialize, exchange, allocate a tensor per message, then copy
+// everything again through assemble_rows.
+void BM_AllGatherSeed(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const auto ranges = even_ranges(kSeqLen, k);
+  std::vector<DeviceId> group(k);
+  std::iota(group.begin(), group.end(), DeviceId{0});
+  Fabric fabric(k);
+  Rng rng(1);
+  std::vector<Tensor> parts;
+  parts.reserve(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    parts.push_back(rng.normal_tensor(ranges[r].size(), f, 1.0F));
+  }
+  run_mesh(state, k, [&](std::size_t r) {
+    const auto gathered = all_gather(fabric, group, r, parts[r], /*tag=*/1);
+    Tensor x = assemble_rows(gathered, ranges, kSeqLen, f);
+    benchmark::DoNotOptimize(x.data());
+  });
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>((k - 1) * ranges[0].size() * f *
+                                sizeof(float)));
+}
+BENCHMARK(BM_AllGatherSeed)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->Args({2, 768})
+    ->Args({4, 768})
+    ->Args({8, 768})
+    ->UseRealTime();
+
+// Zero-copy path: sends borrow the partition's storage, peers land directly
+// in a preallocated full-sequence buffer in arrival order.
+void BM_AllGatherInto(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const auto ranges = even_ranges(kSeqLen, k);
+  std::vector<DeviceId> group(k);
+  std::iota(group.begin(), group.end(), DeviceId{0});
+  Fabric fabric(k);
+  Rng rng(1);
+  std::vector<std::shared_ptr<const Tensor>> parts;
+  parts.reserve(k);
+  std::vector<Tensor> dsts;
+  dsts.reserve(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    parts.push_back(std::make_shared<const Tensor>(
+        rng.normal_tensor(ranges[r].size(), f, 1.0F)));
+    dsts.emplace_back(kSeqLen, f);
+  }
+  run_mesh(state, k, [&](std::size_t r) {
+    all_gather_into(fabric, group, r, parts[r], ranges, dsts[r], /*tag=*/1);
+    benchmark::DoNotOptimize(dsts[r].data());
+  });
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>((k - 1) * ranges[0].size() * f *
+                                sizeof(float)));
+}
+BENCHMARK(BM_AllGatherInto)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->Args({2, 768})
+    ->Args({4, 768})
+    ->Args({8, 768})
+    ->UseRealTime();
+
+// Tensor parallelism's sync primitive on the full N x F activation, for the
+// §V-C comparison.
+void BM_RingAllReduce(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  std::vector<DeviceId> group(k);
+  std::iota(group.begin(), group.end(), DeviceId{0});
+  Fabric fabric(k);
+  Rng rng(2);
+  std::vector<Tensor> inputs;
+  inputs.reserve(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    inputs.push_back(rng.normal_tensor(kSeqLen, f, 1.0F));
+  }
+  run_mesh(state, k, [&](std::size_t r) {
+    Tensor sum = ring_all_reduce_sum(fabric, group, r, inputs[r], /*tag=*/1);
+    benchmark::DoNotOptimize(sum.data());
+  });
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * (k - 1) * (kSeqLen / k) * f *
+                                sizeof(float)));
+}
+BENCHMARK(BM_RingAllReduce)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->Args({2, 768})
+    ->Args({4, 768})
+    ->Args({8, 768})
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #include "collective/collectives.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -29,6 +30,9 @@ std::vector<Tensor> all_gather(Transport& fabric,
                                std::size_t my_index, const Tensor& local,
                                MessageTag tag) {
   check_group(group, my_index);
+  // Alone in the group there is nothing to exchange — return before any
+  // payload work (the serialize here used to cost a full tensor copy).
+  if (group.size() == 1) return {local};
   const DeviceId self = group[my_index];
   auto payload = to_bytes(local);
   // Span covers the full synchronization point — sends plus the wait for
@@ -49,9 +53,123 @@ std::vector<Tensor> all_gather(Transport& fabric,
   gathered[my_index] = local;
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (i == my_index) continue;
-    gathered[i] = tensor_from_bytes(fabric.recv(self, group[i], tag).payload);
+    gathered[i] = tensor_from_payload(fabric.recv(self, group[i], tag).payload);
   }
   return gathered;
+}
+
+AllGatherInto::AllGatherInto(Transport& fabric,
+                             const std::vector<DeviceId>& group,
+                             std::size_t my_index,
+                             std::shared_ptr<const Tensor> local,
+                             const std::vector<Range>& ranges, Tensor& dst,
+                             MessageTag tag)
+    : fabric_(fabric),
+      group_(group),
+      my_index_(my_index),
+      ranges_(ranges),
+      dst_(dst),
+      tag_(tag),
+      span_(group.size() > 1 ? obs::thread_tracer() : nullptr, "all_gather",
+            "comm", obs::thread_track()) {
+  check_group(group, my_index);
+  if (ranges.size() != group.size()) {
+    throw std::invalid_argument("all_gather_into: ranges/group size mismatch");
+  }
+  if (local == nullptr) {
+    throw std::invalid_argument("all_gather_into: null local partition");
+  }
+  const Range own = ranges[my_index];
+  if (local->rows() != own.size()) {
+    throw std::invalid_argument("all_gather_into: local/range row mismatch");
+  }
+  if (own.end > dst.rows() || (!own.empty() && local->cols() != dst.cols())) {
+    throw std::invalid_argument("all_gather_into: destination shape mismatch");
+  }
+  if (!own.empty()) dst.set_rows(own.begin, *local);
+  if (group.size() == 1) return;
+  const DeviceId self = group[my_index];
+  // The payload borrows local's rows; the shared handle keeps the tensor
+  // alive while copies of this message sit in peer mailboxes, so the caller
+  // is free to drop its reference as soon as construction returns.
+  const Payload payload = tensor_payload_view(std::move(local));
+  span_.device(static_cast<std::int64_t>(self))
+      .layer(obs::thread_layer())
+      .bytes(static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i == my_index) continue;
+    fabric.send(Message{.source = self,
+                        .destination = group[i],
+                        .tag = tag,
+                        .payload = payload});
+  }
+  pending_ = group.size() - 1;
+}
+
+void AllGatherInto::wait() {
+  if (pending_ == 0) {
+    span_.finish();
+    return;
+  }
+  const DeviceId self = group_[my_index_];
+  {
+    // The blocking tail of the sync. No byte attribute: the wire volume is
+    // accounted once, on the enclosing all_gather span.
+    obs::TraceSpan wait_span(obs::thread_tracer(), "gather_wait", "comm",
+                             obs::thread_track());
+    wait_span.device(static_cast<std::int64_t>(self))
+        .layer(obs::thread_layer());
+    // Duplicate-source detection without per-call heap allocation (the
+    // steady-state layer loop runs through here): a bitmask covers any
+    // realistic group; larger ones fall back to a vector.
+    std::uint64_t seen_mask = 0;
+    std::vector<bool> seen_big;
+    if (group_.size() > 64) {
+      seen_big.assign(group_.size(), false);
+      seen_big[my_index_] = true;
+    } else {
+      seen_mask = std::uint64_t{1} << my_index_;
+    }
+    const auto test_and_set = [&](std::size_t rank) {
+      if (!seen_big.empty()) {
+        const bool was = seen_big[rank];
+        seen_big[rank] = true;
+        return was;
+      }
+      const bool was = ((seen_mask >> rank) & 1U) != 0;
+      seen_mask |= std::uint64_t{1} << rank;
+      return was;
+    };
+    while (pending_ > 0) {
+      const Message m = fabric_.recv_any(self, tag_);
+      std::size_t rank = group_.size();
+      for (std::size_t i = 0; i < group_.size(); ++i) {
+        if (group_[i] == m.source) {
+          rank = i;
+          break;
+        }
+      }
+      if (rank == group_.size() || test_and_set(rank)) {
+        throw std::runtime_error("all_gather_into: unexpected source");
+      }
+      const WireShape shape =
+          deserialize_into(m.payload, dst_, ranges_[rank].begin);
+      if (shape.rows != ranges_[rank].size()) {
+        throw std::runtime_error("all_gather_into: partition size mismatch");
+      }
+      --pending_;
+    }
+  }
+  span_.finish();
+}
+
+void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
+                     std::size_t my_index, std::shared_ptr<const Tensor> local,
+                     const std::vector<Range>& ranges, Tensor& dst,
+                     MessageTag tag) {
+  AllGatherInto gather(fabric, group, my_index, std::move(local), ranges, dst,
+                       tag);
+  gather.wait();
 }
 
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
@@ -66,7 +184,14 @@ void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                       obs::thread_track());
   span.device(static_cast<std::int64_t>(self));
   if (my_index == root_index) {
-    const auto payload = to_bytes(data);
+    if (group.size() == 1) {
+      span.bytes(0);
+      return;
+    }
+    // One snapshot copy of `data` (the caller may mutate it after we return
+    // while messages still sit in mailboxes), then every send borrows it.
+    const Payload payload =
+        tensor_payload_view(std::make_shared<const Tensor>(data));
     span.bytes(
         static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
     for (std::size_t i = 0; i < group.size(); ++i) {
@@ -77,7 +202,7 @@ void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                           .payload = payload});
     }
   } else {
-    data = tensor_from_bytes(
+    data = tensor_from_payload(
         fabric.recv(self, group[root_index], tag).payload);
   }
 }
@@ -108,8 +233,7 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
                         .payload = std::move(payload)});
   };
   const auto recv_chunk = [&](std::uint64_t step) {
-    return tensor_from_bytes(
-        fabric.recv(self, group[prev], tag + step).payload);
+    return tensor_from_payload(fabric.recv(self, group[prev], tag + step).payload);
   };
 
   // Reduce-scatter: after K-1 steps, rank i holds the full sum of chunk
@@ -151,8 +275,8 @@ Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& grou
   if (my_index == kRoot) {
     span.bytes(0);
     for (std::size_t i = 1; i < group.size(); ++i) {
-      add_inplace(local,
-                  tensor_from_bytes(fabric.recv(self, group[i], tag).payload));
+      add_inplace(
+          local, tensor_from_payload(fabric.recv(self, group[i], tag).payload));
     }
   } else {
     auto payload = to_bytes(local);

@@ -9,9 +9,11 @@
 // true wire volume the paper's §V-C formulas predict.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "partition/range.h"
 #include "tensor/tensor.h"
 
@@ -25,6 +27,48 @@ namespace voltage {
                                              std::size_t my_index,
                                              const Tensor& local,
                                              MessageTag tag);
+
+// Split-phase zero-copy all-gather of row partitions. Construction posts the
+// sends (payloads borrow `local`'s storage — the shared handle keeps it alive
+// while messages sit in mailboxes) and copies the caller's own rows into
+// `dst`; wait() receives peer partitions in *arrival order* via recv_any and
+// deserializes each directly into `dst` at its range's row offset — no
+// per-message tensor allocation, no assemble_rows pass. The gap between the
+// two phases is where the runtime overlaps next-layer compute.
+//
+// `ranges[i]` is the row range owned by `group[i]`; the ranges must tile
+// [0, dst.rows()) disjointly for `dst` to come back fully written (checked
+// only per-message: each arriving partition must fit its declared range).
+// `dst` must outlive wait(); `local` is shared because peers may still be
+// reading it after this rank moves on.
+class AllGatherInto {
+ public:
+  AllGatherInto(Transport& fabric, const std::vector<DeviceId>& group,
+                std::size_t my_index, std::shared_ptr<const Tensor> local,
+                const std::vector<Range>& ranges, Tensor& dst, MessageTag tag);
+
+  // Blocks until every peer partition has landed in `dst`. Idempotent.
+  void wait();
+
+  AllGatherInto(const AllGatherInto&) = delete;
+  AllGatherInto& operator=(const AllGatherInto&) = delete;
+
+ private:
+  Transport& fabric_;
+  const std::vector<DeviceId>& group_;
+  std::size_t my_index_;
+  const std::vector<Range>& ranges_;
+  Tensor& dst_;
+  MessageTag tag_;
+  std::size_t pending_ = 0;
+  obs::TraceSpan span_;
+};
+
+// One-shot convenience wrapper: construct + wait.
+void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
+                     std::size_t my_index, std::shared_ptr<const Tensor> local,
+                     const std::vector<Range>& ranges, Tensor& dst,
+                     MessageTag tag);
 
 // Root sends `data` to every other member; non-roots receive into `data`.
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,

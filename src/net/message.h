@@ -1,10 +1,15 @@
-// Messages exchanged over the in-process fabric. Payloads are raw bytes —
+// Messages exchanged over the in-process fabric. Payloads are wire bytes —
 // tensors go through tensor/serialize.h — so measured traffic equals what a
 // socket implementation would put on the wire.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 namespace voltage {
@@ -15,11 +20,97 @@ using DeviceId = std::size_t;
 // phases can never be confused.
 using MessageTag = std::uint64_t;
 
+// Payload of a fabric message. Two representations behind one interface:
+//
+//   - owned: a flat byte vector — the general case (and the only shape a
+//     socket receiver can produce);
+//   - view: a small inline header plus a non-owning span of the sender's
+//     row storage, pinned by a keep-alive handle. Large activations are
+//     sent by borrowing the tensor's memory instead of serializing it into
+//     a fresh buffer, so the in-memory Fabric moves zero payload bytes on
+//     send and the SocketFabric writes straight from the tensor.
+//
+// Both representations expose the same wire bytes as head() followed by
+// body() (body is empty for owned payloads), and size() is always the exact
+// on-the-wire byte count, so traffic accounting is representation-blind.
+class Payload {
+ public:
+  // Enough for the tensor wire header (2 × u64); see tensor/serialize.h.
+  static constexpr std::size_t kInlineHeaderCapacity = 16;
+
+  Payload() = default;
+  // Implicit so `.payload = to_bytes(t)` and byte-vector literals keep
+  // working unchanged.
+  Payload(std::vector<std::byte> bytes)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(bytes)) {}
+
+  // Borrowing payload: `header_len` leading bytes stored inline, then
+  // `body` read from the caller's memory at transmit/consume time.
+  // `keep_alive` must pin whatever `body` points into for at least as long
+  // as any copy of this payload (messages travel and sit in mailboxes —
+  // pass real ownership, not a raw borrow, unless an outside protocol
+  // guarantees the storage outlives consumption).
+  [[nodiscard]] static Payload view(
+      std::array<std::byte, kInlineHeaderCapacity> header,
+      std::size_t header_len, std::span<const std::byte> body,
+      std::shared_ptr<const void> keep_alive) {
+    assert(header_len > 0 && header_len <= kInlineHeaderCapacity);
+    Payload p;
+    p.header_ = header;
+    p.header_len_ = header_len;
+    p.body_ = body;
+    p.keep_alive_ = std::move(keep_alive);
+    return p;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return header_len_ > 0 ? header_len_ + body_.size() : owned_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  // First wire chunk: the whole buffer of an owned payload, the inline
+  // header of a view.
+  [[nodiscard]] std::span<const std::byte> head() const noexcept {
+    return header_len_ > 0
+               ? std::span<const std::byte>(header_.data(), header_len_)
+               : std::span<const std::byte>(owned_);
+  }
+  // Second wire chunk: the borrowed storage of a view; empty when owned.
+  [[nodiscard]] std::span<const std::byte> body() const noexcept {
+    return body_;
+  }
+
+  [[nodiscard]] std::byte operator[](std::size_t i) const noexcept {
+    const auto h = head();
+    return i < h.size() ? h[i] : body_[i - h.size()];
+  }
+
+  // Flat owned copy of the wire bytes (head ++ body).
+  [[nodiscard]] std::vector<std::byte> flatten() const {
+    std::vector<std::byte> out(size());
+    copy_to(out.data());
+    return out;
+  }
+
+  void copy_to(std::byte* dst) const {
+    const auto h = head();
+    if (!h.empty()) std::memcpy(dst, h.data(), h.size());
+    if (!body_.empty()) std::memcpy(dst + h.size(), body_.data(), body_.size());
+  }
+
+ private:
+  std::vector<std::byte> owned_;
+  std::array<std::byte, kInlineHeaderCapacity> header_{};
+  std::size_t header_len_ = 0;  // 0 → owned representation
+  std::span<const std::byte> body_;
+  std::shared_ptr<const void> keep_alive_;
+};
+
 struct Message {
   DeviceId source = 0;
   DeviceId destination = 0;
   MessageTag tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 
   [[nodiscard]] std::size_t byte_size() const noexcept {
     return payload.size();

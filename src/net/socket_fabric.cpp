@@ -155,10 +155,10 @@ void SocketFabric::reader_loop(std::size_t device) {
       msg.source = header.source;
       msg.destination = device;
       msg.tag = header.tag;
-      msg.payload.resize(header.length);
+      std::vector<std::byte> body(header.length);
       if (header.length > 0) {
         try {
-          if (!read_all(fds[idx].fd, msg.payload.data(), header.length)) {
+          if (!read_all(fds[idx].fd, body.data(), header.length)) {
             fds[idx].fd = -1;
             --open;
             continue;
@@ -169,6 +169,7 @@ void SocketFabric::reader_loop(std::size_t device) {
           continue;
         }
       }
+      msg.payload = std::move(body);
       {
         const std::lock_guard lock(ep.mutex);
         ep.stats.messages_received += 1;
@@ -196,11 +197,14 @@ void SocketFabric::send(Message message) {
                            .tag = message.tag,
                            .length = message.payload.size()};
   {
+    // View payloads are written straight from the borrowed storage (header
+    // chunk then body chunk) — no flattening copy on the send path.
     const std::lock_guard wlock(*src.write_mutex[message.destination]);
     write_all(fd, &header, sizeof(header));
-    if (!message.payload.empty()) {
-      write_all(fd, message.payload.data(), message.payload.size());
-    }
+    const auto head = message.payload.head();
+    if (!head.empty()) write_all(fd, head.data(), head.size());
+    const auto body = message.payload.body();
+    if (!body.empty()) write_all(fd, body.data(), body.size());
   }
   if (metrics_.enabled()) {
     metrics_.messages_sent->add(1);

@@ -196,6 +196,10 @@ TraceReport build_report(const LoadedTrace& trace) {
     } else if (name == "all_gather") {
       row.all_gather_us += e.duration_us;
       if (e.bytes > 0) row.all_gather_bytes += e.bytes;
+    } else if (name == "gather_wait") {
+      row.gather_wait_us += e.duration_us;
+    } else if (name == "overlap_compute") {
+      row.overlap_us += e.duration_us;
     }
   }
 
@@ -217,18 +221,21 @@ std::string format_report(const TraceReport& report) {
 
   if (!report.layers.empty()) {
     out +=
-        "layer  device  compute_us  gemm_us  all_gather_us  "
-        "all_gather_bytes  order\n";
+        "layer  device  compute_us  gemm_us  all_gather_us  gather_wait_us  "
+        "overlap_us  all_gather_bytes  order\n";
     for (const LayerRow& row : report.layers) {
-      std::snprintf(line, sizeof(line),
-                    "%5lld  %6lld  %10lld  %7lld  %13lld  %16lld  %s\n",
-                    static_cast<long long>(row.layer),
-                    static_cast<long long>(row.device),
-                    static_cast<long long>(row.compute_us),
-                    static_cast<long long>(row.gemm_us),
-                    static_cast<long long>(row.all_gather_us),
-                    static_cast<long long>(row.all_gather_bytes),
-                    row.order.empty() ? "-" : row.order.c_str());
+      std::snprintf(
+          line, sizeof(line),
+          "%5lld  %6lld  %10lld  %7lld  %13lld  %14lld  %10lld  %16lld  %s\n",
+          static_cast<long long>(row.layer),
+          static_cast<long long>(row.device),
+          static_cast<long long>(row.compute_us),
+          static_cast<long long>(row.gemm_us),
+          static_cast<long long>(row.all_gather_us),
+          static_cast<long long>(row.gather_wait_us),
+          static_cast<long long>(row.overlap_us),
+          static_cast<long long>(row.all_gather_bytes),
+          row.order.empty() ? "-" : row.order.c_str());
       out += line;
     }
     out += "\n";

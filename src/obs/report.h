@@ -42,6 +42,12 @@ struct LayerRow {
   Micros compute_us = 0;    // "layer" spans (attention+FFN nested inside)
   Micros gemm_us = 0;       // "gemm" kernel spans nested inside the layer
   Micros all_gather_us = 0;
+  // Blocking tail of the all-gather ("gather_wait" spans) — nested within
+  // all_gather_us, so all_gather_us - gather_wait_us is the send/copy part.
+  Micros gather_wait_us = 0;
+  // Next-layer attention prologue overlapped with this layer's gather
+  // ("overlap_compute" spans; attributed to the layer they compute *for*).
+  Micros overlap_us = 0;
   std::int64_t all_gather_bytes = 0;
   std::string order;        // attention order tag seen on the layer span
 };

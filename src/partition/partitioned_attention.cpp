@@ -12,11 +12,25 @@ namespace voltage {
 
 namespace {
 
-// Eq. (3): S = softmax((x_p W_Q)(x W_K)^T / sqrt(F_H)), A_p = S (x W_V).
-Tensor head_partition_naive(const Tensor& x, const Tensor& xp, Range p,
-                            const HeadWeights& w, std::size_t head_dim,
-                            bool causal) {
-  const Tensor qp = matmul(xp, w.wq);
+// Both orders factor into a prologue that reads only the partition's own
+// rows and a finish that needs the full sequence. The fused head functions
+// below route through the same finish helpers so the split and unsplit
+// evaluations share every FP chain bitwise.
+
+// Eq. (3) prologue: Q_p = x_p W_Q  [P x F_H].
+Tensor head_prologue_naive(const Tensor& xp, const HeadWeights& w) {
+  return matmul(xp, w.wq);
+}
+
+// Eq. (8) prologue: (x_p W_Q) W_K^T  [P x F].
+Tensor head_prologue_reordered(const Tensor& xp, const HeadWeights& w) {
+  return matmul(matmul(xp, w.wq), w.wk, Trans::kNo, Trans::kYes);
+}
+
+// Eq. (3) finish: S = softmax(Q_p (x W_K)^T / sqrt(F_H)), A_p = S (x W_V).
+Tensor head_finish_naive(const Tensor& x, const Tensor& qp, Range p,
+                         const HeadWeights& w, std::size_t head_dim,
+                         bool causal) {
   const Tensor k = matmul(x, w.wk);
   Tensor scores = matmul(qp, k, Trans::kNo, Trans::kYes);
   if (causal) apply_causal_mask(scores, p.begin);
@@ -25,18 +39,30 @@ Tensor head_partition_naive(const Tensor& x, const Tensor& xp, Range p,
   return matmul(s, matmul(x, w.wv));
 }
 
-// Eq. (8): S = softmax(((x_p W_Q) W_K^T) x^T / sqrt(F_H)), A_p = (S x) W_V.
+// Eq. (8) finish: S = softmax(qk x^T / sqrt(F_H)), A_p = (S x) W_V.
 // K and V are never materialized; all intermediates are P-sized.
-Tensor head_partition_reordered(const Tensor& x, const Tensor& xp, Range p,
-                                const HeadWeights& w, std::size_t head_dim,
-                                bool causal) {
-  const Tensor qp = matmul(xp, w.wq);
-  const Tensor qk = matmul(qp, w.wk, Trans::kNo, Trans::kYes);  // P x F
-  Tensor scores = matmul(qk, x, Trans::kNo, Trans::kYes);       // P x N
+Tensor head_finish_reordered(const Tensor& x, const Tensor& qk, Range p,
+                             const HeadWeights& w, std::size_t head_dim,
+                             bool causal) {
+  Tensor scores = matmul(qk, x, Trans::kNo, Trans::kYes);  // P x N
   if (causal) apply_causal_mask(scores, p.begin);
   const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(head_dim));
   const Tensor s = softmax_rows(scores, inv_sqrt);
   return matmul(matmul(s, x), w.wv);
+}
+
+Tensor head_partition_naive(const Tensor& x, const Tensor& xp, Range p,
+                            const HeadWeights& w, std::size_t head_dim,
+                            bool causal) {
+  return head_finish_naive(x, head_prologue_naive(xp, w), p, w, head_dim,
+                           causal);
+}
+
+Tensor head_partition_reordered(const Tensor& x, const Tensor& xp, Range p,
+                                const HeadWeights& w, std::size_t head_dim,
+                                bool causal) {
+  return head_finish_reordered(x, head_prologue_reordered(xp, w), p, w,
+                               head_dim, causal);
 }
 
 }  // namespace
@@ -75,6 +101,65 @@ Tensor multi_head_attention_partition(const Tensor& x, Range p,
                    head_outputs[h] = attention_head_partition(
                        x, p, w.heads[h], config.head_dim, config.causal,
                        order);
+                 }
+               });
+  Tensor out = matmul(concat_cols(head_outputs), w.wo);
+  add_bias_inplace(out, w.bo);
+  return out;
+}
+
+AttentionPrologue attention_prologue(const Tensor& xp, std::size_t n_total,
+                                     Range p, const AttentionWeights& w,
+                                     const LayerConfig& config,
+                                     OrderPolicy policy) {
+  AttentionPrologue prologue;
+  if (p.empty()) return prologue;
+  if (xp.rows() != p.size()) {
+    throw std::out_of_range("attention_prologue: xp/range row mismatch");
+  }
+  const AttentionDims dims{.n = n_total,
+                           .p = p.size(),
+                           .f = config.hidden,
+                           .fh = config.head_dim};
+  prologue.order = select_order(policy, dims);
+  prologue.per_head.resize(w.heads.size());
+  parallel_for(std::size_t{0}, w.heads.size(), std::size_t{1},
+               [&](std::size_t h0, std::size_t h1) {
+                 for (std::size_t h = h0; h < h1; ++h) {
+                   prologue.per_head[h] =
+                       prologue.order == AttentionOrder::kReordered
+                           ? head_prologue_reordered(xp, w.heads[h])
+                           : head_prologue_naive(xp, w.heads[h]);
+                 }
+               });
+  return prologue;
+}
+
+Tensor multi_head_attention_with_prologue(const Tensor& x, Range p,
+                                          const AttentionWeights& w,
+                                          const LayerConfig& config,
+                                          const AttentionPrologue& prologue) {
+  if (p.empty()) return Tensor(0, config.hidden);
+  if (p.end > x.rows()) {
+    throw std::out_of_range(
+        "multi_head_attention_with_prologue: range exceeds input");
+  }
+  if (prologue.per_head.size() != w.heads.size()) {
+    throw std::out_of_range(
+        "multi_head_attention_with_prologue: prologue head count mismatch");
+  }
+  std::vector<Tensor> head_outputs(w.heads.size());
+  parallel_for(std::size_t{0}, w.heads.size(), std::size_t{1},
+               [&](std::size_t h0, std::size_t h1) {
+                 for (std::size_t h = h0; h < h1; ++h) {
+                   head_outputs[h] =
+                       prologue.order == AttentionOrder::kReordered
+                           ? head_finish_reordered(x, prologue.per_head[h], p,
+                                                   w.heads[h], config.head_dim,
+                                                   config.causal)
+                           : head_finish_naive(x, prologue.per_head[h], p,
+                                               w.heads[h], config.head_dim,
+                                               config.causal);
                  }
                });
   Tensor out = matmul(concat_cols(head_outputs), w.wo);

@@ -6,6 +6,9 @@
 // the adaptive policy (Theorem 2) chooses between them.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "partition/order.h"
 #include "partition/range.h"
 #include "tensor/tensor.h"
@@ -28,5 +31,33 @@ namespace voltage {
                                                     const AttentionWeights& w,
                                                     const LayerConfig& config,
                                                     OrderPolicy policy);
+
+// The query-side head of the attention computation, split off so the runtime
+// can overlap it with the layer's all-gather: both orders start from a chain
+// that reads only the device's own rows — Eq. (3) needs x_p W_Q and Eq. (8)
+// needs (x_p W_Q) W_K^T — so it can run while peer rows are still in flight.
+// `per_head[h]` is that head's chain head: [P x F_H] (naive) or [P x F]
+// (reordered). The finish path evaluates the identical FP chain the fused
+// entry point would, so splitting never changes a bit of the output.
+struct AttentionPrologue {
+  AttentionOrder order = AttentionOrder::kNaive;
+  std::vector<Tensor> per_head;
+};
+
+// Computes the prologue for the positions in `p`. `xp` holds exactly those
+// rows ([P x F]); `n_total` is the full sequence length, needed because
+// Theorem 2's order selection depends on N, not P.
+[[nodiscard]] AttentionPrologue attention_prologue(const Tensor& xp,
+                                                   std::size_t n_total, Range p,
+                                                   const AttentionWeights& w,
+                                                   const LayerConfig& config,
+                                                   OrderPolicy policy);
+
+// Completes multi-head attention from a prologue once the full sequence `x`
+// is available. Bitwise identical to multi_head_attention_partition with the
+// same inputs and the order the prologue chose.
+[[nodiscard]] Tensor multi_head_attention_with_prologue(
+    const Tensor& x, Range p, const AttentionWeights& w,
+    const LayerConfig& config, const AttentionPrologue& prologue);
 
 }  // namespace voltage

@@ -10,8 +10,8 @@
 namespace voltage {
 
 Tensor partitioned_layer_forward(const TransformerLayer& layer,
-                                 const Tensor& x, Range p,
-                                 OrderPolicy policy) {
+                                 const Tensor& x, Range p, OrderPolicy policy,
+                                 const AttentionPrologue* prologue) {
   const LayerConfig& config = layer.config();
   const LayerWeights& w = layer.weights();
   if (p.end > x.rows()) {
@@ -25,7 +25,11 @@ Tensor partitioned_layer_forward(const TransformerLayer& layer,
     // Algorithm 1, lines 2-9: partitioned multi-head attention.
     obs::TraceSpan span(tracer, "attention", "compute", obs::thread_track());
     span.layer(obs::thread_layer());
-    r = multi_head_attention_partition(x, p, w.attention, config, policy);
+    r = prologue != nullptr
+            ? multi_head_attention_with_prologue(x, p, w.attention, config,
+                                                 *prologue)
+            : multi_head_attention_partition(x, p, w.attention, config,
+                                             policy);
     // Line 10: residual with x_p, then LayerNorm.
     add_inplace(r, x.slice_rows(p.begin, p.end));
     r = layernorm_rows(r, w.ln_attention.gamma, w.ln_attention.beta);

@@ -6,14 +6,20 @@
 #pragma once
 
 #include "partition/order.h"
+#include "partition/partitioned_attention.h"
 #include "partition/range.h"
 #include "tensor/tensor.h"
 #include "transformer/layer.h"
 
 namespace voltage {
 
+// When `prologue` is non-null it must have been computed from x's rows
+// [p.begin, p.end) with this layer's attention weights; the attention stage
+// then resumes from it (the runtime uses this to overlap the prologue with
+// the previous layer's all-gather). Output is bitwise identical either way.
 [[nodiscard]] Tensor partitioned_layer_forward(
     const TransformerLayer& layer, const Tensor& x, Range p,
-    OrderPolicy policy = OrderPolicy::kAdaptive);
+    OrderPolicy policy = OrderPolicy::kAdaptive,
+    const AttentionPrologue* prologue = nullptr);
 
 }  // namespace voltage

@@ -56,7 +56,7 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
         const DeviceId downstream = stage + 1 == k ? terminal : stage + 1;
         for (std::size_t r = 0; r < requests.size(); ++r) {
           const MessageTag tag = kTagRequestBase + r;
-          Tensor x = tensor_from_bytes(
+          Tensor x = tensor_from_payload(
               transport_->recv(stage, upstream, tag).payload);
           for (std::size_t l = mine.begin; l < mine.end; ++l) {
             x = layers[l].forward(x);
@@ -94,7 +94,7 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
                                .payload = to_bytes(features)});
     }
     for (std::size_t r = 0; r < requests.size(); ++r) {
-      const Tensor hidden = tensor_from_bytes(
+      const Tensor hidden = tensor_from_payload(
           transport_->recv(terminal, k - 1, kTagRequestBase + r).payload);
       results[r] = model_.postprocess(hidden);
     }

@@ -163,7 +163,8 @@ Tensor TensorParallelRuntime::run(Tensor features) {
   Tensor hidden(0, 0);
   try {
     broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
-    hidden = tensor_from_bytes(transport_->recv(terminal, 0, kTagFinal).payload);
+    hidden =
+        tensor_from_payload(transport_->recv(terminal, 0, kTagFinal).payload);
   } catch (...) {
     for (std::thread& t : threads) t.join();
     throw;

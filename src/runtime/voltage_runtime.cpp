@@ -1,7 +1,10 @@
 #include "runtime/voltage_runtime.h"
 
+#include <array>
 #include <exception>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -126,11 +129,30 @@ Tensor VoltageRuntime::run(Tensor features) {
         // Algorithm 2, step 3: receive the distributed input features.
         Tensor x(0, 0);
         broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
+        // Comm-path buffers, allocated once and reused for every layer:
+        // two full-sequence buffers (gather l writes seq[l%2] while layer l
+        // still reads its input from seq[(l-1)%2]) and two shared partition
+        // holders whose storage outgoing payloads borrow. holders[l%2] is
+        // safe to reuse at layer l+2: completing gather l+1 means every peer
+        // finished gather l first, i.e. consumed the layer-l message, and
+        // that consumption happens-before our reuse via the mailbox mutex
+        // chain. The use_count check below is a defensive fallback (e.g. a
+        // slow terminal still holding the final payload) — it never fires in
+        // the steady-state layer loop, which therefore performs zero heap
+        // allocations on the comm path.
+        std::array<Tensor, 2> seq{Tensor(n, f), Tensor(n, f)};
+        std::array<std::shared_ptr<Tensor>, 2> holders{
+            std::make_shared<Tensor>(0, 0), std::make_shared<Tensor>(0, 0)};
+        const Tensor* input = &x;
+        AttentionPrologue prologue;
+        bool have_prologue = false;
         for (std::size_t l = 0; l < layers.size(); ++l) {
           const obs::ThreadLayerScope layer_scope(
               static_cast<std::int64_t>(l));
           // Step 6: compute the assigned output partition (Algorithm 1,
-          // or whatever kernel the executor substitutes).
+          // or whatever kernel the executor substitutes). If the previous
+          // iteration overlapped this layer's attention prologue with its
+          // gather, resume from it — bitwise-identical chains either way.
           Tensor part(0, 0);
           {
             obs::TraceSpan span(tracer_, "layer", "compute",
@@ -144,28 +166,55 @@ Tensor VoltageRuntime::run(Tensor features) {
                   .layer(static_cast<std::int64_t>(l))
                   .tag(to_string(select_order(policy_, dims)));
             }
-            part = executor_ ? executor_(l, x, ranges[l][i], policy_)
-                             : partitioned_layer_forward(layers[l], x,
-                                                         ranges[l][i],
-                                                         policy_);
+            part = executor_ ? executor_(l, *input, ranges[l][i], policy_)
+                             : partitioned_layer_forward(
+                                   layers[l], *input, ranges[l][i], policy_,
+                                   have_prologue ? &prologue : nullptr);
+          }
+          have_prologue = false;
+          // Park the partition in a shared holder; outgoing messages borrow
+          // its rows instead of serializing them.
+          auto& holder = holders[l % 2];
+          if (holder.use_count() == 1) {
+            *holder = std::move(part);
+          } else {
+            holder = std::make_shared<Tensor>(std::move(part));
           }
           if (l + 1 == layers.size()) {
             // Step 8: last layer goes straight to the terminal.
-            auto payload = to_bytes(part);
+            Payload payload = tensor_payload_view(holder);
             obs::TraceSpan span(tracer_, "send_final", "comm",
                                 static_cast<obs::TrackId>(i));
             span.device(static_cast<std::int64_t>(i))
                 .layer(static_cast<std::int64_t>(l))
                 .bytes(static_cast<std::int64_t>(payload.size()));
             transport_->send(Message{.source = i,
-                                 .destination = terminal,
-                                 .tag = kTagFinal,
-                                 .payload = std::move(payload)});
+                                     .destination = terminal,
+                                     .tag = kTagFinal,
+                                     .payload = std::move(payload)});
           } else {
-            // Steps 10-13: synchronize partitions, assemble next input.
-            const auto parts =
-                all_gather(*transport_, workers, i, part, kTagLayerBase + l);
-            x = assemble_rows(parts, ranges[l], n, f);
+            // Steps 10-13: post the zero-copy gather, overlap the next
+            // layer's Q-chain (which reads only rows this device already
+            // owns) with the in-flight peer rows, then block for the rest.
+            const Range own = ranges[l][i];
+            AllGatherInto gather(*transport_, workers, i, holder, ranges[l],
+                                 seq[l % 2], kTagLayerBase + l);
+            const Range next = ranges[l + 1][i];
+            if (overlap_ && !executor_ && !next.empty() &&
+                own.begin <= next.begin && next.end <= own.end) {
+              obs::TraceSpan span(tracer_, "overlap_compute", "compute",
+                                  static_cast<obs::TrackId>(i));
+              span.device(static_cast<std::int64_t>(i))
+                  .layer(static_cast<std::int64_t>(l + 1));
+              const Tensor xp = holder->slice_rows(next.begin - own.begin,
+                                                   next.end - own.begin);
+              prologue = attention_prologue(xp, n, next,
+                                            layers[l + 1].weights().attention,
+                                            config, policy_);
+              have_prologue = true;
+            }
+            gather.wait();
+            input = &seq[l % 2];
           }
         }
       } catch (...) {
@@ -181,17 +230,28 @@ Tensor VoltageRuntime::run(Tensor features) {
   Tensor hidden(n, f);
   try {
     broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
-    std::vector<Tensor> parts(k);
     {
+      // Final partitions land in arrival order, each deserialized straight
+      // into the assembled hidden buffer at its range's row offset.
       obs::TraceSpan span(tracer_, "collect_final", "comm",
                           static_cast<obs::TrackId>(terminal));
       span.device(static_cast<std::int64_t>(terminal));
-      for (std::size_t i = 0; i < k; ++i) {
-        parts[i] =
-            tensor_from_bytes(transport_->recv(terminal, i, kTagFinal).payload);
+      const std::vector<Range>& final_ranges = ranges.back();
+      std::vector<bool> seen(k, false);
+      for (std::size_t received = 0; received < k; ++received) {
+        const Message m = transport_->recv_any(terminal, kTagFinal);
+        if (m.source >= k || seen[m.source]) {
+          throw std::runtime_error("VoltageRuntime: unexpected final sender");
+        }
+        seen[m.source] = true;
+        const WireShape shape =
+            deserialize_into(m.payload, hidden, final_ranges[m.source].begin);
+        if (shape.rows != final_ranges[m.source].size()) {
+          throw std::runtime_error(
+              "VoltageRuntime: final partition size mismatch");
+        }
       }
     }
-    hidden = assemble_rows(parts, ranges.back(), n, f);
   } catch (...) {
     for (std::thread& t : threads) t.join();
     throw;

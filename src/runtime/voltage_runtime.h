@@ -86,6 +86,16 @@ class VoltageRuntime {
     transport_->set_metrics(metrics);
   }
 
+  // Comm/compute overlap (default on): while a layer's all-gather is in
+  // flight, each device computes the next layer's attention prologue from
+  // the rows it already owns (Eq. (8)'s Q-chain depends only on x_p). Off
+  // switches to the plain gather-then-compute schedule — useful for A/B
+  // timing; results are bitwise identical either way. Overlap is skipped
+  // automatically when a custom PartitionExecutor is installed or when the
+  // next layer's partition is not covered by this device's current rows.
+  void set_overlap(bool enabled) noexcept { overlap_ = enabled; }
+  [[nodiscard]] bool overlap() const noexcept { return overlap_; }
+
   // Intra-op thread budget for each device thread's kernels (default 1:
   // device threads already are the parallelism, and K devices times a
   // many-way GEMM split would oversubscribe the host). Raising it lets a
@@ -108,6 +118,7 @@ class VoltageRuntime {
   std::unique_ptr<Transport> transport_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
   std::size_t intra_op_threads_ = 1;
+  bool overlap_ = true;
 };
 
 }  // namespace voltage

@@ -1,9 +1,54 @@
 #include "tensor/serialize.h"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace voltage {
+
+namespace {
+
+// Parse and validate the 16-byte wire header against the total payload size.
+// Rejects headers whose rows*cols (or the implied byte size) would overflow,
+// so `total == tensor_wire_bytes(elements)` can never be satisfied by a
+// wrapped element count.
+WireShape parse_wire_header(std::span<const std::byte> head, std::size_t total,
+                            const char* who) {
+  if (head.size() < kTensorWireHeaderBytes) {
+    throw std::invalid_argument(std::string(who) + ": truncated header");
+  }
+  WireShape shape;
+  std::memcpy(&shape.rows, head.data(), sizeof(shape.rows));
+  std::memcpy(&shape.cols, head.data() + sizeof(shape.rows),
+              sizeof(shape.cols));
+  if (shape.cols != 0 &&
+      shape.rows > std::numeric_limits<std::uint64_t>::max() / shape.cols) {
+    throw std::invalid_argument(std::string(who) +
+                                ": element count overflows in header");
+  }
+  const std::uint64_t elements = shape.rows * shape.cols;
+  constexpr std::uint64_t kMaxElements =
+      (std::numeric_limits<std::size_t>::max() - kTensorWireHeaderBytes) /
+      sizeof(float);
+  if (elements > kMaxElements) {
+    throw std::invalid_argument(std::string(who) +
+                                ": byte size overflows in header");
+  }
+  if (total != tensor_wire_bytes(static_cast<std::size_t>(elements))) {
+    throw std::invalid_argument(std::string(who) + ": payload size mismatch");
+  }
+  return shape;
+}
+
+// The float data of a payload in either representation: past the inline
+// header for a view, past the leading 16 bytes of the flat buffer otherwise.
+std::span<const std::byte> payload_data(const Payload& payload) {
+  return payload.body().empty() ? payload.head().subspan(kTensorWireHeaderBytes)
+                                : payload.body();
+}
+
+}  // namespace
 
 std::vector<std::byte> to_bytes(const Tensor& t) {
   std::vector<std::byte> out(tensor_wire_bytes(t.size()));
@@ -15,21 +60,49 @@ std::vector<std::byte> to_bytes(const Tensor& t) {
   return out;
 }
 
+Payload tensor_payload_view(std::shared_ptr<const Tensor> t) {
+  std::array<std::byte, Payload::kInlineHeaderCapacity> header{};
+  const std::uint64_t rows = t->rows();
+  const std::uint64_t cols = t->cols();
+  std::memcpy(header.data(), &rows, sizeof(rows));
+  std::memcpy(header.data() + sizeof(rows), &cols, sizeof(cols));
+  const std::span<const std::byte> body(
+      reinterpret_cast<const std::byte*>(t->data()), t->byte_size());
+  return Payload::view(header, kTensorWireHeaderBytes, body, std::move(t));
+}
+
 Tensor tensor_from_bytes(std::span<const std::byte> bytes) {
-  if (bytes.size() < kTensorWireHeaderBytes) {
-    throw std::invalid_argument("tensor_from_bytes: truncated header");
-  }
-  std::uint64_t rows = 0;
-  std::uint64_t cols = 0;
-  std::memcpy(&rows, bytes.data(), sizeof(rows));
-  std::memcpy(&cols, bytes.data() + sizeof(rows), sizeof(cols));
-  const std::size_t expected = tensor_wire_bytes(rows * cols);
-  if (bytes.size() != expected) {
-    throw std::invalid_argument("tensor_from_bytes: payload size mismatch");
-  }
-  Tensor t(rows, cols);
+  const WireShape shape =
+      parse_wire_header(bytes, bytes.size(), "tensor_from_bytes");
+  Tensor t(shape.rows, shape.cols);
   std::memcpy(t.data(), bytes.data() + kTensorWireHeaderBytes, t.byte_size());
   return t;
+}
+
+Tensor tensor_from_payload(const Payload& payload) {
+  const WireShape shape =
+      parse_wire_header(payload.head(), payload.size(), "tensor_from_payload");
+  Tensor t(shape.rows, shape.cols);
+  std::memcpy(t.data(), payload_data(payload).data(), t.byte_size());
+  return t;
+}
+
+WireShape deserialize_into(const Payload& payload, Tensor& dst,
+                           std::size_t row_begin) {
+  const WireShape shape =
+      parse_wire_header(payload.head(), payload.size(), "deserialize_into");
+  if (shape.rows == 0) return shape;
+  if (shape.cols != dst.cols()) {
+    throw std::invalid_argument("deserialize_into: column count mismatch");
+  }
+  if (row_begin > dst.rows() || shape.rows > dst.rows() - row_begin) {
+    throw std::invalid_argument("deserialize_into: rows out of range");
+  }
+  std::memcpy(dst.data() + row_begin * dst.cols(),
+              payload_data(payload).data(),
+              static_cast<std::size_t>(shape.rows) * shape.cols *
+                  sizeof(float));
+  return shape;
 }
 
 }  // namespace voltage

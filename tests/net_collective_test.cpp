@@ -1,7 +1,9 @@
 // Tests of the message fabric and the real collectives, including the
 // paper's §V-C communication-volume formulas measured on actual traffic.
+#include <memory>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -195,6 +197,143 @@ TEST(Collectives, GroupValidation) {
                std::invalid_argument);
 }
 
+// --- zero-copy all_gather_into --------------------------------------------------
+
+std::vector<Range> even_ranges(std::size_t n, std::size_t k) {
+  std::vector<Range> ranges(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ranges[i] = Range{.begin = n * i / k, .end = n * (i + 1) / k};
+  }
+  return ranges;
+}
+
+// Awkward shapes: K=1 degenerate, non-tile-divisible N, and K > N (empty
+// ranges). Every rank's destination buffer must come back identical to the
+// seed all_gather + assemble_rows result.
+class AllGatherIntoShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(AllGatherIntoShapes, MatchesSeedGatherPlusAssemble) {
+  const auto [k, n] = GetParam();
+  constexpr std::size_t kF = 3;
+  const auto ranges = even_ranges(n, k);
+  Fabric fabric(k);
+  const auto group = group_of(k);
+  std::vector<Tensor> results(k);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&, i] {
+      const auto local = std::make_shared<const Tensor>(
+          Tensor::filled(ranges[i].size(), kF, static_cast<float>(i + 1)));
+      Tensor dst = Tensor::filled(n, kF, -7.0F);  // sentinel: must be erased
+      all_gather_into(fabric, group, i, local, ranges, dst, /*tag=*/30);
+      results[i] = std::move(dst);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<Tensor> parts;
+  parts.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    parts.push_back(
+        Tensor::filled(ranges[i].size(), kF, static_cast<float>(i + 1)));
+  }
+  const Tensor expected = assemble_rows(parts, ranges, n, kF);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(results[i], expected) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllGatherIntoShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 6},   // K = 1
+                      std::pair<std::size_t, std::size_t>{3, 7},   // 7 % 3 != 0
+                      std::pair<std::size_t, std::size_t>{5, 3},   // K > N
+                      std::pair<std::size_t, std::size_t>{4, 64}));
+
+TEST(Collectives, SingleRankGatherSendsNothing) {
+  // Satellite fix: alone in the group, neither path may serialize or send.
+  Fabric fabric(1);
+  const Tensor local = Tensor::filled(4, 2, 3.0F);
+  const auto parts = all_gather(fabric, {0}, 0, local, 1);
+  ASSERT_EQ(parts.size(), 1U);
+  EXPECT_EQ(parts[0], local);
+
+  Tensor dst(4, 2);
+  all_gather_into(fabric, {0}, 0, std::make_shared<const Tensor>(local),
+                  {Range{0, 4}}, dst, 2);
+  EXPECT_EQ(dst, local);
+
+  EXPECT_EQ(fabric.total_stats().messages_sent, 0U);
+  EXPECT_EQ(fabric.total_stats().bytes_sent, 0U);
+}
+
+TEST(Collectives, AllGatherIntoSplitPhaseOverlapsWork) {
+  // The split API: construction posts the sends, arbitrary compute runs,
+  // wait() completes the gather.
+  constexpr std::size_t kRanks = 3;
+  constexpr std::size_t kN = 9;
+  constexpr std::size_t kF = 4;
+  const auto ranges = even_ranges(kN, kRanks);
+  Fabric fabric(kRanks);
+  const auto group = group_of(kRanks);
+  std::vector<Tensor> results(kRanks);
+  std::vector<float> overlapped(kRanks);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    threads.emplace_back([&, i] {
+      const auto local = std::make_shared<const Tensor>(
+          Tensor::filled(ranges[i].size(), kF, static_cast<float>(i + 1)));
+      Tensor dst(kN, kF);
+      AllGatherInto gather(fabric, group, i, local, ranges, dst, 40);
+      // "Compute" that depends only on the rank's own rows, like the
+      // runtime's attention prologue.
+      overlapped[i] = (*local)(0, 0) * 2.0F;
+      gather.wait();
+      gather.wait();  // idempotent
+      results[i] = std::move(dst);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    EXPECT_EQ(overlapped[i], static_cast<float>(i + 1) * 2.0F);
+    for (std::size_t j = 0; j < kRanks; ++j) {
+      EXPECT_EQ(results[i](ranges[j].begin, 0), static_cast<float>(j + 1));
+    }
+  }
+}
+
+TEST(Collectives, AllGatherIntoValidatesShapes) {
+  Fabric fabric(2);
+  const std::vector<DeviceId> group{0, 1};
+  const std::vector<Range> ranges{{0, 2}, {2, 4}};
+  Tensor dst(4, 3);
+  // ranges/group size mismatch.
+  EXPECT_THROW(all_gather_into(fabric, group, 0,
+                               std::make_shared<const Tensor>(2, 3),
+                               {Range{0, 4}}, dst, 1),
+               std::invalid_argument);
+  // Local partition rows disagree with the owned range.
+  EXPECT_THROW(all_gather_into(fabric, group, 0,
+                               std::make_shared<const Tensor>(1, 3), ranges,
+                               dst, 1),
+               std::invalid_argument);
+  // Column mismatch with the destination.
+  EXPECT_THROW(all_gather_into(fabric, group, 0,
+                               std::make_shared<const Tensor>(2, 5), ranges,
+                               dst, 1),
+               std::invalid_argument);
+  // Owned range exceeds the destination.
+  Tensor small(3, 3);
+  EXPECT_THROW(all_gather_into(fabric, group, 1,
+                               std::make_shared<const Tensor>(2, 3), ranges,
+                               small, 1),
+               std::invalid_argument);
+  // Null local.
+  EXPECT_THROW(all_gather_into(fabric, group, 0, nullptr, ranges, dst, 1),
+               std::invalid_argument);
+}
+
 // --- measured traffic vs paper formulas ----------------------------------------
 
 TEST(CommVolume, AllGatherMatchesPaperFormula) {
@@ -221,6 +360,38 @@ TEST(CommVolume, AllGatherMatchesPaperFormula) {
     EXPECT_EQ(fabric.stats(i).bytes_sent, expected_bytes);
     EXPECT_EQ(fabric.stats(i).messages_sent, kRanks - 1);
   }
+}
+
+TEST(CommVolume, ZeroCopyAllGatherIntoMatchesPaperFormula) {
+  // The zero-copy rewrite must put exactly the same bytes on the wire as the
+  // seed path: (K-1) * (N/K) * F elements per device per layer, plus one
+  // 16-byte header per peer message.
+  constexpr std::size_t kRanks = 4;
+  constexpr std::size_t kN = 64;
+  constexpr std::size_t kF = 16;
+  const auto ranges = even_ranges(kN, kRanks);
+  Fabric fabric(kRanks);
+  const auto group = group_of(kRanks);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    threads.emplace_back([&, i] {
+      Tensor dst(kN, kF);
+      all_gather_into(fabric, group, i,
+                      std::make_shared<const Tensor>(ranges[i].size(), kF),
+                      ranges, dst, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::uint64_t elements =
+      voltage_elements_per_device_layer(kN, kF, kRanks);
+  const std::uint64_t expected_bytes =
+      elements * sizeof(float) + (kRanks - 1) * kTensorWireHeaderBytes;
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    EXPECT_EQ(fabric.stats(i).bytes_sent, expected_bytes);
+    EXPECT_EQ(fabric.stats(i).messages_sent, kRanks - 1);
+  }
+  EXPECT_EQ(fabric.total_stats().bytes_sent, kRanks * expected_bytes);
 }
 
 TEST(CommVolume, RingAllReducePairMatchesTpFormula) {

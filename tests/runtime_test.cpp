@@ -56,6 +56,48 @@ TEST(VoltageRuntime, FixedOrderPoliciesAgree) {
   }
 }
 
+TEST(VoltageRuntime, OverlapIsBitwiseInvariant) {
+  // The gather/compute overlap reorders scheduling only, never FP summation:
+  // with overlap on or off, at any K and under both fixed order policies,
+  // distributed output must be bit-for-bit the same.
+  const TransformerModel model = make_model(mini_bert_spec());
+  const auto tokens = random_tokens(27, model.spec().vocab_size, 31);
+  for (const auto policy :
+       {OrderPolicy::kAlwaysNaive, OrderPolicy::kAlwaysReordered}) {
+    for (const std::size_t k : {2U, 3U}) {
+      VoltageRuntime with_overlap(model, PartitionScheme::even(k), policy);
+      VoltageRuntime without(model, PartitionScheme::even(k), policy);
+      without.set_overlap(false);
+      const Tensor a = with_overlap.infer(tokens);
+      const Tensor b = without.infer(tokens);
+      ASSERT_EQ(a.rows(), b.rows());
+      ASSERT_EQ(a.cols(), b.cols());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.flat()[i], b.flat()[i])
+            << "k=" << k << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(VoltageRuntime, OverlapFallsBackOnShiftingSchedules) {
+  // When consecutive layers assign a device rows it does not currently own,
+  // the prologue overlap must silently fall back to the plain path — the
+  // zero-copy gather still runs — and results stay correct.
+  const TransformerModel model = make_model(mini_bert_spec());
+  const auto tokens = random_tokens(22, model.spec().vocab_size, 37);
+  const Tensor expected = model.infer(tokens);
+  std::vector<PartitionScheme> schemes;
+  for (std::size_t l = 0; l < model.spec().num_layers; ++l) {
+    // Alternate who owns the big slice so layer l+1's range is usually not
+    // inside layer l's.
+    schemes.push_back(l % 2 == 0 ? PartitionScheme({0.6, 0.2, 0.2})
+                                 : PartitionScheme({0.2, 0.2, 0.6}));
+  }
+  VoltageRuntime runtime(model, LayerSchedule(std::move(schemes)));
+  EXPECT_TRUE(allclose(runtime.infer(tokens), expected, 2e-3F));
+}
+
 TEST(VoltageRuntime, HeterogeneousSchemeWithIdleDevice) {
   const TransformerModel model = make_model(mini_bert_spec());
   const auto tokens = random_tokens(20, model.spec().vocab_size, 19);

@@ -1,6 +1,8 @@
 // Unit tests for the tensor substrate: shapes, kernels, FLOP accounting,
 // RNG determinism and wire serialization.
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -349,6 +351,85 @@ TEST(Serialize, TruncatedPayloadThrows) {
   EXPECT_THROW((void)tensor_from_bytes(bytes), std::invalid_argument);
   EXPECT_THROW((void)tensor_from_bytes(std::vector<std::byte>(8)),
                std::invalid_argument);
+}
+
+// Forge a wire header claiming the given shape over a body of `body_bytes`
+// zero bytes.
+std::vector<std::byte> forged_header(std::uint64_t rows, std::uint64_t cols,
+                                     std::size_t body_bytes) {
+  std::vector<std::byte> bytes(kTensorWireHeaderBytes + body_bytes);
+  std::memcpy(bytes.data(), &rows, sizeof(rows));
+  std::memcpy(bytes.data() + sizeof(rows), &cols, sizeof(cols));
+  return bytes;
+}
+
+TEST(Serialize, HostileHeaderOverflowThrows) {
+  // rows * cols wraps to 0 in 64 bits: 2^32 * 2^32. Without the overflow
+  // guard the size check would accept a 16-byte payload for a "2^64
+  // element" tensor and the copy would scribble far past the buffer.
+  const std::uint64_t big = std::uint64_t{1} << 32;
+  EXPECT_THROW((void)tensor_from_bytes(forged_header(big, big, 0)),
+               std::invalid_argument);
+  // rows * cols wraps to 16: (2^63 + 8) * 2 = 16 mod 2^64.
+  EXPECT_THROW((void)tensor_from_bytes(forged_header(
+                   (std::uint64_t{1} << 63) + 8, 2, 16 * sizeof(float))),
+               std::invalid_argument);
+  // Element count fits u64 but the byte size would overflow size_t.
+  EXPECT_THROW((void)tensor_from_bytes(
+                   forged_header(std::uint64_t{1} << 62, 8, 0)),
+               std::invalid_argument);
+  // Same guards on the payload path.
+  EXPECT_THROW((void)tensor_from_payload(Payload(forged_header(big, big, 0))),
+               std::invalid_argument);
+}
+
+TEST(Serialize, DeserializeIntoPlacesRowsAtOffset) {
+  Rng rng(7);
+  const Tensor part = rng.normal_tensor(3, 5, 1.0F);
+  Tensor dst(8, 5);
+  const WireShape shape = deserialize_into(Payload(to_bytes(part)), dst, 2);
+  EXPECT_EQ(shape.rows, 3U);
+  EXPECT_EQ(shape.cols, 5U);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(dst(r + 2, c), part(r, c));
+    }
+  }
+  EXPECT_EQ(dst(0, 0), 0.0F);  // untouched outside the landed range
+}
+
+TEST(Serialize, DeserializeIntoValidates) {
+  const Tensor part(3, 5);
+  Tensor dst(8, 5);
+  // Rows don't fit at the offset.
+  EXPECT_THROW((void)deserialize_into(Payload(to_bytes(part)), dst, 6),
+               std::invalid_argument);
+  // Column mismatch.
+  Tensor narrow(8, 4);
+  EXPECT_THROW((void)deserialize_into(Payload(to_bytes(part)), narrow, 0),
+               std::invalid_argument);
+  // Hostile header can't bypass the range check either.
+  EXPECT_THROW((void)deserialize_into(
+                   Payload(forged_header(std::uint64_t{1} << 32,
+                                         std::uint64_t{1} << 32, 0)),
+                   dst, 0),
+               std::invalid_argument);
+  // Empty partitions land anywhere, even at the end.
+  const WireShape shape =
+      deserialize_into(Payload(to_bytes(Tensor(0, 7))), dst, 8);
+  EXPECT_EQ(shape.rows, 0U);
+}
+
+TEST(Serialize, PayloadViewCarriesExactWireBytes) {
+  // A borrowing payload must be byte-identical to the serialized form —
+  // traffic accounting and socket framing depend on it.
+  Rng rng(9);
+  const auto t = std::make_shared<const Tensor>(rng.normal_tensor(4, 6, 1.0F));
+  const Payload view = tensor_payload_view(t);
+  EXPECT_EQ(view.size(), tensor_wire_bytes(t->size()));
+  EXPECT_EQ(view.flatten(), to_bytes(*t));
+  // The view keeps the tensor alive and reads back identically.
+  EXPECT_EQ(tensor_from_payload(view), *t);
 }
 
 // --- flop counters -----------------------------------------------------------

@@ -73,7 +73,7 @@ TEST_P(TransportParam, LargeMessageSurvives) {
     t->send(Message{.source = 0, .destination = 1, .tag = 1,
                     .payload = to_bytes(big)});
   });
-  const Tensor back = tensor_from_bytes(t->recv(1, 0, 1).payload);
+  const Tensor back = tensor_from_payload(t->recv(1, 0, 1).payload);
   sender.join();
   EXPECT_EQ(back, big);
 }
