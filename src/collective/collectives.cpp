@@ -28,7 +28,7 @@ Range ring_chunk(std::size_t rows, std::size_t k, std::size_t c) {
 std::vector<Tensor> all_gather(Transport& fabric,
                                const std::vector<DeviceId>& group,
                                std::size_t my_index, const Tensor& local,
-                               MessageTag tag) {
+                               MessageTag tag, const RecvOptions& options) {
   check_group(group, my_index);
   // Alone in the group there is nothing to exchange — return before any
   // payload work (the serialize here used to cost a full tensor copy).
@@ -53,7 +53,8 @@ std::vector<Tensor> all_gather(Transport& fabric,
   gathered[my_index] = local;
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (i == my_index) continue;
-    gathered[i] = tensor_from_payload(fabric.recv(self, group[i], tag).payload);
+    gathered[i] =
+        tensor_from_payload(fabric.recv(self, group[i], tag, options).payload);
   }
   return gathered;
 }
@@ -63,13 +64,14 @@ AllGatherInto::AllGatherInto(Transport& fabric,
                              std::size_t my_index,
                              std::shared_ptr<const Tensor> local,
                              const std::vector<Range>& ranges, Tensor& dst,
-                             MessageTag tag)
+                             MessageTag tag, const RecvOptions& options)
     : fabric_(fabric),
       group_(group),
       my_index_(my_index),
       ranges_(ranges),
       dst_(dst),
       tag_(tag),
+      options_(options),
       span_(group.size() > 1 ? obs::thread_tracer() : nullptr, "all_gather",
             "comm", obs::thread_track()) {
   check_group(group, my_index);
@@ -141,7 +143,7 @@ void AllGatherInto::wait() {
       return was;
     };
     while (pending_ > 0) {
-      const Message m = fabric_.recv_any(self, tag_);
+      const Message m = fabric_.recv_any(self, tag_, options_);
       std::size_t rank = group_.size();
       for (std::size_t i = 0; i < group_.size(); ++i) {
         if (group_[i] == m.source) {
@@ -166,15 +168,15 @@ void AllGatherInto::wait() {
 void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
                      std::size_t my_index, std::shared_ptr<const Tensor> local,
                      const std::vector<Range>& ranges, Tensor& dst,
-                     MessageTag tag) {
+                     MessageTag tag, const RecvOptions& options) {
   AllGatherInto gather(fabric, group, my_index, std::move(local), ranges, dst,
-                       tag);
+                       tag, options);
   gather.wait();
 }
 
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                std::size_t my_index, std::size_t root_index, Tensor& data,
-               MessageTag tag) {
+               MessageTag tag, const RecvOptions& options) {
   check_group(group, my_index);
   if (root_index >= group.size()) {
     throw std::invalid_argument("broadcast: root outside group");
@@ -203,13 +205,13 @@ void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
     }
   } else {
     data = tensor_from_payload(
-        fabric.recv(self, group[root_index], tag).payload);
+        fabric.recv(self, group[root_index], tag, options).payload);
   }
 }
 
 Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group,
                            std::size_t my_index, Tensor local,
-                           MessageTag tag) {
+                           MessageTag tag, const RecvOptions& options) {
   check_group(group, my_index);
   const std::size_t k = group.size();
   if (k == 1) return local;
@@ -233,7 +235,8 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
                         .payload = std::move(payload)});
   };
   const auto recv_chunk = [&](std::uint64_t step) {
-    return tensor_from_payload(fabric.recv(self, group[prev], tag + step).payload);
+    return tensor_from_payload(
+        fabric.recv(self, group[prev], tag + step, options).payload);
   };
 
   // Reduce-scatter: after K-1 steps, rank i holds the full sum of chunk
@@ -265,7 +268,7 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
 
 Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group,
                             std::size_t my_index, Tensor local,
-                            MessageTag tag) {
+                            MessageTag tag, const RecvOptions& options) {
   check_group(group, my_index);
   const DeviceId self = group[my_index];
   constexpr std::size_t kRoot = 0;
@@ -275,8 +278,8 @@ Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& grou
   if (my_index == kRoot) {
     span.bytes(0);
     for (std::size_t i = 1; i < group.size(); ++i) {
-      add_inplace(
-          local, tensor_from_payload(fabric.recv(self, group[i], tag).payload));
+      add_inplace(local, tensor_from_payload(
+                             fabric.recv(self, group[i], tag, options).payload));
     }
   } else {
     auto payload = to_bytes(local);
@@ -286,7 +289,7 @@ Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& grou
                         .tag = tag,
                         .payload = std::move(payload)});
   }
-  broadcast(fabric, group, my_index, kRoot, local, tag + 1);
+  broadcast(fabric, group, my_index, kRoot, local, tag + 1, options);
   return local;
 }
 

@@ -21,12 +21,15 @@ namespace voltage {
 
 // Full-mesh all-gather: every group member sends `local` to all others and
 // returns the per-rank tensors in group order (own slot = `local`).
-// `group[my_index]` must be this caller's fabric id.
+// `group[my_index]` must be this caller's fabric id. Every collective takes
+// optional RecvOptions: the deadline bounds each blocking receive, so a
+// wedged peer surfaces as RecvTimeoutError instead of an infinite wait.
 [[nodiscard]] std::vector<Tensor> all_gather(Transport& fabric,
                                              const std::vector<DeviceId>& group,
                                              std::size_t my_index,
                                              const Tensor& local,
-                                             MessageTag tag);
+                                             MessageTag tag,
+                                             const RecvOptions& options = {});
 
 // Split-phase zero-copy all-gather of row partitions. Construction posts the
 // sends (payloads borrow `local`'s storage — the shared handle keeps it alive
@@ -45,9 +48,11 @@ class AllGatherInto {
  public:
   AllGatherInto(Transport& fabric, const std::vector<DeviceId>& group,
                 std::size_t my_index, std::shared_ptr<const Tensor> local,
-                const std::vector<Range>& ranges, Tensor& dst, MessageTag tag);
+                const std::vector<Range>& ranges, Tensor& dst, MessageTag tag,
+                const RecvOptions& options = {});
 
-  // Blocks until every peer partition has landed in `dst`. Idempotent.
+  // Blocks until every peer partition has landed in `dst` (or the options
+  // deadline passes / the transport is poisoned). Idempotent.
   void wait();
 
   AllGatherInto(const AllGatherInto&) = delete;
@@ -60,6 +65,7 @@ class AllGatherInto {
   const std::vector<Range>& ranges_;
   Tensor& dst_;
   MessageTag tag_;
+  RecvOptions options_;
   std::size_t pending_ = 0;
   obs::TraceSpan span_;
 };
@@ -68,26 +74,28 @@ class AllGatherInto {
 void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
                      std::size_t my_index, std::shared_ptr<const Tensor> local,
                      const std::vector<Range>& ranges, Tensor& dst,
-                     MessageTag tag);
+                     MessageTag tag, const RecvOptions& options = {});
 
 // Root sends `data` to every other member; non-roots receive into `data`.
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                std::size_t my_index, std::size_t root_index, Tensor& data,
-               MessageTag tag);
+               MessageTag tag, const RecvOptions& options = {});
 
 // Classic chunked ring all-reduce (reduce-scatter + all-gather phases,
 // 2*(K-1) steps). Returns the elementwise sum of all ranks' tensors.
 [[nodiscard]] Tensor ring_all_reduce_sum(Transport& fabric,
                                          const std::vector<DeviceId>& group,
                                          std::size_t my_index, Tensor local,
-                                         MessageTag tag);
+                                         MessageTag tag,
+                                         const RecvOptions& options = {});
 
 // Gather-to-root + broadcast all-reduce; simpler but concentrates traffic at
 // the root (kept as an ablation baseline).
 [[nodiscard]] Tensor naive_all_reduce_sum(Transport& fabric,
                                           const std::vector<DeviceId>& group,
                                           std::size_t my_index, Tensor local,
-                                          MessageTag tag);
+                                          MessageTag tag,
+                                          const RecvOptions& options = {});
 
 // Reassembles a full [n x F] sequence from per-rank row partitions laid out
 // by `ranges` (ranges[i] belongs to parts[i]).

@@ -25,10 +25,38 @@ const Fabric::Mailbox& Fabric::box(DeviceId id) const {
   return *mailboxes_[id];
 }
 
+void Fabric::throw_closed(const char* verb) const {
+  std::string reason;
+  {
+    const std::lock_guard lock(close_mutex_);
+    reason = close_reason_;
+  }
+  throw TransportClosedError("Fabric: transport closed during " +
+                             std::string(verb) +
+                             (reason.empty() ? "" : ": " + reason));
+}
+
+void Fabric::close(std::string reason) {
+  {
+    const std::lock_guard lock(close_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return;  // first reason wins
+    close_reason_ = std::move(reason);
+    closed_.store(true, std::memory_order_release);
+  }
+  // Lock each mailbox before notifying: a receiver that checked the flag
+  // just before we flipped it is either already in wait (the notify wakes
+  // it) or still holds the mailbox mutex (we block until it waits).
+  for (const auto& mb : mailboxes_) {
+    { const std::lock_guard lock(mb->mutex); }
+    mb->arrived.notify_all();
+  }
+}
+
 void Fabric::send(Message message) {
   if (message.source == message.destination) {
     throw std::invalid_argument("Fabric: self-send");
   }
+  if (closed()) throw_closed("send");
   const std::size_t bytes = message.byte_size();
   if (metrics_.enabled()) {
     metrics_.messages_sent->add(1);
@@ -50,7 +78,8 @@ void Fabric::send(Message message) {
   dst.arrived.notify_all();
 }
 
-Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag) {
+Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,
+                     const RecvOptions& options) {
   Mailbox& mb = box(receiver);
   std::unique_lock lock(mb.mutex);
   for (;;) {
@@ -67,11 +96,20 @@ Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag) {
       }
       return out;
     }
-    mb.arrived.wait(lock);
+    if (closed()) throw_closed("recv");
+    if (options.deadline.has_value()) {
+      if (std::chrono::steady_clock::now() >= *options.deadline) {
+        throw RecvTimeoutError("Fabric: recv deadline exceeded");
+      }
+      mb.arrived.wait_until(lock, *options.deadline);
+    } else {
+      mb.arrived.wait(lock);
+    }
   }
 }
 
-Message Fabric::recv_any(DeviceId receiver, MessageTag tag) {
+Message Fabric::recv_any(DeviceId receiver, MessageTag tag,
+                         const RecvOptions& options) {
   Mailbox& mb = box(receiver);
   std::unique_lock lock(mb.mutex);
   for (;;) {
@@ -87,7 +125,15 @@ Message Fabric::recv_any(DeviceId receiver, MessageTag tag) {
       }
       return out;
     }
-    mb.arrived.wait(lock);
+    if (closed()) throw_closed("recv_any");
+    if (options.deadline.has_value()) {
+      if (std::chrono::steady_clock::now() >= *options.deadline) {
+        throw RecvTimeoutError("Fabric: recv_any deadline exceeded");
+      }
+      mb.arrived.wait_until(lock, *options.deadline);
+    } else {
+      mb.arrived.wait(lock);
+    }
   }
 }
 

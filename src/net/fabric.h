@@ -4,10 +4,12 @@
 // traffic statistics that the communication-volume experiments read.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "net/transport.h"
@@ -27,15 +29,28 @@ class Fabric final : public Transport {
   }
 
   // Delivers to the destination mailbox; thread-safe; throws on bad ids or
-  // self-send (a device never needs the fabric to talk to itself).
+  // self-send (a device never needs the fabric to talk to itself), and
+  // TransportClosedError once poisoned.
   void send(Message message) override;
 
-  // Blocks until a message with this (source, tag) arrives at `receiver`.
+  // Blocks until a message with this (source, tag) arrives at `receiver`,
+  // the deadline passes, or the fabric is poisoned. Queued messages match
+  // before the closed/deadline checks.
   [[nodiscard]] Message recv(DeviceId receiver, DeviceId source,
-                             MessageTag tag) override;
+                             MessageTag tag,
+                             const RecvOptions& options = {}) override;
 
-  // Blocks until any message with this tag arrives at `receiver`.
-  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag) override;
+  // Blocks until any message with this tag arrives at `receiver`; same
+  // semantics as recv.
+  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag,
+                                 const RecvOptions& options = {}) override;
+
+  // Poisons every mailbox: all blocked receivers wake and throw
+  // TransportClosedError(reason). Idempotent; first reason wins.
+  void close(std::string reason) override;
+  [[nodiscard]] bool closed() const noexcept override {
+    return closed_.load(std::memory_order_acquire);
+  }
 
   // Per-device cumulative traffic counters.
   [[nodiscard]] TrafficStats stats(DeviceId device) const override;
@@ -54,9 +69,16 @@ class Fabric final : public Transport {
 
   Mailbox& box(DeviceId id);
   [[nodiscard]] const Mailbox& box(DeviceId id) const;
+  [[noreturn]] void throw_closed(const char* verb) const;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TransportCounters metrics_;
+  // Poison state: the flag is checked inside every mailbox's wait loop (the
+  // mailbox mutex orders it against close()'s notify), the reason is set
+  // once before the flag flips.
+  std::atomic<bool> closed_{false};
+  mutable std::mutex close_mutex_;
+  std::string close_reason_;
 };
 
 }  // namespace voltage

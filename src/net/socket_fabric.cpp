@@ -25,7 +25,9 @@ struct FrameHeader {
 void write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::byte*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    // MSG_NOSIGNAL: a send racing close()'s shutdown must fail with EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::system_error(errno, std::generic_category(),
@@ -89,11 +91,7 @@ SocketFabric::SocketFabric(std::size_t devices) {
 
 SocketFabric::~SocketFabric() {
   // Shut the sockets down so the readers drain and exit, then join.
-  for (const auto& ep : endpoints_) {
-    for (const int fd : ep->peer_fd) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-    }
-  }
+  shutdown_sockets();
   for (const auto& ep : endpoints_) {
     if (ep->reader.joinable()) ep->reader.join();
   }
@@ -102,6 +100,37 @@ SocketFabric::~SocketFabric() {
       if (fd >= 0) ::close(fd);
     }
   }
+}
+
+void SocketFabric::shutdown_sockets() {
+  for (const auto& ep : endpoints_) {
+    for (const int fd : ep->peer_fd) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+}
+
+void SocketFabric::close(std::string reason) {
+  {
+    const std::lock_guard lock(close_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return;  // first reason wins
+    close_reason_ = std::move(reason);
+    closed_.store(true, std::memory_order_release);
+  }
+  // Readers see EOF on the shut-down sockets, mark their endpoints closed
+  // and wake every blocked receiver, which then throws with the reason.
+  shutdown_sockets();
+}
+
+void SocketFabric::throw_closed(const char* verb) const {
+  std::string reason;
+  {
+    const std::lock_guard lock(close_mutex_);
+    reason = close_reason_;
+  }
+  throw TransportClosedError("SocketFabric: transport closed during " +
+                             std::string(verb) +
+                             (reason.empty() ? "" : ": " + reason));
 }
 
 SocketFabric::Endpoint& SocketFabric::endpoint(DeviceId id) {
@@ -192,11 +221,12 @@ void SocketFabric::send(Message message) {
   }
   Endpoint& src = endpoint(message.source);
   (void)endpoint(message.destination);  // id validation
+  if (closed()) throw_closed("send");
   const int fd = src.peer_fd[message.destination];
   const FrameHeader header{.source = message.source,
                            .tag = message.tag,
                            .length = message.payload.size()};
-  {
+  try {
     // View payloads are written straight from the borrowed storage (header
     // chunk then body chunk) — no flattening copy on the send path.
     const std::lock_guard wlock(*src.write_mutex[message.destination]);
@@ -205,6 +235,11 @@ void SocketFabric::send(Message message) {
     if (!head.empty()) write_all(fd, head.data(), head.size());
     const auto body = message.payload.body();
     if (!body.empty()) write_all(fd, body.data(), body.size());
+  } catch (const std::system_error&) {
+    // A send that lost the race against close() (EPIPE on the shut-down
+    // socket) reports the poisoning, not the raw socket error.
+    if (closed()) throw_closed("send");
+    throw;
   }
   if (metrics_.enabled()) {
     metrics_.messages_sent->add(1);
@@ -215,8 +250,8 @@ void SocketFabric::send(Message message) {
   src.stats.bytes_sent += message.payload.size();
 }
 
-Message SocketFabric::recv(DeviceId receiver, DeviceId source,
-                           MessageTag tag) {
+Message SocketFabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,
+                           const RecvOptions& options) {
   Endpoint& ep = endpoint(receiver);
   std::unique_lock lock(ep.mutex);
   for (;;) {
@@ -233,14 +268,20 @@ Message SocketFabric::recv(DeviceId receiver, DeviceId source,
       }
       return out;
     }
-    if (ep.closed) {
-      throw std::runtime_error("SocketFabric: transport closed during recv");
+    if (ep.closed) throw_closed("recv");
+    if (options.deadline.has_value()) {
+      if (std::chrono::steady_clock::now() >= *options.deadline) {
+        throw RecvTimeoutError("SocketFabric: recv deadline exceeded");
+      }
+      ep.arrived.wait_until(lock, *options.deadline);
+    } else {
+      ep.arrived.wait(lock);
     }
-    ep.arrived.wait(lock);
   }
 }
 
-Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag) {
+Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag,
+                               const RecvOptions& options) {
   Endpoint& ep = endpoint(receiver);
   std::unique_lock lock(ep.mutex);
   for (;;) {
@@ -256,10 +297,15 @@ Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag) {
       }
       return out;
     }
-    if (ep.closed) {
-      throw std::runtime_error("SocketFabric: transport closed during recv");
+    if (ep.closed) throw_closed("recv_any");
+    if (options.deadline.has_value()) {
+      if (std::chrono::steady_clock::now() >= *options.deadline) {
+        throw RecvTimeoutError("SocketFabric: recv_any deadline exceeded");
+      }
+      ep.arrived.wait_until(lock, *options.deadline);
+    } else {
+      ep.arrived.wait(lock);
     }
-    ep.arrived.wait(lock);
   }
 }
 

@@ -10,10 +10,12 @@
 // Frame format: u64 source | u64 tag | u64 payload_length | payload bytes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,8 +39,19 @@ class SocketFabric final : public Transport {
 
   void send(Message message) override;
   [[nodiscard]] Message recv(DeviceId receiver, DeviceId source,
-                             MessageTag tag) override;
-  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag) override;
+                             MessageTag tag,
+                             const RecvOptions& options = {}) override;
+  [[nodiscard]] Message recv_any(DeviceId receiver, MessageTag tag,
+                                 const RecvOptions& options = {}) override;
+
+  // Poisons the mesh: shuts every socket down, so readers drain to EOF and
+  // every blocked receiver throws TransportClosedError(reason). Sends that
+  // race the shutdown surface the same error (never SIGPIPE — frames go out
+  // with MSG_NOSIGNAL). Idempotent; first reason wins.
+  void close(std::string reason) override;
+  [[nodiscard]] bool closed() const noexcept override {
+    return closed_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] TrafficStats stats(DeviceId device) const override;
   [[nodiscard]] TrafficStats total_stats() const override;
@@ -63,9 +76,14 @@ class SocketFabric final : public Transport {
   void reader_loop(std::size_t device);
   Endpoint& endpoint(DeviceId id);
   [[nodiscard]] const Endpoint& endpoint(DeviceId id) const;
+  void shutdown_sockets();
+  [[noreturn]] void throw_closed(const char* verb) const;
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   TransportCounters metrics_;
+  std::atomic<bool> closed_{false};
+  mutable std::mutex close_mutex_;
+  std::string close_reason_;
 };
 
 }  // namespace voltage

@@ -1,0 +1,48 @@
+#include "runtime/failure.h"
+
+namespace voltage::detail {
+
+std::string describe(const std::exception_ptr& error) {
+  if (error == nullptr) return "no error";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+bool is_transport_closed(const std::exception_ptr& error) {
+  if (error == nullptr) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransportClosedError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void poison(Transport& transport, const std::string& who,
+            const std::exception_ptr& error) noexcept {
+  try {
+    transport.close(who + " failed: " + describe(error));
+  } catch (...) {
+    // close() is idempotent and should not throw; swallow defensively — we
+    // are already unwinding a failure.
+  }
+}
+
+void rethrow_failure(const std::vector<std::exception_ptr>& device_errors,
+                     const std::exception_ptr& terminal_error) {
+  for (const std::exception_ptr& e : device_errors) {
+    if (e != nullptr && !is_transport_closed(e)) std::rethrow_exception(e);
+  }
+  if (terminal_error != nullptr) std::rethrow_exception(terminal_error);
+  for (const std::exception_ptr& e : device_errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace voltage::detail

@@ -1,0 +1,40 @@
+// Failure-containment plumbing shared by the threaded runtimes.
+//
+// All three runtimes (Voltage, tensor-parallel, pipeline) run one thread per
+// device plus the calling thread as the terminal, all blocking on one
+// Transport. Without containment a single throwing device deadlocks the
+// rest of the mesh in recv. The protocol here: whichever thread fails first
+// poisons the transport (Transport::close) so every peer unwinds with
+// TransportClosedError, then the terminal reports the *root cause* — the
+// original exception, not the secondary closed errors it triggered.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace voltage::detail {
+
+// Human-readable what() of an exception_ptr ("unknown error" when it is not
+// a std::exception).
+[[nodiscard]] std::string describe(const std::exception_ptr& error);
+
+// True when the error is a TransportClosedError — i.e. a secondary failure
+// caused by someone else's poisoning, not a root cause.
+[[nodiscard]] bool is_transport_closed(const std::exception_ptr& error);
+
+// Poisons `transport`, naming the failing party and its error in the close
+// reason. Never throws (containment must not raise while unwinding).
+void poison(Transport& transport, const std::string& who,
+            const std::exception_ptr& error) noexcept;
+
+// Rethrows the most informative failure, preferring root causes over the
+// secondary TransportClosedErrors that poisoning fans out: first any
+// non-closed device error, then the terminal's own error, then any device
+// error at all. Returns normally only when every pointer is null.
+void rethrow_failure(const std::vector<std::exception_ptr>& device_errors,
+                     const std::exception_ptr& terminal_error);
+
+}  // namespace voltage::detail

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/thread_pool.h"
+#include "runtime/failure.h"
 #include "tensor/serialize.h"
 
 namespace voltage {
@@ -17,16 +18,25 @@ constexpr MessageTag kTagRequestBase = 1;
 
 PipelineRuntime::PipelineRuntime(const TransformerModel& model,
                                  std::size_t devices, TransportKind transport)
-    : model_(model),
-      devices_(devices),
-      transport_(make_transport(transport,
-                                devices == 0 ? 1 : devices + 1)) {
+    : PipelineRuntime(
+          model, devices,
+          make_transport(transport, devices == 0 ? 1 : devices + 1)) {}
+
+PipelineRuntime::PipelineRuntime(const TransformerModel& model,
+                                 std::size_t devices,
+                                 std::unique_ptr<Transport> transport)
+    : model_(model), devices_(devices), transport_(std::move(transport)) {
   if (devices == 0) {
     throw std::invalid_argument("PipelineRuntime: zero devices");
   }
   if (devices > model.spec().num_layers) {
     throw std::invalid_argument(
         "PipelineRuntime: more stages than transformer layers");
+  }
+  if (transport_->devices() != devices + 1) {
+    throw std::invalid_argument(
+        "PipelineRuntime: transport must have one endpoint per stage plus "
+        "the terminal");
   }
 }
 
@@ -68,6 +78,10 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
         }
       } catch (...) {
         errors[stage] = std::current_exception();
+        // Poison the fabric: upstream/downstream stages and the terminal
+        // block on this stage's sends, so a dead stage must unwedge them.
+        detail::poison(*transport_, "stage " + std::to_string(stage),
+                       errors[stage]);
       }
     });
   }
@@ -75,6 +89,7 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
   // Terminal: pre-process and inject every request, then collect results
   // in order. Injection does not wait for completions, so the stages fill.
   std::vector<Tensor> results(requests.size());
+  std::exception_ptr terminal_error;
   try {
     for (std::size_t r = 0; r < requests.size(); ++r) {
       const Tensor features = std::visit(
@@ -99,14 +114,12 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
       results[r] = model_.postprocess(hidden);
     }
   } catch (...) {
-    for (std::thread& t : threads) t.join();
-    throw;
+    terminal_error = std::current_exception();
+    detail::poison(*transport_, "terminal", terminal_error);
   }
 
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  detail::rethrow_failure(errors, terminal_error);
   return results;
 }
 

@@ -30,6 +30,11 @@ class PipelineRuntime {
   PipelineRuntime(const TransformerModel& model, std::size_t devices,
                   TransportKind transport = TransportKind::kInMemory);
 
+  // Bring-your-own transport (e.g. a ChaosTransport for fault-injection
+  // tests). Must have devices() == devices + 1 (the terminal).
+  PipelineRuntime(const TransformerModel& model, std::size_t devices,
+                  std::unique_ptr<Transport> transport);
+
   // Runs a stream of requests through the pipeline; returns the logits in
   // request order. Requests overlap across stages.
   [[nodiscard]] std::vector<Tensor> infer_batch(

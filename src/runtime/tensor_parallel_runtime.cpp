@@ -7,6 +7,7 @@
 
 #include "collective/collectives.h"
 #include "core/thread_pool.h"
+#include "runtime/failure.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "transformer/attention.h"
@@ -34,17 +35,29 @@ TensorParallelRuntime::TensorParallelRuntime(const TransformerModel& model,
                                              std::size_t devices,
                                              TransportKind transport,
                                              bool star_allreduce)
+    : TensorParallelRuntime(
+          model, devices,
+          make_transport(transport, devices == 0 ? 1 : devices + 1),
+          star_allreduce) {}
+
+TensorParallelRuntime::TensorParallelRuntime(
+    const TransformerModel& model, std::size_t devices,
+    std::unique_ptr<Transport> transport, bool star_allreduce)
     : model_(model),
       devices_(devices),
       star_allreduce_(star_allreduce),
-      transport_(make_transport(transport,
-                                devices == 0 ? 1 : devices + 1)) {
+      transport_(std::move(transport)) {
   if (devices == 0) {
     throw std::invalid_argument("TensorParallelRuntime: zero devices");
   }
   if (devices > model.spec().layer.heads) {
     throw std::invalid_argument(
         "TensorParallelRuntime: more devices than attention heads");
+  }
+  if (transport_->devices() != devices + 1) {
+    throw std::invalid_argument(
+        "TensorParallelRuntime: transport must have one endpoint per worker "
+        "plus the terminal");
   }
 }
 
@@ -156,24 +169,26 @@ Tensor TensorParallelRuntime::run(Tensor features) {
         }
       } catch (...) {
         errors[i] = std::current_exception();
+        // Poison the fabric so shards blocked in an all-reduce and the
+        // terminal blocked on the final tensor unwind instead of hanging.
+        detail::poison(*transport_, "device " + std::to_string(i), errors[i]);
       }
     });
   }
 
   Tensor hidden(0, 0);
+  std::exception_ptr terminal_error;
   try {
     broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
     hidden =
         tensor_from_payload(transport_->recv(terminal, 0, kTagFinal).payload);
   } catch (...) {
-    for (std::thread& t : threads) t.join();
-    throw;
+    terminal_error = std::current_exception();
+    detail::poison(*transport_, "terminal", terminal_error);
   }
 
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  detail::rethrow_failure(errors, terminal_error);
   return model_.postprocess(hidden);
 }
 

@@ -27,6 +27,12 @@ class TensorParallelRuntime {
                         TransportKind transport = TransportKind::kInMemory,
                         bool star_allreduce = false);
 
+  // Bring-your-own transport (e.g. a ChaosTransport for fault-injection
+  // tests). Must have devices() == devices + 1 (the terminal).
+  TensorParallelRuntime(const TransformerModel& model, std::size_t devices,
+                        std::unique_ptr<Transport> transport,
+                        bool star_allreduce = false);
+
   [[nodiscard]] Tensor infer(std::span<const TokenId> tokens);
   [[nodiscard]] Tensor infer(const Image& image);
 

@@ -11,6 +11,7 @@
 #include "collective/collectives.h"
 #include "core/thread_pool.h"
 #include "partition/partitioned_layer.h"
+#include "runtime/failure.h"
 #include "tensor/serialize.h"
 
 namespace voltage {
@@ -114,6 +115,10 @@ Tensor VoltageRuntime::run(Tensor features) {
   // Theorem-2 annotation on each layer span can be derived up front.
   const LayerConfig& config = model_.spec().layer;
 
+  // One absolute deadline for the whole request (see set_recv_timeout);
+  // default-constructed options wait forever, the pre-failure behavior.
+  const RecvOptions recv_opts = RecvOptions::within(recv_timeout_seconds_);
+
   std::vector<std::exception_ptr> errors(k);
   std::vector<std::thread> threads;
   threads.reserve(k);
@@ -128,7 +133,7 @@ Tensor VoltageRuntime::run(Tensor features) {
       try {
         // Algorithm 2, step 3: receive the distributed input features.
         Tensor x(0, 0);
-        broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
+        broadcast(*transport_, everyone, i, k, x, kTagBroadcast, recv_opts);
         // Comm-path buffers, allocated once and reused for every layer:
         // two full-sequence buffers (gather l writes seq[l%2] while layer l
         // still reads its input from seq[(l-1)%2]) and two shared partition
@@ -198,7 +203,7 @@ Tensor VoltageRuntime::run(Tensor features) {
             // owns) with the in-flight peer rows, then block for the rest.
             const Range own = ranges[l][i];
             AllGatherInto gather(*transport_, workers, i, holder, ranges[l],
-                                 seq[l % 2], kTagLayerBase + l);
+                                 seq[l % 2], kTagLayerBase + l, recv_opts);
             const Range next = ranges[l + 1][i];
             if (overlap_ && !executor_ && !next.empty() &&
                 own.begin <= next.begin && next.end <= own.end) {
@@ -219,6 +224,10 @@ Tensor VoltageRuntime::run(Tensor features) {
         }
       } catch (...) {
         errors[i] = std::current_exception();
+        // Containment: poison the fabric so peers blocked in a collective
+        // and the terminal blocked in recv_any unwind with a descriptive
+        // error instead of deadlocking on a device that will never send.
+        detail::poison(*transport_, "device " + std::to_string(i), errors[i]);
       }
     });
   }
@@ -228,8 +237,9 @@ Tensor VoltageRuntime::run(Tensor features) {
   const obs::ThreadTrackScope track_scope(
       static_cast<obs::TrackId>(terminal));
   Tensor hidden(n, f);
+  std::exception_ptr terminal_error;
   try {
-    broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
+    broadcast(*transport_, everyone, k, k, features, kTagBroadcast, recv_opts);
     {
       // Final partitions land in arrival order, each deserialized straight
       // into the assembled hidden buffer at its range's row offset.
@@ -239,7 +249,7 @@ Tensor VoltageRuntime::run(Tensor features) {
       const std::vector<Range>& final_ranges = ranges.back();
       std::vector<bool> seen(k, false);
       for (std::size_t received = 0; received < k; ++received) {
-        const Message m = transport_->recv_any(terminal, kTagFinal);
+        const Message m = transport_->recv_any(terminal, kTagFinal, recv_opts);
         if (m.source >= k || seen[m.source]) {
           throw std::runtime_error("VoltageRuntime: unexpected final sender");
         }
@@ -253,14 +263,15 @@ Tensor VoltageRuntime::run(Tensor features) {
       }
     }
   } catch (...) {
-    for (std::thread& t : threads) t.join();
-    throw;
+    // Poison before joining: device threads may still be blocked in a
+    // gather (e.g. when the terminal's deadline fired first) and would
+    // otherwise never let the join below finish.
+    terminal_error = std::current_exception();
+    detail::poison(*transport_, "terminal", terminal_error);
   }
 
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  detail::rethrow_failure(errors, terminal_error);
   // Steps 16-17: terminal post-processes into the user-facing result.
   obs::TraceSpan span(tracer_, "postprocess", "compute",
                       static_cast<obs::TrackId>(terminal));

@@ -96,6 +96,25 @@ class VoltageRuntime {
   void set_overlap(bool enabled) noexcept { overlap_ = enabled; }
   [[nodiscard]] bool overlap() const noexcept { return overlap_; }
 
+  // Per-request receive budget in seconds (default 0: wait forever). When
+  // set, every blocking receive of a run — broadcast, layer gathers, the
+  // terminal's final collect — shares one absolute deadline computed at
+  // infer() entry, so a wedged-but-alive peer surfaces as RecvTimeoutError
+  // within the budget instead of hanging the mesh. The timing-out thread
+  // poisons the transport, so every other thread unwinds too.
+  void set_recv_timeout(double seconds) noexcept {
+    recv_timeout_seconds_ = seconds;
+  }
+  [[nodiscard]] double recv_timeout() const noexcept {
+    return recv_timeout_seconds_;
+  }
+
+  // The installed per-layer kernel (empty = default float path). Exposed so
+  // a serving layer that rebuilds a poisoned runtime can carry it over.
+  [[nodiscard]] const PartitionExecutor& partition_executor() const noexcept {
+    return executor_;
+  }
+
   // Intra-op thread budget for each device thread's kernels (default 1:
   // device threads already are the parallelism, and K devices times a
   // many-way GEMM split would oversubscribe the host). Raising it lets a
@@ -118,6 +137,7 @@ class VoltageRuntime {
   std::unique_ptr<Transport> transport_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
   std::size_t intra_op_threads_ = 1;
+  double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline
   bool overlap_ = true;
 };
 

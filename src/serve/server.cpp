@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -21,9 +22,13 @@ LatencyStats summarize(std::vector<Seconds> samples) {
   double sum = 0.0;
   for (const Seconds s : samples) sum += s;
   stats.mean = sum / static_cast<double>(samples.size());
+  // Nearest-rank percentile: the smallest sample such that at least q of
+  // the distribution is <= it (rank ceil(q*n), 1-based). The previous
+  // floor(q*(n-1)) indexing under-reported upper quantiles at small n.
   const auto pct = [&](double q) {
-    return samples[static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1))];
+    const double rank = std::ceil(q * static_cast<double>(samples.size()));
+    const auto idx = static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
   };
   stats.p50 = pct(0.5);
   stats.p95 = pct(0.95);
@@ -36,22 +41,49 @@ LatencyStats summarize(std::vector<Seconds> samples) {
 InferenceServer::InferenceServer(const TransformerModel& model,
                                  Options options)
     : model_(model),
-      runtime_(model, std::move(options.scheme), options.policy,
-               options.transport),
-      tracer_(options.tracer),
-      metrics_(options.metrics) {
-  std::size_t per_device = options.device_intra_op_threads;
-  if (per_device == 0) {
-    per_device = std::max<std::size_t>(
-        1, intra_op_threads() / (runtime_.terminal_id() + 1));
-  }
-  runtime_.set_intra_op_threads(per_device);
-  runtime_.set_tracer(tracer_);
-  if (metrics_ != nullptr) runtime_.set_metrics(metrics_);
+      options_(std::move(options)),
+      runtime_(make_runtime()),
+      tracer_(options_.tracer),
+      metrics_(options_.metrics) {
   if (tracer_ != nullptr) {
     tracer_->set_track_name(obs::kServeTrack, "server");
   }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+std::unique_ptr<VoltageRuntime> InferenceServer::make_runtime() const {
+  auto runtime = std::make_unique<VoltageRuntime>(
+      model_, options_.scheme, options_.policy, options_.transport);
+  std::size_t per_device = options_.device_intra_op_threads;
+  if (per_device == 0) {
+    per_device = std::max<std::size_t>(
+        1, intra_op_threads() / (runtime->terminal_id() + 1));
+  }
+  runtime->set_intra_op_threads(per_device);
+  runtime->set_recv_timeout(options_.request_deadline);
+  runtime->set_tracer(options_.tracer);
+  if (options_.metrics != nullptr) runtime->set_metrics(options_.metrics);
+  return runtime;
+}
+
+void InferenceServer::rebuild_runtime_if_poisoned() {
+  if (!runtime_->fabric().closed()) return;
+  // A poisoned transport never recovers (that is what makes poisoning a
+  // sound unblocking primitive), so the dispatcher swaps in a fresh runtime
+  // rather than failing every later request with the stale close reason.
+  // The installed partition executor survives the swap — only the mesh is
+  // replaced, not the kernel.
+  PartitionExecutor executor = runtime_->partition_executor();
+  std::unique_ptr<VoltageRuntime> fresh = make_runtime();
+  fresh->set_partition_executor(std::move(executor));
+  runtime_ = std::move(fresh);
+  {
+    const std::lock_guard lock(mutex_);
+    runtime_rebuilds_ += 1;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("server.runtime_rebuilds").add(1);
+  }
 }
 
 InferenceServer::~InferenceServer() {
@@ -135,9 +167,9 @@ void InferenceServer::dispatch_loop() {
             [this](const auto& input) {
               if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
                                            Image>) {
-                return runtime_.infer(input);
+                return runtime_->infer(input);
               } else {
-                return runtime_.infer(
+                return runtime_->infer(
                     std::span<const TokenId>(input.data(), input.size()));
               }
             },
@@ -161,10 +193,17 @@ void InferenceServer::dispatch_loop() {
       }
       job.result.set_value(std::move(logits));
     } catch (...) {
+      {
+        const std::lock_guard lock(mutex_);
+        failed_ += 1;
+      }
       if (metrics_ != nullptr) {
         metrics_->counter("server.requests_failed").add(1);
       }
       job.result.set_exception(std::current_exception());
+      // A failure that poisoned the mesh must not doom every later request:
+      // swap in a fresh runtime so the dispatcher keeps serving.
+      rebuild_runtime_if_poisoned();
     }
   }
 }
@@ -173,13 +212,15 @@ ServerStats InferenceServer::stats() const {
   std::vector<Seconds> waits;
   std::vector<Seconds> services;
   std::vector<Seconds> sojourns;
+  ServerStats stats;
   {
     const std::lock_guard lock(mutex_);
     waits = waits_;
     services = services_;
     sojourns = sojourns_;
+    stats.failed = failed_;
+    stats.runtime_rebuilds = runtime_rebuilds_;
   }
-  ServerStats stats;
   stats.completed = sojourns.size();
   if (sojourns.empty()) return stats;
   const LatencyStats total = summarize(std::move(sojourns));

@@ -41,6 +41,12 @@ struct LatencyStats {
 
 struct ServerStats {
   std::size_t completed = 0;
+  // Requests whose future carries an exception instead of logits (inference
+  // failure, poisoned transport, deadline). Not included in the latency
+  // percentiles below.
+  std::size_t failed = 0;
+  // Times the dispatcher rebuilt its runtime after a poisoned transport.
+  std::size_t runtime_rebuilds = 0;
   // Total sojourn = queue wait + service.
   Seconds mean = 0.0;
   Seconds p50 = 0.0;
@@ -63,6 +69,11 @@ class InferenceServer {
     // forwarded to VoltageRuntime::set_intra_op_threads verbatim. Results
     // are bitwise identical at every setting.
     std::size_t device_intra_op_threads = 0;
+    // Per-request deadline in seconds (0 = none): every blocking receive of
+    // a request's inference shares one absolute deadline, so a wedged
+    // device fails the request with RecvTimeoutError instead of wedging the
+    // dispatcher — and with it every queued future — forever.
+    Seconds request_deadline = 0.0;
     // Optional observability sinks (both non-owning; nullptr = off).
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
@@ -89,6 +100,12 @@ class InferenceServer {
 
   [[nodiscard]] std::size_t queue_depth() const;
 
+  // The runtime currently serving requests (rebuilt after transport
+  // poisoning — do not cache the reference across failures). Exposed for
+  // configuration and fault-injection tests; touch it only while no request
+  // is in flight.
+  [[nodiscard]] VoltageRuntime& runtime() noexcept { return *runtime_; }
+
  private:
   struct Job {
     std::variant<std::vector<TokenId>, Image> input;
@@ -99,9 +116,12 @@ class InferenceServer {
 
   [[nodiscard]] std::future<Tensor> enqueue(Job job);
   void dispatch_loop();
+  [[nodiscard]] std::unique_ptr<VoltageRuntime> make_runtime() const;
+  void rebuild_runtime_if_poisoned();
 
   const TransformerModel& model_;
-  VoltageRuntime runtime_;
+  Options options_;  // construction parameters, kept for runtime rebuilds
+  std::unique_ptr<VoltageRuntime> runtime_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 
@@ -111,6 +131,8 @@ class InferenceServer {
   bool accepting_ = true;
   bool stopping_ = false;
   std::uint64_t next_request_id_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t runtime_rebuilds_ = 0;
   std::vector<Seconds> waits_;
   std::vector<Seconds> services_;
   std::vector<Seconds> sojourns_;

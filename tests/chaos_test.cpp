@@ -1,7 +1,11 @@
 // Fault-injection tests: the collectives and Algorithm 2 must be correct
 // under adversarial message delivery timing (ChaosTransport scrambles
-// arrival order with random per-message delays).
+// arrival order with random per-message delays), and the injected faults
+// themselves — drop, duplicate, crash-at-send — must behave as specified.
+// End-to-end containment of these faults is covered in failure_test.cpp.
+#include <chrono>
 #include <numeric>
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -21,7 +25,7 @@ namespace {
 std::unique_ptr<Transport> chaotic(std::size_t devices, std::uint64_t seed) {
   return std::make_unique<ChaosTransport>(
       make_transport(TransportKind::kInMemory, devices),
-      ChaosOptions{.max_delay_seconds = 1e-3, .seed = seed});
+      ChaosOptions{.max_delay_seconds = 1e-3, .seed = seed, .crash = {}});
 }
 
 TEST(Chaos, DeliveryStillReliable) {
@@ -107,6 +111,70 @@ TEST(Chaos, TransportSizeValidatedByRuntime) {
                                             model.spec().num_layers),
                      OrderPolicy::kAdaptive, chaotic(3, 1)),  // needs 4
       std::invalid_argument);
+}
+
+TEST(Chaos, DropsAreCountedAndNeverDelivered) {
+  ChaosTransport t(make_transport(TransportKind::kInMemory, 2),
+                   ChaosOptions{.max_delay_seconds = 0.0, .seed = 5,
+                                .drop_probability = 1.0, .crash = {}});
+  for (MessageTag tag = 0; tag < 5; ++tag) {
+    t.send(Message{.source = 0, .destination = 1, .tag = tag,
+                   .payload = std::vector<std::byte>(1)});
+  }
+  // The receiver only notices loss via a deadline — that is the contract.
+  EXPECT_THROW((void)t.recv(1, 0, 0, RecvOptions::within(0.05)),
+               RecvTimeoutError);
+  EXPECT_EQ(t.chaos_stats().dropped, 5U);
+  EXPECT_EQ(t.chaos_stats().delivered, 0U);
+}
+
+TEST(Chaos, DuplicatesDeliverTheMessageTwice) {
+  ChaosTransport t(make_transport(TransportKind::kInMemory, 2),
+                   ChaosOptions{.max_delay_seconds = 1e-4, .seed = 6,
+                                .duplicate_probability = 1.0, .crash = {}});
+  t.send(Message{.source = 0, .destination = 1, .tag = 3,
+                 .payload = std::vector<std::byte>(7)});
+  EXPECT_EQ(t.recv(1, 0, 3).payload.size(), 7U);
+  EXPECT_EQ(t.recv(1, 0, 3).payload.size(), 7U);  // the duplicate
+  EXPECT_EQ(t.chaos_stats().duplicated, 1U);
+}
+
+TEST(Chaos, CrashedDeviceThrowsOnSendAfterThreshold) {
+  ChaosTransport t(
+      make_transport(TransportKind::kInMemory, 2),
+      ChaosOptions{.max_delay_seconds = 0.0,
+                   .seed = 7,
+                   .crash = ChaosOptions::Crash{.device = 0,
+                                                .after_sends = 2}});
+  const auto from = [&](DeviceId source, MessageTag tag) {
+    t.send(Message{.source = source, .destination = 1 - source, .tag = tag,
+                   .payload = std::vector<std::byte>(1)});
+  };
+  from(0, 1);
+  from(0, 2);
+  EXPECT_THROW(from(0, 3), TransportClosedError);  // third send: dead
+  EXPECT_THROW(from(0, 4), TransportClosedError);  // stays dead
+  from(1, 5);  // other devices are unaffected
+  EXPECT_EQ(t.recv(0, 1, 5).payload.size(), 1U);
+  EXPECT_EQ(t.chaos_stats().crashed_sends, 2U);
+}
+
+TEST(Chaos, CourierRecordsDeliveryErrorsInsteadOfTerminating) {
+  // Poison the inner transport while a delayed message is in flight: the
+  // courier's inner send fails, which must be *recorded*, not escape the
+  // courier thread (which would std::terminate the process).
+  ChaosTransport t(make_transport(TransportKind::kInMemory, 2),
+                   ChaosOptions{.max_delay_seconds = 0.05, .seed = 8,
+                                .crash = {}});
+  t.send(Message{.source = 0, .destination = 1, .tag = 1,
+                 .payload = std::vector<std::byte>(1)});
+  t.close("test poison");
+  for (int i = 0; i < 200 && t.chaos_stats().delivery_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(t.chaos_stats().delivery_errors, 1U);
+  EXPECT_NE(t.last_delivery_error().find("test poison"), std::string::npos)
+      << t.last_delivery_error();
 }
 
 TEST(Chaos, StatsPassThrough) {

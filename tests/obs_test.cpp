@@ -261,6 +261,28 @@ TEST(Metrics, HistogramQuantilesMatchAKnownDistribution) {
   EXPECT_DOUBLE_EQ(snap.p99, 990.0);
 }
 
+TEST(Metrics, HistogramQuantilesUseNearestRankAtSmallCounts) {
+  // Nearest-rank (1-based rank ceil(q*n)) at n = 10: p50 is the 5th value,
+  // p95 and p99 the 10th. The old floor(q*(n-1)) indexing under-reported
+  // p95 as the 9th value here — this pins the exact ranks.
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram("small");
+  for (int v = 10; v >= 1; --v) histogram.record(static_cast<double>(v));
+  const obs::HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 10U);
+  EXPECT_DOUBLE_EQ(snap.p50, 5.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 10.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 10.0);
+
+  // n = 1: every quantile is the lone sample (the clamp path).
+  obs::Histogram& one = registry.histogram("one");
+  one.record(42.0);
+  const obs::HistogramSnapshot lone = one.snapshot();
+  EXPECT_DOUBLE_EQ(lone.p50, 42.0);
+  EXPECT_DOUBLE_EQ(lone.p95, 42.0);
+  EXPECT_DOUBLE_EQ(lone.p99, 42.0);
+}
+
 TEST(Metrics, ReportListsEverything) {
   obs::MetricsRegistry registry;
   registry.counter("a.count").add(3);

@@ -1,6 +1,10 @@
 // Tests of the InferenceServer: correctness of served results, concurrency
-// from multiple submitters, statistics, and lifecycle handling.
+// from multiple submitters, statistics, lifecycle handling, and failure
+// containment (a poisoned runtime must fail one future, not the server).
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -9,6 +13,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "partition/partitioned_layer.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
 #include "transformer/tokenizer.h"
@@ -114,6 +119,55 @@ TEST(InferenceServer, PropagatesInferenceErrors) {
   // The server remains usable afterwards.
   const auto good = random_tokens(10, model.spec().vocab_size, 3);
   EXPECT_TRUE(allclose(server.submit(good).get(), model.infer(good), 2e-3F));
+}
+
+TEST(InferenceServer, PoisonedRuntimeFailsOneFutureThenRecovers) {
+  // A device thread failing mid-inference poisons the runtime's transport.
+  // The dispatcher must reject exactly that request's future, rebuild the
+  // runtime (carrying the installed partition executor over), and keep
+  // serving later requests correctly.
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(2));
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  server.runtime().set_partition_executor(
+      [&model, armed](std::size_t layer, const Tensor& x, Range p,
+                      OrderPolicy policy) {
+        if (layer == 1 && p.begin == 0 && armed->exchange(false)) {
+          throw std::runtime_error("injected device fault");
+        }
+        return partitioned_layer_forward(model.layers()[layer], x, p, policy);
+      });
+  const auto tokens = random_tokens(12, model.spec().vocab_size, 21);
+  auto doomed = server.submit(tokens);
+  try {
+    (void)doomed.get();
+    FAIL() << "the poisoned request's future must carry the fault";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string_view(e.what()).find("injected device fault"),
+              std::string_view::npos)
+        << e.what();
+  }
+  // Later requests run on the rebuilt runtime — and still through the
+  // carried-over (now disarmed) executor.
+  EXPECT_TRUE(
+      allclose(server.submit(tokens).get(), model.infer(tokens), 2e-3F));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1U);
+  EXPECT_EQ(stats.runtime_rebuilds, 1U);
+  EXPECT_EQ(stats.completed, 1U);
+}
+
+TEST(InferenceServer, RequestDeadlineUnhitLeavesResultsIntact) {
+  // Plumbing check: a generous per-request deadline changes nothing on the
+  // healthy path (the deadline only matters when a device wedges).
+  const TransformerModel model = make_model(mini_bert_spec());
+  auto opts = options(2);
+  opts.request_deadline = 300.0;
+  InferenceServer server(model, opts);
+  EXPECT_EQ(server.runtime().recv_timeout(), 300.0);
+  const auto tokens = random_tokens(10, model.spec().vocab_size, 33);
+  EXPECT_TRUE(
+      allclose(server.submit(tokens).get(), model.infer(tokens), 2e-3F));
 }
 
 TEST(InferenceServer, WorksOverRealSockets) {
