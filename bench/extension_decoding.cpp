@@ -1,0 +1,154 @@
+// Extension: distributed autoregressive decoding — cached vs recompute.
+//
+// Greedy-decodes a long continuation on K devices two ways at every context
+// checkpoint T:
+//   recompute — VoltageRuntime::infer over the whole grown context (what
+//               token generation costs without decode support: O(T) compute
+//               and an O(T F) gather per layer, per token);
+//   cached    — DistributedDecoder::step against the partition-resident
+//               caches (O(1) wire bytes and O(T) attention reads per token).
+// Prints tokens/s and wire bytes/token for both, and writes the series as
+// JSON (argv[1], default BENCH_decode.json — the repo root keeps a committed
+// snapshot that CI regenerates to catch decode-path regressions).
+//
+//   ./build/bench/extension_decoding [out.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/distributed_decoder.h"
+#include "runtime/voltage_runtime.h"
+#include "tensor/ops.h"
+#include "transformer/tokenizer.h"
+#include "transformer/zoo.h"
+
+namespace {
+
+using namespace voltage;
+
+// mini-gpt2 with a context window large enough for prompt + 256 decoded
+// tokens (the zoo spec stops at 128 positions).
+ModelSpec long_context_spec() {
+  ModelSpec spec = mini_gpt2_spec();
+  spec.name = "mini-gpt2-long";
+  spec.max_positions = 320;
+  return spec;
+}
+
+struct Sample {
+  std::size_t devices = 0;
+  std::size_t context = 0;  // decoded tokens beyond the prompt
+  double cached_tokens_per_s = 0.0;
+  double recompute_tokens_per_s = 0.0;
+  double cached_bytes_per_token = 0.0;
+  double recompute_bytes_per_token = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return recompute_tokens_per_s > 0.0
+               ? cached_tokens_per_s / recompute_tokens_per_s
+               : 0.0;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_decode.json";
+  const TransformerModel model = make_model(long_context_spec());
+  constexpr std::size_t kPrompt = 16;
+  const auto prompt = random_tokens(kPrompt, model.spec().vocab_size, 7);
+  const std::vector<std::size_t> checkpoints{32, 64, 128, 256};
+
+  std::printf("=== Extension: distributed KV-cache decoding, %s, prompt %zu "
+              "===\n\n",
+              model.spec().name.c_str(), kPrompt);
+  std::printf("  K    T   cached_tok/s  recompute_tok/s  speedup  "
+              "cached_B/tok  recompute_B/tok\n");
+
+  std::vector<Sample> samples;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    VoltageRuntime recompute(model, PartitionScheme::even(k));
+    DistributedDecoder decoder(model, PartitionScheme::even(k));
+    Tensor logits = decoder.prime(prompt);
+    std::vector<TokenId> context(prompt.begin(), prompt.end());
+
+    std::size_t decoded = 0;
+    for (const std::size_t target : checkpoints) {
+      // Cached path: every step from the previous checkpoint to this one.
+      const std::uint64_t cached_bytes0 =
+          decoder.fabric().total_stats().bytes_sent;
+      const auto cached_start = std::chrono::steady_clock::now();
+      const std::size_t window = target - decoded;
+      while (decoded < target) {
+        const auto next = static_cast<TokenId>(argmax_row(logits, 0));
+        context.push_back(next);
+        logits = decoder.step(next);
+        ++decoded;
+      }
+      const double cached_s = seconds_since(cached_start);
+      const std::uint64_t cached_bytes =
+          decoder.fabric().total_stats().bytes_sent - cached_bytes0;
+
+      // Recompute path: one token at this context length costs one full
+      // distributed forward over the whole grown context.
+      const std::uint64_t recompute_bytes0 =
+          recompute.fabric().total_stats().bytes_sent;
+      (void)recompute.infer(context);
+      const std::uint64_t recompute_bytes =
+          recompute.fabric().total_stats().bytes_sent - recompute_bytes0;
+      const double recompute_s = voltage::bench::time_best_of(
+          3, [&] { (void)recompute.infer(context); });
+
+      Sample s;
+      s.devices = k;
+      s.context = target;
+      s.cached_tokens_per_s =
+          cached_s > 0.0 ? static_cast<double>(window) / cached_s : 0.0;
+      s.recompute_tokens_per_s = recompute_s > 0.0 ? 1.0 / recompute_s : 0.0;
+      s.cached_bytes_per_token =
+          static_cast<double>(cached_bytes) / static_cast<double>(window);
+      s.recompute_bytes_per_token = static_cast<double>(recompute_bytes);
+      samples.push_back(s);
+      std::printf("  %zu  %3zu   %12.1f  %15.1f  %6.1fx  %12.0f  %15.0f\n",
+                  s.devices, s.context, s.cached_tokens_per_s,
+                  s.recompute_tokens_per_s, s.speedup(),
+                  s.cached_bytes_per_token, s.recompute_bytes_per_token);
+    }
+    voltage::bench::print_rule(72);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"distributed_decode\",\n"
+      << "  \"model\": \"" << model.spec().name << "\",\n"
+      << "  \"prompt_tokens\": " << kPrompt << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"devices\": " << s.devices << ", \"context\": " << s.context
+        << ", \"cached_tokens_per_s\": "
+        << voltage::bench::num(s.cached_tokens_per_s)
+        << ", \"recompute_tokens_per_s\": "
+        << voltage::bench::num(s.recompute_tokens_per_s)
+        << ", \"speedup\": " << voltage::bench::num(s.speedup())
+        << ", \"cached_bytes_per_token\": "
+        << voltage::bench::num(s.cached_bytes_per_token)
+        << ", \"recompute_bytes_per_token\": "
+        << voltage::bench::num(s.recompute_bytes_per_token) << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("(wrote %s)\n", out_path.c_str());
+  return 0;
+}

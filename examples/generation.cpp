@@ -1,18 +1,35 @@
 // Autoregressive generation at the edge (the paper's GPT-2 workload):
-// greedy-decode a continuation with a causal transformer, where EVERY
-// forward pass is distributed across devices with Voltage. Decoding is the
-// batch-size-1, latency-bound regime the paper motivates.
+// greedy-decode a continuation with a causal transformer, comparing the two
+// distributed decode regimes side by side:
+//   - full recompute: every token re-runs the whole context through
+//     VoltageRuntime::infer — O(T^2) compute, O(T*F) wire bytes per token;
+//   - cached: DistributedDecoder keeps partition-resident KV caches and
+//     ships only the new token's row plus per-layer softmax-merge partials —
+//     O(T) compute, wire bytes independent of T.
+// Both must pick the exact token the single-device references pick at every
+// step.
 //
 //   ./build/examples/generation
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "runtime/distributed_decoder.h"
 #include "runtime/voltage_runtime.h"
 #include "tensor/ops.h"
 #include "transformer/decoder.h"
 #include "transformer/tokenizer.h"
 #include "transformer/zoo.h"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return 1e3 * std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace voltage;
@@ -21,62 +38,95 @@ int main() {
   constexpr std::size_t kDevices = 3;
   constexpr std::size_t kNewTokens = 12;
 
-  VoltageRuntime runtime(model, PartitionScheme::even(kDevices));
-
-  // Prompt: deterministic pseudo-random token ids (the paper's "random
-  // string" workload; a real deployment would run BPE here).
-  std::vector<TokenId> context =
+  const std::vector<TokenId> prompt =
       random_tokens(16, model.spec().vocab_size, 2024);
-  std::printf("prompt (%zu tokens):", context.size());
-  for (const TokenId t : context) std::printf(" %d", t);
-  std::printf("\n\ngreedy decoding %zu tokens on %zu devices:\n", kNewTokens,
-              kDevices);
+  std::printf("prompt (%zu tokens):", prompt.size());
+  for (const TokenId t : prompt) std::printf(" %d", t);
+  std::printf("\n\ngreedy decoding %zu tokens on %zu devices, cached vs "
+              "full-recompute:\n\n",
+              kNewTokens, kDevices);
+
+  // Full-recompute path: one distributed forward over the whole context per
+  // token.
+  VoltageRuntime runtime(model, PartitionScheme::even(kDevices));
+  // Cached path: one distributed prefill, then O(T) steps against the
+  // partition-resident caches.
+  DistributedDecoder decoder(model, PartitionScheme::even(kDevices));
+  // Single-device references: the decoded tokens must match both.
+  IncrementalDecoder reference(model);
+
+  const auto prefill_start = std::chrono::steady_clock::now();
+  Tensor cached_logits = decoder.prime(prompt);
+  const double prefill_ms = ms_since(prefill_start);
+  Tensor reference_logits = reference.prime(prompt);
+
+  std::printf("  distributed prefill: %.1f ms, %.1f KiB on the wire\n\n",
+              prefill_ms,
+              static_cast<double>(decoder.fabric().total_stats().bytes_sent) /
+                  1024.0);
+  std::printf("  step  token   recompute_ms  recompute_KiB  cached_ms  "
+              "cached_KiB\n");
+
+  std::vector<TokenId> context = prompt;
+  std::uint64_t recompute_bytes_total = 0;
+  std::uint64_t cached_bytes_total = 0;
+  double recompute_ms_total = 0.0;
+  double cached_ms_total = 0.0;
+  bool all_match = true;
 
   for (std::size_t step = 0; step < kNewTokens; ++step) {
-    // One distributed forward pass over the whole context; the LM head on
-    // the terminal device picks the next token.
-    const Tensor logits = runtime.infer(context);
-    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
-
-    // Cross-check against single-device decoding — the distributed system
-    // must pick the same token at every step.
-    const auto reference =
-        static_cast<TokenId>(argmax_row(model.infer(context), 0));
-    std::printf("  step %2zu: next token %5d (context %2zu) %s\n", step, next,
-                context.size(), next == reference ? "" : "<-- MISMATCH");
+    // Both paths agree (with the single-device reference) on the next token.
+    const auto next = static_cast<TokenId>(argmax_row(cached_logits, 0));
+    const auto recompute_next = static_cast<TokenId>(
+        argmax_row(runtime.infer(context), 0));
+    const auto reference_next =
+        static_cast<TokenId>(argmax_row(reference_logits, 0));
+    const bool match = next == recompute_next && next == reference_next;
+    all_match = all_match && match;
     context.push_back(next);
+
+    // Same context length, both regimes: full recompute re-runs everything,
+    // the cached step ships one row and the per-layer merge partials.
+    const std::uint64_t rb0 = runtime.fabric().total_stats().bytes_sent;
+    const auto rt0 = std::chrono::steady_clock::now();
+    (void)runtime.infer(context);
+    const double recompute_ms = ms_since(rt0);
+    const std::uint64_t recompute_bytes =
+        runtime.fabric().total_stats().bytes_sent - rb0;
+
+    const std::uint64_t cb0 = decoder.fabric().total_stats().bytes_sent;
+    const auto ct0 = std::chrono::steady_clock::now();
+    cached_logits = decoder.step(next);
+    const double cached_ms = ms_since(ct0);
+    const std::uint64_t cached_bytes =
+        decoder.fabric().total_stats().bytes_sent - cb0;
+    reference_logits = reference.step(next);
+
+    std::printf("  %4zu  %5d   %12.2f  %13.1f  %9.2f  %10.1f%s\n", step, next,
+                recompute_ms, static_cast<double>(recompute_bytes) / 1024.0,
+                cached_ms, static_cast<double>(cached_bytes) / 1024.0,
+                match ? "" : "  <-- MISMATCH");
+
+    recompute_bytes_total += recompute_bytes;
+    recompute_ms_total += recompute_ms;
+    cached_bytes_total += cached_bytes;
+    cached_ms_total += cached_ms;
   }
 
   std::printf("\ncontinuation:");
   for (std::size_t i = context.size() - kNewTokens; i < context.size(); ++i) {
     std::printf(" %d", context[i]);
   }
-  const auto traffic = runtime.fabric().total_stats();
-  std::printf("\ntotal wire traffic for the %zu decode steps: %.1f KiB\n",
-              kNewTokens,
-              static_cast<double>(traffic.bytes_sent) / 1024.0);
-
-  // The KV-cache companion path: recompute-free decoding must produce the
-  // exact same continuation, one O(T) step per token.
-  IncrementalDecoder decoder(model);
-  std::vector<TokenId> cached_context =
-      random_tokens(16, model.spec().vocab_size, 2024);
-  const auto start = std::chrono::steady_clock::now();
-  Tensor logits = decoder.prime(cached_context);
-  std::vector<TokenId> cached_continuation;
-  for (std::size_t step = 0; step < kNewTokens; ++step) {
-    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
-    cached_continuation.push_back(next);
-    logits = decoder.step(next);
-  }
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  const bool same =
-      std::equal(cached_continuation.begin(), cached_continuation.end(),
-                 context.end() - static_cast<std::ptrdiff_t>(kNewTokens));
-  std::printf("\nKV-cache decoder reproduces the continuation: %s "
-              "(%.1f ms for prime + %zu steps)\n",
-              same ? "yes" : "NO", 1e3 * seconds, kNewTokens);
-  return 0;
+  std::printf("\nall three paths agree on every token: %s\n",
+              all_match ? "yes" : "NO");
+  std::printf(
+      "totals over %zu tokens — recompute: %.1f ms, %.1f KiB;  cached: "
+      "%.1f ms, %.1f KiB (%.1fx less wire)\n",
+      kNewTokens, recompute_ms_total,
+      static_cast<double>(recompute_bytes_total) / 1024.0, cached_ms_total,
+      static_cast<double>(cached_bytes_total) / 1024.0,
+      static_cast<double>(recompute_bytes_total) /
+          static_cast<double>(cached_bytes_total == 0 ? 1
+                                                      : cached_bytes_total));
+  return all_match ? 0 : 1;
 }

@@ -1,0 +1,84 @@
+#include "collective/softmax_merge.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "obs/trace.h"
+#include "partition/decode_attention.h"
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+Tensor all_reduce_softmax_merge(Transport& fabric,
+                                const std::vector<DeviceId>& group,
+                                std::size_t my_index, std::size_t root_index,
+                                const Tensor& partial, std::size_t heads,
+                                std::size_t head_dim, MessageTag tag,
+                                const RecvOptions& options) {
+  if (group.empty()) throw std::invalid_argument("softmax_merge: empty group");
+  if (my_index >= group.size() || root_index >= group.size()) {
+    throw std::invalid_argument("softmax_merge: rank outside group");
+  }
+  if (partial.cols() != softmax_partial_cols(heads, head_dim)) {
+    throw std::invalid_argument("softmax_merge: partial width mismatch");
+  }
+  if (group.size() == 1) return partial;
+
+  const DeviceId self = group[my_index];
+  obs::TraceSpan span(obs::thread_tracer(), "softmax_merge", "comm",
+                      obs::thread_track());
+  span.device(static_cast<std::int64_t>(self)).layer(obs::thread_layer());
+
+  if (my_index != root_index) {
+    // Leaf: one partial up, one merged partial down.
+    const Payload up =
+        tensor_payload_view(std::make_shared<const Tensor>(partial));
+    span.bytes(static_cast<std::int64_t>(up.size()));
+    fabric.send(Message{.source = self,
+                        .destination = group[root_index],
+                        .tag = tag,
+                        .payload = up});
+    Tensor merged = tensor_from_payload(
+        fabric.recv(self, group[root_index], tag + 1, options).payload);
+    if (!merged.same_shape(partial)) {
+      throw std::runtime_error("softmax_merge: merged shape mismatch");
+    }
+    return merged;
+  }
+
+  // Root: receive every rank's partial (matching by source, so arrival
+  // order is irrelevant), then fold them in rank order — the merge is
+  // exact but not FP-associative, and a fixed fold order keeps the result
+  // bitwise deterministic run to run.
+  Tensor merged = softmax_partial_identity(partial.rows(), heads, head_dim);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i == my_index) {
+      softmax_merge_inplace(merged, partial, heads, head_dim);
+      continue;
+    }
+    const Tensor incoming =
+        tensor_from_payload(fabric.recv(self, group[i], tag, options).payload);
+    if (!incoming.same_shape(partial)) {
+      throw std::runtime_error("softmax_merge: partial shape mismatch");
+    }
+    softmax_merge_inplace(merged, incoming, heads, head_dim);
+  }
+  const Payload down =
+      tensor_payload_view(std::make_shared<const Tensor>(merged));
+  span.bytes(static_cast<std::int64_t>(down.size() * (group.size() - 1)));
+  // Highest rank first, rank 0 last. Rank 0 gates the caller's step (it is
+  // the rank that reports the decode result), so sending its copy after all
+  // the others makes every send of this collective happen-before the step
+  // completes — keeping per-step transport byte deltas exact instead of
+  // letting a slow peer's down-message be counted against the next step.
+  for (std::size_t i = group.size(); i-- > 0;) {
+    if (i == my_index) continue;
+    fabric.send(Message{.source = self,
+                        .destination = group[i],
+                        .tag = tag + 1,
+                        .payload = down});
+  }
+  return merged;
+}
+
+}  // namespace voltage

@@ -1,0 +1,31 @@
+// All-reduce of online-softmax attention partials (distributed decoding).
+//
+// Each rank contributes the packed per-head (max, denominator,
+// weighted-value) triples of its partition-resident positions
+// (partition/decode_attention.h); every rank returns with the exact
+// log-sum-exp merge over all ranks — mathematically identical to one
+// monolithic softmax over the union of the position sets. The reduction runs
+// at a designated root (partials merged in rank order, so the result is
+// bitwise deterministic regardless of arrival order) and the merged partial
+// is broadcast back, putting 2(K-1) messages of H*(F_H+2) floats on the
+// wire per call — independent of the context length, which is the whole
+// point of cache-resident decoding.
+#pragma once
+
+#include "net/transport.h"
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+// `partial` is [R x H*(F_H+2)] packed (R = query rows, normally 1).
+// Root `group[root_index]` gathers, merges in rank order and rebroadcasts;
+// the merged packed partial is returned on every rank. Uses `tag` for the
+// rank->root leg and `tag + 1` for the root->rank leg, so callers must
+// leave both tags free. A single-rank group returns `partial` unchanged.
+[[nodiscard]] Tensor all_reduce_softmax_merge(
+    Transport& fabric, const std::vector<DeviceId>& group,
+    std::size_t my_index, std::size_t root_index, const Tensor& partial,
+    std::size_t heads, std::size_t head_dim, MessageTag tag,
+    const RecvOptions& options = {});
+
+}  // namespace voltage

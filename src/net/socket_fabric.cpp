@@ -226,6 +226,21 @@ void SocketFabric::send(Message message) {
   const FrameHeader header{.source = message.source,
                            .tag = message.tag,
                            .length = message.payload.size()};
+  // Stats commit before the bytes hit the wire: once the receiver can
+  // observe the message (and unblock a thread that then reads
+  // total_stats()), the counters must already include it — otherwise
+  // per-step byte accounting sees a straggler send slide into the next
+  // measurement window. A send that subsequently fails is still counted;
+  // by then the fabric is poisoned and exact totals no longer matter.
+  if (metrics_.enabled()) {
+    metrics_.messages_sent->add(1);
+    metrics_.bytes_sent->add(message.payload.size());
+  }
+  {
+    const std::lock_guard lock(src.mutex);
+    src.stats.messages_sent += 1;
+    src.stats.bytes_sent += message.payload.size();
+  }
   try {
     // View payloads are written straight from the borrowed storage (header
     // chunk then body chunk) — no flattening copy on the send path.
@@ -241,13 +256,6 @@ void SocketFabric::send(Message message) {
     if (closed()) throw_closed("send");
     throw;
   }
-  if (metrics_.enabled()) {
-    metrics_.messages_sent->add(1);
-    metrics_.bytes_sent->add(message.payload.size());
-  }
-  const std::lock_guard lock(src.mutex);
-  src.stats.messages_sent += 1;
-  src.stats.bytes_sent += message.payload.size();
 }
 
 Message SocketFabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,

@@ -183,6 +183,16 @@ TraceReport build_report(const LoadedTrace& trace) {
       if (e.bytes > 0) dev.bytes_sent += e.bytes;
     }
 
+    const std::string_view span_name(e.name);
+    if (span_name == "decode.prefill") {
+      report.decode.prefills += 1;
+      report.decode.prefill_us += e.duration_us;
+    } else if (span_name == "decode.step") {
+      report.decode.steps += 1;
+      report.decode.step_us += e.duration_us;
+      if (e.bytes > 0) report.decode.step_bytes += e.bytes;
+    }
+
     if (e.layer < 0) continue;
     LayerRow& row = layers[{e.layer, device}];
     row.device = device;
@@ -250,6 +260,16 @@ std::string format_report(const TraceReport& report) {
                   static_cast<long long>(row.gemm_us),
                   static_cast<long long>(row.comm_us),
                   static_cast<long long>(row.bytes_sent), row.spans);
+    out += line;
+  }
+
+  if (report.decode.steps > 0 || report.decode.prefills > 0) {
+    out += "\ndecode  prefill_us  tokens  tokens_per_s  bytes_per_token\n";
+    std::snprintf(line, sizeof(line), "%6zu  %10lld  %6zu  %12.1f  %15.0f\n",
+                  report.decode.prefills,
+                  static_cast<long long>(report.decode.prefill_us),
+                  report.decode.steps, report.decode.tokens_per_second(),
+                  report.decode.bytes_per_token());
     out += line;
   }
   return out;

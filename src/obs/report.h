@@ -64,9 +64,32 @@ struct DeviceRow {
   std::size_t spans = 0;
 };
 
+// Aggregation of the decoding spans ("decode.prefill" / "decode.step",
+// emitted by DistributedDecoder's terminal): step throughput and the wire
+// cost per generated token.
+struct DecodeStats {
+  std::size_t prefills = 0;
+  Micros prefill_us = 0;
+  std::size_t steps = 0;          // one "decode.step" span per token
+  Micros step_us = 0;             // summed step durations
+  std::int64_t step_bytes = 0;    // summed per-step wire bytes
+
+  [[nodiscard]] double tokens_per_second() const noexcept {
+    return step_us > 0
+               ? static_cast<double>(steps) * 1e6 / static_cast<double>(step_us)
+               : 0.0;
+  }
+  [[nodiscard]] double bytes_per_token() const noexcept {
+    return steps > 0 ? static_cast<double>(step_bytes) /
+                           static_cast<double>(steps)
+                     : 0.0;
+  }
+};
+
 struct TraceReport {
   std::vector<LayerRow> layers;    // sorted by (layer, device)
   std::vector<DeviceRow> devices;  // sorted by device
+  DecodeStats decode;
   Micros wall_us = 0;              // last end - first start
   std::size_t events = 0;
 };

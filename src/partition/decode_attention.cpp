@@ -1,0 +1,203 @@
+#include "partition/decode_attention.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+}  // namespace
+
+void DecodeLayerCache::init(AttentionOrder resident,
+                            const LayerConfig& config) {
+  resident_ = resident;
+  rows_ = 0;
+  heads_ = config.heads;
+  head_dim_ = config.head_dim;
+  hidden_ = config.hidden;
+  kv_.clear();
+  x_.clear();
+  if (resident_ == AttentionOrder::kNaive) kv_.resize(heads_);
+}
+
+void DecodeLayerCache::append(const Tensor& block, const AttentionWeights& w) {
+  if (block.rows() == 0) return;
+  if (block.cols() != hidden_) {
+    throw std::invalid_argument("DecodeLayerCache: block width mismatch");
+  }
+  if (resident_ == AttentionOrder::kNaive) {
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const Tensor k_new = matmul(block, w.heads[h].wk);  // m x F_H
+      const Tensor v_new = matmul(block, w.heads[h].wv);
+      kv_[h].k.insert(kv_[h].k.end(), k_new.flat().begin(), k_new.flat().end());
+      kv_[h].v.insert(kv_[h].v.end(), v_new.flat().begin(), v_new.flat().end());
+    }
+  } else {
+    x_.insert(x_.end(), block.flat().begin(), block.flat().end());
+  }
+  rows_ += block.rows();
+}
+
+std::size_t DecodeLayerCache::memory_bytes() const noexcept {
+  std::size_t floats = x_.size();
+  for (const HeadKv& h : kv_) floats += h.k.size() + h.v.size();
+  return floats * sizeof(float);
+}
+
+Tensor decode_partial_attention(const Tensor& x_row,
+                                const DecodeLayerCache& cache,
+                                const AttentionWeights& w,
+                                const LayerConfig& config) {
+  if (x_row.rows() != 1 || x_row.cols() != config.hidden) {
+    throw std::invalid_argument("decode_partial_attention: need one F-row");
+  }
+  const std::size_t heads = config.heads;
+  const std::size_t fh = config.head_dim;
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(fh));
+  Tensor packed = softmax_partial_identity(1, heads, fh);
+  const std::size_t p = cache.rows_;
+  if (p == 0) return packed;
+
+  // Scratch reused across heads: scores over the cached positions, and the
+  // reordered path's weighted-x accumulator.
+  std::vector<float> scores(p);
+  std::vector<float> xsum;
+
+  for (std::size_t h = 0; h < heads; ++h) {
+    float* const out = packed.row(0).data() + h * (fh + 2);
+    if (cache.resident_ == AttentionOrder::kNaive) {
+      // Eq. (3) from the resident K/V: scores = (x W_Q) K^T / sqrt(F_H).
+      const Tensor q = matmul(x_row, w.heads[h].wq);  // 1 x F_H
+      const float* qd = q.data();
+      const float* kd = cache.kv_[h].k.data();
+      for (std::size_t j = 0; j < p; ++j) {
+        float dot = 0.0F;
+        const float* kr = kd + j * fh;
+        for (std::size_t c = 0; c < fh; ++c) dot += qd[c] * kr[c];
+        scores[j] = dot * inv_sqrt;
+      }
+      float m = kNegInf;
+      for (std::size_t j = 0; j < p; ++j) m = std::max(m, scores[j]);
+      float denom = 0.0F;
+      const float* vd = cache.kv_[h].v.data();
+      for (std::size_t j = 0; j < p; ++j) {
+        const float e = std::exp(scores[j] - m);
+        denom += e;
+        const float* vr = vd + j * fh;
+        for (std::size_t c = 0; c < fh; ++c) out[2 + c] += e * vr[c];
+      }
+      out[0] = m;
+      out[1] = denom;
+    } else {
+      // Eq. (8) from the resident raw rows: scores = ((x W_Q) W_K^T) x_c^T,
+      // weighted value = (sum_j e_j x_j) W_V — W_V commutes with the merge
+      // sum by linearity, so the partial stays F_H wide on the wire.
+      const Tensor qk =
+          matmul(matmul(x_row, w.heads[h].wq), w.heads[h].wk, Trans::kNo,
+                 Trans::kYes);  // 1 x F
+      const float* qd = qk.data();
+      const float* xd = cache.x_.data();
+      const std::size_t f = cache.hidden_;
+      for (std::size_t j = 0; j < p; ++j) {
+        float dot = 0.0F;
+        const float* xr = xd + j * f;
+        for (std::size_t c = 0; c < f; ++c) dot += qd[c] * xr[c];
+        scores[j] = dot * inv_sqrt;
+      }
+      float m = kNegInf;
+      for (std::size_t j = 0; j < p; ++j) m = std::max(m, scores[j]);
+      float denom = 0.0F;
+      xsum.assign(f, 0.0F);
+      for (std::size_t j = 0; j < p; ++j) {
+        const float e = std::exp(scores[j] - m);
+        denom += e;
+        const float* xr = xd + j * f;
+        for (std::size_t c = 0; c < f; ++c) xsum[c] += e * xr[c];
+      }
+      const Tensor weighted(1, f, std::vector<float>(xsum));
+      const Tensor o = matmul(weighted, w.heads[h].wv);  // 1 x F_H
+      for (std::size_t c = 0; c < fh; ++c) out[2 + c] = o(0, c);
+      out[0] = m;
+      out[1] = denom;
+    }
+  }
+  return packed;
+}
+
+Tensor softmax_partial_identity(std::size_t rows, std::size_t heads,
+                                std::size_t head_dim) {
+  Tensor packed(rows, softmax_partial_cols(heads, head_dim));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t h = 0; h < heads; ++h) {
+      packed(r, h * (head_dim + 2)) = kNegInf;
+    }
+  }
+  return packed;
+}
+
+void softmax_merge_inplace(Tensor& acc, const Tensor& incoming,
+                           std::size_t heads, std::size_t head_dim) {
+  if (!acc.same_shape(incoming) ||
+      acc.cols() != softmax_partial_cols(heads, head_dim)) {
+    throw std::invalid_argument("softmax_merge: partial shape mismatch");
+  }
+  const std::size_t stride = head_dim + 2;
+  for (std::size_t r = 0; r < acc.rows(); ++r) {
+    float* a = acc.row(r).data();
+    const float* b = incoming.row(r).data();
+    for (std::size_t h = 0; h < heads; ++h, a += stride, b += stride) {
+      // Empty partials (denominator 0) are the merge identity; skipping them
+      // also keeps exp(-inf - -inf) = NaN out of the all-empty corner.
+      if (b[1] == 0.0F) continue;
+      if (a[1] == 0.0F) {
+        for (std::size_t c = 0; c < stride; ++c) a[c] = b[c];
+        continue;
+      }
+      const float m = std::max(a[0], b[0]);
+      const float ea = std::exp(a[0] - m);
+      const float eb = std::exp(b[0] - m);
+      a[0] = m;
+      a[1] = a[1] * ea + b[1] * eb;
+      for (std::size_t c = 2; c < stride; ++c) {
+        a[c] = a[c] * ea + b[c] * eb;
+      }
+    }
+  }
+}
+
+Tensor softmax_merge_finalize(const Tensor& merged, const AttentionWeights& w,
+                              const LayerConfig& config) {
+  const std::size_t heads = config.heads;
+  const std::size_t fh = config.head_dim;
+  if (merged.cols() != softmax_partial_cols(heads, fh)) {
+    throw std::invalid_argument("softmax_merge_finalize: width mismatch");
+  }
+  Tensor concat(merged.rows(), heads * fh);
+  for (std::size_t r = 0; r < merged.rows(); ++r) {
+    const float* in = merged.row(r).data();
+    float* out = concat.row(r).data();
+    for (std::size_t h = 0; h < heads; ++h) {
+      const float* triple = in + h * (fh + 2);
+      if (triple[1] == 0.0F) {
+        throw std::invalid_argument(
+            "softmax_merge_finalize: empty merged partial (no device "
+            "attended any position)");
+      }
+      const float inv_denom = 1.0F / triple[1];
+      for (std::size_t c = 0; c < fh; ++c) {
+        out[h * fh + c] = triple[2 + c] * inv_denom;
+      }
+    }
+  }
+  Tensor out = matmul(concat, w.wo);
+  add_bias_inplace(out, w.bo);
+  return out;
+}
+
+}  // namespace voltage

@@ -1,0 +1,106 @@
+// Partition-resident KV state and the O(P) partial-attention decode kernel.
+//
+// In the distributed decode regime (DistributedDecoder) every device
+// permanently holds the attention state of *its own* positions — the caches
+// are never gathered. Theorem 2's order selection decides the resident form
+// per layer and device:
+//   kNaive     — Eq. (3) layers cache K = x W_K and V = x W_V per head
+//                (2 F floats per position);
+//   kReordered — Eq. (8) layers never materialize K or V, so the cache is
+//                the raw layer-input rows x (F floats per position) and the
+//                per-head projections fold into the query side.
+// Each decode step scores the new token's query against the resident rows
+// only and reduces them to per-head online-softmax partials
+// (max, denominator, weighted value) that an exact log-sum-exp merge
+// (collective/softmax_merge.h) combines across devices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/order.h"
+#include "tensor/tensor.h"
+#include "transformer/config.h"
+#include "transformer/weights.h"
+
+namespace voltage {
+
+// Packed wire layout of online-softmax partials: one row per query, and for
+// head h the columns [h*(F_H+2), (h+1)*(F_H+2)) hold
+//   [max, denominator, weighted_value_0 .. weighted_value_{F_H-1}].
+// An empty partial (device owns no positions) is {-inf, 0, 0...} and is the
+// identity of the merge.
+[[nodiscard]] constexpr std::size_t softmax_partial_cols(
+    std::size_t heads, std::size_t head_dim) noexcept {
+  return heads * (head_dim + 2);
+}
+
+// Per-(device, layer) resident cache. Rows grow monotonically as the device
+// is assigned new positions; storage grows amortized (vector push_back), so
+// appending a token is O(F) — never an O(T) reallocation-copy per step.
+class DecodeLayerCache {
+ public:
+  // Clears the cache and fixes the resident form for this sequence.
+  void init(AttentionOrder resident, const LayerConfig& config);
+
+  // Appends `block` ([m x F] layer-input rows, oldest first) in resident
+  // form: K/V projections for kNaive, the raw rows for kReordered.
+  void append(const Tensor& block, const AttentionWeights& w);
+
+  [[nodiscard]] AttentionOrder resident() const noexcept { return resident_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  friend Tensor decode_partial_attention(const Tensor& x_row,
+                                         const DecodeLayerCache& cache,
+                                         const AttentionWeights& w,
+                                         const LayerConfig& config);
+
+  struct HeadKv {
+    std::vector<float> k;  // rows x F_H, row-major
+    std::vector<float> v;  // rows x F_H, row-major
+  };
+
+  AttentionOrder resident_ = AttentionOrder::kNaive;
+  std::size_t rows_ = 0;
+  std::size_t heads_ = 0;
+  std::size_t head_dim_ = 0;
+  std::size_t hidden_ = 0;
+  std::vector<HeadKv> kv_;  // kNaive form
+  std::vector<float> x_;    // kReordered form: rows x F, row-major
+};
+
+// Partial attention of the new token's query row `x_row` ([1 x F], the
+// layer input) against the resident cache: packed
+// [1 x softmax_partial_cols(H, F_H)] per-head (max, denom, weighted-value)
+// triples over the cached positions only. All cached positions are in the
+// new token's causal past (its own row, if resident here, was appended
+// first), so no mask is applied. For kReordered caches W_V is applied to
+// the partial weighted-x sum before returning — linearity lets it commute
+// with the cross-device merge, keeping every device's partial F_H wide.
+[[nodiscard]] Tensor decode_partial_attention(const Tensor& x_row,
+                                              const DecodeLayerCache& cache,
+                                              const AttentionWeights& w,
+                                              const LayerConfig& config);
+
+// Exact log-sum-exp merge of `incoming` into `acc` (both packed partials of
+// identical shape): per head, m = max(m_a, m_b), d = d_a e^{m_a - m} +
+// d_b e^{m_b - m}, o likewise. Mathematically identical to a monolithic
+// softmax over the union of the two position sets; empty partials are
+// absorbed without effect.
+void softmax_merge_inplace(Tensor& acc, const Tensor& incoming,
+                           std::size_t heads, std::size_t head_dim);
+
+// The merge identity: [rows x softmax_partial_cols] of {-inf, 0, 0...}.
+[[nodiscard]] Tensor softmax_partial_identity(std::size_t rows,
+                                              std::size_t heads,
+                                              std::size_t head_dim);
+
+// Fully merged partials -> attention output rows [R x F]:
+// per head o / d, heads concatenated, projected through W_O and b_O.
+[[nodiscard]] Tensor softmax_merge_finalize(const Tensor& merged,
+                                            const AttentionWeights& w,
+                                            const LayerConfig& config);
+
+}  // namespace voltage

@@ -1,0 +1,434 @@
+#include "runtime/distributed_decoder.h"
+
+#include <algorithm>
+#include <array>
+#include <exception>
+#include <numeric>
+#include <stdexcept>
+
+#include "collective/collectives.h"
+#include "collective/softmax_merge.h"
+#include "core/thread_pool.h"
+#include "partition/partitioned_layer.h"
+#include "runtime/failure.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "transformer/ffn.h"
+
+namespace voltage {
+
+namespace {
+
+// Command protocol: the terminal broadcasts one [1 x kCmdCols] (or, for a
+// step, [1 x kCmdCols+F] with the embedded token row appended) tensor per
+// call. Floats carry the fields exactly — positions and opcodes are tiny
+// integers, far below 2^24.
+constexpr std::size_t kCmdCols = 4;  // {opcode, arg, reserved, timeout_s}
+constexpr float kOpPrime = 1.0F;
+constexpr float kOpStep = 2.0F;
+constexpr float kOpShutdown = 3.0F;
+
+// Tag layout. Commands, prefill features and the final row live on fixed
+// tags; each layer gets one prefill-gather tag and a pair of merge tags
+// (softmax_merge uses tag and tag+1). Reusing tags across steps is safe:
+// transport matching is FIFO per (source, tag).
+constexpr MessageTag kTagCmd = 1;
+constexpr MessageTag kTagFeatures = 2;
+constexpr MessageTag kTagFinal = 4;
+constexpr MessageTag kTagPrefillGatherBase = 64;
+constexpr MessageTag kTagMergeBase = 4096;
+
+}  // namespace
+
+DistributedDecoder::DistributedDecoder(const TransformerModel& model,
+                                       PartitionScheme scheme,
+                                       OrderPolicy policy,
+                                       TransportKind transport)
+    : DistributedDecoder(model, scheme, policy,
+                         make_transport(transport, scheme.devices() + 1)) {}
+
+DistributedDecoder::DistributedDecoder(const TransformerModel& model,
+                                       PartitionScheme scheme,
+                                       OrderPolicy policy,
+                                       std::unique_ptr<Transport> transport)
+    : model_(model),
+      scheme_(std::move(scheme)),
+      policy_(policy),
+      transport_(std::move(transport)) {
+  if (model_.spec().kind != ModelKind::kCausalLm) {
+    throw std::invalid_argument("DistributedDecoder: needs a causal LM");
+  }
+  const std::size_t k = scheme_.devices();
+  if (transport_->devices() != k + 1) {
+    throw std::invalid_argument(
+        "DistributedDecoder: transport must have one endpoint per worker "
+        "plus the terminal");
+  }
+  everyone_.resize(k + 1);
+  std::iota(everyone_.begin(), everyone_.end(), DeviceId{0});
+  workers_.resize(k);
+  std::iota(workers_.begin(), workers_.end(), DeviceId{0});
+  errors_.resize(k);
+  threads_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+DistributedDecoder::~DistributedDecoder() {
+  if (!dead_) {
+    try {
+      Tensor cmd(1, kCmdCols);
+      cmd(0, 0) = kOpShutdown;
+      const std::size_t k = scheme_.devices();
+      broadcast(*transport_, everyone_, k, k, cmd, kTagCmd);
+    } catch (...) {
+      // Mesh already poisoned (a worker died and no call noticed): the
+      // workers are unwinding on their own; just make sure of it.
+      detail::poison(*transport_, "terminal", std::current_exception());
+    }
+  }
+  join_workers();
+}
+
+void DistributedDecoder::join_workers() noexcept {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void DistributedDecoder::ensure_alive() const {
+  if (dead_) {
+    throw std::logic_error(
+        "DistributedDecoder: mesh failed; build a new decoder");
+  }
+}
+
+void DistributedDecoder::fail_request() {
+  std::exception_ptr terminal_error = std::current_exception();
+  detail::poison(*transport_, "terminal", terminal_error);
+  join_workers();
+  dead_ = true;
+  detail::rethrow_failure(errors_, terminal_error);
+  std::rethrow_exception(terminal_error);  // unreachable: error is non-null
+}
+
+void DistributedDecoder::set_tracer(obs::Tracer* tracer) {
+  tracer_.store(tracer, std::memory_order_release);
+  if (tracer == nullptr) return;
+  for (std::size_t i = 0; i < scheme_.devices(); ++i) {
+    tracer->set_track_name(static_cast<obs::TrackId>(i),
+                           "device " + std::to_string(i));
+  }
+  tracer->set_track_name(static_cast<obs::TrackId>(terminal_id()), "terminal");
+}
+
+void DistributedDecoder::set_metrics(obs::MetricsRegistry* metrics) {
+  transport_->set_metrics(metrics);
+  decode_tokens_ = metrics == nullptr ? nullptr
+                                      : &metrics->counter("decode.tokens");
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+void DistributedDecoder::worker_main(std::size_t i) {
+  const std::size_t k = scheme_.devices();
+  std::vector<DecodeLayerCache> caches(model_.spec().num_layers);
+  std::size_t prompt_len = 0;  // 0 = not primed yet
+  try {
+    for (;;) {
+      // Idle wait: no deadline — the decoder may sit unused between calls.
+      // Poisoning wakes us (TransportClosedError) if the mesh dies.
+      Tensor cmd(0, 0);
+      broadcast(*transport_, everyone_, i, k, cmd, kTagCmd);
+      if (cmd.rows() != 1 || cmd.cols() < kCmdCols) {
+        throw std::runtime_error("DistributedDecoder: malformed command");
+      }
+      const float op = cmd(0, 0);
+      if (op == kOpShutdown) return;
+      const obs::ThreadTracerScope tracer_scope(
+          tracer_.load(std::memory_order_acquire));
+      const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
+      const obs::ThreadLayerScope layer_reset(-1);
+      const IntraOpScope intra_scope(
+          intra_op_threads_.load(std::memory_order_relaxed));
+      // Per-request deadline, fixed by the terminal at call entry and shared
+      // by every blocking receive this command triggers.
+      const RecvOptions options =
+          RecvOptions::within(static_cast<double>(cmd(0, 3)));
+      if (op == kOpPrime) {
+        prompt_len = static_cast<std::size_t>(cmd(0, 1));
+        worker_prefill(i, prompt_len, caches, options, obs::thread_tracer());
+      } else if (op == kOpStep) {
+        if (prompt_len == 0) {
+          throw std::logic_error("DistributedDecoder: step before prime");
+        }
+        worker_step(i, static_cast<std::size_t>(cmd(0, 1)), prompt_len,
+                    caches, cmd, options, obs::thread_tracer());
+      } else {
+        throw std::runtime_error("DistributedDecoder: unknown opcode");
+      }
+    }
+  } catch (...) {
+    errors_[i] = std::current_exception();
+    detail::poison(*transport_, "device " + std::to_string(i), errors_[i]);
+  }
+}
+
+void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
+                                        std::vector<DecodeLayerCache>& caches,
+                                        const RecvOptions& options,
+                                        obs::Tracer* tracer) {
+  const std::size_t k = scheme_.devices();
+  const auto layers = model_.layers();
+  // Algorithm 2 prefill with two decode twists: every layer banks this
+  // device's input rows into its resident cache, and the last layer skips
+  // the gather entirely — only the owner of row n-1 sends that single row
+  // (the LM head reads nothing else).
+  Tensor x(0, 0);
+  broadcast(*transport_, everyone_, i, k, x, kTagFeatures, options);
+  const std::size_t f = x.cols();
+  const std::vector<Range> ranges = scheme_.ranges(n);
+  const Range own = ranges[i];
+  std::array<Tensor, 2> seq{Tensor(n, f), Tensor(n, f)};
+  std::array<std::shared_ptr<Tensor>, 2> holders{
+      std::make_shared<Tensor>(0, 0), std::make_shared<Tensor>(0, 0)};
+  const Tensor* input = &x;
+  AttentionPrologue prologue;
+  bool have_prologue = false;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const obs::ThreadLayerScope layer_scope(static_cast<std::int64_t>(l));
+    const LayerConfig& config = layers[l].config();
+    // Theorem 2 at the prefill shape fixes this (layer, device)'s resident
+    // form for the whole sequence: naive layers cache K/V, reordered layers
+    // cache the raw input rows.
+    const AttentionDims dims{.n = n,
+                             .p = own.size(),
+                             .f = config.hidden,
+                             .fh = config.head_dim};
+    const AttentionOrder resident = select_order(policy_, dims);
+    caches[l].init(resident, config);
+    if (!own.empty()) {
+      caches[l].append(input->slice_rows(own.begin, own.end),
+                       layers[l].weights().attention);
+    }
+    Tensor part(0, 0);
+    {
+      obs::TraceSpan span(tracer, "layer", "compute",
+                          static_cast<obs::TrackId>(i));
+      span.device(static_cast<std::int64_t>(i))
+          .layer(static_cast<std::int64_t>(l))
+          .tag(to_string(resident));
+      part = partitioned_layer_forward(layers[l], *input, own, policy_,
+                                       have_prologue ? &prologue : nullptr);
+    }
+    have_prologue = false;
+    auto& holder = holders[l % 2];
+    if (holder.use_count() == 1) {
+      *holder = std::move(part);
+    } else {
+      holder = std::make_shared<Tensor>(std::move(part));
+    }
+    if (l + 1 == layers.size()) {
+      if (own.contains(n - 1)) {
+        auto last_row = std::make_shared<const Tensor>(
+            holder->slice_rows(n - 1 - own.begin, n - own.begin));
+        Payload payload = tensor_payload_view(std::move(last_row));
+        obs::TraceSpan span(tracer, "send_final", "comm",
+                            static_cast<obs::TrackId>(i));
+        span.device(static_cast<std::int64_t>(i))
+            .layer(static_cast<std::int64_t>(l))
+            .bytes(static_cast<std::int64_t>(payload.size()));
+        transport_->send(Message{.source = i,
+                                 .destination = terminal_id(),
+                                 .tag = kTagFinal,
+                                 .payload = std::move(payload)});
+      }
+    } else {
+      // PR-3 overlap: post the zero-copy gather, compute the next layer's
+      // attention prologue from the rows already in hand (the scheme is
+      // uniform across layers, so the next partition is exactly `own`),
+      // then block for the peer rows.
+      AllGatherInto gather(*transport_, workers_, i, holder, ranges,
+                           seq[l % 2], kTagPrefillGatherBase + l, options);
+      if (!own.empty()) {
+        obs::TraceSpan span(tracer, "overlap_compute", "compute",
+                            static_cast<obs::TrackId>(i));
+        span.device(static_cast<std::int64_t>(i))
+            .layer(static_cast<std::int64_t>(l + 1));
+        prologue =
+            attention_prologue(*holder, n, own,
+                               layers[l + 1].weights().attention,
+                               layers[l + 1].config(), policy_);
+        have_prologue = true;
+      }
+      gather.wait();
+      input = &seq[l % 2];
+    }
+  }
+}
+
+void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
+                                     std::size_t prompt_len,
+                                     std::vector<DecodeLayerCache>& caches,
+                                     const Tensor& cmd,
+                                     const RecvOptions& options,
+                                     obs::Tracer* tracer) {
+  const std::size_t k = scheme_.devices();
+  const auto layers = model_.layers();
+  const std::size_t f = model_.spec().layer.hidden;
+  if (cmd.cols() != kCmdCols + f) {
+    throw std::runtime_error("DistributedDecoder: malformed step command");
+  }
+  Tensor x(1, f);
+  std::copy_n(cmd.row(0).data() + kCmdCols, f, x.row(0).data());
+  // New decode positions go round-robin, keeping cache growth balanced
+  // regardless of how the prefill ratios split the prompt.
+  const std::size_t owner = (t - prompt_len) % k;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const obs::ThreadLayerScope layer_scope(static_cast<std::int64_t>(l));
+    const LayerConfig& config = layers[l].config();
+    const LayerWeights& w = layers[l].weights();
+    // The owner banks the new row *before* attending, so the token sees
+    // itself (causal attention includes the query's own position).
+    if (owner == i) caches[l].append(x, w.attention);
+    Tensor partial(0, 0);
+    {
+      obs::TraceSpan span(tracer, "decode_attention", "compute",
+                          static_cast<obs::TrackId>(i));
+      span.device(static_cast<std::int64_t>(i))
+          .layer(static_cast<std::int64_t>(l))
+          .tag(to_string(caches[l].resident()));
+      partial = decode_partial_attention(x, caches[l], w.attention, config);
+    }
+    const Tensor merged = all_reduce_softmax_merge(
+        *transport_, workers_, i, l % k, partial, config.heads,
+        config.head_dim, kTagMergeBase + 2 * l, options);
+    // Post-attention tail on the single row, redundantly on every device —
+    // all ranks leave the layer with the bitwise-identical x, so the layer
+    // output is never gathered.
+    Tensor attn = softmax_merge_finalize(merged, w.attention, config);
+    add_inplace(attn, x);
+    const Tensor y =
+        layernorm_rows(attn, w.ln_attention.gamma, w.ln_attention.beta);
+    Tensor ff = ffn_forward(y, w.ffn, config.activation);
+    add_inplace(ff, y);
+    x = layernorm_rows(ff, w.ln_ffn.gamma, w.ln_ffn.beta);
+  }
+  if (i == 0) {
+    // Every worker holds the identical final row; rank 0 reports it.
+    Payload payload =
+        tensor_payload_view(std::make_shared<const Tensor>(std::move(x)));
+    obs::TraceSpan span(tracer, "send_final", "comm",
+                        static_cast<obs::TrackId>(i));
+    span.device(static_cast<std::int64_t>(i))
+        .bytes(static_cast<std::int64_t>(payload.size()));
+    transport_->send(Message{.source = i,
+                             .destination = terminal_id(),
+                             .tag = kTagFinal,
+                             .payload = std::move(payload)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Terminal side
+
+Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
+  ensure_alive();
+  if (prompt.empty()) {
+    throw std::invalid_argument("DistributedDecoder: empty prompt");
+  }
+  if (prompt.size() > model_.spec().max_positions) {
+    throw std::length_error("DistributedDecoder: prompt exceeds the window");
+  }
+  const std::size_t k = scheme_.devices();
+  // Embed before touching the mesh: a bad token id throws here without
+  // poisoning anything.
+  Tensor features = model_.preprocess(prompt);
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+  const obs::ThreadTracerScope tracer_scope(tracer);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal_id()));
+  const RecvOptions options = RecvOptions::within(recv_timeout_seconds_);
+  const std::uint64_t bytes_before = transport_->total_stats().bytes_sent;
+  obs::TraceSpan span(tracer, "decode.prefill", "serve",
+                      static_cast<obs::TrackId>(terminal_id()));
+  span.device(static_cast<std::int64_t>(terminal_id()))
+      .request(static_cast<std::int64_t>(prompt.size()));
+  try {
+    Tensor cmd(1, kCmdCols);
+    cmd(0, 0) = kOpPrime;
+    cmd(0, 1) = static_cast<float>(prompt.size());
+    cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
+    broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
+    broadcast(*transport_, everyone_, k, k, features, kTagFeatures, options);
+    const Tensor last_row = tensor_from_payload(
+        transport_->recv_any(terminal_id(), kTagFinal, options).payload);
+    position_ = prompt.size();
+    primed_ = true;
+    span.bytes(
+        static_cast<std::int64_t>(transport_->total_stats().bytes_sent -
+                                  bytes_before));
+    return model_.postprocess(last_row);
+  } catch (...) {
+    fail_request();
+  }
+}
+
+Tensor DistributedDecoder::step(TokenId token) {
+  ensure_alive();
+  if (!primed_) {
+    throw std::logic_error("DistributedDecoder: prime() before step()");
+  }
+  if (position_ + 1 > model_.spec().max_positions) {
+    throw std::length_error("DistributedDecoder: context window exhausted");
+  }
+  const std::size_t k = scheme_.devices();
+  const std::size_t f = model_.spec().layer.hidden;
+  const TokenId ids[] = {token};
+  const Tensor row =
+      model_.preprocess_at(std::span<const TokenId>(ids), position_);
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+  const obs::ThreadTracerScope tracer_scope(tracer);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal_id()));
+  const RecvOptions options = RecvOptions::within(recv_timeout_seconds_);
+  const std::uint64_t bytes_before = transport_->total_stats().bytes_sent;
+  obs::TraceSpan span(tracer, "decode.step", "serve",
+                      static_cast<obs::TrackId>(terminal_id()));
+  span.device(static_cast<std::int64_t>(terminal_id()))
+      .request(static_cast<std::int64_t>(position_));
+  try {
+    // Step command with the embedded row inlined: one broadcast carries
+    // both the control word and the O(F) activation payload.
+    Tensor cmd(1, kCmdCols + f);
+    cmd(0, 0) = kOpStep;
+    cmd(0, 1) = static_cast<float>(position_);
+    cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
+    std::copy_n(row.row(0).data(), f, cmd.row(0).data() + kCmdCols);
+    broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
+    const Tensor last_row = tensor_from_payload(
+        transport_->recv(terminal_id(), DeviceId{0}, kTagFinal, options)
+            .payload);
+    ++position_;
+    if (decode_tokens_ != nullptr) decode_tokens_->add(1);
+    span.bytes(
+        static_cast<std::int64_t>(transport_->total_stats().bytes_sent -
+                                  bytes_before));
+    return model_.postprocess(last_row);
+  } catch (...) {
+    fail_request();
+  }
+}
+
+Tensor DistributedDecoder::extend(std::span<const TokenId> tokens) {
+  if (tokens.empty()) {
+    throw std::invalid_argument("DistributedDecoder: empty extension");
+  }
+  Tensor logits(0, 0);
+  for (const TokenId token : tokens) logits = step(token);
+  return logits;
+}
+
+}  // namespace voltage

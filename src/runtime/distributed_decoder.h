@@ -1,0 +1,148 @@
+// Distributed KV-cache decoding: O(T) token steps over the device mesh.
+//
+// VoltageRuntime accelerates the *prefill*; regenerating every token through
+// it costs O(T^2) compute and a full (K-1)NF/K gather per layer per token.
+// This decoder keeps the paper's position partition but makes the attention
+// state partition-resident: one distributed prefill fills per-device caches
+// (each device permanently holds its own positions' rows — K/V for Eq.(3)
+// layers, the raw x for Eq.(8) layers, per Theorem 2's selection at the
+// prefill shape) and each decode step ships only
+//   - one K-wide broadcast of the new token's F-wide embedded row, and
+//   - per layer, one softmax-merge all-reduce of per-head
+//     (max, denominator, weighted-value) triples — 2(K-1) messages of
+//     H*(F_H+2) floats (collective/softmax_merge.h).
+// Every device then finishes the layer (residual, LayerNorms, FFN) on the
+// single row redundantly, so the layer output never needs to be gathered:
+// per-token wire volume is O(K*F + L*K*H*F_H), independent of the context
+// length T. The log-sum-exp merge is mathematically exact, so the decoded
+// tokens match IncrementalDecoder and full-recompute distributed decoding.
+//
+// Device k = persistent worker thread k (spawned once at construction; the
+// caches live on them across calls); the calling thread is the terminal
+// device K, running embedding and the LM head. New decode positions are
+// assigned round-robin so cache growth stays balanced. Failure containment
+// follows the runtimes: first failing thread poisons the transport, the
+// terminal joins everyone and rethrows the root cause; the decoder is dead
+// afterwards (build a new one).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/decode_attention.h"
+#include "partition/order.h"
+#include "partition/scheme.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+class DistributedDecoder {
+ public:
+  // Requires a causal LM; `scheme.devices()` workers plus the terminal.
+  DistributedDecoder(const TransformerModel& model, PartitionScheme scheme,
+                     OrderPolicy policy = OrderPolicy::kAdaptive,
+                     TransportKind transport = TransportKind::kInMemory);
+
+  // Bring-your-own transport (e.g. a ChaosTransport for fault-injection
+  // tests). Must have devices() == scheme devices + 1 (the terminal).
+  DistributedDecoder(const TransformerModel& model, PartitionScheme scheme,
+                     OrderPolicy policy, std::unique_ptr<Transport> transport);
+
+  // Shuts the workers down (or just joins them if the mesh is poisoned).
+  ~DistributedDecoder();
+
+  DistributedDecoder(const DistributedDecoder&) = delete;
+  DistributedDecoder& operator=(const DistributedDecoder&) = delete;
+
+  // Distributed prefill: runs the prompt through the partitioned stack once,
+  // leaving every device's caches resident, and returns next-token logits
+  // [1 x vocab]. Calling prime() again starts a new sequence.
+  [[nodiscard]] Tensor prime(std::span<const TokenId> prompt);
+
+  // Appends one token and returns next-token logits; per-step wire bytes are
+  // independent of the context length.
+  [[nodiscard]] Tensor step(TokenId token);
+
+  // Appends several committed tokens (e.g. an extended prompt) without
+  // re-running the prefill; returns the logits after the last one. The
+  // single-device counterpart is IncrementalDecoder::extend.
+  [[nodiscard]] Tensor extend(std::span<const TokenId> tokens);
+
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+  // Byte-accurate traffic since construction (worker ids 0..K-1, terminal
+  // id K).
+  [[nodiscard]] const Transport& fabric() const noexcept {
+    return *transport_;
+  }
+  [[nodiscard]] DeviceId terminal_id() const noexcept {
+    return scheme_.devices();
+  }
+  [[nodiscard]] const PartitionScheme& scheme() const noexcept {
+    return scheme_;
+  }
+
+  // Attaches a span tracer (nullptr detaches). The terminal emits
+  // "decode.prefill" / "decode.step" spans carrying the token index and the
+  // step's total wire bytes; workers emit per-layer compute and
+  // softmax-merge comm spans on their own tracks.
+  void set_tracer(obs::Tracer* tracer);
+
+  // Attaches transport.* counters plus the "decode.tokens" counter.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  // Per-request receive budget in seconds (default 0: wait forever),
+  // threaded through every blocking receive of a prime/step — idle workers
+  // always wait without a deadline, so a decoder may sit unused forever.
+  void set_recv_timeout(double seconds) noexcept {
+    recv_timeout_seconds_ = seconds;
+  }
+
+  // Intra-op thread budget for each worker's kernels (default 1; see
+  // VoltageRuntime::set_intra_op_threads — bitwise-neutral).
+  void set_intra_op_threads(std::size_t n) noexcept {
+    intra_op_threads_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main(std::size_t i);
+  void worker_prefill(std::size_t i, std::size_t n,
+                      std::vector<DecodeLayerCache>& caches,
+                      const RecvOptions& options, obs::Tracer* tracer);
+  void worker_step(std::size_t i, std::size_t t, std::size_t prompt_len,
+                   std::vector<DecodeLayerCache>& caches, const Tensor& cmd,
+                   const RecvOptions& options, obs::Tracer* tracer);
+
+  void ensure_alive() const;
+  void join_workers() noexcept;
+  // Terminal failure path: poison, join, report the root cause. Never
+  // returns normally; the decoder is dead afterwards.
+  [[noreturn]] void fail_request();
+
+  const TransformerModel& model_;
+  PartitionScheme scheme_;
+  OrderPolicy policy_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<DeviceId> everyone_;  // workers + terminal (broadcast group)
+  std::vector<DeviceId> workers_;   // merge group
+
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  obs::Counter* decode_tokens_ = nullptr;
+  std::atomic<std::size_t> intra_op_threads_{1};
+  double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline
+
+  std::size_t position_ = 0;  // committed positions (terminal's view)
+  bool primed_ = false;
+  bool dead_ = false;
+
+  std::vector<std::exception_ptr> errors_;  // one slot per worker
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace voltage

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/thread_pool.h"
+#include "tensor/ops.h"
 
 namespace voltage {
 
@@ -66,6 +67,35 @@ std::unique_ptr<VoltageRuntime> InferenceServer::make_runtime() const {
   return runtime;
 }
 
+std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
+  auto decoder = std::make_unique<DistributedDecoder>(
+      model_, options_.scheme, options_.policy, options_.transport);
+  std::size_t per_device = options_.device_intra_op_threads;
+  if (per_device == 0) {
+    per_device = std::max<std::size_t>(
+        1, intra_op_threads() / (decoder->terminal_id() + 1));
+  }
+  decoder->set_intra_op_threads(per_device);
+  decoder->set_recv_timeout(options_.request_deadline);
+  decoder->set_tracer(options_.tracer);
+  if (options_.metrics != nullptr) decoder->set_metrics(options_.metrics);
+  return decoder;
+}
+
+std::vector<TokenId> InferenceServer::run_generate(const GenerateRequest& req) {
+  if (decoder_ == nullptr) decoder_ = make_decoder();
+  Tensor logits = decoder_->prime(
+      std::span<const TokenId>(req.prompt.data(), req.prompt.size()));
+  std::vector<TokenId> continuation;
+  continuation.reserve(req.new_tokens);
+  for (std::size_t i = 0; i < req.new_tokens; ++i) {
+    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
+    continuation.push_back(next);
+    if (i + 1 < req.new_tokens) logits = decoder_->step(next);
+  }
+  return continuation;
+}
+
 void InferenceServer::rebuild_runtime_if_poisoned() {
   if (!runtime_->fabric().closed()) return;
   // A poisoned transport never recovers (that is what makes poisoning a
@@ -96,8 +126,7 @@ InferenceServer::~InferenceServer() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-std::future<Tensor> InferenceServer::enqueue(Job job) {
-  std::future<Tensor> future = job.result.get_future();
+void InferenceServer::enqueue(Job job) {
   {
     const std::lock_guard lock(mutex_);
     if (!accepting_) {
@@ -107,21 +136,44 @@ std::future<Tensor> InferenceServer::enqueue(Job job) {
     queue_.push_back(std::move(job));
   }
   wake_.notify_one();
-  return future;
 }
 
 std::future<Tensor> InferenceServer::submit(std::vector<TokenId> tokens) {
-  return enqueue(Job{.input = std::move(tokens),
-                     .result = {},
-                     .id = 0,
-                     .arrival_us = obs::now_us()});
+  Job job{.input = std::move(tokens),
+          .result = {},
+          .generated = {},
+          .id = 0,
+          .arrival_us = obs::now_us()};
+  std::future<Tensor> future = job.result.get_future();
+  enqueue(std::move(job));
+  return future;
 }
 
 std::future<Tensor> InferenceServer::submit(Image image) {
-  return enqueue(Job{.input = std::move(image),
-                     .result = {},
-                     .id = 0,
-                     .arrival_us = obs::now_us()});
+  Job job{.input = std::move(image),
+          .result = {},
+          .generated = {},
+          .id = 0,
+          .arrival_us = obs::now_us()};
+  std::future<Tensor> future = job.result.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+std::future<std::vector<TokenId>> InferenceServer::submit_generate(
+    std::vector<TokenId> prompt, std::size_t new_tokens) {
+  if (model_.spec().kind != ModelKind::kCausalLm) {
+    throw std::invalid_argument("InferenceServer: generation needs a causal LM");
+  }
+  Job job{.input = GenerateRequest{.prompt = std::move(prompt),
+                                   .new_tokens = new_tokens},
+          .result = {},
+          .generated = {},
+          .id = 0,
+          .arrival_us = obs::now_us()};
+  std::future<std::vector<TokenId>> future = job.generated.get_future();
+  enqueue(std::move(job));
+  return future;
 }
 
 void InferenceServer::shutdown() {
@@ -158,22 +210,32 @@ void InferenceServer::dispatch_loop() {
                           .request = static_cast<std::int64_t>(job.id),
                           .tag = {}});
     }
+    const bool is_generate = std::holds_alternative<GenerateRequest>(job.input);
     try {
       Tensor logits(0, 0);
+      std::vector<TokenId> continuation;
       {
         obs::TraceSpan span(tracer_, "service", "serve", obs::kServeTrack);
         span.request(static_cast<std::int64_t>(job.id));
-        logits = std::visit(
-            [this](const auto& input) {
-              if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
-                                           Image>) {
-                return runtime_->infer(input);
-              } else {
-                return runtime_->infer(
-                    std::span<const TokenId>(input.data(), input.size()));
-              }
-            },
-            job.input);
+        if (is_generate) {
+          continuation = run_generate(std::get<GenerateRequest>(job.input));
+        } else {
+          logits = std::visit(
+              [this](const auto& input) {
+                if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                             Image>) {
+                  return runtime_->infer(input);
+                } else if constexpr (std::is_same_v<
+                                         std::decay_t<decltype(input)>,
+                                         std::vector<TokenId>>) {
+                  return runtime_->infer(
+                      std::span<const TokenId>(input.data(), input.size()));
+                } else {
+                  return Tensor(0, 0);  // unreachable: generate handled above
+                }
+              },
+              job.input);
+        }
       }
       const obs::Micros done_us = obs::now_us();
       const Seconds wait = to_seconds(wait_us);
@@ -191,7 +253,11 @@ void InferenceServer::dispatch_loop() {
         metrics_->histogram("server.service_seconds").record(service);
         metrics_->histogram("server.sojourn_seconds").record(sojourn);
       }
-      job.result.set_value(std::move(logits));
+      if (is_generate) {
+        job.generated.set_value(std::move(continuation));
+      } else {
+        job.result.set_value(std::move(logits));
+      }
     } catch (...) {
       {
         const std::lock_guard lock(mutex_);
@@ -200,10 +266,22 @@ void InferenceServer::dispatch_loop() {
       if (metrics_ != nullptr) {
         metrics_->counter("server.requests_failed").add(1);
       }
-      job.result.set_exception(std::current_exception());
-      // A failure that poisoned the mesh must not doom every later request:
-      // swap in a fresh runtime so the dispatcher keeps serving.
-      rebuild_runtime_if_poisoned();
+      if (is_generate) {
+        job.generated.set_exception(std::current_exception());
+        // A failed DistributedDecoder is dead (its mesh is poisoned); drop
+        // it so the next generation request builds a fresh one.
+        if (decoder_ != nullptr) {
+          decoder_.reset();
+          if (metrics_ != nullptr) {
+            metrics_->counter("server.decoder_rebuilds").add(1);
+          }
+        }
+      } else {
+        job.result.set_exception(std::current_exception());
+        // A failure that poisoned the mesh must not doom every later
+        // request: swap in a fresh runtime so the dispatcher keeps serving.
+        rebuild_runtime_if_poisoned();
+      }
     }
   }
 }

@@ -27,6 +27,7 @@
 #include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/scheme.h"
+#include "runtime/distributed_decoder.h"
 #include "runtime/voltage_runtime.h"
 #include "transformer/model.h"
 
@@ -92,6 +93,15 @@ class InferenceServer {
   [[nodiscard]] std::future<Tensor> submit(std::vector<TokenId> tokens);
   [[nodiscard]] std::future<Tensor> submit(Image image);
 
+  // Enqueue a greedy-generation request (causal LMs only): the future
+  // resolves with the `new_tokens` continuation tokens. Decoding runs
+  // through a DistributedDecoder the dispatcher keeps across requests —
+  // one distributed prefill per request, then O(T) cached steps; a failed
+  // generation drops the decoder, and the next request builds a fresh one
+  // (same recovery contract as the runtime rebuild).
+  [[nodiscard]] std::future<std::vector<TokenId>> submit_generate(
+      std::vector<TokenId> prompt, std::size_t new_tokens);
+
   // Stops accepting new requests; queued ones still complete.
   void shutdown();
 
@@ -107,21 +117,31 @@ class InferenceServer {
   [[nodiscard]] VoltageRuntime& runtime() noexcept { return *runtime_; }
 
  private:
+  struct GenerateRequest {
+    std::vector<TokenId> prompt;
+    std::size_t new_tokens = 0;
+  };
+
   struct Job {
-    std::variant<std::vector<TokenId>, Image> input;
-    std::promise<Tensor> result;
+    std::variant<std::vector<TokenId>, Image, GenerateRequest> input;
+    std::promise<Tensor> result;                   // logits requests
+    std::promise<std::vector<TokenId>> generated;  // generation requests
     std::uint64_t id = 0;
     obs::Micros arrival_us = 0;
   };
 
-  [[nodiscard]] std::future<Tensor> enqueue(Job job);
+  void enqueue(Job job);
   void dispatch_loop();
   [[nodiscard]] std::unique_ptr<VoltageRuntime> make_runtime() const;
+  [[nodiscard]] std::unique_ptr<DistributedDecoder> make_decoder() const;
+  [[nodiscard]] std::vector<TokenId> run_generate(const GenerateRequest& req);
   void rebuild_runtime_if_poisoned();
 
   const TransformerModel& model_;
   Options options_;  // construction parameters, kept for runtime rebuilds
   std::unique_ptr<VoltageRuntime> runtime_;
+  // Lazily built on the first generation request; dispatcher-thread only.
+  std::unique_ptr<DistributedDecoder> decoder_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 

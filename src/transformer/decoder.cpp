@@ -80,6 +80,22 @@ Tensor IncrementalDecoder::prime(std::span<const TokenId> prompt) {
   return feed(model_.preprocess(prompt));
 }
 
+Tensor IncrementalDecoder::extend(std::span<const TokenId> tokens) {
+  if (tokens.empty()) {
+    throw std::invalid_argument("IncrementalDecoder: empty extension");
+  }
+  if (position_ == 0) {
+    throw std::logic_error("IncrementalDecoder: prime() before extend()");
+  }
+  if (position_ + tokens.size() > model_.spec().max_positions) {
+    throw std::length_error("IncrementalDecoder: context window exhausted");
+  }
+  // feed() already handles multi-row blocks (the prefill is one); the rows
+  // embed at their true global positions and the causal mask offsets by
+  // position_, so this is the prime() code path continued mid-sequence.
+  return feed(model_.preprocess_at(tokens, position_));
+}
+
 Tensor IncrementalDecoder::step(TokenId token) {
   if (position_ == 0) {
     throw std::logic_error("IncrementalDecoder: prime() before step()");

@@ -38,6 +38,14 @@ class IncrementalDecoder {
   // Appends one token and returns next-token logits; costs O(T) per layer.
   [[nodiscard]] Tensor step(TokenId token);
 
+  // Appends several committed tokens at once (e.g. an extended prompt) and
+  // returns the logits after the last one. One multi-row pass through the
+  // stack — the caches grow exactly as if each token had been step()ed, but
+  // without a per-token traversal, and crucially without the full
+  // reset-and-re-prefill that used to be the only way to continue from a
+  // lengthened prompt.
+  [[nodiscard]] Tensor extend(std::span<const TokenId> tokens);
+
   // Forgets all cached state (start a new sequence).
   void reset();
 

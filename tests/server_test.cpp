@@ -16,6 +16,7 @@
 #include "partition/partitioned_layer.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
+#include "transformer/decoder.h"
 #include "transformer/tokenizer.h"
 #include "transformer/zoo.h"
 
@@ -179,6 +180,65 @@ TEST(InferenceServer, WorksOverRealSockets) {
   const auto tokens = random_tokens(14, model.spec().vocab_size, 91);
   EXPECT_TRUE(
       allclose(server.submit(tokens).get(), model.infer(tokens), 2e-3F));
+}
+
+TEST(InferenceServer, GenerateMatchesSingleDeviceGreedyDecode) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  InferenceServer server(model, options(2));
+  const auto prompt = random_tokens(12, model.spec().vocab_size, 17);
+  constexpr std::size_t kNewTokens = 6;
+  auto future = server.submit_generate(prompt, kNewTokens);
+
+  // Reference: the same greedy decode on a single-device KV cache.
+  IncrementalDecoder reference(model);
+  std::vector<TokenId> expected;
+  Tensor logits = reference.prime(prompt);
+  for (std::size_t i = 0; i < kNewTokens; ++i) {
+    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
+    expected.push_back(next);
+    if (i + 1 < kNewTokens) logits = reference.step(next);
+  }
+  EXPECT_EQ(future.get(), expected);
+  EXPECT_EQ(server.stats().completed, 1U);
+
+  // The decoder persists across requests: a second generation still works
+  // (each request re-primes, so results are independent of history).
+  EXPECT_EQ(server.submit_generate(prompt, kNewTokens).get(), expected);
+}
+
+TEST(InferenceServer, GenerateAndLogitsRequestsInterleave) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  InferenceServer server(model, options(2));
+  const auto prompt = random_tokens(9, model.spec().vocab_size, 23);
+  auto generated = server.submit_generate(prompt, 3);
+  auto logits = server.submit(prompt);
+  EXPECT_EQ(generated.get().size(), 3U);
+  EXPECT_TRUE(allclose(logits.get(), model.infer(prompt), 2e-3F));
+  EXPECT_EQ(server.stats().completed, 2U);
+}
+
+TEST(InferenceServer, GenerateRejectsNonCausalModels) {
+  const TransformerModel model = make_model(mini_bert_spec());
+  InferenceServer server(model, options(2));
+  EXPECT_THROW((void)server.submit_generate(
+                   random_tokens(8, model.spec().vocab_size, 2), 4),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, GenerateFailureFailsOneFutureAndRebuildsDecoder) {
+  // A bad prompt token makes the generation fail inside the dispatcher; the
+  // future carries the error, the decoder is dropped, and the next
+  // generation request succeeds on a fresh one.
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  InferenceServer server(model, options(2));
+  auto doomed = server.submit_generate(
+      {static_cast<TokenId>(model.spec().vocab_size + 3)}, 2);
+  EXPECT_THROW((void)doomed.get(), std::out_of_range);
+  const auto good = random_tokens(10, model.spec().vocab_size, 29);
+  EXPECT_EQ(server.submit_generate(good, 4).get().size(), 4U);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1U);
+  EXPECT_EQ(stats.completed, 1U);
 }
 
 TEST(InferenceServer, EmptyStats) {
