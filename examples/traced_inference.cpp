@@ -3,20 +3,24 @@
 //
 //   ./build/examples/traced_inference [trace.json]
 //
-// Attaches an obs::Tracer and an obs::MetricsRegistry to a 3-device Voltage
-// cluster, serves a couple of requests through the InferenceServer, and
-// exports a Chrome trace-event file (default: traced_inference.trace.json).
-// Open it at https://ui.perfetto.dev (or chrome://tracing) to see the K
-// device tracks with per-layer compute spans — each tagged with the
-// attention order Theorem 2 chose — the all-gather synchronization points,
-// and the serving track with queue-wait vs service per request. Or skip the
-// browser:
+// Attaches an obs::Tracer, an obs::MetricsRegistry and a live
+// obs::TelemetryHub to a 3-device Voltage cluster, serves a couple of
+// encoder requests plus one generation request (distributed KV-cache
+// decoding) through the InferenceServer, and exports a Chrome trace-event
+// file (default: traced_inference.trace.json). Open it at
+// https://ui.perfetto.dev (or chrome://tracing) to see the K device tracks
+// with per-layer compute spans — each tagged with the attention order
+// Theorem 2 chose — the all-gather synchronization points, the flow arrows
+// connecting every send to its receive, and the serving track with
+// queue-wait vs service per request. Or skip the browser:
 //
-//   ./build/tools/trace_report traced_inference.trace.json
+//   ./build/tools/trace_report --critical-path traced_inference.trace.json
 #include <cstdio>
 
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "transformer/tokenizer.h"
@@ -27,11 +31,13 @@ int main(int argc, char** argv) {
   const char* path =
       argc > 1 ? argv[1] : "traced_inference.trace.json";
 
-  const TransformerModel model = make_model(mini_bert_spec());
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+  obs::TelemetryHub telemetry(/*window_seconds=*/10.0);
+  obs::FlightRecorder recorder(/*capacity=*/256);
 
   {
+    const TransformerModel model = make_model(mini_bert_spec());
     InferenceServer server(model,
                            {.scheme = PartitionScheme::even(3),
                             .policy = OrderPolicy::kAdaptive,
@@ -54,20 +60,61 @@ int main(int argc, char** argv) {
                 stats.service.mean * 1e3, stats.service.max * 1e3);
   }
 
+  // Generation leg: distributed KV-cache decoding on a causal LM, with the
+  // live telemetry plane attached. One prefill plus a handful of decode
+  // steps land on the same trace as "decode.prefill" / "decode.step" spans,
+  // and the sampler thread appends JSONL snapshots as they happen.
+  {
+    const TransformerModel lm = make_model(mini_gpt2_spec());
+    InferenceServer server(lm,
+                           {.scheme = PartitionScheme::even(3),
+                            .policy = OrderPolicy::kAdaptive,
+                            .transport = TransportKind::kInMemory,
+                            .tracer = &tracer,
+                            .metrics = &metrics,
+                            .telemetry = &telemetry,
+                            .telemetry_period = 0.01,
+                            .telemetry_jsonl_path =
+                                "traced_inference.telemetry.jsonl",
+                            .telemetry_prometheus_path =
+                                "traced_inference.telemetry.prom",
+                            .flight_recorder = &recorder});
+    const HashingTokenizer tokenizer(lm.spec().vocab_size);
+    auto generated = server.submit_generate(
+        tokenizer.encode("the edge meets transformers"), /*new_tokens=*/32);
+    const std::vector<TokenId> tokens = generated.get();
+    std::printf("generated %zu tokens:", tokens.size());
+    for (const TokenId t : tokens) std::printf(" %u", t);
+    std::printf("\n\n");
+
+    // Sample while the window still covers the generation: windowed rates,
+    // utilization, queue depth.
+    std::printf("telemetry snapshot:\n");
+    for (const auto& [name, value] : telemetry.sample().values) {
+      std::printf("  %-28s %.3f\n", name.c_str(), value);
+    }
+  }
+  std::printf("  (JSONL history in traced_inference.telemetry.jsonl,\n"
+              "   Prometheus exposition in traced_inference.telemetry.prom)\n"
+              "\n");
+
   try {
     tracer.write_chrome_trace_file(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "traced_inference: %s\n", e.what());
     return 1;
   }
-  std::printf("wrote %zu spans to %s\n", tracer.size(), path);
+  std::printf("wrote %zu events to %s\n", tracer.size(), path);
   std::printf("open it at https://ui.perfetto.dev, or run:\n");
-  std::printf("  ./build/tools/trace_report %s\n\n", path);
+  std::printf("  ./build/tools/trace_report --critical-path %s\n\n", path);
 
   // The same breakdown trace_report prints, straight from the export.
-  const obs::TraceReport report =
-      obs::build_report(obs::load_chrome_trace_file(path));
-  std::fputs(obs::format_report(report).c_str(), stdout);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace_file(path);
+  std::fputs(obs::format_report(obs::build_report(loaded)).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(
+      obs::format_critical_path(obs::analyze_critical_path(loaded)).c_str(),
+      stdout);
 
   std::printf("\nmetrics:\n%s", metrics.report().c_str());
   return 0;

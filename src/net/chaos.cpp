@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace voltage {
 
 ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
@@ -22,6 +24,9 @@ ChaosTransport::~ChaosTransport() {
 }
 
 void ChaosTransport::send(Message message) {
+  // Stamp the trace context here, on the sending thread: the courier that
+  // performs the inner send later runs with no ambient request context.
+  if (message.trace_id == 0) message.trace_id = obs::thread_trace_id();
   if (inner_->closed()) {
     // Fail fast instead of queueing onto a poisoned mesh; the inner send
     // throws TransportClosedError carrying the close reason.

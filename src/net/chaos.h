@@ -97,6 +97,9 @@ class ChaosTransport final : public Transport {
   void set_metrics(obs::MetricsRegistry* metrics) override {
     inner_->set_metrics(metrics);
   }
+  void set_flight_recorder(obs::FlightRecorder* recorder) override {
+    inner_->set_flight_recorder(recorder);
+  }
 
   [[nodiscard]] ChaosStats chaos_stats() const;
   // Last delivery error text ("" when none) — see ChaosStats.delivery_errors.

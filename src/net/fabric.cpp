@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace voltage {
 
@@ -43,6 +45,16 @@ void Fabric::close(std::string reason) {
     close_reason_ = std::move(reason);
     closed_.store(true, std::memory_order_release);
   }
+  // The poisoning is the event the flight recorder exists for: dump the
+  // last-N message history together with the reason before waking anyone.
+  if (recorder_ != nullptr) {
+    std::string what;
+    {
+      const std::lock_guard lock(close_mutex_);
+      what = close_reason_;
+    }
+    recorder_->auto_dump("Fabric closed: " + what);
+  }
   // Lock each mailbox before notifying: a receiver that checked the flag
   // just before we flipped it is either already in wait (the notify wakes
   // it) or still holds the mailbox mutex (we block until it waits).
@@ -58,6 +70,10 @@ void Fabric::send(Message message) {
   }
   if (closed()) throw_closed("send");
   const std::size_t bytes = message.byte_size();
+  // Trace context: inherit the sender thread's request id unless the caller
+  // stamped one already (ChaosTransport couriers deliver from their own
+  // thread and pre-stamp at enqueue).
+  if (message.trace_id == 0) message.trace_id = obs::thread_trace_id();
   if (metrics_.enabled()) {
     metrics_.messages_sent->add(1);
     metrics_.bytes_sent->add(bytes);
@@ -67,6 +83,19 @@ void Fabric::send(Message message) {
     const std::lock_guard lock(src.mutex);
     src.stats.messages_sent += 1;
     src.stats.bytes_sent += bytes;
+    message.seq = ++src.next_seq;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->note_send(message.source, message.destination, message.tag,
+                         message.trace_id, bytes);
+  }
+  // Flow start before delivery, so the arrow's tail can never be stamped
+  // after its head: a receiver may consume the message the instant it is
+  // queued.
+  if (message.trace_id != 0) {
+    obs::record_flow(obs::thread_tracer(), obs::EventPhase::kFlowStart,
+                     detail::make_flow_id(uid_, message.source, message.seq),
+                     obs::thread_track(), message.trace_id);
   }
   Mailbox& dst = box(message.destination);
   {
@@ -76,6 +105,26 @@ void Fabric::send(Message message) {
     dst.queue.push_back(std::move(message));
   }
   dst.arrived.notify_all();
+}
+
+void Fabric::note_received(const Message& message) const {
+  if (metrics_.enabled()) {
+    metrics_.messages_received->add(1);
+    metrics_.bytes_received->add(message.byte_size());
+  }
+  if (recorder_ != nullptr) {
+    recorder_->note_recv(message.source, message.destination, message.tag,
+                         message.trace_id, message.byte_size());
+  }
+  // The receiver adopts the message's request context — this is how one
+  // trace id follows the data across all K device threads — and closes the
+  // flow arrow the sender opened.
+  obs::adopt_thread_trace_id(message.trace_id);
+  if (message.trace_id != 0) {
+    obs::record_flow(obs::thread_tracer(), obs::EventPhase::kFlowEnd,
+                     detail::make_flow_id(uid_, message.source, message.seq),
+                     obs::thread_track(), message.trace_id);
+  }
 }
 
 Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,
@@ -90,10 +139,7 @@ Message Fabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
       mb.queue.erase(it);
-      if (metrics_.enabled()) {
-        metrics_.messages_received->add(1);
-        metrics_.bytes_received->add(out.byte_size());
-      }
+      note_received(out);
       return out;
     }
     if (closed()) throw_closed("recv");
@@ -119,10 +165,7 @@ Message Fabric::recv_any(DeviceId receiver, MessageTag tag,
     if (it != mb.queue.end()) {
       Message out = std::move(*it);
       mb.queue.erase(it);
-      if (metrics_.enabled()) {
-        metrics_.messages_received->add(1);
-        metrics_.bytes_received->add(out.byte_size());
-      }
+      note_received(out);
       return out;
     }
     if (closed()) throw_closed("recv_any");
@@ -157,6 +200,10 @@ TrafficStats Fabric::total_stats() const {
 
 void Fabric::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = resolve_transport_counters(metrics);
+}
+
+void Fabric::set_flight_recorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
 }
 
 void Fabric::reset_stats() {

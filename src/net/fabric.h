@@ -58,6 +58,7 @@ class Fabric final : public Transport {
   void reset_stats() override;
 
   void set_metrics(obs::MetricsRegistry* metrics) override;
+  void set_flight_recorder(obs::FlightRecorder* recorder) override;
 
  private:
   struct Mailbox {
@@ -65,14 +66,21 @@ class Fabric final : public Transport {
     std::condition_variable arrived;
     std::deque<Message> queue;
     TrafficStats stats;
+    // Per-sender message sequence, assigned at send. Not reset by
+    // reset_stats() — flow ids derived from it must stay unique for the
+    // fabric's lifetime.
+    std::uint64_t next_seq = 0;
   };
 
   Mailbox& box(DeviceId id);
   [[nodiscard]] const Mailbox& box(DeviceId id) const;
   [[noreturn]] void throw_closed(const char* verb) const;
+  void note_received(const Message& message) const;
 
+  const std::uint64_t uid_ = detail::next_transport_uid();
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TransportCounters metrics_;
+  obs::FlightRecorder* recorder_ = nullptr;
   // Poison state: the flag is checked inside every mailbox's wait loop (the
   // mailbox mutex orders it against close()'s notify), the reason is set
   // once before the flag flips.

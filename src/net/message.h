@@ -110,6 +110,13 @@ struct Message {
   DeviceId source = 0;
   DeviceId destination = 0;
   MessageTag tag = 0;
+  // Trace context, stamped by the transport on send (see obs/trace.h): the
+  // request-scoped trace id this message belongs to (0 = untraced) and a
+  // per-sender sequence number (0 = unassigned; transports assign 1, 2, …).
+  // Together with the sender they name the message uniquely, which is what
+  // a Perfetto flow arrow needs to connect the send to the recv.
+  std::uint64_t trace_id = 0;
+  std::uint64_t seq = 0;
   Payload payload;
 
   [[nodiscard]] std::size_t byte_size() const noexcept {

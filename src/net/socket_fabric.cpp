@@ -11,6 +11,8 @@
 #include <system_error>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace voltage {
 
@@ -19,6 +21,8 @@ namespace {
 struct FrameHeader {
   std::uint64_t source;
   std::uint64_t tag;
+  std::uint64_t trace_id;
+  std::uint64_t seq;
   std::uint64_t length;
 };
 
@@ -117,6 +121,16 @@ void SocketFabric::close(std::string reason) {
     close_reason_ = std::move(reason);
     closed_.store(true, std::memory_order_release);
   }
+  // The poisoning is the event the flight recorder exists for: dump the
+  // last-N message history together with the reason before tearing down.
+  if (recorder_ != nullptr) {
+    std::string what;
+    {
+      const std::lock_guard lock(close_mutex_);
+      what = close_reason_;
+    }
+    recorder_->auto_dump("SocketFabric closed: " + what);
+  }
   // Readers see EOF on the shut-down sockets, mark their endpoints closed
   // and wake every blocked receiver, which then throws with the reason.
   shutdown_sockets();
@@ -184,6 +198,8 @@ void SocketFabric::reader_loop(std::size_t device) {
       msg.source = header.source;
       msg.destination = device;
       msg.tag = header.tag;
+      msg.trace_id = header.trace_id;
+      msg.seq = header.seq;
       std::vector<std::byte> body(header.length);
       if (header.length > 0) {
         try {
@@ -223,9 +239,10 @@ void SocketFabric::send(Message message) {
   (void)endpoint(message.destination);  // id validation
   if (closed()) throw_closed("send");
   const int fd = src.peer_fd[message.destination];
-  const FrameHeader header{.source = message.source,
-                           .tag = message.tag,
-                           .length = message.payload.size()};
+  // Trace context: inherit the sender thread's request id unless the caller
+  // stamped one already (ChaosTransport couriers deliver from their own
+  // thread and pre-stamp at enqueue).
+  if (message.trace_id == 0) message.trace_id = obs::thread_trace_id();
   // Stats commit before the bytes hit the wire: once the receiver can
   // observe the message (and unblock a thread that then reads
   // total_stats()), the counters must already include it — otherwise
@@ -240,6 +257,23 @@ void SocketFabric::send(Message message) {
     const std::lock_guard lock(src.mutex);
     src.stats.messages_sent += 1;
     src.stats.bytes_sent += message.payload.size();
+    message.seq = ++src.next_seq;
+  }
+  const FrameHeader header{.source = message.source,
+                           .tag = message.tag,
+                           .trace_id = message.trace_id,
+                           .seq = message.seq,
+                           .length = message.payload.size()};
+  if (recorder_ != nullptr) {
+    recorder_->note_send(message.source, message.destination, message.tag,
+                         message.trace_id, message.payload.size());
+  }
+  // Flow start before the bytes leave, so the arrow's tail can never be
+  // stamped after its head on the receiving side.
+  if (message.trace_id != 0) {
+    obs::record_flow(obs::thread_tracer(), obs::EventPhase::kFlowStart,
+                     detail::make_flow_id(uid_, message.source, message.seq),
+                     obs::thread_track(), message.trace_id);
   }
   try {
     // View payloads are written straight from the borrowed storage (header
@@ -270,10 +304,7 @@ Message SocketFabric::recv(DeviceId receiver, DeviceId source, MessageTag tag,
     if (it != ep.inbox.end()) {
       Message out = std::move(*it);
       ep.inbox.erase(it);
-      if (metrics_.enabled()) {
-        metrics_.messages_received->add(1);
-        metrics_.bytes_received->add(out.byte_size());
-      }
+      note_received(out);
       return out;
     }
     if (ep.closed) throw_closed("recv");
@@ -299,10 +330,7 @@ Message SocketFabric::recv_any(DeviceId receiver, MessageTag tag,
     if (it != ep.inbox.end()) {
       Message out = std::move(*it);
       ep.inbox.erase(it);
-      if (metrics_.enabled()) {
-        metrics_.messages_received->add(1);
-        metrics_.bytes_received->add(out.byte_size());
-      }
+      note_received(out);
       return out;
     }
     if (ep.closed) throw_closed("recv_any");
@@ -335,8 +363,31 @@ TrafficStats SocketFabric::total_stats() const {
   return total;
 }
 
+void SocketFabric::note_received(const Message& message) const {
+  if (metrics_.enabled()) {
+    metrics_.messages_received->add(1);
+    metrics_.bytes_received->add(message.byte_size());
+  }
+  if (recorder_ != nullptr) {
+    recorder_->note_recv(message.source, message.destination, message.tag,
+                         message.trace_id, message.byte_size());
+  }
+  // Runs on the consuming thread (never the reader thread), so the adopted
+  // context and the flow end land on the right track.
+  obs::adopt_thread_trace_id(message.trace_id);
+  if (message.trace_id != 0) {
+    obs::record_flow(obs::thread_tracer(), obs::EventPhase::kFlowEnd,
+                     detail::make_flow_id(uid_, message.source, message.seq),
+                     obs::thread_track(), message.trace_id);
+  }
+}
+
 void SocketFabric::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = resolve_transport_counters(metrics);
+}
+
+void SocketFabric::set_flight_recorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
 }
 
 void SocketFabric::reset_stats() {

@@ -7,7 +7,10 @@
 // a tagged mailbox with the same matching semantics as the in-memory
 // Fabric, so the two transports are drop-in interchangeable.
 //
-// Frame format: u64 source | u64 tag | u64 payload_length | payload bytes.
+// Frame format: u64 source | u64 tag | u64 trace_id | u64 seq |
+// u64 payload_length | payload bytes. trace_id/seq carry the request trace
+// context across the wire (see net/message.h) — a real TCP deployment would
+// ship the same two words.
 #pragma once
 
 #include <atomic>
@@ -58,6 +61,7 @@ class SocketFabric final : public Transport {
   void reset_stats() override;
 
   void set_metrics(obs::MetricsRegistry* metrics) override;
+  void set_flight_recorder(obs::FlightRecorder* recorder) override;
 
  private:
   struct Endpoint {
@@ -71,6 +75,9 @@ class SocketFabric final : public Transport {
     std::deque<Message> inbox;
     bool closed = false;
     TrafficStats stats;
+    // Per-sender message sequence; not reset by reset_stats() (flow ids
+    // derived from it must stay unique for the fabric's lifetime).
+    std::uint64_t next_seq = 0;
   };
 
   void reader_loop(std::size_t device);
@@ -78,9 +85,12 @@ class SocketFabric final : public Transport {
   [[nodiscard]] const Endpoint& endpoint(DeviceId id) const;
   void shutdown_sockets();
   [[noreturn]] void throw_closed(const char* verb) const;
+  void note_received(const Message& message) const;
 
+  const std::uint64_t uid_ = detail::next_transport_uid();
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   TransportCounters metrics_;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::atomic<bool> closed_{false};
   mutable std::mutex close_mutex_;
   std::string close_reason_;

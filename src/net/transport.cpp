@@ -1,5 +1,6 @@
 #include "net/transport.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "net/fabric.h"
@@ -7,6 +8,15 @@
 #include "obs/metrics.h"
 
 namespace voltage {
+
+namespace detail {
+
+std::uint64_t next_transport_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
 
 TransportCounters resolve_transport_counters(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) return {};

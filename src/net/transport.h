@@ -17,6 +17,7 @@
 
 namespace voltage::obs {
 class Counter;
+class FlightRecorder;
 class MetricsRegistry;
 }  // namespace voltage::obs
 
@@ -121,7 +122,30 @@ class Transport {
   // mesh is busy (construction time). Default: no-op for transports without
   // an instrumented hot path.
   virtual void set_metrics(obs::MetricsRegistry* /*metrics*/) {}
+
+  // Attaches a flight recorder (non-owning; nullptr detaches): sends and
+  // receives append to its last-N ring, and close() dumps it with the
+  // poison reason, so a containment event carries its recent message
+  // history. Same attach-before-traffic contract as set_metrics. Default:
+  // no-op for transports without the hook.
+  virtual void set_flight_recorder(obs::FlightRecorder* /*recorder*/) {}
 };
+
+namespace detail {
+
+// Process-unique id per transport instance. Flow ids are namespaced by it
+// so two meshes tracing into one Tracer (a server's runtime and its
+// decoder) can never collide on (sender, seq).
+[[nodiscard]] std::uint64_t next_transport_uid();
+
+// Flow binding id for one message: unique per (transport, sender, seq).
+[[nodiscard]] constexpr std::uint64_t make_flow_id(
+    std::uint64_t transport_uid, DeviceId source, std::uint64_t seq) noexcept {
+  return (transport_uid << 48) ^ (static_cast<std::uint64_t>(source) << 40) ^
+         seq;
+}
+
+}  // namespace detail
 
 // Resolves the standard transport counters in `metrics` (nullptr in, empty
 // handles out). Shared by every instrumented Transport implementation.

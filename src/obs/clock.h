@@ -22,4 +22,34 @@ using Micros = std::int64_t;
       .count();
 }
 
+// One steady↔wall correspondence, captured once per process: the wall-clock
+// (Unix epoch) time observed at a known point on the steady timeline. Trace
+// timestamps are steady-clock microseconds, server logs are wall-clock —
+// `wall_unix_us + (t - steady_us)` aligns the two, so an exported Perfetto
+// trace can be matched line-for-line against log files.
+struct ClockAnchor {
+  Micros steady_us = 0;          // position on the now_us() timeline
+  std::int64_t wall_unix_us = 0;  // system_clock at that same instant
+};
+
+// The process-wide anchor (captured on first use, typically at tracer
+// start). Thread-safe; every call returns the same anchor.
+[[nodiscard]] inline const ClockAnchor& clock_anchor() noexcept {
+  static const ClockAnchor anchor = [] {
+    ClockAnchor a;
+    a.steady_us = now_us();
+    a.wall_unix_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    return a;
+  }();
+  return anchor;
+}
+
+// Wall-clock Unix microseconds for a steady timestamp, via the anchor.
+[[nodiscard]] inline std::int64_t to_wall_unix_us(Micros steady_us) noexcept {
+  const ClockAnchor& a = clock_anchor();
+  return a.wall_unix_us + (steady_us - a.steady_us);
+}
+
 }  // namespace voltage::obs

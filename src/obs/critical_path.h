@@ -1,0 +1,119 @@
+// Critical-path attribution over a loaded trace: where did each token's
+// latency actually go?
+//
+// The paper's model (Eq. 3 / Theorem 2) splits a distributed layer into a
+// compute term and a (K-1)NF/K wire term; a real mesh adds a third bucket
+// the model hides — waiting for the straggler. This pass reconstructs all
+// three from a causally-connected trace (spans + the flow events the
+// transports emit, see net/message.h):
+//
+//   compute — time covered by "compute"-category spans (minus any comm
+//             nested inside them);
+//   wire    — time inside "comm"-category spans actually spent moving or
+//             copying bytes;
+//   wait    — the rest: blocked inside a comm span before the last sender
+//             had even sent (straggler skew, measured from the matched
+//             flow-start timestamps), plus idle time outside any span.
+//
+// The decomposition is exact by construction: per window and device,
+// compute + wire + wait == the window's wall time.
+//
+// Windows are the decoder's per-token spans ("decode.prefill" /
+// "decode.step") when present, else the server's "service" spans, else the
+// whole trace as one window. Straggler identification per collective round
+// comes from grouping same-(name, layer) comm spans across devices and
+// comparing their entry times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace voltage::obs {
+
+// One device's share of one window.
+struct DeviceSlice {
+  std::int64_t track = -1;
+  std::int64_t device = -1;  // device attr when spans carry one, else track
+  Micros compute_us = 0;
+  Micros wire_us = 0;
+  Micros wait_us = 0;  // straggler-blocked + idle
+
+  [[nodiscard]] Micros total_us() const noexcept {
+    return compute_us + wire_us + wait_us;
+  }
+};
+
+// One attribution window: a prefill, one decode step, one served request,
+// or the whole trace.
+struct WindowAttribution {
+  std::string label;       // "prefill" | "step" | "service" | "trace"
+  std::int64_t index = -1;  // the span's request attr (token position), -1
+  std::int64_t trace_id = -1;
+  Micros start_us = 0;
+  Micros wall_us = 0;
+  std::vector<DeviceSlice> devices;  // sorted by track
+  std::int64_t straggler_track = -1;  // max wait_us in this window
+};
+
+// Per-(layer, device) decomposition of the prefill windows — the paper's
+// per-layer Eq. 3 terms, measured. No idle bucket here: wait is only the
+// straggler-blocked part of the layer's own collectives.
+struct LayerPath {
+  std::int64_t layer = -1;
+  std::int64_t track = -1;
+  std::int64_t device = -1;
+  Micros compute_us = 0;
+  Micros wire_us = 0;
+  Micros wait_us = 0;
+};
+
+// One collective "round" = the same-(name, layer) comm spans across
+// devices, aggregated over all windows they appear in. The straggler is
+// the device that reached the collective last (largest entry time) most
+// often; the spread is the entry-time skew it caused.
+struct CollectiveRound {
+  std::string name;
+  std::int64_t layer = -1;
+  std::size_t rounds = 0;           // occurrences (e.g. one per decode step)
+  std::int64_t straggler_track = -1;
+  std::size_t straggler_count = 0;  // rounds in which that track was last
+  Micros max_spread_us = 0;
+  Micros total_spread_us = 0;
+};
+
+struct CriticalPathReport {
+  std::vector<WindowAttribution> windows;
+  std::vector<LayerPath> layers;         // prefill only; (layer, track) order
+  std::vector<CollectiveRound> rounds;   // (name, layer) order
+  std::vector<DeviceSlice> device_totals;  // summed across windows
+
+  Micros compute_us = 0;  // grand totals
+  Micros wire_us = 0;
+  Micros wait_us = 0;
+
+  // The Theorem-2-relevant communication fraction: wire / (compute + wire
+  // + wait). `wait_fraction` is the straggler/idle analogue.
+  [[nodiscard]] double comm_fraction() const noexcept {
+    const double total =
+        static_cast<double>(compute_us + wire_us + wait_us);
+    return total > 0.0 ? static_cast<double>(wire_us) / total : 0.0;
+  }
+  [[nodiscard]] double wait_fraction() const noexcept {
+    const double total =
+        static_cast<double>(compute_us + wire_us + wait_us);
+    return total > 0.0 ? static_cast<double>(wait_us) / total : 0.0;
+  }
+};
+
+[[nodiscard]] CriticalPathReport analyze_critical_path(
+    const LoadedTrace& trace);
+
+// Fixed-width tables: totals, per-device totals, per-window rows, prefill
+// per-layer rows, straggler rounds.
+[[nodiscard]] std::string format_critical_path(
+    const CriticalPathReport& report);
+
+}  // namespace voltage::obs

@@ -51,6 +51,10 @@ void read_args(const json::Value& event, TraceEvent& out) {
       v != nullptr && v->is_number()) {
     out.request = static_cast<std::int64_t>(v->as_number());
   }
+  if (const json::Value* v = args->find("trace");
+      v != nullptr && v->is_number()) {
+    out.trace = static_cast<std::int64_t>(v->as_number());
+  }
   if (const json::Value* v = args->find("tag");
       v != nullptr && v->is_string()) {
     out.tag = v->as_string();
@@ -94,11 +98,26 @@ LoadedTrace load_chrome_trace(std::string_view json_text) {
               static_cast<TrackId>(require_int(entry, "tid")),
               label->as_string());
         }
+      } else if (name->as_string() == "clock_sync") {
+        const json::Value* args = entry.find("args");
+        const json::Value* steady =
+            args != nullptr ? args->find("steady_us") : nullptr;
+        const json::Value* wall =
+            args != nullptr ? args->find("wall_unix_us") : nullptr;
+        if (steady != nullptr && steady->is_number() && wall != nullptr &&
+            wall->is_number()) {
+          trace.has_clock_anchor = true;
+          trace.clock_anchor.steady_us =
+              static_cast<Micros>(steady->as_number());
+          trace.clock_anchor.wall_unix_us =
+              static_cast<std::int64_t>(wall->as_number());
+        }
       }
       continue;  // other metadata is legal and ignored
     }
 
-    if (phase != "X" && phase != "B" && phase != "E") {
+    if (phase != "X" && phase != "B" && phase != "E" && phase != "s" &&
+        phase != "f") {
       invalid("unsupported event phase \"" + phase + "\"");
     }
 
@@ -118,6 +137,12 @@ LoadedTrace load_chrome_trace(std::string_view json_text) {
     if (phase == "X") {
       e.duration_us = require_int(entry, "dur");
       if (e.duration_us < 0) invalid("negative duration");
+      trace.events.push_back(std::move(e));
+    } else if (phase == "s" || phase == "f") {
+      e.phase = phase == "s" ? EventPhase::kFlowStart : EventPhase::kFlowEnd;
+      const std::int64_t id = require_int(entry, "id");
+      if (id < 0) invalid("negative flow id");
+      e.flow_id = static_cast<std::uint64_t>(id);
       trace.events.push_back(std::move(e));
     } else if (phase == "B") {
       open[e.track].push_back(std::move(e));
@@ -157,6 +182,40 @@ LoadedTrace load_chrome_trace_file(const std::string& path) {
   return load_chrome_trace(text.str());
 }
 
+std::vector<std::string> flow_problems(const LoadedTrace& trace) {
+  std::vector<std::string> problems;
+  // Events are sorted by ts, so walking in order sees every start before
+  // its end (the transports stamp the start before delivery).
+  std::map<std::uint64_t, const TraceEvent*> open;  // flow id → start event
+  for (const TraceEvent& e : trace.events) {
+    if (e.phase == EventPhase::kFlowStart) {
+      const auto [it, inserted] = open.emplace(e.flow_id, &e);
+      if (!inserted) {
+        problems.push_back("duplicate flow start id " +
+                           std::to_string(e.flow_id) + " at t=" +
+                           std::to_string(e.start_us) + "us");
+      }
+    } else if (e.phase == EventPhase::kFlowEnd) {
+      const auto it = open.find(e.flow_id);
+      if (it == open.end()) {
+        problems.push_back("flow end without start: id " +
+                           std::to_string(e.flow_id) + " on track " +
+                           std::to_string(e.track) + " at t=" +
+                           std::to_string(e.start_us) + "us");
+      } else {
+        open.erase(it);
+      }
+    }
+  }
+  for (const auto& [id, start] : open) {
+    problems.push_back("flow start without end: id " + std::to_string(id) +
+                       " on track " + std::to_string(start->track) +
+                       " at t=" + std::to_string(start->start_us) +
+                       "us (sent but never received)");
+  }
+  return problems;
+}
+
 TraceReport build_report(const LoadedTrace& trace) {
   TraceReport report;
   report.events = trace.events.size();
@@ -169,6 +228,10 @@ TraceReport build_report(const LoadedTrace& trace) {
   for (const TraceEvent& e : trace.events) {
     first = std::min(first, e.start_us);
     last = std::max(last, e.start_us + e.duration_us);
+
+    // Flow endpoints are instants, not spans — they carry no durations to
+    // aggregate here (critical_path.h consumes them).
+    if (e.phase != EventPhase::kComplete) continue;
 
     const std::int64_t device =
         e.device >= 0 ? e.device : static_cast<std::int64_t>(e.track);

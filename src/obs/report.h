@@ -15,25 +15,38 @@
 namespace voltage::obs {
 
 // A trace read back from Chrome trace-event JSON. Metadata ("M") events are
-// consumed into track_names; duration events become TraceEvents (name,
-// category and tag own their storage via `strings`).
+// consumed into track_names (and the clock_sync anchor); duration and flow
+// events become TraceEvents (name, category and tag own their storage via
+// `strings`).
 struct LoadedTrace {
   std::vector<TraceEvent> events;  // sorted by start_us
   std::vector<std::pair<TrackId, std::string>> track_names;
+  // The steady↔wall anchor from the "clock_sync" metadata record, if the
+  // trace carries one (traces written by this repo's Tracer always do).
+  bool has_clock_anchor = false;
+  ClockAnchor clock_anchor;
 
   // Backing store for the const char* fields of `events`.
   std::vector<std::unique_ptr<std::string>> strings;
 };
 
 // Parses and structurally validates trace JSON. Accepts complete ("X")
-// events and matched begin/end ("B"/"E") pairs; requires the traceEvents
-// array be sorted by "ts", every duration event carry pid/tid, and B/E
-// events nest properly per track. Throws std::runtime_error describing the
-// first violation.
+// events, matched begin/end ("B"/"E") pairs and flow endpoints ("s"/"f",
+// which require an "id"); requires the traceEvents array be sorted by "ts",
+// every event carry pid/tid, and B/E events nest properly per track. Throws
+// std::runtime_error describing the first violation.
 [[nodiscard]] LoadedTrace load_chrome_trace(std::string_view json_text);
 
 // Same, reading the file at `path`.
 [[nodiscard]] LoadedTrace load_chrome_trace_file(const std::string& path);
+
+// Flow-graph validation: every flow end ("f") must match exactly one
+// earlier flow start ("s") with the same id, and every start must be
+// consumed by an end — an unmatched endpoint means a send whose receive
+// never happened (or vice versa) and renders as a dangling arrow. Returns
+// one human-readable line per problem; empty means the flow graph is
+// closed.
+[[nodiscard]] std::vector<std::string> flow_problems(const LoadedTrace& trace);
 
 // Per-(device, layer) and per-device aggregation of a loaded trace.
 struct LayerRow {

@@ -1,0 +1,239 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+namespace voltage::obs {
+
+// --- FlightRecorder --------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::ostream* auto_dump)
+    : capacity_(std::max<std::size_t>(1, capacity)), auto_dump_(auto_dump) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::note(Entry entry) {
+  const std::lock_guard lock(mutex_);
+  ring_[next_] = entry;
+  next_ = (next_ + 1) % capacity_;
+  count_ = std::min(count_ + 1, capacity_);
+}
+
+void FlightRecorder::note_send(std::uint64_t source, std::uint64_t destination,
+                               std::uint64_t tag, std::uint64_t trace_id,
+                               std::uint64_t bytes) {
+  note(Entry{.us = now_us(),
+             .kind = Kind::kSend,
+             .source = source,
+             .destination = destination,
+             .tag = tag,
+             .trace_id = trace_id,
+             .bytes = bytes});
+}
+
+void FlightRecorder::note_recv(std::uint64_t source, std::uint64_t destination,
+                               std::uint64_t tag, std::uint64_t trace_id,
+                               std::uint64_t bytes) {
+  note(Entry{.us = now_us(),
+             .kind = Kind::kRecv,
+             .source = source,
+             .destination = destination,
+             .tag = tag,
+             .trace_id = trace_id,
+             .bytes = bytes});
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(count_);
+  // Oldest entry sits at `next_` once the ring has wrapped, at 0 before.
+  const std::size_t start = count_ < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard lock(mutex_);
+  next_ = 0;
+  count_ = 0;
+}
+
+void FlightRecorder::dump(std::ostream& out, std::string_view reason) const {
+  const std::vector<Entry> snapshot = entries();
+  out << "flight recorder: " << reason << " (last " << snapshot.size()
+      << " events)\n";
+  for (const Entry& e : snapshot) {
+    const char* kind = e.kind == Kind::kSend   ? "send"
+                       : e.kind == Kind::kRecv ? "recv"
+                                               : "note";
+    out << "  t=" << e.us << "us " << kind << " " << e.source << "->"
+        << e.destination << " tag=" << e.tag << " bytes=" << e.bytes;
+    if (e.trace_id != 0) out << " trace=" << e.trace_id;
+    out << "\n";
+  }
+}
+
+void FlightRecorder::auto_dump(std::string_view reason) const {
+  std::ostream* out;
+  {
+    const std::lock_guard lock(mutex_);
+    out = auto_dump_;
+  }
+  if (out != nullptr) dump(*out, reason);
+}
+
+void FlightRecorder::set_auto_dump(std::ostream* out) {
+  const std::lock_guard lock(mutex_);
+  auto_dump_ = out;
+}
+
+// --- TelemetryHub ----------------------------------------------------------
+
+TelemetryHub::TelemetryHub(double window_seconds)
+    : window_us_(static_cast<Micros>(
+          std::max(1.0, window_seconds * 1e6))) {}
+
+void TelemetryHub::register_rate(std::string name,
+                                 std::function<double()> cumulative) {
+  const std::lock_guard lock(mutex_);
+  rates_.push_back(Series{.name = std::move(name),
+                          .read = std::move(cumulative),
+                          .history = {}});
+}
+
+void TelemetryHub::register_gauge(std::string name,
+                                  std::function<double()> value) {
+  const std::lock_guard lock(mutex_);
+  gauges_.emplace_back(std::move(name), std::move(value));
+}
+
+void TelemetryHub::unregister(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  std::erase_if(rates_, [&](const Series& s) { return s.name == name; });
+  std::erase_if(gauges_, [&](const auto& g) { return g.first == name; });
+}
+
+void TelemetryHub::add_device_busy(std::size_t device, Micros busy_us) {
+  const std::lock_guard lock(mutex_);
+  if (device >= device_busy_totals_.size()) {
+    device_busy_totals_.resize(device + 1, 0.0);
+    while (device_busy_.size() < device + 1) {
+      device_busy_.push_back(Series{
+          .name = "device" + std::to_string(device_busy_.size()) + "_busy_us",
+          .read = {},  // read inline from device_busy_totals_
+          .history = {}});
+    }
+  }
+  device_busy_totals_[device] += static_cast<double>(busy_us);
+}
+
+double TelemetryHub::windowed_rate(const Series& series) {
+  if (series.history.size() < 2) return 0.0;
+  const auto& [t0, v0] = series.history.front();
+  const auto& [t1, v1] = series.history.back();
+  if (t1 <= t0) return 0.0;
+  return (v1 - v0) / (static_cast<double>(t1 - t0) / 1e6);
+}
+
+TelemetryHub::Snapshot TelemetryHub::sample() {
+  Snapshot snapshot;
+  snapshot.steady_us = now_us();
+  snapshot.wall_unix_us = to_wall_unix_us(snapshot.steady_us);
+
+  // Read the cumulative counters outside the lock: they may themselves take
+  // locks (MetricsRegistry counters, transport stats) and must not nest
+  // under ours.
+  std::vector<std::function<double()>> rate_reads;
+  std::vector<std::pair<std::string, std::function<double()>>> gauge_reads;
+  {
+    const std::lock_guard lock(mutex_);
+    rate_reads.reserve(rates_.size());
+    for (const Series& s : rates_) rate_reads.push_back(s.read);
+    gauge_reads = gauges_;
+  }
+  std::vector<double> rate_values;
+  rate_values.reserve(rate_reads.size());
+  for (const auto& read : rate_reads) rate_values.push_back(read());
+  std::vector<std::pair<std::string, double>> gauge_values;
+  gauge_values.reserve(gauge_reads.size());
+  for (const auto& [name, read] : gauge_reads) {
+    gauge_values.emplace_back(name, read());
+  }
+
+  const std::lock_guard lock(mutex_);
+  const auto advance = [&](Series& series, double value) {
+    series.history.emplace_back(snapshot.steady_us, value);
+    while (series.history.size() > 2 &&
+           series.history.front().first < snapshot.steady_us - window_us_) {
+      series.history.pop_front();
+    }
+  };
+  for (std::size_t i = 0; i < rates_.size() && i < rate_values.size(); ++i) {
+    advance(rates_[i], rate_values[i]);
+    snapshot.values.emplace_back(rates_[i].name + "_per_s",
+                                 windowed_rate(rates_[i]));
+  }
+  for (std::size_t i = 0; i < device_busy_.size(); ++i) {
+    advance(device_busy_[i], device_busy_totals_[i]);
+    // Δbusy_us / Δwall_us: the fraction of the window this device spent
+    // serving commands.
+    snapshot.values.emplace_back(
+        "device" + std::to_string(i) + "_utilization",
+        windowed_rate(device_busy_[i]) / 1e6);
+  }
+  for (auto& [name, value] : gauge_values) {
+    snapshot.values.emplace_back(std::move(name), value);
+  }
+  return snapshot;
+}
+
+namespace {
+
+// JSON numbers must be finite; a gauge returning NaN/inf becomes 0.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) return "_" + out;
+  return out;
+}
+
+}  // namespace
+
+void TelemetryHub::write_jsonl(const Snapshot& snapshot, std::ostream& out) {
+  out << "{\"wall_unix_us\":" << snapshot.wall_unix_us
+      << ",\"steady_us\":" << snapshot.steady_us;
+  for (const auto& [name, value] : snapshot.values) {
+    out << ",\"";
+    // Metric names are code-chosen identifiers; escape the two characters
+    // that could break the JSON anyway.
+    for (const char c : name) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\":" << finite(value);
+  }
+  out << "}\n";
+}
+
+void TelemetryHub::write_prometheus(const Snapshot& snapshot,
+                                    std::ostream& out) {
+  for (const auto& [name, value] : snapshot.values) {
+    const std::string sanitized = prometheus_name("voltage_" + name);
+    out << "# TYPE " << sanitized << " gauge\n"
+        << sanitized << " " << finite(value) << "\n";
+  }
+}
+
+}  // namespace voltage::obs

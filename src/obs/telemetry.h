@@ -1,0 +1,166 @@
+// Live telemetry plane: rolling windowed rates and a crash flight recorder.
+//
+// The Tracer answers "what happened, in full detail, after the fact"; the
+// TelemetryHub answers "what is happening right now, cheaply, forever". It
+// keeps a short history of cumulative-counter samples and derives
+// time-windowed rates (tokens/s, wire bytes/s) plus instantaneous gauges
+// (queue depth) and per-device utilization, and serializes snapshots as
+// JSONL (one object per sample, append-friendly) and as the Prometheus text
+// exposition format (textfile-collector friendly).
+//
+// The FlightRecorder is the companion for failures: a fixed-size ring of
+// the last N transport events that a poisoned transport dumps together with
+// its close reason, so a containment event (PR 4) arrives with the message
+// history that led up to it instead of a bare error string.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace voltage::obs {
+
+// --- FlightRecorder --------------------------------------------------------
+
+class FlightRecorder {
+ public:
+  enum class Kind : std::uint8_t { kSend, kRecv, kNote };
+
+  struct Entry {
+    Micros us = 0;
+    Kind kind = Kind::kNote;
+    std::uint64_t source = 0;
+    std::uint64_t destination = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  // `auto_dump` (may be null) is where auto_dump() writes — typically
+  // &std::cerr in production, an ostringstream in tests.
+  explicit FlightRecorder(std::size_t capacity = 256,
+                          std::ostream* auto_dump = nullptr);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends one entry, overwriting the oldest once full. Thread-safe and
+  // cheap: one mutex, no allocation after construction.
+  void note(Entry entry);
+  void note_send(std::uint64_t source, std::uint64_t destination,
+                 std::uint64_t tag, std::uint64_t trace_id,
+                 std::uint64_t bytes);
+  void note_recv(std::uint64_t source, std::uint64_t destination,
+                 std::uint64_t tag, std::uint64_t trace_id,
+                 std::uint64_t bytes);
+
+  // Oldest-first copy of the ring.
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Empties the ring (per-request use: clear at request start so a dump
+  // shows only the doomed request's history).
+  void clear();
+
+  // Writes `reason` and the ring, oldest first, one line per entry.
+  void dump(std::ostream& out, std::string_view reason) const;
+
+  // dump() to the stream configured at construction (or via
+  // set_auto_dump); no-op when none is set. Called by Transport::close.
+  void auto_dump(std::string_view reason) const;
+
+  void set_auto_dump(std::ostream* out);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;   // ring insertion cursor
+  std::size_t count_ = 0;  // min(total notes, capacity)
+  std::ostream* auto_dump_ = nullptr;
+};
+
+// --- TelemetryHub ----------------------------------------------------------
+
+class TelemetryHub {
+ public:
+  // `window_seconds` is the width of the rolling window rates are computed
+  // over: rate = Δcounter / Δt between the newest sample and the oldest one
+  // still inside the window.
+  explicit TelemetryHub(double window_seconds = 10.0);
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  // A windowed rate: `cumulative` is sampled at every sample() call and the
+  // exported value is its growth per second over the window. The callable
+  // must be thread-safe and monotone non-decreasing (counter semantics).
+  // Exported under "<name>_per_s".
+  void register_rate(std::string name, std::function<double()> cumulative);
+
+  // An instantaneous value, read at sample() time. Exported under `name`.
+  void register_gauge(std::string name, std::function<double()> value);
+
+  // Removes every rate and gauge registered under `name` (no-op when none
+  // is). Registrants whose callables capture shorter-lived objects (the
+  // server's counters, say) MUST unregister before those objects die — the
+  // hub may well outlive them and be sampled again.
+  void unregister(std::string_view name);
+
+  // Utilization accounting: device threads report busy time (time spent
+  // serving a command, including collective waits — as opposed to idle
+  // between requests). Exported as "device<N>_utilization" in [0, 1],
+  // computed as Δbusy/Δt over the window. Thread-safe, lock-free-ish (one
+  // mutex shared with sample(); calls are per-command, not per-message).
+  void add_device_busy(std::size_t device, Micros busy_us);
+
+  struct Snapshot {
+    Micros steady_us = 0;            // sample time on the trace timeline
+    std::int64_t wall_unix_us = 0;   // same instant, wall clock
+    // Name → value, registration order (rates first, then utilization,
+    // then gauges).
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  // Takes one sample: reads every cumulative counter and gauge, advances
+  // the rolling window, returns the derived snapshot. The first sample has
+  // no window yet — rates are 0 until a second sample exists.
+  [[nodiscard]] Snapshot sample();
+
+  // One JSON object on one line: {"wall_unix_us":..,"steady_us":..,"k":v,..}
+  static void write_jsonl(const Snapshot& snapshot, std::ostream& out);
+
+  // Prometheus text exposition format: one "# TYPE <name> gauge" + value
+  // line per entry, names sanitized to [a-zA-Z0-9_:]. Overwrite-in-place
+  // (textfile collector style), not append.
+  static void write_prometheus(const Snapshot& snapshot, std::ostream& out);
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<double()> read;
+    // (sample time, cumulative value) history inside the window.
+    std::deque<std::pair<Micros, double>> history;
+  };
+
+  [[nodiscard]] static double windowed_rate(const Series& series);
+
+  const Micros window_us_;
+  mutable std::mutex mutex_;
+  std::vector<Series> rates_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+  // Per-device cumulative busy time; a Series is lazily created per device
+  // so utilization reuses the windowed-rate machinery.
+  std::vector<Series> device_busy_;
+  std::vector<double> device_busy_totals_;
+};
+
+}  // namespace voltage::obs

@@ -17,6 +17,7 @@ std::uint64_t next_tracer_id() {
 }
 
 thread_local Tracer* t_ambient_tracer = nullptr;
+thread_local std::uint64_t t_ambient_trace_id = 0;
 
 // JSON string escaping for the few fields that carry free-form text.
 void write_escaped(std::ostream& out, std::string_view s) {
@@ -123,7 +124,14 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     if (!first) out << ",";
     first = false;
   };
-  // Metadata first: Perfetto uses thread_name to label tracks.
+  // Metadata first: Perfetto uses thread_name to label tracks, and the
+  // clock_sync record carries the steady↔wall anchor so trace timestamps
+  // can be aligned with server log wall-times.
+  const ClockAnchor& anchor = clock_anchor();
+  comma();
+  out << "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      << "\"args\":{\"steady_us\":" << anchor.steady_us
+      << ",\"wall_unix_us\":" << anchor.wall_unix_us << "}}";
   for (const auto& [track, name] : track_names) {
     comma();
     out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
@@ -137,8 +145,18 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     write_escaped(out, e.name);
     out << ",\"cat\":";
     write_escaped(out, e.category);
-    out << ",\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":"
-        << e.duration_us << ",\"pid\":1,\"tid\":" << e.track << ",\"args\":{";
+    if (e.phase == EventPhase::kComplete) {
+      out << ",\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":"
+          << e.duration_us;
+    } else {
+      // Flow endpoints: "s" starts the arrow at the sender, "f" with
+      // bp:"e" ends it at the receiver bound to the enclosing slice.
+      out << ",\"ph\":\"" << (e.phase == EventPhase::kFlowStart ? 's' : 'f')
+          << "\"";
+      if (e.phase == EventPhase::kFlowEnd) out << ",\"bp\":\"e\"";
+      out << ",\"id\":" << e.flow_id << ",\"ts\":" << e.start_us;
+    }
+    out << ",\"pid\":1,\"tid\":" << e.track << ",\"args\":{";
     bool first_arg = true;
     const auto arg_comma = [&] {
       if (!first_arg) out << ",";
@@ -160,6 +178,10 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       arg_comma();
       out << "\"request\":" << e.request;
     }
+    if (e.trace >= 0) {
+      arg_comma();
+      out << "\"trace\":" << e.trace;
+    }
     if (!e.tag.empty()) {
       arg_comma();
       out << "\"tag\":";
@@ -180,6 +202,43 @@ void Tracer::write_chrome_trace_file(const std::string& path) const {
   if (!out) {
     throw std::runtime_error("Tracer: failed writing trace file " + path);
   }
+}
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t thread_trace_id() noexcept { return t_ambient_trace_id; }
+
+std::uint64_t ensure_trace_id() noexcept {
+  const std::uint64_t ambient = t_ambient_trace_id;
+  return ambient != 0 ? ambient : next_trace_id();
+}
+
+void adopt_thread_trace_id(std::uint64_t id) noexcept {
+  if (id != 0) t_ambient_trace_id = id;
+}
+
+TraceIdScope::TraceIdScope(std::uint64_t id) noexcept
+    : previous_(t_ambient_trace_id) {
+  t_ambient_trace_id = id;
+}
+
+TraceIdScope::~TraceIdScope() { t_ambient_trace_id = previous_; }
+
+void record_flow(Tracer* tracer, EventPhase phase, std::uint64_t flow_id,
+                 TrackId track, std::uint64_t trace_id) {
+  if (tracer == nullptr) return;
+  TraceEvent event;
+  event.name = "msg";
+  event.category = "flow";
+  event.track = track;
+  event.start_us = now_us();
+  event.trace = static_cast<std::int64_t>(trace_id);
+  event.phase = phase;
+  event.flow_id = flow_id;
+  tracer->record(std::move(event));
 }
 
 Tracer* thread_tracer() noexcept { return t_ambient_tracer; }

@@ -36,6 +36,15 @@ using TrackId = std::uint32_t;
 
 inline constexpr TrackId kServeTrack = 9000;
 
+// What kind of trace-event record this is. Spans are complete ("X") events;
+// flow start/end pairs are the Perfetto arrows that connect a send on one
+// track to the matching receive on another.
+enum class EventPhase : std::uint8_t {
+  kComplete,   // ph:"X" — a span with a duration
+  kFlowStart,  // ph:"s" — message left the sender (binds to enclosing slice)
+  kFlowEnd,    // ph:"f" — message consumed by the receiver
+};
+
 // One completed span. `name` and `category` must be string literals (or
 // otherwise outlive the tracer) — spans never copy them.
 struct TraceEvent {
@@ -49,6 +58,13 @@ struct TraceEvent {
   std::int64_t layer = -1;
   std::int64_t bytes = -1;
   std::int64_t request = -1;
+  // Request-scoped trace id (see next_trace_id); -1 means "not set". Spans
+  // stamp it automatically from the ambient thread trace id.
+  std::int64_t trace = -1;
+  EventPhase phase = EventPhase::kComplete;
+  // Flow binding id; meaningful only for kFlowStart/kFlowEnd. A start/end
+  // pair with the same id renders as one arrow.
+  std::uint64_t flow_id = 0;
   std::string tag;  // free-form, e.g. the attention order Theorem 2 chose
 };
 
@@ -103,6 +119,51 @@ class Tracer {
   std::map<TrackId, std::string> track_names_;
 };
 
+// --- Request trace context -------------------------------------------------
+//
+// A trace id names one causally-connected unit of work — one inference
+// request — across every thread and device that touches it. The originator
+// (runtime infer(), decoder prime()/step(), server dispatch) installs a
+// TraceIdScope; transports stamp the ambient id onto outgoing messages and
+// receivers adopt the id of whatever message they consume, so the context
+// follows the data through gathers, broadcasts and softmax merges without
+// widening any signature.
+
+// A fresh process-unique trace id (never 0; 0 means "no context").
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+// Ambient trace id of the calling thread (0 = none).
+[[nodiscard]] std::uint64_t thread_trace_id() noexcept;
+
+// The ambient id if one is set, else a fresh one — what a request
+// originator wants: respect an enclosing context, mint one otherwise.
+[[nodiscard]] std::uint64_t ensure_trace_id() noexcept;
+
+// Overwrites the calling thread's ambient trace id (receivers adopting the
+// context of a consumed message). Id 0 is ignored — an untraced message
+// must not erase a live context.
+void adopt_thread_trace_id(std::uint64_t id) noexcept;
+
+// Installs `id` as the ambient trace id for the scope's lifetime.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id) noexcept;
+  ~TraceIdScope();
+
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+// Records a flow endpoint ("s" on the sender, "f" on the receiver) on
+// `track` at the current time. No-op with a null tracer. The event binds to
+// whatever slice encloses its timestamp on that track, which is what makes
+// Perfetto draw the send→recv arrow between device tracks.
+void record_flow(Tracer* tracer, EventPhase phase, std::uint64_t flow_id,
+                 TrackId track, std::uint64_t trace_id);
+
 // RAII span. Construction stamps the start, destruction stamps the duration
 // and records the event. With a null tracer every member is a no-op.
 class TraceSpan {
@@ -116,6 +177,9 @@ class TraceSpan {
     event_.name = name;
     event_.category = category;
     event_.track = track;
+    if (const std::uint64_t id = thread_trace_id(); id != 0) {
+      event_.trace = static_cast<std::int64_t>(id);
+    }
     event_.start_us = now_us();
   }
 

@@ -27,6 +27,7 @@ constexpr std::size_t kCmdCols = 4;  // {opcode, arg, reserved, timeout_s}
 constexpr float kOpPrime = 1.0F;
 constexpr float kOpStep = 2.0F;
 constexpr float kOpShutdown = 3.0F;
+constexpr float kOpRefresh = 4.0F;  // re-read tracer_; no other effect
 
 // Tag layout. Commands, prefill features and the final row live on fixed
 // tags; each layer gets one prefill-gather tag and a pair of merge tags
@@ -78,6 +79,14 @@ DistributedDecoder::DistributedDecoder(const TransformerModel& model,
 DistributedDecoder::~DistributedDecoder() {
   if (!dead_) {
     try {
+      // Flow-free but byte-accounted, like the set_tracer handshake: the
+      // shutdown broadcast's comm span keeps Σ comm-span bytes equal to
+      // the transport's bytes_sent through teardown.
+      const obs::ThreadTracerScope scope(
+          tracer_.load(std::memory_order_acquire));
+      const obs::ThreadTrackScope track(
+          static_cast<obs::TrackId>(terminal_id()));
+      const obs::TraceIdScope untraced(0);
       Tensor cmd(1, kCmdCols);
       cmd(0, 0) = kOpShutdown;
       const std::size_t k = scheme_.devices();
@@ -114,13 +123,40 @@ void DistributedDecoder::fail_request() {
 }
 
 void DistributedDecoder::set_tracer(obs::Tracer* tracer) {
+  obs::Tracer* const previous = tracer_.load(std::memory_order_relaxed);
   tracer_.store(tracer, std::memory_order_release);
-  if (tracer == nullptr) return;
-  for (std::size_t i = 0; i < scheme_.devices(); ++i) {
-    tracer->set_track_name(static_cast<obs::TrackId>(i),
-                           "device " + std::to_string(i));
+  if (tracer != nullptr) {
+    for (std::size_t i = 0; i < scheme_.devices(); ++i) {
+      tracer->set_track_name(static_cast<obs::TrackId>(i),
+                             "device " + std::to_string(i));
+    }
+    tracer->set_track_name(static_cast<obs::TrackId>(terminal_id()),
+                           "terminal");
   }
-  tracer->set_track_name(static_cast<obs::TrackId>(terminal_id()), "terminal");
+  // Workers read tracer_ at the top of their command loop, so a worker that
+  // started idling before this store would serve the next command with the
+  // stale tracer — its sends would open no flow arrows and its receives
+  // would close none. A no-op refresh command forces every idle worker
+  // through the loop top; receiving it happens-after this store, so the
+  // reload is guaranteed to see the new tracer. Trace id 0 keeps the
+  // handshake flow-free, but its comm span is still emitted — into the new
+  // tracer on attach, the outgoing one on detach (alive: it must outlive
+  // the decoder) — so Σ comm-span bytes stays equal to
+  // Transport::total_stats().bytes_sent.
+  if (dead_) return;
+  try {
+    const obs::ThreadTracerScope scope(tracer != nullptr ? tracer : previous);
+    const obs::ThreadTrackScope track(
+        static_cast<obs::TrackId>(terminal_id()));
+    const obs::TraceIdScope untraced(0);
+    Tensor cmd(1, kCmdCols);
+    cmd(0, 0) = kOpRefresh;
+    const std::size_t k = scheme_.devices();
+    broadcast(*transport_, everyone_, k, k, cmd, kTagCmd);
+  } catch (...) {
+    // Mesh already poisoned: the workers are unwinding and will never read
+    // tracer_ again, so there is nobody left to refresh.
+  }
 }
 
 void DistributedDecoder::set_metrics(obs::MetricsRegistry* metrics) {
@@ -138,21 +174,36 @@ void DistributedDecoder::worker_main(std::size_t i) {
   std::size_t prompt_len = 0;  // 0 = not primed yet
   try {
     for (;;) {
-      // Idle wait: no deadline — the decoder may sit unused between calls.
-      // Poisoning wakes us (TransportClosedError) if the mesh dies.
+      // Publish the tracer and track *before* blocking for the command, so
+      // the wait itself is a span on this device's timeline and the command
+      // broadcast's flow arrow has a track to land on. Receiving the
+      // command adopts its trace id (net/fabric.cpp), so everything this
+      // worker emits while serving it shares the request's causal id.
+      const obs::ThreadTracerScope tracer_scope(
+          tracer_.load(std::memory_order_acquire));
+      const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
+      const obs::ThreadLayerScope layer_reset(-1);
       Tensor cmd(0, 0);
-      broadcast(*transport_, everyone_, i, k, cmd, kTagCmd);
+      {
+        // Idle wait: no deadline — the decoder may sit unused between
+        // calls. Poisoning wakes us (TransportClosedError) if the mesh
+        // dies.
+        obs::TraceSpan span(obs::thread_tracer(), "wait_command", "wait",
+                            static_cast<obs::TrackId>(i));
+        span.device(static_cast<std::int64_t>(i));
+        broadcast(*transport_, everyone_, i, k, cmd, kTagCmd);
+      }
       if (cmd.rows() != 1 || cmd.cols() < kCmdCols) {
         throw std::runtime_error("DistributedDecoder: malformed command");
       }
       const float op = cmd(0, 0);
       if (op == kOpShutdown) return;
-      const obs::ThreadTracerScope tracer_scope(
-          tracer_.load(std::memory_order_acquire));
-      const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
-      const obs::ThreadLayerScope layer_reset(-1);
+      if (op == kOpRefresh) continue;  // loop top re-reads tracer_
       const IntraOpScope intra_scope(
           intra_op_threads_.load(std::memory_order_relaxed));
+      obs::TelemetryHub* const hub =
+          telemetry_.load(std::memory_order_acquire);
+      const obs::Micros busy_start = hub != nullptr ? obs::now_us() : 0;
       // Per-request deadline, fixed by the terminal at call entry and shared
       // by every blocking receive this command triggers.
       const RecvOptions options =
@@ -168,6 +219,9 @@ void DistributedDecoder::worker_main(std::size_t i) {
                     caches, cmd, options, obs::thread_tracer());
       } else {
         throw std::runtime_error("DistributedDecoder: unknown opcode");
+      }
+      if (hub != nullptr) {
+        hub->add_device_busy(i, obs::now_us() - busy_start);
       }
     }
   } catch (...) {
@@ -350,6 +404,10 @@ Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
   const obs::ThreadTracerScope tracer_scope(tracer);
   const obs::ThreadTrackScope track_scope(
       static_cast<obs::TrackId>(terminal_id()));
+  // One causal id per request: adopt the caller's (e.g. the server's
+  // per-request scope) or mint a fresh one. The command broadcast carries
+  // it to every worker.
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   const RecvOptions options = RecvOptions::within(recv_timeout_seconds_);
   const std::uint64_t bytes_before = transport_->total_stats().bytes_sent;
   obs::TraceSpan span(tracer, "decode.prefill", "serve",
@@ -393,6 +451,7 @@ Tensor DistributedDecoder::step(TokenId token) {
   const obs::ThreadTracerScope tracer_scope(tracer);
   const obs::ThreadTrackScope track_scope(
       static_cast<obs::TrackId>(terminal_id()));
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   const RecvOptions options = RecvOptions::within(recv_timeout_seconds_);
   const std::uint64_t bytes_before = transport_->total_stats().bytes_sent;
   obs::TraceSpan span(tracer, "decode.step", "serve",

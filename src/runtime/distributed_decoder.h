@@ -34,6 +34,7 @@
 
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/decode_attention.h"
 #include "partition/order.h"
@@ -91,11 +92,34 @@ class DistributedDecoder {
   // Attaches a span tracer (nullptr detaches). The terminal emits
   // "decode.prefill" / "decode.step" spans carrying the token index and the
   // step's total wire bytes; workers emit per-layer compute and
-  // softmax-merge comm spans on their own tracks.
+  // softmax-merge comm spans on their own tracks, plus a "wait_command"
+  // span covering each idle wait. Because that wait span closes when the
+  // shutdown command arrives, an attached tracer must outlive the decoder
+  // object itself, not just the last request — declare the tracer first.
+  //
+  // Flow-graph closure caveat: prime()/step() return on the terminal's
+  // critical path, while workers off that path may still be draining their
+  // last collective receives. Every arrow of a request is only guaranteed
+  // matched on the trace once the decoder has been destroyed (or served a
+  // later command) — export after teardown if you intend to --validate.
   void set_tracer(obs::Tracer* tracer);
 
   // Attaches transport.* counters plus the "decode.tokens" counter.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  // Attaches the live telemetry hub (nullptr detaches). Workers report the
+  // time spent serving each command (prefill or step, including collective
+  // waits) so the hub can expose per-device utilization; idle waiting
+  // between commands does not count as busy.
+  void set_telemetry(obs::TelemetryHub* telemetry) noexcept {
+    telemetry_.store(telemetry, std::memory_order_release);
+  }
+
+  // Attaches the crash-dump flight recorder to the transport (see
+  // Transport::set_flight_recorder).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    transport_->set_flight_recorder(recorder);
+  }
 
   // Per-request receive budget in seconds (default 0: wait forever),
   // threaded through every blocking receive of a prime/step — idle workers
@@ -133,6 +157,7 @@ class DistributedDecoder {
   std::vector<DeviceId> workers_;   // merge group
 
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::TelemetryHub*> telemetry_{nullptr};
   obs::Counter* decode_tokens_ = nullptr;
   std::atomic<std::size_t> intra_op_threads_{1};
   double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline

@@ -46,6 +46,16 @@ Range PipelineRuntime::stage_layers(std::size_t stage) const {
                .end = layers * (stage + 1) / devices_};
 }
 
+void PipelineRuntime::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  for (std::size_t i = 0; i < devices_; ++i) {
+    tracer_->set_track_name(static_cast<obs::TrackId>(i),
+                            "stage " + std::to_string(i));
+  }
+  tracer_->set_track_name(static_cast<obs::TrackId>(devices_), "terminal");
+}
+
 std::vector<Tensor> PipelineRuntime::infer_batch(
     std::span<const InferenceInput> requests) {
   const std::size_t k = devices_;
@@ -57,6 +67,9 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
   threads.reserve(k);
   for (std::size_t stage = 0; stage < k; ++stage) {
     threads.emplace_back([&, stage] {
+      const obs::ThreadTracerScope tracer_scope(tracer_);
+      const obs::ThreadTrackScope track_scope(
+          static_cast<obs::TrackId>(stage));
       // Stages are the parallelism; keep each stage's kernels
       // single-threaded so K stages don't oversubscribe the host.
       const IntraOpScope intra_scope(1);
@@ -66,15 +79,36 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
         const DeviceId downstream = stage + 1 == k ? terminal : stage + 1;
         for (std::size_t r = 0; r < requests.size(); ++r) {
           const MessageTag tag = kTagRequestBase + r;
-          Tensor x = tensor_from_payload(
-              transport_->recv(stage, upstream, tag).payload);
-          for (std::size_t l = mine.begin; l < mine.end; ++l) {
-            x = layers[l].forward(x);
+          Tensor x(0, 0);
+          {
+            // Receiving adopts the request's trace id, so the stage span
+            // below and the downstream send share it.
+            obs::TraceSpan span(tracer_, "recv_activation", "comm",
+                                static_cast<obs::TrackId>(stage));
+            span.device(static_cast<std::int64_t>(stage))
+                .request(static_cast<std::int64_t>(r));
+            x = tensor_from_payload(
+                transport_->recv(stage, upstream, tag).payload);
           }
+          {
+            obs::TraceSpan span(tracer_, "stage", "compute",
+                                static_cast<obs::TrackId>(stage));
+            span.device(static_cast<std::int64_t>(stage))
+                .request(static_cast<std::int64_t>(r));
+            for (std::size_t l = mine.begin; l < mine.end; ++l) {
+              x = layers[l].forward(x);
+            }
+          }
+          Payload payload = to_bytes(x);
+          obs::TraceSpan span(tracer_, "send_activation", "comm",
+                              static_cast<obs::TrackId>(stage));
+          span.device(static_cast<std::int64_t>(stage))
+              .request(static_cast<std::int64_t>(r))
+              .bytes(static_cast<std::int64_t>(payload.size()));
           transport_->send(Message{.source = stage,
                                    .destination = downstream,
                                    .tag = tag,
-                                   .payload = to_bytes(x)});
+                                   .payload = std::move(payload)});
         }
       } catch (...) {
         errors[stage] = std::current_exception();
@@ -88,10 +122,17 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
 
   // Terminal: pre-process and inject every request, then collect results
   // in order. Injection does not wait for completions, so the stages fill.
+  const obs::ThreadTracerScope tracer_scope(tracer_);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal));
   std::vector<Tensor> results(requests.size());
   std::exception_ptr terminal_error;
   try {
     for (std::size_t r = 0; r < requests.size(); ++r) {
+      // One trace id per injected request (or the caller's ambient id for
+      // all of them, e.g. under a server's per-request scope): the stages
+      // adopt it from the activation they receive.
+      const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
       const Tensor features = std::visit(
           [&](const auto& input) {
             if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
@@ -103,14 +144,27 @@ std::vector<Tensor> PipelineRuntime::infer_batch(
             }
           },
           requests[r]);
+      Payload payload = to_bytes(features);
+      obs::TraceSpan span(tracer_, "send_activation", "comm",
+                          static_cast<obs::TrackId>(terminal));
+      span.device(static_cast<std::int64_t>(terminal))
+          .request(static_cast<std::int64_t>(r))
+          .bytes(static_cast<std::int64_t>(payload.size()));
       transport_->send(Message{.source = terminal,
                                .destination = 0,
                                .tag = kTagRequestBase + r,
-                               .payload = to_bytes(features)});
+                               .payload = std::move(payload)});
     }
     for (std::size_t r = 0; r < requests.size(); ++r) {
-      const Tensor hidden = tensor_from_payload(
-          transport_->recv(terminal, k - 1, kTagRequestBase + r).payload);
+      Tensor hidden(0, 0);
+      {
+        obs::TraceSpan span(tracer_, "collect_final", "comm",
+                            static_cast<obs::TrackId>(terminal));
+        span.device(static_cast<std::int64_t>(terminal))
+            .request(static_cast<std::int64_t>(r));
+        hidden = tensor_from_payload(
+            transport_->recv(terminal, k - 1, kTagRequestBase + r).payload);
+      }
       results[r] = model_.postprocess(hidden);
     }
   } catch (...) {

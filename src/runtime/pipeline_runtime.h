@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "partition/range.h"
 #include "transformer/model.h"
 
@@ -50,10 +51,23 @@ class PipelineRuntime {
   // Layer range owned by `stage` (exposed for tests).
   [[nodiscard]] Range stage_layers(std::size_t stage) const;
 
+  // Attaches a span tracer (nullptr detaches). Each stage emits one
+  // "stage" compute span per request plus activation send/recv comm spans;
+  // every request carries its own trace id end to end, so overlapping
+  // requests render as distinct causal chains through the pipeline.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  // Attaches transport.* counters (see Transport::set_metrics).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    transport_->set_metrics(metrics);
+  }
+
  private:
   const TransformerModel& model_;
   std::size_t devices_;
   std::unique_ptr<Transport> transport_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
 };
 
 }  // namespace voltage

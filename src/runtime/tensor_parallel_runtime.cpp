@@ -69,11 +69,24 @@ Range TensorParallelRuntime::ffn_shard(std::size_t device) const {
   return even_shard(model_.spec().layer.ffn_dim, devices_, device);
 }
 
+void TensorParallelRuntime::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  for (std::size_t i = 0; i < devices_; ++i) {
+    tracer_->set_track_name(static_cast<obs::TrackId>(i),
+                            "device " + std::to_string(i));
+  }
+  tracer_->set_track_name(static_cast<obs::TrackId>(terminal_id()),
+                          "terminal");
+}
+
 Tensor TensorParallelRuntime::infer(std::span<const TokenId> tokens) {
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   return run(model_.preprocess(tokens));
 }
 
 Tensor TensorParallelRuntime::infer(const Image& image) {
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   return run(model_.preprocess(image));
 }
 
@@ -90,11 +103,18 @@ Tensor TensorParallelRuntime::run(Tensor features) {
 
   const auto layers = model_.layers();
 
+  // Worker threads inherit the request's trace id (see infer()); their
+  // collective spans and flow arrows land on per-device tracks.
+  const std::uint64_t run_trace = obs::thread_trace_id();
+
   std::vector<std::exception_ptr> errors(k);
   std::vector<std::thread> threads;
   threads.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     threads.emplace_back([&, i] {
+      const obs::ThreadTracerScope tracer_scope(tracer_);
+      const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
+      const obs::TraceIdScope trace_scope(run_trace);
       // One shard per core is the parallelism here; keep each shard's
       // kernels single-threaded so K shards don't oversubscribe the host.
       const IntraOpScope intra_scope(1);
@@ -105,6 +125,15 @@ Tensor TensorParallelRuntime::run(Tensor features) {
         Tensor x(0, 0);
         broadcast(*transport_, everyone, i, k, x, kTagBroadcast);
         for (std::size_t l = 0; l < layers.size(); ++l) {
+          // The whole per-layer body is one compute span; the two
+          // all-reduce comm spans nest inside it (critical-path analysis
+          // subtracts nested comm from compute, so nothing double-counts).
+          obs::TraceSpan layer_span(tracer_, "layer", "compute",
+                                    static_cast<obs::TrackId>(i));
+          layer_span.device(static_cast<std::int64_t>(i))
+              .layer(static_cast<std::int64_t>(l));
+          const obs::ThreadLayerScope layer_scope(
+              static_cast<std::int64_t>(l));
           const LayerConfig& cfg = layers[l].config();
           const LayerWeights& w = layers[l].weights();
           const MessageTag tag = kTagLayerBase + l * kTagLayerStride;
@@ -162,10 +191,15 @@ Tensor TensorParallelRuntime::run(Tensor features) {
         }
         // Everyone holds the full output; the first worker reports it.
         if (i == 0) {
+          Payload payload = to_bytes(x);
+          obs::TraceSpan span(tracer_, "send_final", "comm",
+                              static_cast<obs::TrackId>(i));
+          span.device(static_cast<std::int64_t>(i))
+              .bytes(static_cast<std::int64_t>(payload.size()));
           transport_->send(Message{.source = i,
                                .destination = terminal,
                                .tag = kTagFinal,
-                               .payload = to_bytes(x)});
+                               .payload = std::move(payload)});
         }
       } catch (...) {
         errors[i] = std::current_exception();
@@ -176,10 +210,16 @@ Tensor TensorParallelRuntime::run(Tensor features) {
     });
   }
 
+  const obs::ThreadTracerScope tracer_scope(tracer_);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal));
   Tensor hidden(0, 0);
   std::exception_ptr terminal_error;
   try {
     broadcast(*transport_, everyone, k, k, features, kTagBroadcast);
+    obs::TraceSpan span(tracer_, "collect_final", "comm",
+                        static_cast<obs::TrackId>(terminal));
+    span.device(static_cast<std::int64_t>(terminal));
     hidden =
         tensor_from_payload(transport_->recv(terminal, 0, kTagFinal).payload);
   } catch (...) {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "partition/range.h"
 #include "transformer/model.h"
 
@@ -45,6 +46,18 @@ class TensorParallelRuntime {
   [[nodiscard]] Range head_shard(std::size_t device) const;
   [[nodiscard]] Range ffn_shard(std::size_t device) const;
 
+  // Attaches a span tracer (nullptr detaches). Workers emit per-layer
+  // "layer" compute spans and the ring/star all-reduce comm spans; every
+  // run shares one trace id, so the baseline renders causally connected
+  // just like VoltageRuntime.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  // Attaches transport.* counters (see Transport::set_metrics).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    transport_->set_metrics(metrics);
+  }
+
  private:
   [[nodiscard]] Tensor run(Tensor features);
 
@@ -52,6 +65,7 @@ class TensorParallelRuntime {
   std::size_t devices_;
   bool star_allreduce_;
   std::unique_ptr<Transport> transport_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
 };
 
 }  // namespace voltage

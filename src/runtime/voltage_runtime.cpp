@@ -70,6 +70,10 @@ void VoltageRuntime::set_tracer(obs::Tracer* tracer) {
 }
 
 Tensor VoltageRuntime::infer(std::span<const TokenId> tokens) {
+  // Adopt the caller's request trace id (e.g. the server's per-request id)
+  // or mint a fresh one, so every span and wire message of this run — on
+  // all K device threads — carries the same causal id.
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   Tensor features(0, 0);
   {
     obs::TraceSpan span(tracer_, "embed", "compute",
@@ -81,6 +85,7 @@ Tensor VoltageRuntime::infer(std::span<const TokenId> tokens) {
 }
 
 Tensor VoltageRuntime::infer(const Image& image) {
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
   Tensor features(0, 0);
   {
     obs::TraceSpan span(tracer_, "embed", "compute",
@@ -119,6 +124,11 @@ Tensor VoltageRuntime::run(Tensor features) {
   // default-constructed options wait forever, the pre-failure behavior.
   const RecvOptions recv_opts = RecvOptions::within(recv_timeout_seconds_);
 
+  // Device threads start with an empty ambient trace id; hand them the
+  // request's so their spans and sends are stamped even before the first
+  // receive would have adopted it.
+  const std::uint64_t run_trace = obs::thread_trace_id();
+
   std::vector<std::exception_ptr> errors(k);
   std::vector<std::thread> threads;
   threads.reserve(k);
@@ -129,7 +139,10 @@ Tensor VoltageRuntime::run(Tensor features) {
       // pins its kernels' intra-op budget (bitwise-neutral; see gemm.h).
       const obs::ThreadTracerScope tracer_scope(tracer_);
       const obs::ThreadTrackScope track_scope(static_cast<obs::TrackId>(i));
+      const obs::TraceIdScope trace_scope(run_trace);
       const IntraOpScope intra_scope(intra_op_threads_);
+      const obs::Micros busy_start =
+          telemetry_ != nullptr ? obs::now_us() : 0;
       try {
         // Algorithm 2, step 3: receive the distributed input features.
         Tensor x(0, 0);
@@ -228,6 +241,9 @@ Tensor VoltageRuntime::run(Tensor features) {
         // and the terminal blocked in recv_any unwind with a descriptive
         // error instead of deadlocking on a device that will never send.
         detail::poison(*transport_, "device " + std::to_string(i), errors[i]);
+      }
+      if (telemetry_ != nullptr) {
+        telemetry_->add_device_busy(i, obs::now_us() - busy_start);
       }
     });
   }

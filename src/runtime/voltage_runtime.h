@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/transport.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/schedule.h"
@@ -86,6 +87,20 @@ class VoltageRuntime {
     transport_->set_metrics(metrics);
   }
 
+  // Attaches the live telemetry hub (nullptr detaches). When attached,
+  // every run reports each device thread's busy time so the hub can expose
+  // windowed per-device utilization.
+  void set_telemetry(obs::TelemetryHub* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
+  // Attaches the crash-dump flight recorder to the transport (see
+  // Transport::set_flight_recorder): the last wire events are dumped
+  // automatically when the transport is poisoned/closed.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    transport_->set_flight_recorder(recorder);
+  }
+
   // Comm/compute overlap (default on): while a layer's all-gather is in
   // flight, each device computes the next layer's attention prologue from
   // the rows it already owns (Eq. (8)'s Q-chain depends only on x_p). Off
@@ -136,6 +151,7 @@ class VoltageRuntime {
   PartitionExecutor executor_;  // empty = default float path
   std::unique_ptr<Transport> transport_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
+  obs::TelemetryHub* telemetry_ = nullptr;  // non-owning; nullptr = off
   std::size_t intra_op_threads_ = 1;
   double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline
   bool overlap_ = true;

@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
@@ -45,9 +47,35 @@ InferenceServer::InferenceServer(const TransformerModel& model,
       options_(std::move(options)),
       runtime_(make_runtime()),
       tracer_(options_.tracer),
-      metrics_(options_.metrics) {
+      metrics_(options_.metrics),
+      telemetry_(options_.telemetry),
+      flight_recorder_(options_.flight_recorder) {
   if (tracer_ != nullptr) {
     tracer_->set_track_name(obs::kServeTrack, "server");
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->register_rate("tokens", [this] {
+      return static_cast<double>(
+          tokens_generated_.load(std::memory_order_relaxed));
+    });
+    telemetry_->register_rate("requests", [this] {
+      return static_cast<double>(
+          requests_completed_.load(std::memory_order_relaxed));
+    });
+    if (metrics_ != nullptr) {
+      // Wire volume comes from the metrics counter rather than the live
+      // transport: the dispatcher swaps runtimes after poisoning, and the
+      // counter survives (and sums across) those swaps.
+      obs::MetricsRegistry* const metrics = metrics_;
+      telemetry_->register_rate("wire_bytes", [metrics] {
+        return static_cast<double>(
+            metrics->counter("transport.bytes_sent").value());
+      });
+    }
+    telemetry_->register_gauge("queue_depth",
+                               [this] { return static_cast<double>(
+                                            queue_depth()); });
+    telemetry_thread_ = std::thread([this] { telemetry_loop(); });
   }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
@@ -64,6 +92,8 @@ std::unique_ptr<VoltageRuntime> InferenceServer::make_runtime() const {
   runtime->set_recv_timeout(options_.request_deadline);
   runtime->set_tracer(options_.tracer);
   if (options_.metrics != nullptr) runtime->set_metrics(options_.metrics);
+  runtime->set_telemetry(options_.telemetry);
+  runtime->set_flight_recorder(options_.flight_recorder);
   return runtime;
 }
 
@@ -77,8 +107,13 @@ std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
   }
   decoder->set_intra_op_threads(per_device);
   decoder->set_recv_timeout(options_.request_deadline);
-  decoder->set_tracer(options_.tracer);
+  // Metrics before tracer: set_tracer broadcasts the refresh handshake, and
+  // its bytes must land on the transport counters the spans are checked
+  // against.
   if (options_.metrics != nullptr) decoder->set_metrics(options_.metrics);
+  decoder->set_tracer(options_.tracer);
+  decoder->set_telemetry(options_.telemetry);
+  decoder->set_flight_recorder(options_.flight_recorder);
   return decoder;
 }
 
@@ -91,6 +126,7 @@ std::vector<TokenId> InferenceServer::run_generate(const GenerateRequest& req) {
   for (std::size_t i = 0; i < req.new_tokens; ++i) {
     const auto next = static_cast<TokenId>(argmax_row(logits, 0));
     continuation.push_back(next);
+    tokens_generated_.fetch_add(1, std::memory_order_relaxed);
     if (i + 1 < req.new_tokens) logits = decoder_->step(next);
   }
   return continuation;
@@ -124,6 +160,20 @@ InferenceServer::~InferenceServer() {
   }
   wake_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    const std::lock_guard lock(telemetry_mutex_);
+    telemetry_stop_ = true;
+  }
+  telemetry_wake_.notify_all();
+  if (telemetry_thread_.joinable()) telemetry_thread_.join();
+  if (telemetry_ != nullptr) {
+    // The registered callables capture this server; the hub may outlive it
+    // and be sampled again.
+    telemetry_->unregister("tokens");
+    telemetry_->unregister("requests");
+    telemetry_->unregister("wire_bytes");
+    telemetry_->unregister("queue_depth");
+  }
 }
 
 void InferenceServer::enqueue(Job job) {
@@ -185,6 +235,11 @@ void InferenceServer::shutdown() {
 }
 
 void InferenceServer::dispatch_loop() {
+  // The dispatcher is the terminal device of every runtime/decoder it
+  // drives: publish the tracer so transport sends from this thread emit
+  // flow events even outside the runtimes' own scopes.
+  const obs::ThreadTracerScope tracer_scope(tracer_);
+  const obs::ThreadTrackScope track_scope(obs::kServeTrack);
   for (;;) {
     Job job;
     {
@@ -197,6 +252,14 @@ void InferenceServer::dispatch_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    // One causal trace id per request: every span and message of the whole
+    // service — prefill, every decode step, all K devices — shares it.
+    const obs::TraceIdScope request_trace(obs::next_trace_id());
+    if (flight_recorder_ != nullptr) {
+      // Per-request ring: a poisoning dump shows only this request's wire
+      // history.
+      flight_recorder_->clear();
+    }
     const obs::Micros dispatched_us = obs::now_us();
     const obs::Micros wait_us = dispatched_us - job.arrival_us;
     if (tracer_ != nullptr) {
@@ -208,6 +271,8 @@ void InferenceServer::dispatch_loop() {
                           .start_us = job.arrival_us,
                           .duration_us = wait_us,
                           .request = static_cast<std::int64_t>(job.id),
+                          .trace = static_cast<std::int64_t>(
+                              obs::thread_trace_id()),
                           .tag = {}});
     }
     const bool is_generate = std::holds_alternative<GenerateRequest>(job.input);
@@ -253,6 +318,7 @@ void InferenceServer::dispatch_loop() {
         metrics_->histogram("server.service_seconds").record(service);
         metrics_->histogram("server.sojourn_seconds").record(sojourn);
       }
+      requests_completed_.fetch_add(1, std::memory_order_relaxed);
       if (is_generate) {
         job.generated.set_value(std::move(continuation));
       } else {
@@ -284,6 +350,39 @@ void InferenceServer::dispatch_loop() {
       }
     }
   }
+}
+
+void InferenceServer::export_telemetry() {
+  const obs::TelemetryHub::Snapshot snapshot = telemetry_->sample();
+  if (!options_.telemetry_jsonl_path.empty()) {
+    std::ofstream out(options_.telemetry_jsonl_path, std::ios::app);
+    if (out) obs::TelemetryHub::write_jsonl(snapshot, out);
+  }
+  if (!options_.telemetry_prometheus_path.empty()) {
+    // Overwrite-in-place, textfile-collector style: the file always holds
+    // exactly one (the latest) exposition.
+    std::ofstream out(options_.telemetry_prometheus_path, std::ios::trunc);
+    if (out) obs::TelemetryHub::write_prometheus(snapshot, out);
+  }
+}
+
+void InferenceServer::telemetry_loop() {
+  const auto period = std::chrono::duration<double>(
+      std::max(0.01, options_.telemetry_period));
+  std::unique_lock lock(telemetry_mutex_);
+  for (;;) {
+    if (telemetry_wake_.wait_for(lock, period,
+                                 [this] { return telemetry_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    export_telemetry();
+    lock.lock();
+  }
+  // Final sample on shutdown: short-lived servers (tests, examples) still
+  // get a closing snapshot even if they never lived a full period.
+  lock.unlock();
+  export_telemetry();
 }
 
 ServerStats InferenceServer::stats() const {

@@ -12,18 +12,21 @@
 // to the per-device spans the runtime emits while serving it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
 #include "net/link.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/scheme.h"
@@ -75,9 +78,26 @@ class InferenceServer {
     // device fails the request with RecvTimeoutError instead of wedging the
     // dispatcher — and with it every queued future — forever.
     Seconds request_deadline = 0.0;
-    // Optional observability sinks (both non-owning; nullptr = off).
+    // Optional observability sinks (all non-owning; nullptr = off).
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    // Live telemetry plane (obs/telemetry.h). When `telemetry` is set the
+    // server registers its serving rates (tokens/s, requests/s — and wire
+    // bytes/s when `metrics` is also attached), a queue-depth gauge and
+    // per-device utilization, and a sampler thread exports a snapshot every
+    // `telemetry_period` seconds: appended as JSONL to
+    // `telemetry_jsonl_path` and/or overwritten in the Prometheus text
+    // format at `telemetry_prometheus_path` (empty path = skip that sink;
+    // snapshots are still taken so tests can sample() concurrently).
+    obs::TelemetryHub* telemetry = nullptr;
+    Seconds telemetry_period = 1.0;
+    std::string telemetry_jsonl_path = {};
+    std::string telemetry_prometheus_path = {};
+    // Per-request flight recorder: attached to the runtime and decoder
+    // transports (its ring auto-dumps when a transport is poisoned) and
+    // cleared at each dispatch, so a dump holds only the doomed request's
+    // wire history.
+    obs::FlightRecorder* flight_recorder = nullptr;
   };
 
   InferenceServer(const TransformerModel& model, Options options);
@@ -132,6 +152,8 @@ class InferenceServer {
 
   void enqueue(Job job);
   void dispatch_loop();
+  void telemetry_loop();
+  void export_telemetry();
   [[nodiscard]] std::unique_ptr<VoltageRuntime> make_runtime() const;
   [[nodiscard]] std::unique_ptr<DistributedDecoder> make_decoder() const;
   [[nodiscard]] std::vector<TokenId> run_generate(const GenerateRequest& req);
@@ -144,6 +166,10 @@ class InferenceServer {
   std::unique_ptr<DistributedDecoder> decoder_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TelemetryHub* telemetry_ = nullptr;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
+  std::atomic<std::uint64_t> tokens_generated_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -157,6 +183,12 @@ class InferenceServer {
   std::vector<Seconds> services_;
   std::vector<Seconds> sojourns_;
   std::thread dispatcher_;
+
+  // Telemetry sampler (only started when options.telemetry is set).
+  std::mutex telemetry_mutex_;
+  std::condition_variable telemetry_wake_;
+  bool telemetry_stop_ = false;
+  std::thread telemetry_thread_;
 };
 
 }  // namespace voltage

@@ -4,21 +4,31 @@
 // distributed runtime (span counts and byte accounting against the
 // transport's ground-truth traffic statistics).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/fabric.h"
+#include "obs/critical_path.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "runtime/distributed_decoder.h"
 #include "runtime/voltage_runtime.h"
+#include "tensor/ops.h"
 #include "transformer/tokenizer.h"
 #include "transformer/zoo.h"
 
@@ -124,8 +134,8 @@ TEST(ChromeTrace, ExportedJsonParsesAndRoundTrips) {
   const obs::json::Value* trace_events = root.find("traceEvents");
   ASSERT_NE(trace_events, nullptr);
   ASSERT_TRUE(trace_events->is_array());
-  // thread_name metadata + the two spans.
-  ASSERT_EQ(trace_events->as_array().size(), 3U);
+  // clock_sync + thread_name metadata + the two spans.
+  ASSERT_EQ(trace_events->as_array().size(), 4U);
 
   // Round-trips through the loader with every attribute intact.
   const obs::LoadedTrace loaded = obs::load_chrome_trace(text);
@@ -377,6 +387,502 @@ TEST(InstrumentedRuntime, ExportRoundTripsThroughTheReportPipeline) {
   const std::string table = obs::format_report(report);
   EXPECT_NE(table.find("all_gather_bytes"), std::string::npos);
   EXPECT_NE(table.find("reordered"), std::string::npos);
+}
+
+// --- trace context + flow propagation -----------------------------------
+
+TEST(TraceContext, FabricStampsPropagatesAndClosesTheFlow) {
+  obs::Tracer tracer;
+  Fabric fabric(2);
+  const std::uint64_t request = obs::next_trace_id();
+  std::uint64_t adopted = 0;
+
+  std::thread receiver([&] {
+    const obs::ThreadTracerScope scope(&tracer);
+    const obs::ThreadTrackScope track(1);
+    obs::TraceSpan span(&tracer, "consume", "comm", 1);
+    const Message m = fabric.recv(1, 0, /*tag=*/7);
+    EXPECT_EQ(m.trace_id, request);
+    EXPECT_EQ(m.seq, 1U);  // first message this sender put on the wire
+    adopted = obs::thread_trace_id();
+  });
+  {
+    const obs::ThreadTracerScope scope(&tracer);
+    const obs::ThreadTrackScope track(0);
+    const obs::TraceIdScope trace(request);
+    obs::TraceSpan span(&tracer, "produce", "comm", 0);
+    fabric.send(Message{.source = 0,
+                        .destination = 1,
+                        .tag = 7,
+                        .payload = std::vector<std::byte>(64)});
+  }
+  receiver.join();
+
+  // The receiving thread adopted the sender's request context.
+  EXPECT_EQ(adopted, request);
+
+  // Exactly one flow-start (sender track) and one flow-end (receiver
+  // track), same flow id, both carrying the request's trace id, and the
+  // arrow's tail never after its head.
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  const obs::TraceEvent* start = nullptr;
+  const obs::TraceEvent* end = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (e.phase == obs::EventPhase::kFlowStart) start = &e;
+    if (e.phase == obs::EventPhase::kFlowEnd) end = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(start->track, 0U);
+  EXPECT_EQ(end->track, 1U);
+  EXPECT_EQ(start->flow_id, end->flow_id);
+  EXPECT_EQ(start->trace, static_cast<std::int64_t>(request));
+  EXPECT_EQ(end->trace, static_cast<std::int64_t>(request));
+  EXPECT_LE(start->start_us, end->start_us);
+
+  // The full export round-trips with the flow graph closed.
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  EXPECT_EQ(loaded.events.size(), tracer.size());
+  EXPECT_TRUE(obs::flow_problems(loaded).empty());
+}
+
+TEST(TraceContext, UntracedSendsEmitNoFlowEvents) {
+  obs::Tracer tracer;
+  Fabric fabric(2);
+  std::thread receiver([&] {
+    const obs::ThreadTracerScope scope(&tracer);
+    (void)fabric.recv(1, 0, /*tag=*/3);
+  });
+  {
+    // No TraceIdScope: the message travels with trace_id 0 and must not
+    // open an arrow nobody can close (e.g. the shutdown broadcast).
+    const obs::ThreadTracerScope scope(&tracer);
+    fabric.send(Message{.source = 0,
+                        .destination = 1,
+                        .tag = 3,
+                        .payload = std::vector<std::byte>(8)});
+  }
+  receiver.join();
+  for (const obs::TraceEvent& e : tracer.events()) {
+    EXPECT_EQ(e.phase, obs::EventPhase::kComplete);
+  }
+}
+
+TEST(TraceContext, FlowProblemsFlagsDanglingArrows) {
+  obs::Tracer tracer;
+  obs::record_flow(&tracer, obs::EventPhase::kFlowStart, /*flow_id=*/11,
+                   /*track=*/0, /*trace_id=*/1);
+  obs::record_flow(&tracer, obs::EventPhase::kFlowEnd, /*flow_id=*/22,
+                   /*track=*/1, /*trace_id=*/1);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  const std::vector<std::string> problems = obs::flow_problems(loaded);
+  // One unconsumed start and one end with no matching start.
+  ASSERT_EQ(problems.size(), 2U);
+}
+
+TEST(TraceContext, EnsureTraceIdRespectsAmbientAndMintsOtherwise) {
+  const std::uint64_t fresh = obs::ensure_trace_id();
+  EXPECT_NE(fresh, 0U);
+  EXPECT_NE(obs::ensure_trace_id(), fresh);  // no ambient → always fresh
+  {
+    const obs::TraceIdScope scope(fresh);
+    EXPECT_EQ(obs::ensure_trace_id(), fresh);  // ambient wins
+    EXPECT_EQ(obs::thread_trace_id(), fresh);
+  }
+  EXPECT_EQ(obs::thread_trace_id(), 0U);
+}
+
+// --- clock anchor --------------------------------------------------------
+
+TEST(ClockAnchor, AlignsSteadyAndWallTimelines) {
+  const obs::ClockAnchor& anchor = obs::clock_anchor();
+  EXPECT_EQ(obs::to_wall_unix_us(anchor.steady_us), anchor.wall_unix_us);
+  // The mapping is a pure offset: distances are preserved exactly.
+  EXPECT_EQ(obs::to_wall_unix_us(anchor.steady_us + 1234) -
+                obs::to_wall_unix_us(anchor.steady_us),
+            1234);
+  // Sanity: the anchor's wall time is an actual recent Unix time (after
+  // 2020-01-01, microseconds).
+  EXPECT_GT(anchor.wall_unix_us, 1'577'836'800'000'000LL);
+}
+
+TEST(ClockAnchor, SurvivesTheChromeTraceRoundTrip) {
+  obs::Tracer tracer;
+  { obs::TraceSpan span(&tracer, "tick", "compute", 0); }
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  ASSERT_TRUE(loaded.has_clock_anchor);
+  EXPECT_EQ(loaded.clock_anchor.steady_us, obs::clock_anchor().steady_us);
+  EXPECT_EQ(loaded.clock_anchor.wall_unix_us,
+            obs::clock_anchor().wall_unix_us);
+}
+
+// --- critical path -------------------------------------------------------
+
+// Hand-built trace with known numbers, exercising every bucket:
+//
+//   window: one "decode.step" [0, 100) on the terminal track.
+//   track 0: compute [10, 40), comm [40, 90) whose data only left the
+//            sender at t=70 (flow start on track 1, end inside the span)
+//            → compute 30, blocked 30, wire 20, idle 20 → wait 50.
+//   track 1: compute [5, 75), comm [75, 95) that consumed nothing
+//            → compute 70, wire 20, idle 10 → wait 10.
+TEST(CriticalPath, SyntheticTraceDecomposesExactly) {
+  obs::LoadedTrace trace;
+  const auto add = [&](const char* name, const char* category,
+                       obs::TrackId track, obs::Micros start, obs::Micros dur,
+                       std::int64_t device, std::int64_t layer,
+                       obs::EventPhase phase, std::uint64_t flow_id) {
+    obs::TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.track = track;
+    e.start_us = start;
+    e.duration_us = dur;
+    e.device = device;
+    e.layer = layer;
+    e.trace = 42;
+    e.phase = phase;
+    e.flow_id = flow_id;
+    if (std::string_view(name) == "decode.step") e.request = 5;
+    trace.events.push_back(std::move(e));
+  };
+  constexpr auto kSpan = obs::EventPhase::kComplete;
+  add("decode.step", "serve", 9, 0, 100, -1, -1, kSpan, 0);
+  add("compute_a", "compute", 0, 10, 30, 0, 0, kSpan, 0);
+  add("compute_b", "compute", 1, 5, 70, 1, 0, kSpan, 0);
+  add("merge", "comm", 0, 40, 50, 0, 0, kSpan, 0);
+  add("msg", "flow", 1, 70, 0, -1, -1, obs::EventPhase::kFlowStart, 900);
+  add("merge", "comm", 1, 75, 20, 1, 0, kSpan, 0);
+  add("msg", "flow", 0, 80, 0, -1, -1, obs::EventPhase::kFlowEnd, 900);
+
+  const obs::CriticalPathReport report = obs::analyze_critical_path(trace);
+  ASSERT_EQ(report.windows.size(), 1U);
+  const obs::WindowAttribution& w = report.windows[0];
+  EXPECT_EQ(w.label, "step");
+  EXPECT_EQ(w.index, 5);
+  EXPECT_EQ(w.trace_id, 42);
+  EXPECT_EQ(w.wall_us, 100);
+  ASSERT_EQ(w.devices.size(), 2U);
+
+  const obs::DeviceSlice& d0 = w.devices[0];
+  EXPECT_EQ(d0.track, 0);
+  EXPECT_EQ(d0.compute_us, 30);
+  EXPECT_EQ(d0.wire_us, 20);
+  EXPECT_EQ(d0.wait_us, 50);  // 30 straggler-blocked + 20 idle
+  EXPECT_EQ(d0.total_us(), w.wall_us);  // exact by construction
+
+  const obs::DeviceSlice& d1 = w.devices[1];
+  EXPECT_EQ(d1.track, 1);
+  EXPECT_EQ(d1.compute_us, 70);
+  EXPECT_EQ(d1.wire_us, 20);
+  EXPECT_EQ(d1.wait_us, 10);  // pure idle
+  EXPECT_EQ(d1.total_us(), w.wall_us);
+
+  // Track 0 waited longest; the collective round pins the entry-time
+  // straggler (track 1 reached "merge" last, 35us behind).
+  EXPECT_EQ(w.straggler_track, 0);
+  ASSERT_EQ(report.rounds.size(), 1U);
+  EXPECT_EQ(report.rounds[0].name, "merge");
+  EXPECT_EQ(report.rounds[0].straggler_track, 1);
+  EXPECT_EQ(report.rounds[0].max_spread_us, 35);
+
+  EXPECT_EQ(report.compute_us, 100);
+  EXPECT_EQ(report.wire_us, 40);
+  EXPECT_EQ(report.wait_us, 60);
+  EXPECT_NEAR(report.comm_fraction(), 40.0 / 200.0, 1e-9);
+
+  const std::string table = obs::format_critical_path(report);
+  EXPECT_NE(table.find("straggler"), std::string::npos);
+  EXPECT_NE(table.find("step"), std::string::npos);
+}
+
+// Acceptance: on a real K=4 decode trace, every device's compute/wire/wait
+// must sum to each step's wall time (the decomposition is exact; 5% is the
+// issue's tolerance), and one step's flow arrows must touch every device
+// track plus the terminal.
+TEST(CriticalPath, DistributedDecoderStepsDecomposeAcrossFourDevices) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  constexpr std::size_t kDevices = 4;
+  constexpr std::size_t kSteps = 4;
+  obs::Tracer tracer;
+  {
+    DistributedDecoder decoder(model, PartitionScheme::even(kDevices));
+    decoder.set_tracer(&tracer);
+
+    const auto prompt = random_tokens(12, model.spec().vocab_size, 21);
+    Tensor logits = decoder.prime(std::span<const TokenId>(prompt));
+    for (std::size_t i = 0; i < kSteps; ++i) {
+      logits = decoder.step(static_cast<TokenId>(argmax_row(logits, 0)));
+    }
+  }
+  // step() returns on the terminal's critical path; workers off it may
+  // still be draining their last merge receives. Destroying the decoder
+  // joins them, so only now is the flow graph guaranteed closed.
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::LoadedTrace loaded = obs::load_chrome_trace(out.str());
+  EXPECT_TRUE(obs::flow_problems(loaded).empty());
+
+  const obs::CriticalPathReport report = obs::analyze_critical_path(loaded);
+  std::size_t steps = 0;
+  std::int64_t step_trace = -1;
+  for (const obs::WindowAttribution& w : report.windows) {
+    if (w.label != "step") continue;
+    steps += 1;
+    if (step_trace < 0) step_trace = w.trace_id;
+    EXPECT_GT(w.trace_id, 0);
+    // Every worker contributed a slice, plus the terminal (whose command
+    // broadcast is a comm span on its own track).
+    ASSERT_EQ(w.devices.size(), kDevices + 1);
+    for (const obs::DeviceSlice& d : w.devices) {
+      EXPECT_NEAR(static_cast<double>(d.total_us()),
+                  static_cast<double>(w.wall_us),
+                  0.05 * static_cast<double>(w.wall_us) + 1.0)
+          << "track " << d.track << " in step " << w.index;
+    }
+  }
+  EXPECT_EQ(steps, kSteps);
+
+  // One step's causal id shows up as flow arrows into all K device tracks
+  // and the terminal's final-row receive.
+  ASSERT_GT(step_trace, 0);
+  std::set<obs::TrackId> flow_tracks;
+  for (const obs::TraceEvent& e : loaded.events) {
+    if (e.phase == obs::EventPhase::kFlowEnd && e.trace == step_trace) {
+      flow_tracks.insert(e.track);
+    }
+  }
+  for (std::size_t i = 0; i < kDevices; ++i) {
+    EXPECT_TRUE(flow_tracks.count(static_cast<obs::TrackId>(i)))
+        << "no flow arrow reached device track " << i;
+  }
+  EXPECT_TRUE(flow_tracks.count(static_cast<obs::TrackId>(kDevices)))
+      << "no flow arrow reached the terminal track";
+}
+
+// The byte-exactness invariant (Σ comm-span bytes == transport bytes sent)
+// must survive the set_tracer refresh handshake and the shutdown broadcast:
+// both are flow-free but still put bytes on the wire, so both must emit
+// byte-annotated comm spans. The metrics counter outlives the decoder, so
+// the comparison can include teardown traffic.
+TEST(InstrumentedDecoder, CommSpanBytesStayExactThroughAttachAndShutdown) {
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  {
+    DistributedDecoder decoder(model, PartitionScheme::even(2));
+    decoder.set_metrics(&metrics);
+    decoder.set_tracer(&tracer);  // handshake broadcast lands on the trace
+    const auto prompt = random_tokens(8, model.spec().vocab_size, 3);
+    Tensor logits = decoder.prime(std::span<const TokenId>(prompt));
+    (void)decoder.step(static_cast<TokenId>(argmax_row(logits, 0)));
+  }
+  std::uint64_t comm_bytes = 0;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (std::string_view(e.category) == "comm" && e.bytes > 0) {
+      comm_bytes += static_cast<std::uint64_t>(e.bytes);
+    }
+  }
+  EXPECT_EQ(comm_bytes, metrics.counter("transport.bytes_sent").value());
+}
+
+// --- telemetry hub -------------------------------------------------------
+
+TEST(Telemetry, WindowedRatesGaugesAndUtilization) {
+  obs::TelemetryHub hub(/*window_seconds=*/10.0);
+  std::atomic<std::uint64_t> tokens{0};
+  hub.register_rate("tokens",
+                    [&] { return static_cast<double>(tokens.load()); });
+  hub.register_gauge("queue_depth", [] { return 7.0; });
+
+  // Device series only accumulate rates once they exist, so report busy
+  // time before the first sample to open their windows.
+  hub.add_device_busy(0, 1);
+  hub.add_device_busy(1, 1);
+  const obs::TelemetryHub::Snapshot first = hub.sample();
+  // First sample: no window yet, rates are zero; gauges read through.
+  for (const auto& [name, value] : first.values) {
+    if (name == "tokens_per_s") {
+      EXPECT_EQ(value, 0.0);
+    }
+    if (name == "queue_depth") {
+      EXPECT_EQ(value, 7.0);
+    }
+  }
+
+  tokens.store(500);
+  hub.add_device_busy(0, 800);
+  hub.add_device_busy(1, 200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const obs::TelemetryHub::Snapshot second = hub.sample();
+
+  bool saw_rate = false;
+  bool saw_util0 = false;
+  bool saw_util1 = false;
+  for (const auto& [name, value] : second.values) {
+    if (name == "tokens_per_s") {
+      saw_rate = true;
+      EXPECT_GT(value, 0.0);  // 500 tokens over a ~20ms window
+    }
+    if (name == "device0_utilization") {
+      saw_util0 = true;
+      EXPECT_GT(value, 0.0);
+      EXPECT_LE(value, 1.0);
+    }
+    if (name == "device1_utilization") saw_util1 = true;
+  }
+  EXPECT_TRUE(saw_rate);
+  EXPECT_TRUE(saw_util0);
+  EXPECT_TRUE(saw_util1);
+}
+
+TEST(Telemetry, UnregisterRemovesRatesAndGauges) {
+  obs::TelemetryHub hub;
+  hub.register_rate("tokens", [] { return 1.0; });
+  hub.register_gauge("tokens", [] { return 2.0; });
+  hub.register_gauge("depth", [] { return 3.0; });
+  hub.unregister("tokens");
+  const obs::TelemetryHub::Snapshot snapshot = hub.sample();
+  ASSERT_EQ(snapshot.values.size(), 1U);
+  EXPECT_EQ(snapshot.values[0].first, "depth");
+}
+
+TEST(Telemetry, SerializesJsonlAndPrometheus) {
+  obs::TelemetryHub::Snapshot snapshot;
+  snapshot.steady_us = 1000;
+  snapshot.wall_unix_us = 1'700'000'000'000'000LL;
+  snapshot.values.emplace_back("tokens_per_s", 12.5);
+  snapshot.values.emplace_back("bad metric",
+                               std::numeric_limits<double>::quiet_NaN());
+
+  std::ostringstream jsonl;
+  obs::TelemetryHub::write_jsonl(snapshot, jsonl);
+  const obs::json::Value parsed = obs::json::parse(
+      jsonl.str().substr(0, jsonl.str().find('\n')));
+  EXPECT_DOUBLE_EQ(parsed.find("tokens_per_s")->as_number(), 12.5);
+  // NaN must not leak into the JSON.
+  EXPECT_DOUBLE_EQ(parsed.find("bad metric")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parsed.find("steady_us")->as_number(), 1000.0);
+
+  std::ostringstream prom;
+  obs::TelemetryHub::write_prometheus(snapshot, prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE voltage_tokens_per_s gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("voltage_tokens_per_s 12.5"), std::string::npos);
+  // Prometheus names are sanitized: the space becomes an underscore.
+  EXPECT_NE(text.find("voltage_bad_metric 0"), std::string::npos);
+}
+
+// --- flight recorder -----------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheLastNOldestFirst) {
+  obs::FlightRecorder recorder(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    recorder.note_send(/*source=*/i, /*destination=*/9, /*tag=*/i,
+                       /*trace_id=*/0, /*bytes=*/i);
+  }
+  const auto entries = recorder.entries();
+  ASSERT_EQ(entries.size(), 4U);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].source, i + 2) << i;  // 2,3,4,5 survived
+    EXPECT_EQ(entries[i].kind, obs::FlightRecorder::Kind::kSend);
+  }
+  recorder.clear();
+  EXPECT_TRUE(recorder.entries().empty());
+}
+
+TEST(FlightRecorder, FabricPoisoningAutoDumpsTheRing) {
+  std::ostringstream dump;
+  obs::FlightRecorder recorder(/*capacity=*/8, &dump);
+  Fabric fabric(2);
+  fabric.set_flight_recorder(&recorder);
+  fabric.send(Message{.source = 0,
+                      .destination = 1,
+                      .tag = 5,
+                      .payload = std::vector<std::byte>(32)});
+  (void)fabric.recv(1, 0, 5);
+  fabric.close("device 0 fell off the mesh");
+
+  const std::string text = dump.str();
+  EXPECT_NE(text.find("Fabric closed: device 0 fell off the mesh"),
+            std::string::npos);
+  EXPECT_NE(text.find("send 0->1"), std::string::npos);
+  EXPECT_NE(text.find("recv 0->1"), std::string::npos);
+  EXPECT_NE(text.find("bytes=32"), std::string::npos);
+}
+
+// --- concurrency (run under TSan in CI) ----------------------------------
+
+TEST(ObsConcurrency, TracerMetricsTelemetryAndRecorderUnderFabricTraffic) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::TelemetryHub hub(1.0);
+  obs::FlightRecorder recorder(64);
+  Fabric fabric(4);
+  fabric.set_metrics(&metrics);
+  fabric.set_flight_recorder(&recorder);
+  hub.register_rate("wire_bytes", [&] {
+    return static_cast<double>(
+        metrics.counter("transport.bytes_sent").value());
+  });
+
+  constexpr std::size_t kMessages = 400;
+  std::vector<std::thread> threads;
+  // Two sender/receiver pairs hammer the fabric with traced messages while
+  // a fifth thread concurrently snapshots every observability surface.
+  for (std::size_t pair = 0; pair < 2; ++pair) {
+    const DeviceId src = pair * 2;
+    const DeviceId dst = src + 1;
+    threads.emplace_back([&, src, dst] {
+      const obs::ThreadTracerScope scope(&tracer);
+      const obs::ThreadTrackScope track(static_cast<obs::TrackId>(src));
+      for (std::size_t i = 0; i < kMessages; ++i) {
+        const obs::TraceIdScope trace(obs::next_trace_id());
+        obs::TraceSpan span(&tracer, "produce", "comm",
+                            static_cast<obs::TrackId>(src));
+        fabric.send(Message{.source = src,
+                            .destination = dst,
+                            .tag = 1,
+                            .payload = std::vector<std::byte>(16)});
+      }
+    });
+    threads.emplace_back([&, src, dst] {
+      const obs::ThreadTracerScope scope(&tracer);
+      const obs::ThreadTrackScope track(static_cast<obs::TrackId>(dst));
+      for (std::size_t i = 0; i < kMessages; ++i) {
+        obs::TraceSpan span(&tracer, "consume", "comm",
+                            static_cast<obs::TrackId>(dst));
+        (void)fabric.recv(dst, src, 1);
+        hub.add_device_busy(dst, 1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < 50; ++i) {
+      (void)tracer.size();
+      (void)tracer.events();
+      (void)metrics.report();
+      (void)recorder.entries();
+      (void)hub.sample();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  // 2 pairs × kMessages, each with a span on both ends plus a flow pair.
+  EXPECT_EQ(tracer.size(), 2 * kMessages * 4);
+  EXPECT_EQ(metrics.counter("transport.messages_sent").value(),
+            2 * kMessages);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  EXPECT_TRUE(obs::flow_problems(obs::load_chrome_trace(out.str())).empty());
 }
 
 TEST(InstrumentedRuntime, TransportMetricsMatchTrafficStats) {

@@ -1,27 +1,114 @@
 // trace_report: offline breakdown of an exported Chrome trace.
 //
-//   ./build/tools/trace_report trace.json
+//   ./build/tools/trace_report [options] trace.json
 //
 // Loads a trace written by obs::Tracer::write_chrome_trace (or any
 // structurally valid Chrome trace-event file), validates it, and prints the
 // per-layer/per-device compute and all-gather breakdown plus per-device
 // totals — the textual counterpart of opening the file in Perfetto.
+//
+//   --critical-path   per-window compute/wire/wait attribution, per-layer
+//                     Eq. 3 terms and straggler rounds (obs/critical_path.h)
+//   --validate        check the flow graph is closed (every send arrow has
+//                     its receive); exit 3 and list the orphans if not
+//
+// Exit codes: 0 success, 1 unreadable/malformed trace, 2 usage error,
+// 3 flow validation failed.
 #include <cstdio>
+#include <cstring>
 #include <exception>
+#include <string>
+#include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/report.h"
 
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [--critical-path] [--validate] <trace.json>\n"
+               "\n"
+               "  --critical-path  attribute each prefill/decode-step/request "
+               "window's wall\n"
+               "                   time into per-device compute / wire / wait "
+               "and identify\n"
+               "                   the straggler of every collective round\n"
+               "  --validate       verify every flow arrow resolves "
+               "(send matched by a\n"
+               "                   receive); exits 3 listing the orphans "
+               "otherwise\n"
+               "\n"
+               "exit codes: 0 ok, 1 bad trace, 2 usage, 3 validation failed\n",
+               argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+  bool critical_path = false;
+  bool validate = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--critical-path") == 0) {
+      critical_path = true;
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      validate = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "trace_report: unknown option '%s'\n\n", arg);
+      print_usage(stderr, argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "trace_report: more than one trace file given\n\n");
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "trace_report: no trace file given\n\n");
+    print_usage(stderr, argv[0]);
     return 2;
   }
+
+  voltage::obs::LoadedTrace trace;
   try {
-    const voltage::obs::LoadedTrace trace =
-        voltage::obs::load_chrome_trace_file(argv[1]);
-    const voltage::obs::TraceReport report =
-        voltage::obs::build_report(trace);
+    trace = voltage::obs::load_chrome_trace_file(path);
+  } catch (const std::exception& e) {
+    // Truncated files, bad JSON, unsorted/ill-nested events all land here
+    // with the loader's description of the first violation.
+    std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  try {
+    if (validate) {
+      const std::vector<std::string> problems =
+          voltage::obs::flow_problems(trace);
+      if (!problems.empty()) {
+        std::fprintf(stderr,
+                     "trace_report: flow validation failed (%zu problems):\n",
+                     problems.size());
+        for (const std::string& p : problems) {
+          std::fprintf(stderr, "  %s\n", p.c_str());
+        }
+        return 3;
+      }
+      std::printf("flow graph closed: every arrow resolves\n");
+    }
+    const voltage::obs::TraceReport report = voltage::obs::build_report(trace);
     std::fputs(voltage::obs::format_report(report).c_str(), stdout);
+    if (critical_path) {
+      const voltage::obs::CriticalPathReport cp =
+          voltage::obs::analyze_critical_path(trace);
+      std::fputs("\n", stdout);
+      std::fputs(voltage::obs::format_critical_path(cp).c_str(), stdout);
+    }
     if (!trace.track_names.empty()) {
       std::printf("\ntracks:\n");
       for (const auto& [track, name] : trace.track_names) {
