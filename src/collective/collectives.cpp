@@ -36,12 +36,14 @@ std::vector<Tensor> all_gather(Transport& fabric,
   const DeviceId self = group[my_index];
   auto payload = to_bytes(local);
   // Span covers the full synchronization point — sends plus the wait for
-  // every peer's partition; bytes counts what *this* rank puts on the wire.
+  // every peer's partition; bytes counts what *this* rank puts on the wire
+  // (framing included, matching transport stats).
   obs::TraceSpan span(obs::thread_tracer(), "all_gather", "comm",
                       obs::thread_track());
   span.device(static_cast<std::int64_t>(self))
       .layer(obs::thread_layer())
-      .bytes(static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
+      .bytes(static_cast<std::int64_t>((payload.size() + kWireFrameBytes) *
+                                       (group.size() - 1)));
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (i == my_index) continue;
     fabric.send(Message{.source = self,
@@ -64,7 +66,8 @@ AllGatherInto::AllGatherInto(Transport& fabric,
                              std::size_t my_index,
                              std::shared_ptr<const Tensor> local,
                              const std::vector<Range>& ranges, Tensor& dst,
-                             MessageTag tag, const RecvOptions& options)
+                             MessageTag tag, const RecvOptions& options,
+                             Precision wire)
     : fabric_(fabric),
       group_(group),
       my_index_(my_index),
@@ -91,13 +94,22 @@ AllGatherInto::AllGatherInto(Transport& fabric,
   if (!own.empty()) dst.set_rows(own.begin, *local);
   if (group.size() == 1) return;
   const DeviceId self = group[my_index];
-  // The payload borrows local's rows; the shared handle keeps the tensor
-  // alive while copies of this message sit in peer mailboxes, so the caller
-  // is free to drop its reference as soon as construction returns.
-  const Payload payload = tensor_payload_view(std::move(local));
+  // Either representation is one encode shared by every peer send: the fp32
+  // payload borrows local's rows (the shared handle keeps the tensor alive
+  // while copies sit in peer mailboxes), the int8 payload owns a single
+  // quantized buffer all K-1 messages borrow.
+  const std::size_t fp32_size = tensor_wire_bytes(local->size());
+  const Payload payload = wire == Precision::kInt8
+                              ? quantized_payload(*local)
+                              : tensor_payload_view(std::move(local));
   span_.device(static_cast<std::int64_t>(self))
       .layer(obs::thread_layer())
-      .bytes(static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
+      .bytes(static_cast<std::int64_t>((payload.size() + kWireFrameBytes) *
+                                       (group.size() - 1)));
+  if (wire == Precision::kInt8) {
+    span_.raw_bytes(static_cast<std::int64_t>(
+        (fp32_size + kWireFrameBytes) * (group.size() - 1)));
+  }
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (i == my_index) continue;
     fabric.send(Message{.source = self,
@@ -168,15 +180,16 @@ void AllGatherInto::wait() {
 void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
                      std::size_t my_index, std::shared_ptr<const Tensor> local,
                      const std::vector<Range>& ranges, Tensor& dst,
-                     MessageTag tag, const RecvOptions& options) {
+                     MessageTag tag, const RecvOptions& options,
+                     Precision wire) {
   AllGatherInto gather(fabric, group, my_index, std::move(local), ranges, dst,
-                       tag, options);
+                       tag, options, wire);
   gather.wait();
 }
 
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                std::size_t my_index, std::size_t root_index, Tensor& data,
-               MessageTag tag, const RecvOptions& options) {
+               MessageTag tag, const RecvOptions& options, Precision wire) {
   check_group(group, my_index);
   if (root_index >= group.size()) {
     throw std::invalid_argument("broadcast: root outside group");
@@ -191,11 +204,19 @@ void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
       return;
     }
     // One snapshot copy of `data` (the caller may mutate it after we return
-    // while messages still sit in mailboxes), then every send borrows it.
+    // while messages still sit in mailboxes) or one quantized encode, then
+    // every send borrows it.
     const Payload payload =
-        tensor_payload_view(std::make_shared<const Tensor>(data));
-    span.bytes(
-        static_cast<std::int64_t>(payload.size() * (group.size() - 1)));
+        wire == Precision::kInt8
+            ? quantized_payload(data)
+            : tensor_payload_view(std::make_shared<const Tensor>(data));
+    span.bytes(static_cast<std::int64_t>((payload.size() + kWireFrameBytes) *
+                                         (group.size() - 1)));
+    if (wire == Precision::kInt8) {
+      span.raw_bytes(static_cast<std::int64_t>(
+          (tensor_wire_bytes(data.size()) + kWireFrameBytes) *
+          (group.size() - 1)));
+    }
     for (std::size_t i = 0; i < group.size(); ++i) {
       if (i == root_index) continue;
       fabric.send(Message{.source = self,
@@ -228,7 +249,7 @@ Tensor ring_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& group
   const auto send_chunk = [&](std::size_t chunk, std::uint64_t step) {
     const Range r = ring_chunk(rows, k, chunk);
     auto payload = to_bytes(local.slice_rows(r.begin, r.end));
-    sent_bytes += static_cast<std::int64_t>(payload.size());
+    sent_bytes += static_cast<std::int64_t>(payload.size() + kWireFrameBytes);
     fabric.send(Message{.source = self,
                         .destination = group[next],
                         .tag = tag + step,
@@ -283,7 +304,7 @@ Tensor naive_all_reduce_sum(Transport& fabric, const std::vector<DeviceId>& grou
     }
   } else {
     auto payload = to_bytes(local);
-    span.bytes(static_cast<std::int64_t>(payload.size()));
+    span.bytes(static_cast<std::int64_t>(payload.size() + kWireFrameBytes));
     fabric.send(Message{.source = self,
                         .destination = group[kRoot],
                         .tag = tag,

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/quant_codec.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "partition/range.h"
@@ -44,12 +45,19 @@ namespace voltage {
 // only per-message: each arriving partition must fit its declared range).
 // `dst` must outlive wait(); `local` is shared because peers may still be
 // reading it after this rank moves on.
+//
+// `wire` selects the payload encoding: Precision::kInt8 ships one shared
+// quantized encode (net/quant_codec.h) instead of borrowing the fp32 rows —
+// ~4x fewer wire bytes per peer. The caller's own rows land in `dst` exact
+// either way; receivers dequantize transparently. The span's `bytes` counts
+// what actually crossed the wire, `raw_bytes` the fp32-equivalent.
 class AllGatherInto {
  public:
   AllGatherInto(Transport& fabric, const std::vector<DeviceId>& group,
                 std::size_t my_index, std::shared_ptr<const Tensor> local,
                 const std::vector<Range>& ranges, Tensor& dst, MessageTag tag,
-                const RecvOptions& options = {});
+                const RecvOptions& options = {},
+                Precision wire = Precision::kFp32);
 
   // Blocks until every peer partition has landed in `dst` (or the options
   // deadline passes / the transport is poisoned). Idempotent.
@@ -74,12 +82,16 @@ class AllGatherInto {
 void all_gather_into(Transport& fabric, const std::vector<DeviceId>& group,
                      std::size_t my_index, std::shared_ptr<const Tensor> local,
                      const std::vector<Range>& ranges, Tensor& dst,
-                     MessageTag tag, const RecvOptions& options = {});
+                     MessageTag tag, const RecvOptions& options = {},
+                     Precision wire = Precision::kFp32);
 
 // Root sends `data` to every other member; non-roots receive into `data`.
+// With `wire == Precision::kInt8` the root ships one quantized encode and
+// receivers land the dequantized rows (the root's own copy stays exact).
 void broadcast(Transport& fabric, const std::vector<DeviceId>& group,
                std::size_t my_index, std::size_t root_index, Tensor& data,
-               MessageTag tag, const RecvOptions& options = {});
+               MessageTag tag, const RecvOptions& options = {},
+               Precision wire = Precision::kFp32);
 
 // Classic chunked ring all-reduce (reduce-scatter + all-gather phases,
 // 2*(K-1) steps). Returns the elementwise sum of all ranks' tensors.

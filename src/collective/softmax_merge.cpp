@@ -33,7 +33,7 @@ Tensor all_reduce_softmax_merge(Transport& fabric,
     // Leaf: one partial up, one merged partial down.
     const Payload up =
         tensor_payload_view(std::make_shared<const Tensor>(partial));
-    span.bytes(static_cast<std::int64_t>(up.size()));
+    span.bytes(static_cast<std::int64_t>(up.size() + kWireFrameBytes));
     fabric.send(Message{.source = self,
                         .destination = group[root_index],
                         .tag = tag,
@@ -65,7 +65,8 @@ Tensor all_reduce_softmax_merge(Transport& fabric,
   }
   const Payload down =
       tensor_payload_view(std::make_shared<const Tensor>(merged));
-  span.bytes(static_cast<std::int64_t>(down.size() * (group.size() - 1)));
+  span.bytes(static_cast<std::int64_t>((down.size() + kWireFrameBytes) *
+                                       (group.size() - 1)));
   // Highest rank first, rank 0 last. Rank 0 gates the caller's step (it is
   // the rank that reports the decode result), so sending its copy after all
   // the others makes every send of this collective happen-before the step

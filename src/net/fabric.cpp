@@ -69,7 +69,7 @@ void Fabric::send(Message message) {
     throw std::invalid_argument("Fabric: self-send");
   }
   if (closed()) throw_closed("send");
-  const std::size_t bytes = message.byte_size();
+  const std::size_t bytes = message.wire_size();
   // Trace context: inherit the sender thread's request id unless the caller
   // stamped one already (ChaosTransport couriers deliver from their own
   // thread and pre-stamp at enqueue).
@@ -110,11 +110,11 @@ void Fabric::send(Message message) {
 void Fabric::note_received(const Message& message) const {
   if (metrics_.enabled()) {
     metrics_.messages_received->add(1);
-    metrics_.bytes_received->add(message.byte_size());
+    metrics_.bytes_received->add(message.wire_size());
   }
   if (recorder_ != nullptr) {
     recorder_->note_recv(message.source, message.destination, message.tag,
-                         message.trace_id, message.byte_size());
+                         message.trace_id, message.wire_size());
   }
   // The receiver adopts the message's request context — this is how one
   // trace id follows the data across all K device threads — and closes the

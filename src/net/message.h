@@ -106,6 +106,12 @@ class Payload {
   std::shared_ptr<const void> keep_alive_;
 };
 
+// Per-message framing overhead: the socket fabric prefixes every payload
+// with a fixed frame header (source, tag, trace_id, seq, length — 5 × u64).
+// The in-memory Fabric charges the same framing so traffic accounting is
+// transport-blind and tests measure true wire cost, not just body bytes.
+inline constexpr std::size_t kWireFrameBytes = 5 * sizeof(std::uint64_t);
+
 struct Message {
   DeviceId source = 0;
   DeviceId destination = 0;
@@ -121,6 +127,12 @@ struct Message {
 
   [[nodiscard]] std::size_t byte_size() const noexcept {
     return payload.size();
+  }
+
+  // Payload plus framing — what the message actually costs on the wire.
+  // Transport stats and comm-span byte counts use this.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kWireFrameBytes + payload.size();
   }
 };
 

@@ -1,0 +1,55 @@
+#include "net/quant_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/serialize.h"
+
+namespace voltage {
+
+Payload quantized_payload(const Tensor& t) {
+  const std::size_t rows = t.rows();
+  const std::size_t cols = t.cols();
+  // One owned body buffer shared by every copy of the payload: scales
+  // first, then the int8 rows. The header lives inline in the Payload.
+  auto body = std::make_shared<std::vector<std::byte>>(rows * sizeof(float) +
+                                                       rows * cols);
+  std::byte* scales = body->data();
+  auto* q = reinterpret_cast<std::int8_t*>(body->data() + rows * sizeof(float));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = t.data() + r * cols;
+    float absmax = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) {
+      absmax = std::max(absmax, std::fabs(row[c]));
+    }
+    // Same policy as quant/quantized_tensor.cpp: zero rows quantize
+    // exactly with a unit scale; otherwise absmax maps to 127 and values
+    // clamp symmetrically (never -128).
+    const float scale = absmax == 0.0F ? 1.0F : absmax / 127.0F;
+    std::memcpy(scales + r * sizeof(float), &scale, sizeof(float));
+    std::int8_t* out = q + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Round half away from zero via truncation — same libm-free
+      // expression as quant/quantized_tensor.cpp's quantize_value, so the
+      // wire and compute planes quantize bit-identically.
+      const float t = row[c] / scale;
+      const float v = static_cast<float>(
+          static_cast<std::int32_t>(t + std::copysign(0.5F, t)));
+      out[c] = static_cast<std::int8_t>(std::clamp(v, -127.0F, 127.0F));
+    }
+  }
+  std::array<std::byte, Payload::kInlineHeaderCapacity> header{};
+  const std::uint64_t wire_rows = rows;
+  const std::uint64_t wire_cols = static_cast<std::uint64_t>(cols) |
+                                  kQuantColsFlag;
+  std::memcpy(header.data(), &wire_rows, sizeof(wire_rows));
+  std::memcpy(header.data() + sizeof(wire_rows), &wire_cols,
+              sizeof(wire_cols));
+  const std::span<const std::byte> view(body->data(), body->size());
+  return Payload::view(header, kTensorWireHeaderBytes, view, std::move(body));
+}
+
+}  // namespace voltage

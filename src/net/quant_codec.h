@@ -1,0 +1,41 @@
+// Quantized wire codec for collective traffic (paper §VII-A applied to the
+// wire): symmetric per-row int8 with an fp32 scale sidecar, cutting a
+// [rows x cols] activation payload from 16 + 4*rows*cols bytes to
+// 16 + 4*rows + rows*cols — ~4x for the wide rows the all-gather ships.
+//
+// The encoder quantizes once into a single owned buffer and hands out
+// Payload views borrowing it, so a K-1-way fan-out shares one encode and
+// moves zero extra bytes per send (the same zero-copy discipline as
+// tensor_payload_view). Decoding is transparent: the header carries
+// kQuantColsFlag (tensor/serialize.h) and every receive path —
+// tensor_from_payload, deserialize_into — dequantizes on sight, so
+// receivers never need to know the sender's precision.
+//
+// Quantization policy matches src/quant (Q8BERT-style): scale = absmax/127
+// per row, zero rows get scale 1.0, values round-to-nearest and clamp to
+// [-127, 127] (never -128). The softmax-merge triples stay fp32 — the
+// log-sum-exp merge is exact and must remain so.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/message.h"
+#include "tensor/tensor.h"
+
+namespace voltage {
+
+// Wire + compute precision knob, threaded from InferenceServer::Options
+// down to VoltageRuntime and DistributedDecoder.
+enum class Precision : std::uint8_t {
+  kFp32,  // exact float path (default)
+  kInt8,  // int8 weights/GEMM + quantized collective payloads
+};
+
+// Encodes `t` into a quantized wire payload: inline 16-byte header (rows,
+// cols | kQuantColsFlag), body = rows fp32 row scales then rows*cols int8.
+// The returned payload owns its buffer via the keep-alive; copies of it
+// (one per peer in a fan-out) all borrow the same encode.
+[[nodiscard]] Payload quantized_payload(const Tensor& t);
+
+}  // namespace voltage

@@ -25,6 +25,8 @@ struct FrameHeader {
   std::uint64_t seq;
   std::uint64_t length;
 };
+static_assert(sizeof(FrameHeader) == kWireFrameBytes,
+              "kWireFrameBytes must match the socket frame header");
 
 void write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::byte*>(data);
@@ -218,7 +220,7 @@ void SocketFabric::reader_loop(std::size_t device) {
       {
         const std::lock_guard lock(ep.mutex);
         ep.stats.messages_received += 1;
-        ep.stats.bytes_received += msg.payload.size();
+        ep.stats.bytes_received += msg.wire_size();
         ep.inbox.push_back(std::move(msg));
       }
       ep.arrived.notify_all();
@@ -251,12 +253,12 @@ void SocketFabric::send(Message message) {
   // by then the fabric is poisoned and exact totals no longer matter.
   if (metrics_.enabled()) {
     metrics_.messages_sent->add(1);
-    metrics_.bytes_sent->add(message.payload.size());
+    metrics_.bytes_sent->add(message.wire_size());
   }
   {
     const std::lock_guard lock(src.mutex);
     src.stats.messages_sent += 1;
-    src.stats.bytes_sent += message.payload.size();
+    src.stats.bytes_sent += message.wire_size();
     message.seq = ++src.next_seq;
   }
   const FrameHeader header{.source = message.source,
@@ -266,7 +268,7 @@ void SocketFabric::send(Message message) {
                            .length = message.payload.size()};
   if (recorder_ != nullptr) {
     recorder_->note_send(message.source, message.destination, message.tag,
-                         message.trace_id, message.payload.size());
+                         message.trace_id, message.wire_size());
   }
   // Flow start before the bytes leave, so the arrow's tail can never be
   // stamped after its head on the receiving side.
@@ -366,11 +368,11 @@ TrafficStats SocketFabric::total_stats() const {
 void SocketFabric::note_received(const Message& message) const {
   if (metrics_.enabled()) {
     metrics_.messages_received->add(1);
-    metrics_.bytes_received->add(message.byte_size());
+    metrics_.bytes_received->add(message.wire_size());
   }
   if (recorder_ != nullptr) {
     recorder_->note_recv(message.source, message.destination, message.tag,
-                         message.trace_id, message.byte_size());
+                         message.trace_id, message.wire_size());
   }
   // Runs on the consuming thread (never the reader thread), so the adopted
   // context and the flow end land on the right track.

@@ -47,6 +47,10 @@ void read_args(const json::Value& event, TraceEvent& out) {
       v != nullptr && v->is_number()) {
     out.bytes = static_cast<std::int64_t>(v->as_number());
   }
+  if (const json::Value* v = args->find("raw_bytes");
+      v != nullptr && v->is_number()) {
+    out.raw_bytes = static_cast<std::int64_t>(v->as_number());
+  }
   if (const json::Value* v = args->find("request");
       v != nullptr && v->is_number()) {
     out.request = static_cast<std::int64_t>(v->as_number());
@@ -268,7 +272,12 @@ TraceReport build_report(const LoadedTrace& trace) {
       row.gemm_us += e.duration_us;
     } else if (name == "all_gather") {
       row.all_gather_us += e.duration_us;
-      if (e.bytes > 0) row.all_gather_bytes += e.bytes;
+      if (e.bytes > 0) {
+        row.all_gather_bytes += e.bytes;
+        // Quantized spans report the fp32-equivalent in raw_bytes; fp32
+        // spans have none, so their encoded size is their raw size.
+        row.all_gather_raw_bytes += e.raw_bytes >= 0 ? e.raw_bytes : e.bytes;
+      }
     } else if (name == "gather_wait") {
       row.gather_wait_us += e.duration_us;
     } else if (name == "overlap_compute") {
@@ -295,11 +304,12 @@ std::string format_report(const TraceReport& report) {
   if (!report.layers.empty()) {
     out +=
         "layer  device  compute_us  gemm_us  all_gather_us  gather_wait_us  "
-        "overlap_us  all_gather_bytes  order\n";
+        "overlap_us  all_gather_bytes  fp32_equiv_bytes  order\n";
     for (const LayerRow& row : report.layers) {
       std::snprintf(
           line, sizeof(line),
-          "%5lld  %6lld  %10lld  %7lld  %13lld  %14lld  %10lld  %16lld  %s\n",
+          "%5lld  %6lld  %10lld  %7lld  %13lld  %14lld  %10lld  %16lld  "
+          "%16lld  %s\n",
           static_cast<long long>(row.layer),
           static_cast<long long>(row.device),
           static_cast<long long>(row.compute_us),
@@ -308,6 +318,7 @@ std::string format_report(const TraceReport& report) {
           static_cast<long long>(row.gather_wait_us),
           static_cast<long long>(row.overlap_us),
           static_cast<long long>(row.all_gather_bytes),
+          static_cast<long long>(row.all_gather_raw_bytes),
           row.order.empty() ? "-" : row.order.c_str());
       out += line;
     }

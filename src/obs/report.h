@@ -62,6 +62,12 @@ struct LayerRow {
   // ("overlap_compute" spans; attributed to the layer they compute *for*).
   Micros overlap_us = 0;
   std::int64_t all_gather_bytes = 0;
+  // fp32-equivalent of the gather traffic: quantized comm spans carry the
+  // encoded size in `bytes` and the would-have-been-fp32 size in
+  // `raw_bytes`; fp32 spans carry no raw_bytes and count their encoded size
+  // here too, so the two columns are equal on an unquantized trace and
+  // their ratio is the wire reduction on a quantized one.
+  std::int64_t all_gather_raw_bytes = 0;
   std::string order;        // attention order tag seen on the layer span
 };
 

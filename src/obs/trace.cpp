@@ -174,6 +174,10 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       arg_comma();
       out << "\"bytes\":" << e.bytes;
     }
+    if (e.raw_bytes >= 0) {
+      arg_comma();
+      out << "\"raw_bytes\":" << e.raw_bytes;
+    }
     if (e.request >= 0) {
       arg_comma();
       out << "\"request\":" << e.request;

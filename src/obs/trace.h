@@ -57,6 +57,10 @@ struct TraceEvent {
   std::int64_t device = -1;
   std::int64_t layer = -1;
   std::int64_t bytes = -1;
+  // What the same transfer would have cost at fp32 — set by comm spans
+  // whose payloads travel through the quantized wire codec, so reports can
+  // show encoded vs fp32-equivalent volume side by side.
+  std::int64_t raw_bytes = -1;
   std::int64_t request = -1;
   // Request-scoped trace id (see next_trace_id); -1 means "not set". Spans
   // stamp it automatically from the ambient thread trace id.
@@ -201,6 +205,10 @@ class TraceSpan {
   }
   TraceSpan& bytes(std::int64_t b) noexcept {
     if (tracer_ != nullptr) event_.bytes = b;
+    return *this;
+  }
+  TraceSpan& raw_bytes(std::int64_t b) noexcept {
+    if (tracer_ != nullptr) event_.raw_bytes = b;
     return *this;
   }
   TraceSpan& request(std::int64_t r) noexcept {

@@ -171,10 +171,8 @@ void softmax_merge_inplace(Tensor& acc, const Tensor& incoming,
   }
 }
 
-Tensor softmax_merge_finalize(const Tensor& merged, const AttentionWeights& w,
-                              const LayerConfig& config) {
-  const std::size_t heads = config.heads;
-  const std::size_t fh = config.head_dim;
+Tensor softmax_merge_concat(const Tensor& merged, std::size_t heads,
+                            std::size_t fh) {
   if (merged.cols() != softmax_partial_cols(heads, fh)) {
     throw std::invalid_argument("softmax_merge_finalize: width mismatch");
   }
@@ -195,7 +193,14 @@ Tensor softmax_merge_finalize(const Tensor& merged, const AttentionWeights& w,
       }
     }
   }
-  Tensor out = matmul(concat, w.wo);
+  return concat;
+}
+
+Tensor softmax_merge_finalize(const Tensor& merged, const AttentionWeights& w,
+                              const LayerConfig& config) {
+  Tensor out =
+      matmul(softmax_merge_concat(merged, config.heads, config.head_dim),
+             w.wo);
   add_bias_inplace(out, w.bo);
   return out;
 }

@@ -97,6 +97,15 @@ void softmax_merge_inplace(Tensor& acc, const Tensor& incoming,
                                               std::size_t heads,
                                               std::size_t head_dim);
 
+// Fully merged partials -> per-head attention rows [R x H*F_H]: each
+// head's weighted value divided by its denominator, heads concatenated.
+// Throws if any head's denominator is zero (no device attended anything).
+// The projection half of softmax_merge_finalize, split out so alternative
+// weight formats (the int8 stack) can apply their own W_O.
+[[nodiscard]] Tensor softmax_merge_concat(const Tensor& merged,
+                                          std::size_t heads,
+                                          std::size_t head_dim);
+
 // Fully merged partials -> attention output rows [R x F]:
 // per head o / d, heads concatenated, projected through W_O and b_O.
 [[nodiscard]] Tensor softmax_merge_finalize(const Tensor& merged,

@@ -10,26 +10,31 @@ namespace voltage {
 
 namespace {
 
+// `xq`/`xpq` are the full input and the partition rows quantized once by the
+// caller — every head's Q/K/V projection reuses them instead of re-running
+// the per-row quantize pass (3H times per layer on the same operand).
 Tensor quantized_head_partition(const LayerConfig& config,
                                 const QuantizedHeadWeights& w,
-                                const Tensor& x, const Tensor& xp, Range p,
+                                const Tensor& x,
+                                const QuantizedActivations& xq,
+                                const QuantizedActivations& xpq, Range p,
                                 AttentionOrder order) {
   const float inv_sqrt =
       1.0F / std::sqrt(static_cast<float>(config.head_dim));
   if (order == AttentionOrder::kReordered) {
-    const Tensor qp = quantized_matmul(xp, w.wq);
+    const Tensor qp = quantized_matmul(xpq, w.wq);
     const Tensor qk = quantized_matmul(qp, w.wk_t);  // P x F
     Tensor scores = matmul(qk, x, Trans::kNo, Trans::kYes);
     if (config.causal) apply_causal_mask(scores, p.begin);
     const Tensor s = softmax_rows(scores, inv_sqrt);
     return quantized_matmul(matmul(s, x), w.wv);
   }
-  const Tensor qp = quantized_matmul(xp, w.wq);
-  const Tensor k = quantized_matmul(x, w.wk);
+  const Tensor qp = quantized_matmul(xpq, w.wq);
+  const Tensor k = quantized_matmul(xq, w.wk);
   Tensor scores = matmul(qp, k, Trans::kNo, Trans::kYes);
   if (config.causal) apply_causal_mask(scores, p.begin);
   const Tensor s = softmax_rows(scores, inv_sqrt);
-  return matmul(s, quantized_matmul(x, w.wv));
+  return matmul(s, quantized_matmul(xq, w.wv));
 }
 
 }  // namespace
@@ -93,11 +98,13 @@ Tensor quantized_partitioned_layer_forward(const LayerConfig& config,
                            .fh = config.head_dim};
   const AttentionOrder order = select_order(policy, dims);
 
+  const QuantizedActivations xq = quantize_activations(x);
+  const QuantizedActivations xpq = quantize_activations(xp);
   std::vector<Tensor> heads;
   heads.reserve(config.heads);
   for (const QuantizedHeadWeights& head : w.heads) {
     heads.push_back(
-        quantized_head_partition(config, head, x, xp, p, order));
+        quantized_head_partition(config, head, x, xq, xpq, p, order));
   }
   Tensor r = quantized_matmul(concat_cols(heads), w.wo);
   add_bias_inplace(r, w.bo);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "partition/decode_attention.h"
+#include "tensor/ops.h"
+
 namespace voltage {
 
 QuantizedStack::QuantizedStack(const TransformerModel& model)
@@ -27,6 +30,30 @@ Tensor QuantizedStack::forward_layers(Tensor x) const {
     x = quantized_layer_forward(config_, layer, x);
   }
   return x;
+}
+
+Tensor QuantizedStack::decode_step_tail(std::size_t layer,
+                                        const Tensor& merged,
+                                        const Tensor& x) const {
+  if (layer >= layers_.size()) {
+    throw std::out_of_range("QuantizedStack: layer index");
+  }
+  const QuantizedLayerWeights& w = layers_[layer];
+  Tensor r = quantized_matmul(
+      softmax_merge_concat(merged, config_.heads, config_.head_dim), w.wo);
+  add_bias_inplace(r, w.bo);
+  add_inplace(r, x);
+  const Tensor y =
+      layernorm_rows(r, w.ln_attention.gamma, w.ln_attention.beta);
+
+  Tensor hidden = quantized_matmul(y, w.w1);
+  add_bias_inplace(hidden, w.b1);
+  hidden =
+      config_.activation == Activation::kGelu ? gelu(hidden) : relu(hidden);
+  Tensor out = quantized_matmul(hidden, w.w2);
+  add_bias_inplace(out, w.b2);
+  add_inplace(out, y);
+  return layernorm_rows(out, w.ln_ffn.gamma, w.ln_ffn.beta);
 }
 
 std::size_t QuantizedStack::byte_size() const {

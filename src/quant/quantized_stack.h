@@ -28,6 +28,20 @@ class QuantizedStack {
   // Full single-device forward through all quantized layers.
   [[nodiscard]] Tensor forward_layers(Tensor x) const;
 
+  // The quantized post-attention tail of one decode step (see
+  // DistributedDecoder::worker_step): merged softmax partials -> int8 W_O
+  // projection + b_O, residual with the layer input rows `x`, LayerNorm,
+  // int8 FFN, residual, LayerNorm. Deterministic, so every device running
+  // it redundantly leaves the layer with identical rows.
+  [[nodiscard]] Tensor decode_step_tail(std::size_t layer,
+                                        const Tensor& merged,
+                                        const Tensor& x) const;
+
+  [[nodiscard]] const QuantizedLayerWeights& layer(std::size_t i) const {
+    return layers_.at(i);
+  }
+  [[nodiscard]] const LayerConfig& config() const noexcept { return config_; }
+
   // Weight memory of the int8 stack vs the float original.
   [[nodiscard]] std::size_t byte_size() const;
   [[nodiscard]] std::size_t float_byte_size() const noexcept {

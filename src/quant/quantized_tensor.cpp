@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "core/thread_pool.h"
+#include "obs/trace.h"
 #include "tensor/flops.h"
+#include "tensor/gemm_s8.h"
 
 namespace voltage {
 
@@ -21,7 +27,13 @@ float absmax_scale(const float* begin, const float* end, std::ptrdiff_t stride) 
 }
 
 std::int8_t quantize_value(float v, float scale) {
-  const float q = std::round(v / scale);
+  // Round half away from zero via truncation (libm-free: std::round is an
+  // out-of-line call per element at the base ISA, and this loop runs over
+  // every activation on the int8 hot path). net/quant_codec.cpp uses the
+  // same expression so wire and compute quantization stay identical.
+  const float t = v / scale;
+  const float q = static_cast<float>(
+      static_cast<std::int32_t>(t + std::copysign(0.5F, t)));
   return static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F));
 }
 
@@ -91,29 +103,49 @@ Tensor quantized_matmul(const Tensor& x, const QuantizedWeights& w) {
   if (x.cols() != w.rows) {
     throw std::invalid_argument("quantized_matmul: inner dim mismatch");
   }
-  const QuantizedActivations xq = quantize_activations(x);
+  return quantized_matmul(quantize_activations(x), w);
+}
+
+Tensor quantized_matmul(const QuantizedActivations& xq,
+                        const QuantizedWeights& w) {
+  if (xq.cols != w.rows) {
+    throw std::invalid_argument("quantized_matmul: inner dim mismatch");
+  }
   const std::size_t m = xq.rows;
   const std::size_t k = xq.cols;
   const std::size_t n = w.cols;
 
   Tensor out(m, n);
-  std::vector<std::int32_t> acc(n);
-  for (std::size_t i = 0; i < m; ++i) {
-    std::fill(acc.begin(), acc.end(), 0);
-    const std::int8_t* xrow = xq.data.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const std::int32_t xv = xrow[p];
-      if (xv == 0) continue;
-      const std::int8_t* wrow = w.data.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        acc[j] += xv * static_cast<std::int32_t>(wrow[j]);
+  if (m != 0 && n != 0 && k != 0) {
+    obs::TraceSpan span(obs::thread_tracer(), "gemm_s8", "kernel",
+                        obs::thread_track());
+    if (span.enabled()) {
+      span.layer(obs::thread_layer());
+      span.tag("s8 " + std::to_string(m) + "x" + std::to_string(k) + "x" +
+               std::to_string(n));
+    }
+    // int8 x int8 -> int32 through the tiled multi-ISA kernel
+    // (tensor/gemm_s8.h), then one rescale pass by the per-row activation
+    // and per-column weight scales. Row-panel parallelism as in matmul
+    // (ops.cpp); the integer accumulation is exact, so the result is
+    // identical at any thread count and on every ISA.
+    std::vector<std::int32_t> acc(m * n, 0);
+    constexpr std::uint64_t kMacsPerTask = 1ULL << 18;
+    const std::uint64_t row_macs = static_cast<std::uint64_t>(k) * n;
+    const std::size_t grain = static_cast<std::size_t>(
+        std::max<std::uint64_t>(detail::kGemmS8Mr, kMacsPerTask / row_macs));
+    parallel_for(0, m, grain, [&](std::size_t r0, std::size_t r1) {
+      detail::gemm_s8_blocked(xq.data.data(), w.data.data(), acc.data(), m,
+                              r0, r1, k, n);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float sx = xq.row_scales[i];
+        const std::int32_t* arow = acc.data() + i * n;
+        auto orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+          orow[j] = static_cast<float>(arow[j]) * sx * w.col_scales[j];
+        }
       }
-    }
-    const float sx = xq.row_scales[i];
-    auto orow = out.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      orow[j] = static_cast<float>(acc[j]) * sx * w.col_scales[j];
-    }
+    });
   }
   flops::add_matmul_macs(static_cast<std::uint64_t>(m) * k * n);
   return out;

@@ -51,4 +51,12 @@ struct QuantizedWeights {
 [[nodiscard]] Tensor quantized_matmul(const Tensor& x,
                                       const QuantizedWeights& w);
 
+// Pre-quantized activations variant: the layer forward quantizes x once and
+// reuses it across every head's Q/K/V projection (3H GEMMs share the same
+// operand — re-quantizing per GEMM used to dominate the int8 layer's
+// wall-clock). Bitwise identical to the Tensor overload on dequantized
+// inputs.
+[[nodiscard]] Tensor quantized_matmul(const QuantizedActivations& x,
+                                      const QuantizedWeights& w);
+
 }  // namespace voltage

@@ -5,6 +5,7 @@
 #include <exception>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "collective/collectives.h"
 #include "collective/softmax_merge.h"
@@ -19,23 +20,27 @@ namespace voltage {
 
 namespace {
 
-// Command protocol: the terminal broadcasts one [1 x kCmdCols] (or, for a
-// step, [1 x kCmdCols+F] with the embedded token row appended) tensor per
-// call. Floats carry the fields exactly — positions and opcodes are tiny
-// integers, far below 2^24.
-constexpr std::size_t kCmdCols = 4;  // {opcode, arg, reserved, timeout_s}
+// Command protocol: the terminal broadcasts one [1 x kCmdCols] (or, for an
+// fp32 step, [1 x kCmdCols+F] with the embedded token row appended) tensor
+// per call. Floats carry the fields exactly — positions and opcodes are tiny
+// integers, far below 2^24. Column 2 flags the int8 plane for this command;
+// an int8 step keeps the command at kCmdCols and ships the token row as a
+// separate quantized broadcast on kTagToken (per-row scales don't mix with
+// opcodes).
+constexpr std::size_t kCmdCols = 4;  // {opcode, arg, int8_flag, timeout_s}
 constexpr float kOpPrime = 1.0F;
 constexpr float kOpStep = 2.0F;
 constexpr float kOpShutdown = 3.0F;
 constexpr float kOpRefresh = 4.0F;  // re-read tracer_; no other effect
 
-// Tag layout. Commands, prefill features and the final row live on fixed
-// tags; each layer gets one prefill-gather tag and a pair of merge tags
-// (softmax_merge uses tag and tag+1). Reusing tags across steps is safe:
-// transport matching is FIFO per (source, tag).
+// Tag layout. Commands, prefill features, the final row and the int8 step
+// token row live on fixed tags; each layer gets one prefill-gather tag and a
+// pair of merge tags (softmax_merge uses tag and tag+1). Reusing tags across
+// steps is safe: transport matching is FIFO per (source, tag).
 constexpr MessageTag kTagCmd = 1;
 constexpr MessageTag kTagFeatures = 2;
 constexpr MessageTag kTagFinal = 4;
+constexpr MessageTag kTagToken = 5;
 constexpr MessageTag kTagPrefillGatherBase = 64;
 constexpr MessageTag kTagMergeBase = 4096;
 
@@ -159,6 +164,13 @@ void DistributedDecoder::set_tracer(obs::Tracer* tracer) {
   }
 }
 
+void DistributedDecoder::set_precision(Precision precision) {
+  if (precision == Precision::kInt8 && qstack_ == nullptr) {
+    qstack_ = std::make_unique<QuantizedStack>(model_);
+  }
+  precision_ = precision;
+}
+
 void DistributedDecoder::set_metrics(obs::MetricsRegistry* metrics) {
   transport_->set_metrics(metrics);
   decode_tokens_ = metrics == nullptr ? nullptr
@@ -208,15 +220,22 @@ void DistributedDecoder::worker_main(std::size_t i) {
       // by every blocking receive this command triggers.
       const RecvOptions options =
           RecvOptions::within(static_cast<double>(cmd(0, 3)));
+      const Precision wire =
+          cmd(0, 2) != 0.0F ? Precision::kInt8 : Precision::kFp32;
+      if (wire == Precision::kInt8 && qstack_ == nullptr) {
+        throw std::logic_error(
+            "DistributedDecoder: int8 command without a quantized stack");
+      }
       if (op == kOpPrime) {
         prompt_len = static_cast<std::size_t>(cmd(0, 1));
-        worker_prefill(i, prompt_len, caches, options, obs::thread_tracer());
+        worker_prefill(i, prompt_len, caches, options, obs::thread_tracer(),
+                       wire);
       } else if (op == kOpStep) {
         if (prompt_len == 0) {
           throw std::logic_error("DistributedDecoder: step before prime");
         }
         worker_step(i, static_cast<std::size_t>(cmd(0, 1)), prompt_len,
-                    caches, cmd, options, obs::thread_tracer());
+                    caches, cmd, options, obs::thread_tracer(), wire);
       } else {
         throw std::runtime_error("DistributedDecoder: unknown opcode");
       }
@@ -233,8 +252,9 @@ void DistributedDecoder::worker_main(std::size_t i) {
 void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
                                         std::vector<DecodeLayerCache>& caches,
                                         const RecvOptions& options,
-                                        obs::Tracer* tracer) {
+                                        obs::Tracer* tracer, Precision wire) {
   const std::size_t k = scheme_.devices();
+  const bool int8 = wire == Precision::kInt8;
   const auto layers = model_.layers();
   // Algorithm 2 prefill with two decode twists: every layer banks this
   // device's input rows into its resident cache, and the last layer skips
@@ -273,9 +293,12 @@ void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
                           static_cast<obs::TrackId>(i));
       span.device(static_cast<std::int64_t>(i))
           .layer(static_cast<std::int64_t>(l))
-          .tag(to_string(resident));
-      part = partitioned_layer_forward(layers[l], *input, own, policy_,
-                                       have_prologue ? &prologue : nullptr);
+          .tag(int8 ? std::string("int8 ") + to_string(resident)
+                    : std::string(to_string(resident)));
+      part = int8 ? qstack_->partition_forward(l, *input, own, policy_)
+                  : partitioned_layer_forward(
+                        layers[l], *input, own, policy_,
+                        have_prologue ? &prologue : nullptr);
     }
     have_prologue = false;
     auto& holder = holders[l % 2];
@@ -293,7 +316,8 @@ void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
                             static_cast<obs::TrackId>(i));
         span.device(static_cast<std::int64_t>(i))
             .layer(static_cast<std::int64_t>(l))
-            .bytes(static_cast<std::int64_t>(payload.size()));
+            .bytes(static_cast<std::int64_t>(payload.size() +
+                                             kWireFrameBytes));
         transport_->send(Message{.source = i,
                                  .destination = terminal_id(),
                                  .tag = kTagFinal,
@@ -303,10 +327,13 @@ void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
       // PR-3 overlap: post the zero-copy gather, compute the next layer's
       // attention prologue from the rows already in hand (the scheme is
       // uniform across layers, so the next partition is exactly `own`),
-      // then block for the peer rows.
+      // then block for the peer rows. The prologue precomputes fp32 Q/K
+      // projections, which the int8 plane never consumes — under kInt8 the
+      // gather ships quantized rows and the overlap window stays empty.
       AllGatherInto gather(*transport_, workers_, i, holder, ranges,
-                           seq[l % 2], kTagPrefillGatherBase + l, options);
-      if (!own.empty()) {
+                           seq[l % 2], kTagPrefillGatherBase + l, options,
+                           wire);
+      if (!int8 && !own.empty()) {
         obs::TraceSpan span(tracer, "overlap_compute", "compute",
                             static_cast<obs::TrackId>(i));
         span.device(static_cast<std::int64_t>(i))
@@ -328,15 +355,31 @@ void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
                                      std::vector<DecodeLayerCache>& caches,
                                      const Tensor& cmd,
                                      const RecvOptions& options,
-                                     obs::Tracer* tracer) {
+                                     obs::Tracer* tracer, Precision wire) {
   const std::size_t k = scheme_.devices();
   const auto layers = model_.layers();
   const std::size_t f = model_.spec().layer.hidden;
-  if (cmd.cols() != kCmdCols + f) {
-    throw std::runtime_error("DistributedDecoder: malformed step command");
-  }
+  const bool int8 = wire == Precision::kInt8;
   Tensor x(1, f);
-  std::copy_n(cmd.row(0).data() + kCmdCols, f, x.row(0).data());
+  if (int8) {
+    // The token row follows the command as its own quantized broadcast;
+    // every worker dequantizes the same payload, so x is identical on all
+    // ranks (the redundant-tail invariant below depends on this).
+    if (cmd.cols() != kCmdCols) {
+      throw std::runtime_error("DistributedDecoder: malformed step command");
+    }
+    Tensor row(0, 0);
+    broadcast(*transport_, everyone_, i, k, row, kTagToken, options);
+    if (row.rows() != 1 || row.cols() != f) {
+      throw std::runtime_error("DistributedDecoder: malformed token row");
+    }
+    x = std::move(row);
+  } else {
+    if (cmd.cols() != kCmdCols + f) {
+      throw std::runtime_error("DistributedDecoder: malformed step command");
+    }
+    std::copy_n(cmd.row(0).data() + kCmdCols, f, x.row(0).data());
+  }
   // New decode positions go round-robin, keeping cache growth balanced
   // regardless of how the prefill ratios split the prompt.
   const std::size_t owner = (t - prompt_len) % k;
@@ -361,14 +404,19 @@ void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
         config.head_dim, kTagMergeBase + 2 * l, options);
     // Post-attention tail on the single row, redundantly on every device —
     // all ranks leave the layer with the bitwise-identical x, so the layer
-    // output is never gathered.
-    Tensor attn = softmax_merge_finalize(merged, w.attention, config);
-    add_inplace(attn, x);
-    const Tensor y =
-        layernorm_rows(attn, w.ln_attention.gamma, w.ln_attention.beta);
-    Tensor ff = ffn_forward(y, w.ffn, config.activation);
-    add_inplace(ff, y);
-    x = layernorm_rows(ff, w.ln_ffn.gamma, w.ln_ffn.beta);
+    // output is never gathered. The int8 plane runs the same tail through
+    // the quantized W_O/FFN; it is deterministic, so the invariant holds.
+    if (int8) {
+      x = qstack_->decode_step_tail(l, merged, x);
+    } else {
+      Tensor attn = softmax_merge_finalize(merged, w.attention, config);
+      add_inplace(attn, x);
+      const Tensor y =
+          layernorm_rows(attn, w.ln_attention.gamma, w.ln_attention.beta);
+      Tensor ff = ffn_forward(y, w.ffn, config.activation);
+      add_inplace(ff, y);
+      x = layernorm_rows(ff, w.ln_ffn.gamma, w.ln_ffn.beta);
+    }
   }
   if (i == 0) {
     // Every worker holds the identical final row; rank 0 reports it.
@@ -377,7 +425,7 @@ void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
     obs::TraceSpan span(tracer, "send_final", "comm",
                         static_cast<obs::TrackId>(i));
     span.device(static_cast<std::int64_t>(i))
-        .bytes(static_cast<std::int64_t>(payload.size()));
+        .bytes(static_cast<std::int64_t>(payload.size() + kWireFrameBytes));
     transport_->send(Message{.source = i,
                              .destination = terminal_id(),
                              .tag = kTagFinal,
@@ -418,6 +466,7 @@ Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
     Tensor cmd(1, kCmdCols);
     cmd(0, 0) = kOpPrime;
     cmd(0, 1) = static_cast<float>(prompt.size());
+    cmd(0, 2) = precision_ == Precision::kInt8 ? 1.0F : 0.0F;
     cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
     broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
     broadcast(*transport_, everyone_, k, k, features, kTagFeatures, options);
@@ -445,8 +494,7 @@ Tensor DistributedDecoder::step(TokenId token) {
   const std::size_t k = scheme_.devices();
   const std::size_t f = model_.spec().layer.hidden;
   const TokenId ids[] = {token};
-  const Tensor row =
-      model_.preprocess_at(std::span<const TokenId>(ids), position_);
+  Tensor row = model_.preprocess_at(std::span<const TokenId>(ids), position_);
   obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
   const obs::ThreadTracerScope tracer_scope(tracer);
   const obs::ThreadTrackScope track_scope(
@@ -459,14 +507,22 @@ Tensor DistributedDecoder::step(TokenId token) {
   span.device(static_cast<std::int64_t>(terminal_id()))
       .request(static_cast<std::int64_t>(position_));
   try {
-    // Step command with the embedded row inlined: one broadcast carries
-    // both the control word and the O(F) activation payload.
-    Tensor cmd(1, kCmdCols + f);
+    // fp32 step command with the embedded row inlined: one broadcast
+    // carries both the control word and the O(F) activation payload. The
+    // int8 plane keeps the command minimal and ships the row as its own
+    // quantized broadcast — F bytes plus one scale instead of 4F.
+    const bool int8 = precision_ == Precision::kInt8;
+    Tensor cmd(1, int8 ? kCmdCols : kCmdCols + f);
     cmd(0, 0) = kOpStep;
     cmd(0, 1) = static_cast<float>(position_);
+    cmd(0, 2) = int8 ? 1.0F : 0.0F;
     cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
-    std::copy_n(row.row(0).data(), f, cmd.row(0).data() + kCmdCols);
+    if (!int8) std::copy_n(row.row(0).data(), f, cmd.row(0).data() + kCmdCols);
     broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
+    if (int8) {
+      broadcast(*transport_, everyone_, k, k, row, kTagToken, options,
+                Precision::kInt8);
+    }
     const Tensor last_row = tensor_from_payload(
         transport_->recv(terminal_id(), DeviceId{0}, kTagFinal, options)
             .payload);

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/quant_codec.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -39,6 +40,7 @@
 #include "partition/decode_attention.h"
 #include "partition/order.h"
 #include "partition/scheme.h"
+#include "quant/quantized_stack.h"
 #include "transformer/model.h"
 
 namespace voltage {
@@ -134,14 +136,29 @@ class DistributedDecoder {
     intra_op_threads_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
   }
 
+  // Precision::kInt8 switches the hot paths to the quantized plane: prefill
+  // layer compute runs the int8 stack (quant/quantized_stack.h) and its
+  // per-layer all-gathers plus each step's token-row broadcast travel as
+  // int8 + per-row scales (net/quant_codec.h), ~4x fewer wire bytes.
+  // Attention state stays fp32 (caches, online-softmax merge triples, the
+  // final row), so the exact log-sum-exp merge is untouched. Quantizes the
+  // model once on first use. Same call contract as set_recv_timeout: call
+  // between requests from the calling thread; takes effect from the next
+  // prime()/step() (each command carries the precision, so mixing is safe —
+  // the caches are fp32 under both planes).
+  void set_precision(Precision precision);
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
  private:
   void worker_main(std::size_t i);
   void worker_prefill(std::size_t i, std::size_t n,
                       std::vector<DecodeLayerCache>& caches,
-                      const RecvOptions& options, obs::Tracer* tracer);
+                      const RecvOptions& options, obs::Tracer* tracer,
+                      Precision wire);
   void worker_step(std::size_t i, std::size_t t, std::size_t prompt_len,
                    std::vector<DecodeLayerCache>& caches, const Tensor& cmd,
-                   const RecvOptions& options, obs::Tracer* tracer);
+                   const RecvOptions& options, obs::Tracer* tracer,
+                   Precision wire);
 
   void ensure_alive() const;
   void join_workers() noexcept;
@@ -161,6 +178,11 @@ class DistributedDecoder {
   obs::Counter* decode_tokens_ = nullptr;
   std::atomic<std::size_t> intra_op_threads_{1};
   double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline
+  Precision precision_ = Precision::kFp32;
+  // Built lazily by set_precision(kInt8); workers read it while serving an
+  // int8-flagged command, which happens-after the terminal set it (the
+  // command broadcast's mailbox handoff orders the accesses).
+  std::unique_ptr<QuantizedStack> qstack_;
 
   std::size_t position_ = 0;  // committed positions (terminal's view)
   bool primed_ = false;

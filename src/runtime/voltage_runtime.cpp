@@ -58,6 +58,13 @@ VoltageRuntime::VoltageRuntime(const TransformerModel& model,
   }
 }
 
+void VoltageRuntime::set_precision(Precision precision) {
+  if (precision == Precision::kInt8 && qstack_ == nullptr) {
+    qstack_ = std::make_unique<QuantizedStack>(model_);
+  }
+  precision_ = precision;
+}
+
 void VoltageRuntime::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_ == nullptr) return;
@@ -124,6 +131,12 @@ Tensor VoltageRuntime::run(Tensor features) {
   // default-constructed options wait forever, the pre-failure behavior.
   const RecvOptions recv_opts = RecvOptions::within(recv_timeout_seconds_);
 
+  // The quantized plane, when selected and no custom kernel overrides it:
+  // int8 layer compute + int8 gather payloads. The fp32 attention prologue
+  // overlap does not apply (the int8 kernel has no prologue input).
+  const bool int8 = precision_ == Precision::kInt8 && !executor_;
+  const Precision wire = int8 ? Precision::kInt8 : Precision::kFp32;
+
   // Device threads start with an empty ambient trace id; hand them the
   // request's so their spans and sends are stamped even before the first
   // receive would have adopted it.
@@ -185,9 +198,11 @@ Tensor VoltageRuntime::run(Tensor features) {
                   .tag(to_string(select_order(policy_, dims)));
             }
             part = executor_ ? executor_(l, *input, ranges[l][i], policy_)
-                             : partitioned_layer_forward(
-                                   layers[l], *input, ranges[l][i], policy_,
-                                   have_prologue ? &prologue : nullptr);
+                 : int8     ? qstack_->partition_forward(l, *input,
+                                                         ranges[l][i], policy_)
+                            : partitioned_layer_forward(
+                                  layers[l], *input, ranges[l][i], policy_,
+                                  have_prologue ? &prologue : nullptr);
           }
           have_prologue = false;
           // Park the partition in a shared holder; outgoing messages borrow
@@ -205,7 +220,8 @@ Tensor VoltageRuntime::run(Tensor features) {
                                 static_cast<obs::TrackId>(i));
             span.device(static_cast<std::int64_t>(i))
                 .layer(static_cast<std::int64_t>(l))
-                .bytes(static_cast<std::int64_t>(payload.size()));
+                .bytes(static_cast<std::int64_t>(payload.size() +
+                                                 kWireFrameBytes));
             transport_->send(Message{.source = i,
                                      .destination = terminal,
                                      .tag = kTagFinal,
@@ -216,9 +232,10 @@ Tensor VoltageRuntime::run(Tensor features) {
             // owns) with the in-flight peer rows, then block for the rest.
             const Range own = ranges[l][i];
             AllGatherInto gather(*transport_, workers, i, holder, ranges[l],
-                                 seq[l % 2], kTagLayerBase + l, recv_opts);
+                                 seq[l % 2], kTagLayerBase + l, recv_opts,
+                                 wire);
             const Range next = ranges[l + 1][i];
-            if (overlap_ && !executor_ && !next.empty() &&
+            if (overlap_ && !executor_ && !int8 && !next.empty() &&
                 own.begin <= next.begin && next.end <= own.end) {
               obs::TraceSpan span(tracer_, "overlap_compute", "compute",
                                   static_cast<obs::TrackId>(i));

@@ -12,12 +12,14 @@
 #include <functional>
 #include <memory>
 
+#include "net/quant_codec.h"
 #include "net/transport.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/order.h"
 #include "partition/schedule.h"
 #include "partition/scheme.h"
+#include "quant/quantized_stack.h"
 #include "transformer/model.h"
 
 namespace voltage {
@@ -130,6 +132,16 @@ class VoltageRuntime {
     return executor_;
   }
 
+  // Precision::kInt8 moves the hot paths to the quantized plane: layer
+  // compute runs the int8 stack (quant/quantized_stack.h) and the per-layer
+  // all-gathers ship int8 + per-row scales (net/quant_codec.h), ~4x fewer
+  // wire bytes. The feature broadcast and final partition sends stay fp32
+  // (one-time O(NF) cost; the L gathers dominate). Ignored while a custom
+  // PartitionExecutor is installed. Quantizes the model once on first use;
+  // call between requests, like set_recv_timeout.
+  void set_precision(Precision precision);
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
   // Intra-op thread budget for each device thread's kernels (default 1:
   // device threads already are the parallelism, and K devices times a
   // many-way GEMM split would oversubscribe the host). Raising it lets a
@@ -149,6 +161,8 @@ class VoltageRuntime {
   LayerSchedule schedule_;
   OrderPolicy policy_;
   PartitionExecutor executor_;  // empty = default float path
+  Precision precision_ = Precision::kFp32;
+  std::unique_ptr<QuantizedStack> qstack_;  // built by set_precision(kInt8)
   std::unique_ptr<Transport> transport_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; nullptr = tracing off
   obs::TelemetryHub* telemetry_ = nullptr;  // non-owning; nullptr = off

@@ -89,6 +89,7 @@ std::unique_ptr<VoltageRuntime> InferenceServer::make_runtime() const {
         1, intra_op_threads() / (runtime->terminal_id() + 1));
   }
   runtime->set_intra_op_threads(per_device);
+  runtime->set_precision(options_.precision);
   runtime->set_recv_timeout(options_.request_deadline);
   runtime->set_tracer(options_.tracer);
   if (options_.metrics != nullptr) runtime->set_metrics(options_.metrics);
@@ -106,6 +107,7 @@ std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
         1, intra_op_threads() / (decoder->terminal_id() + 1));
   }
   decoder->set_intra_op_threads(per_device);
+  decoder->set_precision(options_.precision);
   decoder->set_recv_timeout(options_.request_deadline);
   // Metrics before tracer: set_tracer broadcasts the refresh handshake, and
   // its bytes must land on the transport counters the spans are checked

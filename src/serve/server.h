@@ -67,6 +67,11 @@ class InferenceServer {
     PartitionScheme scheme = PartitionScheme::even(1);
     OrderPolicy policy = OrderPolicy::kAdaptive;
     TransportKind transport = TransportKind::kInMemory;
+    // Precision::kInt8 serves on the quantized plane: int8 layer kernels and
+    // int8 + per-row-scale collective payloads in both the runtime and the
+    // decoder (see VoltageRuntime::set_precision). Logits differ from fp32
+    // within the quantization bound (DESIGN.md "Quantized path").
+    Precision precision = Precision::kFp32;
     // Intra-op thread budget per device thread. 0 (default) divides the
     // ambient budget (VOLTAGE_THREADS or the core count) evenly across the
     // devices, so a serving cluster uses the whole host; any other value is

@@ -1,0 +1,92 @@
+// Runtime ISA dispatch for the blocked int8 GEMM. Integer arithmetic is
+// exact, so unlike the fp32 dispatcher there is no contraction pairing to
+// preserve — the reference is dispatched alongside the kernel purely so
+// tests can confirm the selected TU against itself.
+#include "tensor/gemm_s8.h"
+
+namespace voltage::detail {
+
+namespace base {
+void gemm_s8_blocked(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t i0,
+                     std::size_t i1, std::size_t k, std::size_t n);
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n);
+}  // namespace base
+
+#if defined(__x86_64__) || defined(_M_X64)
+namespace avx2 {
+void gemm_s8_blocked(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t i0,
+                     std::size_t i1, std::size_t k, std::size_t n);
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n);
+}  // namespace avx2
+namespace avx512 {
+void gemm_s8_blocked(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t i0,
+                     std::size_t i1, std::size_t k, std::size_t n);
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n);
+}  // namespace avx512
+#endif
+
+namespace {
+
+using BlockedFn = void (*)(const std::int8_t*, const std::int8_t*,
+                           std::int32_t*, std::size_t, std::size_t,
+                           std::size_t, std::size_t, std::size_t);
+using ReferenceFn = void (*)(const std::int8_t*, const std::int8_t*,
+                             std::int32_t*, std::size_t, std::size_t,
+                             std::size_t);
+
+struct Dispatch {
+  BlockedFn blocked;
+  ReferenceFn reference;
+  const char* arch;
+};
+
+Dispatch pick() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  // _mm512_madd_epi16 is AVX-512BW, not F — gate on both.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return {&avx512::gemm_s8_blocked, &avx512::gemm_s8_reference, "avx512"};
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return {&avx2::gemm_s8_blocked, &avx2::gemm_s8_reference, "avx2"};
+  }
+#endif
+  return {&base::gemm_s8_blocked, &base::gemm_s8_reference, "base"};
+}
+
+const Dispatch& dispatch() noexcept {
+  static const Dispatch d = pick();
+  return d;
+}
+
+}  // namespace
+
+void gemm_s8_blocked(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t i0,
+                     std::size_t i1, std::size_t k, std::size_t n) {
+  dispatch().blocked(a, b, c, m, i0, i1, k, n);
+}
+
+void gemm_s8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  gemm_s8_blocked(a, b, c, m, 0, m, k, n);
+}
+
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  dispatch().reference(a, b, c, m, k, n);
+}
+
+const char* gemm_s8_kernel_arch() noexcept { return dispatch().arch; }
+
+}  // namespace voltage::detail

@@ -1,0 +1,51 @@
+// Cache-blocked, register-tiled int8 GEMM: C += A · B with int8 operands
+// and int32 accumulation, the compute half of the quantized path
+// (quant/quantized_tensor.h rescales the int32 result by the per-row
+// activation and per-column weight scales).
+//
+// Mirrors the fp32 dispatch in gemm.h: the implementation
+// (gemm_s8_impl.inc) is compiled as baseline (gemm_s8_base.cpp),
+// AVX2 (gemm_s8_avx2.cpp) and AVX-512BW (gemm_s8_avx512.cpp) TUs, selected
+// once per process on __builtin_cpu_supports. Operands pack into int16
+// k-pair panels so the vector kernels run on _mm*_madd_epi16 — two
+// products summed per 32-bit lane; with inputs clamped to [-127, 127]
+// (never -128) the pairwise sum is at most 2 * 127^2 = 32258, so the int16
+// madd never saturates and the int32 accumulator is exact for any
+// k < 2^31 / 32258 ≈ 66k.
+//
+// Exactness contract (stronger than fp32's bitwise contract, and free):
+// integer addition is associative, so every ISA variant, the reference, and
+// any row-split parallelization produce identical int32 results — no
+// per-TU contraction pairing needed. tests/quant_test.cpp enforces it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace voltage::detail {
+
+// Minimum row-split quantum for threaded callers (matches the largest
+// register tile's row count so chunks always cover whole tiles).
+inline constexpr std::size_t kGemmS8Mr = 8;
+
+// C[i0:i1, :] += A[i0:i1, :] · B, with A stored m x k row-major int8, B
+// stored k x n row-major int8, C the full m x n int32 matrix (row stride
+// n). The row range lets callers split m across threads.
+void gemm_s8_blocked(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t i0,
+                     std::size_t i1, std::size_t k, std::size_t n);
+
+// Whole problem, single thread.
+void gemm_s8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             std::size_t m, std::size_t k, std::size_t n);
+
+// Naive i-j-k triple loop — the exact-integer reference every variant must
+// equal bitwise.
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n);
+
+// ISA variant the dispatcher selected: "avx512", "avx2", or "base".
+const char* gemm_s8_kernel_arch() noexcept;
+
+}  // namespace voltage::detail

@@ -1,0 +1,5 @@
+// AVX2 instantiation of the blocked int8 GEMM: 6x16 int32 ymm tile fed by
+// _mm256_madd_epi16 on int16 k-pair panels. Compiled with -mavx2 (see
+// src/tensor/CMakeLists.txt); selected at runtime by gemm_s8.cpp.
+#define VOLTAGE_GEMM_NAMESPACE avx2
+#include "tensor/gemm_s8_impl.inc"

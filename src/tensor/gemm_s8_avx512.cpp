@@ -1,0 +1,6 @@
+// AVX-512BW instantiation of the blocked int8 GEMM: 8x32 int32 zmm tile fed
+// by _mm512_madd_epi16 (a BW instruction, hence the extra flag) on int16
+// k-pair panels. Compiled with -mavx512f -mavx512bw; selected at runtime by
+// gemm_s8.cpp.
+#define VOLTAGE_GEMM_NAMESPACE avx512
+#include "tensor/gemm_s8_impl.inc"

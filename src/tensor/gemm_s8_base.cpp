@@ -1,0 +1,4 @@
+// Baseline-ISA instantiation of the blocked int8 GEMM (4x8 scalar tile).
+// The dispatcher in gemm_s8.cpp falls back here when AVX2 is unavailable.
+#define VOLTAGE_GEMM_NAMESPACE base
+#include "tensor/gemm_s8_impl.inc"

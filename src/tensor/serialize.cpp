@@ -19,9 +19,11 @@ WireShape parse_wire_header(std::span<const std::byte> head, std::size_t total,
     throw std::invalid_argument(std::string(who) + ": truncated header");
   }
   WireShape shape;
+  std::uint64_t cols_word = 0;
   std::memcpy(&shape.rows, head.data(), sizeof(shape.rows));
-  std::memcpy(&shape.cols, head.data() + sizeof(shape.rows),
-              sizeof(shape.cols));
+  std::memcpy(&cols_word, head.data() + sizeof(shape.rows), sizeof(cols_word));
+  shape.quantized = (cols_word & kQuantColsFlag) != 0;
+  shape.cols = cols_word & ~kQuantColsFlag;
   if (shape.cols != 0 &&
       shape.rows > std::numeric_limits<std::uint64_t>::max() / shape.cols) {
     throw std::invalid_argument(std::string(who) +
@@ -35,7 +37,25 @@ WireShape parse_wire_header(std::span<const std::byte> head, std::size_t total,
     throw std::invalid_argument(std::string(who) +
                                 ": byte size overflows in header");
   }
-  if (total != tensor_wire_bytes(static_cast<std::size_t>(elements))) {
+  std::uint64_t expected = 0;
+  if (shape.quantized) {
+    // rows float scales + rows*cols int8: guard each addition separately so
+    // a hostile header can never wrap the expected size back onto `total`.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::size_t>::max();
+    if (shape.rows > (kMax - kTensorWireHeaderBytes) / sizeof(float)) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": byte size overflows in header");
+    }
+    const std::uint64_t scales = shape.rows * sizeof(float);
+    if (elements > kMax - kTensorWireHeaderBytes - scales) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": byte size overflows in header");
+    }
+    expected = kTensorWireHeaderBytes + scales + elements;
+  } else {
+    expected = tensor_wire_bytes(static_cast<std::size_t>(elements));
+  }
+  if (total != expected) {
     throw std::invalid_argument(std::string(who) + ": payload size mismatch");
   }
   return shape;
@@ -46,6 +66,24 @@ WireShape parse_wire_header(std::span<const std::byte> head, std::size_t total,
 std::span<const std::byte> payload_data(const Payload& payload) {
   return payload.body().empty() ? payload.head().subspan(kTensorWireHeaderBytes)
                                 : payload.body();
+}
+
+// Dequantize a quantized wire body (rows float32 scales, then rows*cols
+// int8) into rows*cols floats at `dst` (contiguous, row-major).
+void dequantize_body(std::span<const std::byte> data, float* dst,
+                     std::size_t rows, std::size_t cols) {
+  const std::byte* scale_bytes = data.data();
+  const auto* q =
+      reinterpret_cast<const std::int8_t*>(data.data() + rows * sizeof(float));
+  for (std::size_t r = 0; r < rows; ++r) {
+    float scale = 0.0F;
+    std::memcpy(&scale, scale_bytes + r * sizeof(float), sizeof(float));
+    const std::int8_t* row = q + r * cols;
+    float* out = dst + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c] = scale * static_cast<float>(row[c]);
+    }
+  }
 }
 
 }  // namespace
@@ -75,7 +113,12 @@ Tensor tensor_from_bytes(std::span<const std::byte> bytes) {
   const WireShape shape =
       parse_wire_header(bytes, bytes.size(), "tensor_from_bytes");
   Tensor t(shape.rows, shape.cols);
-  std::memcpy(t.data(), bytes.data() + kTensorWireHeaderBytes, t.byte_size());
+  const auto data = bytes.subspan(kTensorWireHeaderBytes);
+  if (shape.quantized) {
+    dequantize_body(data, t.data(), shape.rows, shape.cols);
+  } else {
+    std::memcpy(t.data(), data.data(), t.byte_size());
+  }
   return t;
 }
 
@@ -83,7 +126,11 @@ Tensor tensor_from_payload(const Payload& payload) {
   const WireShape shape =
       parse_wire_header(payload.head(), payload.size(), "tensor_from_payload");
   Tensor t(shape.rows, shape.cols);
-  std::memcpy(t.data(), payload_data(payload).data(), t.byte_size());
+  if (shape.quantized) {
+    dequantize_body(payload_data(payload), t.data(), shape.rows, shape.cols);
+  } else {
+    std::memcpy(t.data(), payload_data(payload).data(), t.byte_size());
+  }
   return t;
 }
 
@@ -98,10 +145,15 @@ WireShape deserialize_into(const Payload& payload, Tensor& dst,
   if (row_begin > dst.rows() || shape.rows > dst.rows() - row_begin) {
     throw std::invalid_argument("deserialize_into: rows out of range");
   }
-  std::memcpy(dst.data() + row_begin * dst.cols(),
-              payload_data(payload).data(),
-              static_cast<std::size_t>(shape.rows) * shape.cols *
-                  sizeof(float));
+  if (shape.quantized) {
+    dequantize_body(payload_data(payload), dst.data() + row_begin * dst.cols(),
+                    shape.rows, shape.cols);
+  } else {
+    std::memcpy(dst.data() + row_begin * dst.cols(),
+                payload_data(payload).data(),
+                static_cast<std::size_t>(shape.rows) * shape.cols *
+                    sizeof(float));
+  }
   return shape;
 }
 

@@ -37,10 +37,24 @@ static_assert(Payload::kInlineHeaderCapacity >= kTensorWireHeaderBytes);
   return kTensorWireHeaderBytes + elements * sizeof(float);
 }
 
+// Quantized wire variant (net/quant_codec.h encodes it): the header's cols
+// word carries this flag, and the body is rows little-endian float32 row
+// scales followed by rows*cols int8 values — symmetric per-row
+// quantization, value = scale * q. Every decode path below dequantizes it
+// transparently, so receivers are precision-blind.
+inline constexpr std::uint64_t kQuantColsFlag = std::uint64_t{1} << 63;
+
+// Serialized size of a quantized [rows x cols] tensor.
+[[nodiscard]] constexpr std::size_t quant_wire_bytes(
+    std::size_t rows, std::size_t cols) noexcept {
+  return kTensorWireHeaderBytes + rows * sizeof(float) + rows * cols;
+}
+
 // Parsed wire header.
 struct WireShape {
   std::uint64_t rows = 0;
   std::uint64_t cols = 0;
+  bool quantized = false;
 };
 
 [[nodiscard]] std::vector<std::byte> to_bytes(const Tensor& t);

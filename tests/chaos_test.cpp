@@ -182,7 +182,7 @@ TEST(Chaos, StatsPassThrough) {
   t->send(Message{.source = 0, .destination = 1, .tag = 1,
                   .payload = std::vector<std::byte>(10)});
   (void)t->recv(1, 0, 1);
-  EXPECT_EQ(t->stats(0).bytes_sent, 10U);
+  EXPECT_EQ(t->stats(0).bytes_sent, 10U + kWireFrameBytes);
   t->reset_stats();
   EXPECT_EQ(t->total_stats().bytes_sent, 0U);
 }

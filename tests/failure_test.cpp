@@ -292,6 +292,52 @@ TEST(Failure, TensorParallelRuntimeContainsCrashedDevice) {
   EXPECT_TRUE(runtime.fabric().closed());
 }
 
+TEST(Failure, QuantizedRuntimeContainsCrashMidGather) {
+  // Same crash scenario as the float path, but with the quantized wire
+  // codec active: device 1 goes dark while its peers wait on quantized
+  // all-gathers. Poisoning must propagate through the int8 plane in bounded
+  // time — the codec sits on the payload, not on the containment logic.
+  const TransformerModel model = make_model(mini_bert_spec());
+  auto chaos = std::make_unique<ChaosTransport>(
+      make_transport(TransportKind::kInMemory, 4),
+      ChaosOptions{.max_delay_seconds = 1e-4,
+                   .seed = 21,
+                   .crash = ChaosOptions::Crash{.device = 1,
+                                                .after_sends = 3}});
+  VoltageRuntime runtime(
+      model,
+      LayerSchedule::uniform(PartitionScheme::even(3),
+                             model.spec().num_layers),
+      OrderPolicy::kAdaptive, std::move(chaos));
+  runtime.set_precision(Precision::kInt8);
+  const auto tokens = random_tokens(12, model.spec().vocab_size, 8);
+  const auto start = Clock::now();
+  EXPECT_THROW((void)runtime.infer(tokens), TransportClosedError);
+  EXPECT_LT(seconds_since(start), 60.0);
+  EXPECT_TRUE(runtime.fabric().closed());
+}
+
+TEST(Failure, QuantizedRuntimeDropWithDeadlineTimesOut) {
+  // Total loss under the int8 wire: only the shared recv deadline can catch
+  // it, and it must — the quantized gathers take the same RecvOptions path.
+  const TransformerModel model = make_model(mini_bert_spec());
+  auto chaos = std::make_unique<ChaosTransport>(
+      make_transport(TransportKind::kInMemory, 3),
+      ChaosOptions{.max_delay_seconds = 0.0, .seed = 22,
+                   .drop_probability = 1.0, .crash = {}});
+  VoltageRuntime runtime(
+      model,
+      LayerSchedule::uniform(PartitionScheme::even(2),
+                             model.spec().num_layers),
+      OrderPolicy::kAdaptive, std::move(chaos));
+  runtime.set_precision(Precision::kInt8);
+  runtime.set_recv_timeout(0.5);
+  const auto tokens = random_tokens(8, model.spec().vocab_size, 9);
+  const auto start = Clock::now();
+  EXPECT_THROW((void)runtime.infer(tokens), RecvTimeoutError);
+  EXPECT_LT(seconds_since(start), 60.0);
+}
+
 TEST(Failure, BitwiseInvarianceHoldsOnFaultFreePath) {
   // The containment plumbing (deadline checks, poison hooks) must not
   // perturb the fault-free numerics: distributed inference with a deadline

@@ -73,10 +73,12 @@ TEST(Fabric, CountsTraffic) {
   fabric.send(Message{.source = 0, .destination = 1, .tag = 1,
                       .payload = std::vector<std::byte>(100)});
   (void)fabric.recv(1, 0, 1);
-  EXPECT_EQ(fabric.stats(0).bytes_sent, 100U);
+  // Each message is charged its payload plus the per-message wire frame
+  // (net/message.h), so in-memory and socket transports count identically.
+  EXPECT_EQ(fabric.stats(0).bytes_sent, 100U + kWireFrameBytes);
   EXPECT_EQ(fabric.stats(0).messages_sent, 1U);
-  EXPECT_EQ(fabric.stats(1).bytes_received, 100U);
-  EXPECT_EQ(fabric.total_stats().bytes_sent, 100U);
+  EXPECT_EQ(fabric.stats(1).bytes_received, 100U + kWireFrameBytes);
+  EXPECT_EQ(fabric.total_stats().bytes_sent, 100U + kWireFrameBytes);
   fabric.reset_stats();
   EXPECT_EQ(fabric.total_stats().bytes_sent, 0U);
 }
@@ -355,7 +357,8 @@ TEST(CommVolume, AllGatherMatchesPaperFormula) {
   const std::uint64_t elements =
       voltage_elements_per_device_layer(kN, kF, kRanks);
   const std::uint64_t expected_bytes =
-      elements * sizeof(float) + (kRanks - 1) * kTensorWireHeaderBytes;
+      elements * sizeof(float) +
+      (kRanks - 1) * (kTensorWireHeaderBytes + kWireFrameBytes);
   for (std::size_t i = 0; i < kRanks; ++i) {
     EXPECT_EQ(fabric.stats(i).bytes_sent, expected_bytes);
     EXPECT_EQ(fabric.stats(i).messages_sent, kRanks - 1);
@@ -386,7 +389,8 @@ TEST(CommVolume, ZeroCopyAllGatherIntoMatchesPaperFormula) {
   const std::uint64_t elements =
       voltage_elements_per_device_layer(kN, kF, kRanks);
   const std::uint64_t expected_bytes =
-      elements * sizeof(float) + (kRanks - 1) * kTensorWireHeaderBytes;
+      elements * sizeof(float) +
+      (kRanks - 1) * (kTensorWireHeaderBytes + kWireFrameBytes);
   for (std::size_t i = 0; i < kRanks; ++i) {
     EXPECT_EQ(fabric.stats(i).bytes_sent, expected_bytes);
     EXPECT_EQ(fabric.stats(i).messages_sent, kRanks - 1);
@@ -415,7 +419,7 @@ TEST(CommVolume, RingAllReducePairMatchesTpFormula) {
   const std::uint64_t elements = tp_elements_per_device_layer(kN, kF, kRanks);
   const std::uint64_t expected_bytes =
       elements * sizeof(float) +
-      4 * (kRanks - 1) * kTensorWireHeaderBytes;
+      4 * (kRanks - 1) * (kTensorWireHeaderBytes + kWireFrameBytes);
   for (std::size_t i = 0; i < kRanks; ++i) {
     EXPECT_EQ(fabric.stats(i).bytes_sent, expected_bytes);
   }

@@ -380,13 +380,43 @@ TEST(InstrumentedRuntime, ExportRoundTripsThroughTheReportPipeline) {
     EXPECT_FALSE(row.order.empty());
     if (static_cast<std::size_t>(row.layer) + 1 < model.spec().num_layers) {
       EXPECT_GT(row.all_gather_bytes, 0) << "layer " << row.layer;
+      // fp32 spans carry no raw_bytes: encoded == fp32-equivalent.
+      EXPECT_EQ(row.all_gather_raw_bytes, row.all_gather_bytes)
+          << "layer " << row.layer;
     }
   }
   // Devices 0..K-1 plus the terminal appear in the per-device table.
   EXPECT_EQ(report.devices.size(), kDevices + 1);
   const std::string table = obs::format_report(report);
   EXPECT_NE(table.find("all_gather_bytes"), std::string::npos);
+  EXPECT_NE(table.find("fp32_equiv_bytes"), std::string::npos);
   EXPECT_NE(table.find("reordered"), std::string::npos);
+}
+
+TEST(InstrumentedRuntime, QuantizedTraceReportsEncodedAndRawBytes) {
+  // Under Precision::kInt8 the all-gather spans' `bytes` count what crossed
+  // the wire (int8 + scales + frame) while `raw_bytes` carries the
+  // fp32-equivalent — the report keeps both so a quantized trace shows its
+  // own wire reduction.
+  const TransformerModel model = make_model(mini_bert_spec());
+  VoltageRuntime runtime(model, PartitionScheme::even(3));
+  runtime.set_precision(Precision::kInt8);
+  obs::Tracer tracer;
+  runtime.set_tracer(&tracer);
+  (void)runtime.infer(random_tokens(24, model.spec().vocab_size, 6));
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const obs::TraceReport report =
+      obs::build_report(obs::load_chrome_trace(out.str()));
+  bool saw_gather = false;
+  for (const obs::LayerRow& row : report.layers) {
+    if (row.all_gather_bytes == 0) continue;
+    saw_gather = true;
+    EXPECT_GT(row.all_gather_raw_bytes, row.all_gather_bytes)
+        << "layer " << row.layer << " device " << row.device;
+  }
+  EXPECT_TRUE(saw_gather);
 }
 
 // --- trace context + flow propagation -----------------------------------
@@ -815,7 +845,9 @@ TEST(FlightRecorder, FabricPoisoningAutoDumpsTheRing) {
             std::string::npos);
   EXPECT_NE(text.find("send 0->1"), std::string::npos);
   EXPECT_NE(text.find("recv 0->1"), std::string::npos);
-  EXPECT_NE(text.find("bytes=32"), std::string::npos);
+  // Recorder entries charge payload + wire frame, like the stats.
+  EXPECT_NE(text.find("bytes=" + std::to_string(32 + kWireFrameBytes)),
+            std::string::npos);
 }
 
 // --- concurrency (run under TSan in CI) ----------------------------------

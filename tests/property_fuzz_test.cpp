@@ -2,10 +2,15 @@
 // randomly drawn geometries, partitions, schemes and payloads. Each TEST_P
 // instance derives everything deterministically from its seed, so failures
 // reproduce exactly.
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "collective/collectives.h"
+#include "net/quant_codec.h"
 #include "partition/flop_model.h"
+#include "quant/quantized_tensor.h"
 #include "partition/partitioned_layer.h"
 #include "partition/scheme.h"
 #include "runtime/voltage_runtime.h"
@@ -104,6 +109,59 @@ TEST_P(Fuzz, SerializationRoundTripsRandomShapes) {
     const std::size_t cols = 1 + rng_.next_below(40);
     const Tensor t = rng_.normal_tensor(rows, cols, 3.0F);
     EXPECT_EQ(tensor_from_bytes(to_bytes(t)), t);
+  }
+}
+
+TEST_P(Fuzz, QuantizedWireRoundTripsWithinHalfStep) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t rows = rng_.next_below(16);
+    const std::size_t cols = 1 + rng_.next_below(48);
+    const Tensor t =
+        rng_.normal_tensor(rows, cols, 0.1F + 10.0F * rng_.next_uniform());
+    const Payload payload = quantized_payload(t);
+    ASSERT_EQ(payload.size(), quant_wire_bytes(rows, cols));
+    const Tensor back = tensor_from_payload(payload);
+    ASSERT_TRUE(back.same_shape(t));
+    for (std::size_t r = 0; r < rows; ++r) {
+      float absmax = 0.0F;
+      for (const float v : t.row(r)) absmax = std::max(absmax, std::fabs(v));
+      const float step = absmax / 127.0F;
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_LE(std::fabs(back(r, c) - t(r, c)),
+                  0.5F * step + 1e-6F * absmax + 1e-7F)
+            << "seed=" << GetParam() << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST_P(Fuzz, Int8GemmTracksFloatGemmWithinQuantizationBound) {
+  // The documented compute bound: quantized_matmul's error against the float
+  // GEMM comes only from representing x per row and W per column in int8 —
+  // the int32 accumulation itself is exact. With both operand errors at most
+  // half a step, the relative error stays well under 2% for generic dense
+  // operands (DESIGN.md "Quantized path").
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t m = 1 + rng_.next_below(40);
+    const std::size_t k = 1 + rng_.next_below(96);
+    const std::size_t n = 1 + rng_.next_below(64);
+    const float xs = 0.05F + 5.0F * rng_.next_uniform();
+    const float ws = 0.05F + 2.0F * rng_.next_uniform();
+    const Tensor x = rng_.normal_tensor(m, k, xs);
+    const Tensor w = rng_.normal_tensor(k, n, ws);
+    const Tensor exact = matmul(x, w);
+    const Tensor approx = quantized_matmul(x, quantize_weights(w));
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      const double d = static_cast<double>(approx.flat()[i]) -
+                       static_cast<double>(exact.flat()[i]);
+      num += d * d;
+      den += static_cast<double>(exact.flat()[i]) * exact.flat()[i];
+    }
+    const double rel = den == 0.0 ? 0.0 : std::sqrt(num / den);
+    EXPECT_LT(rel, 0.02) << "seed=" << GetParam() << " m=" << m << " k=" << k
+                         << " n=" << n;
   }
 }
 

@@ -129,18 +129,21 @@ TEST(VoltageRuntime, WireTrafficMatchesPaperFormula) {
   const std::size_t layers = model.spec().num_layers;
   const std::uint64_t gather_elems =
       voltage_elements_per_device_layer(kSeq, f, kDevices);
-  // L-1 all-gathers plus the final partition to the terminal.
+  // L-1 all-gathers plus the final partition to the terminal; every
+  // message carries the per-message wire frame (net/message.h) on top of
+  // its serialized tensor.
   const std::uint64_t expected_bytes =
-      (layers - 1) * (gather_elems * sizeof(float) +
-                      (kDevices - 1) * kTensorWireHeaderBytes) +
-      tensor_wire_bytes(kSeq / kDevices * f);
+      (layers - 1) *
+          (gather_elems * sizeof(float) +
+           (kDevices - 1) * (kTensorWireHeaderBytes + kWireFrameBytes)) +
+      tensor_wire_bytes(kSeq / kDevices * f) + kWireFrameBytes;
   for (DeviceId d = 0; d < kDevices; ++d) {
     EXPECT_EQ(runtime.fabric().stats(d).bytes_sent, expected_bytes)
         << "device " << d;
   }
-  // Terminal broadcast: K copies of the N x F features.
+  // Terminal broadcast: K framed copies of the N x F features.
   EXPECT_EQ(runtime.fabric().stats(runtime.terminal_id()).bytes_sent,
-            kDevices * tensor_wire_bytes(kSeq * f));
+            kDevices * (tensor_wire_bytes(kSeq * f) + kWireFrameBytes));
 }
 
 // --- tensor-parallel runtime ---------------------------------------------------

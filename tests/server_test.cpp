@@ -206,6 +206,37 @@ TEST(InferenceServer, GenerateMatchesSingleDeviceGreedyDecode) {
   EXPECT_EQ(server.submit_generate(prompt, kNewTokens).get(), expected);
 }
 
+TEST(InferenceServer, ServesOnQuantizedPlane) {
+  // Options.precision = kInt8 threads through to both engines: logits
+  // requests run the int8 runtime, generation requests the int8 decoder.
+  // Served predictions match the fp32 reference model's argmax, and the
+  // served generation matches fp32 greedy decode token for token.
+  const TransformerModel model = make_model(mini_gpt2_spec());
+  InferenceServer::Options opts = options(3);
+  opts.precision = Precision::kInt8;
+  InferenceServer server(model, opts);
+  EXPECT_EQ(server.runtime().precision(), Precision::kInt8);
+
+  const auto tokens = random_tokens(14, model.spec().vocab_size, 19);
+  const Tensor served = server.submit(tokens).get();
+  const Tensor exact = model.infer(tokens);
+  ASSERT_TRUE(served.same_shape(exact));
+  EXPECT_EQ(argmax_row(served, 0), argmax_row(exact, 0));
+
+  constexpr std::size_t kNewTokens = 5;
+  IncrementalDecoder reference(model);
+  std::vector<TokenId> expected;
+  Tensor logits = reference.prime(tokens);
+  for (std::size_t i = 0; i < kNewTokens; ++i) {
+    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
+    expected.push_back(next);
+    if (i + 1 < kNewTokens) logits = reference.step(next);
+  }
+  EXPECT_EQ(server.submit_generate(tokens, kNewTokens).get(), expected);
+  EXPECT_EQ(server.stats().completed, 2U);
+  EXPECT_EQ(server.stats().failed, 0U);
+}
+
 TEST(InferenceServer, GenerateAndLogitsRequestsInterleave) {
   const TransformerModel model = make_model(mini_gpt2_spec());
   InferenceServer server(model, options(2));

@@ -51,7 +51,8 @@ TEST(Stress, FabricManyToOneFanIn) {
   receiver.join();
   EXPECT_EQ(received, 4 * kPerSender);
   EXPECT_EQ(fabric.stats(0).messages_received, 4 * kPerSender);
-  EXPECT_EQ(fabric.stats(0).bytes_received, bytes);
+  EXPECT_EQ(fabric.stats(0).bytes_received,
+            bytes + 4 * kPerSender * kWireFrameBytes);
 }
 
 TEST(Stress, SocketFabricBidirectionalSoak) {
@@ -80,7 +81,8 @@ TEST(Stress, SocketFabricBidirectionalSoak) {
     echoed += fabric.recv(0, 1, m + kMessages).payload.size();
   }
   peer.join();
-  EXPECT_EQ(fabric.stats(0).bytes_sent, echoed);
+  EXPECT_EQ(fabric.stats(0).bytes_sent,
+            echoed + kMessages * kWireFrameBytes);
   EXPECT_EQ(fabric.total_stats().messages_sent, 2 * kMessages);
 }
 

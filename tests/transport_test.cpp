@@ -100,8 +100,8 @@ TEST_P(TransportParam, TrafficCountersMatch) {
   t->send(Message{.source = 0, .destination = 2, .tag = 1,
                   .payload = std::vector<std::byte>(64)});
   (void)t->recv(2, 0, 1);
-  EXPECT_EQ(t->stats(0).bytes_sent, 64U);
-  EXPECT_EQ(t->stats(2).bytes_received, 64U);
+  EXPECT_EQ(t->stats(0).bytes_sent, 64U + kWireFrameBytes);
+  EXPECT_EQ(t->stats(2).bytes_received, 64U + kWireFrameBytes);
   EXPECT_EQ(t->total_stats().messages_sent, 1U);
   t->reset_stats();
   EXPECT_EQ(t->total_stats().bytes_sent, 0U);
