@@ -1,73 +1,203 @@
-// Extension: tail latency under sporadic load (the paper's serving regime,
-// §I and §V-C, made quantitative).
+// Extension: continuous-batching serving throughput (closed loop).
 //
-// BERT-Large requests arrive as a Poisson stream at a 6-device edge
-// cluster. Each deployment strategy's end-to-end latency (from the Fig. 4/5
-// models) becomes the service time of a queueing simulation; the table
-// reports p50/p99 sojourn times across arrival rates. Voltage's lower
-// per-request latency translates into a far larger stable operating region
-// than single-device or TP; pipelining sustains high load but pays its deep
-// latency floor on every request.
+// Steady-state serving sweep on a K=4 mesh: B sequences stay resident in
+// the DistributedDecoder's slots and every iteration advances all of them
+// with one step_batch call — the closed-loop analogue of a server running
+// at occupancy B. For B in {1, 4, 16} (fp32 and int8 wire) the table
+// reports aggregate tokens/s, per-step p50/p99 latency, and the measured
+// per-step wire cost from the fabric counters.
+//
+// The scheduling claim this benchmark enforces (exit 1 on violation, at
+// K=4 fp32):
+//   - batching pays: aggregate tokens/s at B=16 is >= 2x B=1;
+//   - the wire cost is one command broadcast + one softmax-merge round per
+//     batch step: the per-step MESSAGE count is identical at every B, and
+//     per-step bytes grow sublinearly in B (the fixed per-step cost is
+//     amortized across lanes).
+//
+// Writes the sweep as JSON (argv[1], default BENCH_serving.json — the repo
+// root keeps a committed snapshot that CI regenerates to catch serving
+// regressions).
+//
+//   ./build/bench/extension_serving [out.json]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "parallel/latency_model.h"
-#include "parallel/pipeline.h"
-#include "sim/serving.h"
+#include "runtime/distributed_decoder.h"
+#include "tensor/ops.h"
+#include "transformer/tokenizer.h"
 #include "transformer/zoo.h"
 
 namespace {
 
 using namespace voltage;
 
-void print_row(const char* name, double rate, const sim::ServingReport& r) {
-  if (r.utilization >= 1.0) {
-    std::printf("  %-14s rate %.2f r/s : UNSTABLE (utilization %.2f)\n",
-                name, rate, r.utilization);
-  } else {
-    std::printf("  %-14s rate %.2f r/s : p50 %6.2f s   p99 %6.2f s   "
-                "(util %.2f)\n",
-                name, rate, r.p50, r.p99, r.utilization);
+// mini-gpt2 with window room for the prompt plus the measured decode run.
+ModelSpec serving_spec() {
+  ModelSpec spec = mini_gpt2_spec();
+  spec.name = "mini-gpt2-serving";
+  spec.max_positions = 256;
+  return spec;
+}
+
+struct Sample {
+  Precision precision = Precision::kFp32;
+  std::size_t batch = 0;
+  std::size_t steps = 0;
+  double tokens_per_s = 0.0;
+  double p50_step_us = 0.0;
+  double p99_step_us = 0.0;
+  double messages_per_step = 0.0;
+  double bytes_per_step = 0.0;
+
+  [[nodiscard]] double bytes_per_token() const {
+    return batch > 0 ? bytes_per_step / static_cast<double>(batch) : 0.0;
   }
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+Sample run_sweep(const TransformerModel& model, Precision precision,
+                 std::size_t batch) {
+  constexpr std::size_t kWarmup = 4;
+  constexpr std::size_t kSteps = 96;
+  DistributedDecoder decoder(model, PartitionScheme::even(4));
+  decoder.set_precision(precision);
+  std::vector<SlotToken> lanes;
+  for (std::size_t s = 0; s < batch; ++s) {
+    const auto primed = decoder.prime_slot(
+        random_tokens(16, model.spec().vocab_size, 40 + s));
+    lanes.push_back(SlotToken{
+        .slot = primed.slot,
+        .token = static_cast<TokenId>(argmax_row(primed.logits, 0))});
+  }
+  const auto advance = [&] {
+    const Tensor logits = decoder.step_batch(lanes);
+    for (std::size_t s = 0; s < batch; ++s) {
+      lanes[s].token = static_cast<TokenId>(argmax_row(logits, s));
+    }
+  };
+  for (std::size_t i = 0; i < kWarmup; ++i) advance();
+
+  std::vector<double> step_us;
+  step_us.reserve(kSteps);
+  const TrafficStats before = decoder.fabric().total_stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    advance();
+    step_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  const double total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const TrafficStats after = decoder.fabric().total_stats();
+
+  Sample s;
+  s.precision = precision;
+  s.batch = batch;
+  s.steps = kSteps;
+  s.tokens_per_s = total_s > 0.0
+                       ? static_cast<double>(batch * kSteps) / total_s
+                       : 0.0;
+  s.p50_step_us = percentile(step_us, 0.50);
+  s.p99_step_us = percentile(step_us, 0.99);
+  s.messages_per_step =
+      static_cast<double>(after.messages_sent - before.messages_sent) /
+      static_cast<double>(kSteps);
+  s.bytes_per_step =
+      static_cast<double>(after.bytes_sent - before.bytes_sent) /
+      static_cast<double>(kSteps);
+  return s;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("=== Extension: sporadic-request serving, BERT-Large on 6 "
-              "devices @ 500 Mbps ===\n\n");
-  const ModelSpec spec = bert_large_spec();
-  const sim::DeviceSpec device{
-      .name = "vcpu", .mac_rate = 25e9, .elementwise_rate = 4e9};
-  const auto cluster =
-      sim::Cluster::homogeneous(6, device, LinkModel::mbps(500));
-  const auto single_cluster =
-      sim::Cluster::homogeneous(1, device, LinkModel::mbps(500));
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  const TransformerModel model = make_model(serving_spec());
+  constexpr std::size_t kDevices = 4;
 
-  const double t_single = simulate_single_device(spec, 200, single_cluster).total;
-  const double t_voltage =
-      simulate_voltage(spec, 200, cluster, PartitionScheme::even(6),
-                       OrderPolicy::kAdaptive)
-          .total;
-  const double t_tp = simulate_tensor_parallel(spec, 200, cluster).total;
-  const PipelineReport pipe = simulate_pipeline(spec, 200, cluster);
+  std::printf("=== Extension: continuous-batching serving, %s, K=%zu "
+              "(closed loop) ===\n\n",
+              model.spec().name.c_str(), kDevices);
+  std::printf("  wire  B    tok/s   p50_step_us  p99_step_us  msgs/step  "
+              "bytes/step  bytes/tok\n");
 
-  std::printf("service times: single %.2f s | voltage %.2f s | tp %.2f s | "
-              "pipeline %.2f s (admit every %.2f s)\n\n",
-              t_single, t_voltage, t_tp, pipe.request_latency,
-              pipe.bottleneck_stage);
+  std::vector<Sample> samples;
+  for (const Precision precision : {Precision::kFp32, Precision::kInt8}) {
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      const Sample s = run_sweep(model, precision, batch);
+      samples.push_back(s);
+      std::printf("  %-4s %2zu  %7.1f  %11.1f  %11.1f  %9.1f  %10.0f  %9.0f\n",
+                  precision == Precision::kInt8 ? "int8" : "fp32", s.batch,
+                  s.tokens_per_s, s.p50_step_us, s.p99_step_us,
+                  s.messages_per_step, s.bytes_per_step, s.bytes_per_token());
+    }
+    voltage::bench::print_rule(72);
+  }
 
-  for (const double rate : {0.1, 0.3, 0.6, 0.9, 1.5}) {
-    const sim::ArrivalProcess arrivals{
-        .rate_rps = rate, .num_requests = 4000, .seed = 11};
-    std::printf("arrival rate %.1f requests/s\n", rate);
-    print_row("single", rate, sim::simulate_serving(t_single, arrivals));
-    print_row("voltage", rate, sim::simulate_serving(t_voltage, arrivals));
-    print_row("tensor-par", rate, sim::simulate_serving(t_tp, arrivals));
-    print_row("pipeline", rate,
-              sim::simulate_pipeline_serving(pipe.request_latency,
-                                             pipe.bottleneck_stage, arrivals));
-    bench::print_rule(72);
+  // Acceptance thresholds, checked on the fp32 sweep (samples 0..2).
+  const Sample& b1 = samples[0];
+  const Sample& b16 = samples[2];
+  const double speedup =
+      b1.tokens_per_s > 0.0 ? b16.tokens_per_s / b1.tokens_per_s : 0.0;
+  const bool throughput_ok = speedup >= 2.0;
+  const bool messages_ok = b16.messages_per_step == b1.messages_per_step;
+  const bool bytes_sublinear = b16.bytes_per_step < 16.0 * b1.bytes_per_step;
+  std::printf("\naggregate tokens/s at B=16 vs B=1: %.2fx (need >= 2x)\n"
+              "messages/step B=16 vs B=1: %.1f vs %.1f (need equal)\n"
+              "bytes/step B=16 vs B=1: %.0f vs %.0f (need < 16x)\n",
+              speedup, b16.messages_per_step, b1.messages_per_step,
+              b16.bytes_per_step, b1.bytes_per_step);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"continuous_batching_serving\",\n"
+      << "  \"model\": \"" << model.spec().name << "\",\n"
+      << "  \"devices\": " << kDevices << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"precision\": \""
+        << (s.precision == Precision::kInt8 ? "int8" : "fp32")
+        << "\", \"batch\": " << s.batch << ", \"steps\": " << s.steps
+        << ", \"tokens_per_s\": " << voltage::bench::num(s.tokens_per_s)
+        << ", \"p50_step_us\": " << voltage::bench::num(s.p50_step_us)
+        << ", \"p99_step_us\": " << voltage::bench::num(s.p99_step_us)
+        << ", \"messages_per_step\": "
+        << voltage::bench::num(s.messages_per_step)
+        << ", \"bytes_per_step\": " << voltage::bench::num(s.bytes_per_step)
+        << ", \"bytes_per_token\": " << voltage::bench::num(s.bytes_per_token())
+        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"acceptance\": {\"throughput_speedup_b16\": "
+      << voltage::bench::num(speedup)
+      << ", \"throughput_ok\": " << (throughput_ok ? "true" : "false")
+      << ", \"messages_per_step_constant\": " << (messages_ok ? "true" : "false")
+      << ", \"bytes_per_step_sublinear\": "
+      << (bytes_sublinear ? "true" : "false") << "}\n}\n";
+  std::printf("(wrote %s)\n", out_path.c_str());
+
+  if (!throughput_ok || !messages_ok || !bytes_sublinear) {
+    std::fprintf(stderr, "serving acceptance thresholds not met\n");
+    return 1;
   }
   return 0;
 }

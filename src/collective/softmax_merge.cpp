@@ -22,6 +22,9 @@ Tensor all_reduce_softmax_merge(Transport& fabric,
   if (partial.cols() != softmax_partial_cols(heads, head_dim)) {
     throw std::invalid_argument("softmax_merge: partial width mismatch");
   }
+  if (partial.rows() == 0) {
+    throw std::invalid_argument("softmax_merge: empty batch");
+  }
   if (group.size() == 1) return partial;
 
   const DeviceId self = group[my_index];

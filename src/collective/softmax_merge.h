@@ -7,9 +7,16 @@
 // monolithic softmax over the union of the position sets. The reduction runs
 // at a designated root (partials merged in rank order, so the result is
 // bitwise deterministic regardless of arrival order) and the merged partial
-// is broadcast back, putting 2(K-1) messages of H*(F_H+2) floats on the
+// is broadcast back, putting 2(K-1) messages of R*H*(F_H+2) floats on the
 // wire per call — independent of the context length, which is the whole
 // point of cache-resident decoding.
+//
+// The reduction is row-wise, so a batched decode step ships every in-flight
+// request's triples in this single collective: row r of every rank's
+// partial belongs to request r of the batch, rows never mix, and each row's
+// fold order is the same fixed rank order a single-request step uses —
+// which is why a batched step stays bitwise identical to B sequential
+// steps while paying one message round instead of B.
 #pragma once
 
 #include "net/transport.h"
@@ -17,11 +24,13 @@
 
 namespace voltage {
 
-// `partial` is [R x H*(F_H+2)] packed (R = query rows, normally 1).
-// Root `group[root_index]` gathers, merges in rank order and rebroadcasts;
-// the merged packed partial is returned on every rank. Uses `tag` for the
-// rank->root leg and `tag + 1` for the root->rank leg, so callers must
-// leave both tags free. A single-rank group returns `partial` unchanged.
+// `partial` is [R x H*(F_H+2)] packed (R = query rows: 1 for a
+// single-sequence step, the batch size for a batched step — all ranks must
+// agree on R). Root `group[root_index]` gathers, merges in rank order and
+// rebroadcasts; the merged packed partial is returned on every rank. Uses
+// `tag` for the rank->root leg and `tag + 1` for the root->rank leg, so
+// callers must leave both tags free. A single-rank group returns `partial`
+// unchanged.
 [[nodiscard]] Tensor all_reduce_softmax_merge(
     Transport& fabric, const std::vector<DeviceId>& group,
     std::size_t my_index, std::size_t root_index, const Tensor& partial,

@@ -154,6 +154,7 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
     Interval interval;
     std::int64_t index = -1;
     std::int64_t trace_id = -1;
+    std::int64_t batch = -1;
   };
   std::vector<Window> windows;
   const bool has_decode = std::any_of(
@@ -171,6 +172,7 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
         .interval = {e->start_us, e->start_us + e->duration_us},
         .index = e->request,
         .trace_id = e->trace,
+        .batch = e->batch,
     });
   }
   if (windows.empty()) {
@@ -191,6 +193,7 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
     attribution.label = w.label;
     attribution.index = w.index;
     attribution.trace_id = w.trace_id;
+    attribution.batch = w.batch;
     attribution.start_us = w.interval.first;
     attribution.wall_us = w.interval.second - w.interval.first;
 
@@ -441,12 +444,14 @@ std::string format_critical_path(const CriticalPathReport& report) {
 
   out += "\nwindows:\n";
   out +=
-      "window    idx  trace       wall_us  straggler  "
+      "window    idx  trace  batch       wall_us  straggler  "
       "per-device compute/wire/wait (us)\n";
   for (const WindowAttribution& w : report.windows) {
-    std::snprintf(line, sizeof(line), "%-8s  %3lld  %5lld  %12lld  %9lld  ",
+    std::snprintf(line, sizeof(line),
+                  "%-8s  %3lld  %5lld  %5lld  %12lld  %9lld  ",
                   w.label.c_str(), static_cast<long long>(w.index),
                   static_cast<long long>(w.trace_id),
+                  static_cast<long long>(w.batch),
                   static_cast<long long>(w.wall_us),
                   static_cast<long long>(w.straggler_track));
     out += line;

@@ -52,6 +52,11 @@ struct WindowAttribution {
   std::string label;       // "prefill" | "step" | "service" | "trace"
   std::int64_t index = -1;  // the span's request attr (token position), -1
   std::int64_t trace_id = -1;
+  // Requests served by this window (the span's batch attr): a batched
+  // decode step generated this many tokens for one wall-clock window, so
+  // per-token cost is the decomposition below divided by batch. -1 when
+  // the span carries no batch annotation.
+  std::int64_t batch = -1;
   Micros start_us = 0;
   Micros wall_us = 0;
   std::vector<DeviceSlice> devices;  // sorted by track

@@ -59,6 +59,10 @@ void read_args(const json::Value& event, TraceEvent& out) {
       v != nullptr && v->is_number()) {
     out.trace = static_cast<std::int64_t>(v->as_number());
   }
+  if (const json::Value* v = args->find("batch");
+      v != nullptr && v->is_number()) {
+    out.batch = static_cast<std::int64_t>(v->as_number());
+  }
   if (const json::Value* v = args->find("tag");
       v != nullptr && v->is_string()) {
     out.tag = v->as_string();
@@ -226,6 +230,7 @@ TraceReport build_report(const LoadedTrace& trace) {
 
   std::map<std::pair<std::int64_t, std::int64_t>, LayerRow> layers;
   std::map<std::int64_t, DeviceRow> devices;
+  std::map<std::int64_t, DecodeBatchRow> batches;
   Micros first = std::numeric_limits<Micros>::max();
   Micros last = std::numeric_limits<Micros>::min();
 
@@ -255,9 +260,16 @@ TraceReport build_report(const LoadedTrace& trace) {
       report.decode.prefills += 1;
       report.decode.prefill_us += e.duration_us;
     } else if (span_name == "decode.step") {
+      const std::int64_t b = e.batch > 0 ? e.batch : 1;
       report.decode.steps += 1;
+      report.decode.tokens += static_cast<std::size_t>(b);
       report.decode.step_us += e.duration_us;
       if (e.bytes > 0) report.decode.step_bytes += e.bytes;
+      DecodeBatchRow& row = batches[b];
+      row.batch = b;
+      row.steps += 1;
+      row.step_us += e.duration_us;
+      if (e.bytes > 0) row.step_bytes += e.bytes;
     }
 
     if (e.layer < 0) continue;
@@ -290,6 +302,8 @@ TraceReport build_report(const LoadedTrace& trace) {
   for (auto& [key, row] : layers) report.layers.push_back(std::move(row));
   report.devices.reserve(devices.size());
   for (auto& [key, row] : devices) report.devices.push_back(std::move(row));
+  report.decode.by_batch.reserve(batches.size());
+  for (auto& [key, row] : batches) report.decode.by_batch.push_back(row);
   return report;
 }
 
@@ -338,13 +352,27 @@ std::string format_report(const TraceReport& report) {
   }
 
   if (report.decode.steps > 0 || report.decode.prefills > 0) {
-    out += "\ndecode  prefill_us  tokens  tokens_per_s  bytes_per_token\n";
-    std::snprintf(line, sizeof(line), "%6zu  %10lld  %6zu  %12.1f  %15.0f\n",
+    out += "\ndecode  prefill_us  steps  tokens  tokens_per_s  bytes_per_token\n";
+    std::snprintf(line, sizeof(line),
+                  "%6zu  %10lld  %5zu  %6zu  %12.1f  %15.0f\n",
                   report.decode.prefills,
                   static_cast<long long>(report.decode.prefill_us),
-                  report.decode.steps, report.decode.tokens_per_second(),
+                  report.decode.steps, report.decode.tokens,
+                  report.decode.tokens_per_second(),
                   report.decode.bytes_per_token());
     out += line;
+  }
+
+  if (!report.decode.by_batch.empty()) {
+    out += "\nbatch  steps  step_us_mean  step_bytes_mean\n";
+    for (const DecodeBatchRow& row : report.decode.by_batch) {
+      const double n = static_cast<double>(row.steps);
+      std::snprintf(line, sizeof(line), "%5lld  %5zu  %12.1f  %15.1f\n",
+                    static_cast<long long>(row.batch), row.steps,
+                    n > 0.0 ? static_cast<double>(row.step_us) / n : 0.0,
+                    n > 0.0 ? static_cast<double>(row.step_bytes) / n : 0.0);
+      out += line;
+    }
   }
   return out;
 }

@@ -83,25 +83,41 @@ struct DeviceRow {
   std::size_t spans = 0;
 };
 
+// Steps aggregated by the batch size they ran at (the "batch" attr on
+// "decode.step" spans; unannotated steps count as batch 1). Comparing
+// step_us/steps and step_bytes/steps across rows shows how step latency
+// and wire cost scale with occupancy — the continuous-batching win is
+// visible as near-flat per-step cost while tokens-per-step grows.
+struct DecodeBatchRow {
+  std::int64_t batch = 1;
+  std::size_t steps = 0;
+  Micros step_us = 0;
+  std::int64_t step_bytes = 0;
+};
+
 // Aggregation of the decoding spans ("decode.prefill" / "decode.step",
 // emitted by DistributedDecoder's terminal): step throughput and the wire
-// cost per generated token.
+// cost per generated token. A batched step generates one token per request,
+// so `tokens` sums max(1, batch) over steps and the per-token rates divide
+// by tokens, not steps.
 struct DecodeStats {
   std::size_t prefills = 0;
   Micros prefill_us = 0;
-  std::size_t steps = 0;          // one "decode.step" span per token
+  std::size_t steps = 0;          // batched decode iterations
+  std::size_t tokens = 0;         // generated tokens: Σ max(1, batch)
   Micros step_us = 0;             // summed step durations
   std::int64_t step_bytes = 0;    // summed per-step wire bytes
+  std::vector<DecodeBatchRow> by_batch;  // sorted by batch size
 
   [[nodiscard]] double tokens_per_second() const noexcept {
-    return step_us > 0
-               ? static_cast<double>(steps) * 1e6 / static_cast<double>(step_us)
-               : 0.0;
+    return step_us > 0 ? static_cast<double>(tokens) * 1e6 /
+                             static_cast<double>(step_us)
+                       : 0.0;
   }
   [[nodiscard]] double bytes_per_token() const noexcept {
-    return steps > 0 ? static_cast<double>(step_bytes) /
-                           static_cast<double>(steps)
-                     : 0.0;
+    return tokens > 0 ? static_cast<double>(step_bytes) /
+                            static_cast<double>(tokens)
+                      : 0.0;
   }
 };
 

@@ -182,6 +182,10 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       arg_comma();
       out << "\"request\":" << e.request;
     }
+    if (e.batch >= 0) {
+      arg_comma();
+      out << "\"batch\":" << e.batch;
+    }
     if (e.trace >= 0) {
       arg_comma();
       out << "\"trace\":" << e.trace;

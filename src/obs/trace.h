@@ -62,6 +62,11 @@ struct TraceEvent {
   // show encoded vs fp32-equivalent volume side by side.
   std::int64_t raw_bytes = -1;
   std::int64_t request = -1;
+  // In-flight requests covered by this span: the batch size of a batched
+  // decode step ("decode.step" spans and the worker-side compute spans under
+  // them). -1 on spans that serve a single sequence, so reports can count
+  // generated tokens as max(1, batch) per step.
+  std::int64_t batch = -1;
   // Request-scoped trace id (see next_trace_id); -1 means "not set". Spans
   // stamp it automatically from the ambient thread trace id.
   std::int64_t trace = -1;
@@ -213,6 +218,10 @@ class TraceSpan {
   }
   TraceSpan& request(std::int64_t r) noexcept {
     if (tracer_ != nullptr) event_.request = r;
+    return *this;
+  }
+  TraceSpan& batch(std::int64_t b) noexcept {
+    if (tracer_ != nullptr) event_.batch = b;
     return *this;
   }
   TraceSpan& tag(const char* t) {

@@ -1,8 +1,10 @@
 #include "partition/decode_attention.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/ops.h"
 
@@ -14,16 +16,101 @@ constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
 }  // namespace
 
-void DecodeLayerCache::init(AttentionOrder resident,
-                            const LayerConfig& config) {
-  resident_ = resident;
+KvBlockPool::KvBlockPool(std::size_t block_floats, std::size_t max_blocks)
+    : block_floats_(block_floats), max_blocks_(max_blocks) {
+  if (block_floats_ == 0) {
+    throw std::invalid_argument("KvBlockPool: zero block size");
+  }
+}
+
+std::size_t KvBlockPool::allocate() {
+  if (!free_.empty()) {
+    const std::size_t block = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    return block;
+  }
+  if (max_blocks_ != 0 && blocks_.size() >= max_blocks_) {
+    throw std::length_error("KvBlockPool: out of blocks");
+  }
+  blocks_.push_back(std::make_unique<float[]>(block_floats_));
+  ++in_use_;
+  return blocks_.size() - 1;
+}
+
+void KvBlockPool::release(std::size_t block) {
+  if (block >= blocks_.size()) {
+    throw std::out_of_range("KvBlockPool: bad block id");
+  }
+  free_.push_back(block);
+  --in_use_;
+}
+
+DecodeLayerCache::DecodeLayerCache(DecodeLayerCache&& other) noexcept {
+  *this = std::move(other);
+}
+
+DecodeLayerCache& DecodeLayerCache::operator=(
+    DecodeLayerCache&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  resident_ = other.resident_;
+  rows_ = other.rows_;
+  heads_ = other.heads_;
+  head_dim_ = other.head_dim_;
+  hidden_ = other.hidden_;
+  stride_ = other.stride_;
+  rows_per_block_ = other.rows_per_block_;
+  pool_ = other.pool_;
+  owned_pool_ = std::move(other.owned_pool_);
+  blocks_ = std::move(other.blocks_);
+  other.pool_ = nullptr;
+  other.blocks_.clear();
+  other.rows_ = 0;
+  return *this;
+}
+
+void DecodeLayerCache::release() noexcept {
+  if (pool_ != nullptr) {
+    for (const std::size_t block : blocks_) pool_->release(block);
+  }
+  blocks_.clear();
   rows_ = 0;
+  pool_ = nullptr;
+}
+
+void DecodeLayerCache::init(AttentionOrder resident, const LayerConfig& config,
+                            KvBlockPool* pool) {
+  release();
+  resident_ = resident;
   heads_ = config.heads;
   head_dim_ = config.head_dim;
   hidden_ = config.hidden;
-  kv_.clear();
-  x_.clear();
-  if (resident_ == AttentionOrder::kNaive) kv_.resize(heads_);
+  stride_ = resident_ == AttentionOrder::kNaive ? 2 * heads_ * head_dim_
+                                                : hidden_;
+  if (pool == nullptr) {
+    if (owned_pool_ == nullptr ||
+        owned_pool_->block_floats() < kv_block_floats(config)) {
+      owned_pool_ = std::make_unique<KvBlockPool>(kv_block_floats(config));
+    }
+    pool = owned_pool_.get();
+  }
+  if (pool->block_floats() < stride_) {
+    throw std::invalid_argument(
+        "DecodeLayerCache: pool blocks narrower than one position row");
+  }
+  pool_ = pool;
+  rows_per_block_ = pool_->block_floats() / stride_;
+}
+
+float* DecodeLayerCache::append_row() {
+  if (rows_ == blocks_.size() * rows_per_block_) {
+    blocks_.push_back(pool_->allocate());
+  }
+  float* const row = pool_->data(blocks_[rows_ / rows_per_block_]) +
+                     (rows_ % rows_per_block_) * stride_;
+  ++rows_;
+  return row;
 }
 
 void DecodeLayerCache::append(const Tensor& block, const AttentionWeights& w) {
@@ -31,23 +118,34 @@ void DecodeLayerCache::append(const Tensor& block, const AttentionWeights& w) {
   if (block.cols() != hidden_) {
     throw std::invalid_argument("DecodeLayerCache: block width mismatch");
   }
+  if (pool_ == nullptr) {
+    throw std::logic_error("DecodeLayerCache: append before init");
+  }
+  const std::size_t m = block.rows();
+  const std::size_t fh = head_dim_;
   if (resident_ == AttentionOrder::kNaive) {
+    // Project per head exactly as the monolithic path would, then scatter
+    // each position's [K_0..K_{H-1} | V_0..V_{H-1}] row into its page.
+    std::vector<Tensor> k_new;
+    std::vector<Tensor> v_new;
+    k_new.reserve(heads_);
+    v_new.reserve(heads_);
     for (std::size_t h = 0; h < heads_; ++h) {
-      const Tensor k_new = matmul(block, w.heads[h].wk);  // m x F_H
-      const Tensor v_new = matmul(block, w.heads[h].wv);
-      kv_[h].k.insert(kv_[h].k.end(), k_new.flat().begin(), k_new.flat().end());
-      kv_[h].v.insert(kv_[h].v.end(), v_new.flat().begin(), v_new.flat().end());
+      k_new.push_back(matmul(block, w.heads[h].wk));  // m x F_H
+      v_new.push_back(matmul(block, w.heads[h].wv));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      float* const row = append_row();
+      for (std::size_t h = 0; h < heads_; ++h) {
+        std::copy_n(k_new[h].row(j).data(), fh, row + h * fh);
+        std::copy_n(v_new[h].row(j).data(), fh, row + (heads_ + h) * fh);
+      }
     }
   } else {
-    x_.insert(x_.end(), block.flat().begin(), block.flat().end());
+    for (std::size_t j = 0; j < m; ++j) {
+      std::copy_n(block.row(j).data(), hidden_, append_row());
+    }
   }
-  rows_ += block.rows();
-}
-
-std::size_t DecodeLayerCache::memory_bytes() const noexcept {
-  std::size_t floats = x_.size();
-  for (const HeadKv& h : kv_) floats += h.k.size() + h.v.size();
-  return floats * sizeof(float);
 }
 
 Tensor decode_partial_attention(const Tensor& x_row,
@@ -73,23 +171,23 @@ Tensor decode_partial_attention(const Tensor& x_row,
     float* const out = packed.row(0).data() + h * (fh + 2);
     if (cache.resident_ == AttentionOrder::kNaive) {
       // Eq. (3) from the resident K/V: scores = (x W_Q) K^T / sqrt(F_H).
+      // Rows resolve through the page table; the per-position float order
+      // is identical to contiguous storage, so results stay bitwise equal.
       const Tensor q = matmul(x_row, w.heads[h].wq);  // 1 x F_H
       const float* qd = q.data();
-      const float* kd = cache.kv_[h].k.data();
       for (std::size_t j = 0; j < p; ++j) {
         float dot = 0.0F;
-        const float* kr = kd + j * fh;
+        const float* kr = cache.position_row(j) + h * fh;
         for (std::size_t c = 0; c < fh; ++c) dot += qd[c] * kr[c];
         scores[j] = dot * inv_sqrt;
       }
       float m = kNegInf;
       for (std::size_t j = 0; j < p; ++j) m = std::max(m, scores[j]);
       float denom = 0.0F;
-      const float* vd = cache.kv_[h].v.data();
       for (std::size_t j = 0; j < p; ++j) {
         const float e = std::exp(scores[j] - m);
         denom += e;
-        const float* vr = vd + j * fh;
+        const float* vr = cache.position_row(j) + (heads + h) * fh;
         for (std::size_t c = 0; c < fh; ++c) out[2 + c] += e * vr[c];
       }
       out[0] = m;
@@ -102,11 +200,10 @@ Tensor decode_partial_attention(const Tensor& x_row,
           matmul(matmul(x_row, w.heads[h].wq), w.heads[h].wk, Trans::kNo,
                  Trans::kYes);  // 1 x F
       const float* qd = qk.data();
-      const float* xd = cache.x_.data();
       const std::size_t f = cache.hidden_;
       for (std::size_t j = 0; j < p; ++j) {
         float dot = 0.0F;
-        const float* xr = xd + j * f;
+        const float* xr = cache.position_row(j);
         for (std::size_t c = 0; c < f; ++c) dot += qd[c] * xr[c];
         scores[j] = dot * inv_sqrt;
       }
@@ -117,7 +214,7 @@ Tensor decode_partial_attention(const Tensor& x_row,
       for (std::size_t j = 0; j < p; ++j) {
         const float e = std::exp(scores[j] - m);
         denom += e;
-        const float* xr = xd + j * f;
+        const float* xr = cache.position_row(j);
         for (std::size_t c = 0; c < f; ++c) xsum[c] += e * xr[c];
       }
       const Tensor weighted(1, f, std::vector<float>(xsum));

@@ -13,9 +13,17 @@
 // only and reduces them to per-head online-softmax partials
 // (max, denominator, weighted value) that an exact log-sum-exp merge
 // (collective/softmax_merge.h) combines across devices.
+//
+// Storage is paged: every cache draws fixed-size blocks from a KvBlockPool
+// (one pool per device, shared by all of that device's (layer, slot)
+// caches), so concurrent sequences share one physical arena and a completed
+// or evicted request returns its blocks to the free list instead of
+// stranding capacity — the vLLM PagedAttention layout, applied to the
+// paper's position partition.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "partition/order.h"
@@ -35,13 +43,86 @@ namespace voltage {
   return heads * (head_dim + 2);
 }
 
-// Per-(device, layer) resident cache. Rows grow monotonically as the device
-// is assigned new positions; storage grows amortized (vector push_back), so
-// appending a token is O(F) — never an O(T) reallocation-copy per step.
+// Positions per block under the fattest resident form (kNaive, 2F floats per
+// position); kReordered rows are half as wide, so they pack 2x as many
+// positions into the same block.
+inline constexpr std::size_t kKvBlockPositions = 16;
+
+// Floats per pool block for caches of this layer shape: holds
+// kKvBlockPositions rows of the widest resident form.
+[[nodiscard]] constexpr std::size_t kv_block_floats(
+    const LayerConfig& config) noexcept {
+  const std::size_t naive = 2 * config.heads * config.head_dim;
+  const std::size_t widest = naive > config.hidden ? naive : config.hidden;
+  return kKvBlockPositions * widest;
+}
+
+// Fixed-size block arena for partition-resident KV state. allocate() hands
+// out block ids backed by stable storage (blocks never move, so row pointers
+// taken inside a block stay valid); release() returns a block to the free
+// list for reuse by any later sequence. `max_blocks` caps the arena
+// (0 = unbounded): exhaustion throws std::length_error, which on a decoder
+// worker poisons the mesh like any other device failure — admission control
+// (InferenceServer::Options::max_batch) is what keeps a correctly sized
+// deployment away from that edge. Single-threaded by design: each decode
+// worker owns one pool.
+class KvBlockPool {
+ public:
+  explicit KvBlockPool(std::size_t block_floats, std::size_t max_blocks = 0);
+
+  [[nodiscard]] std::size_t allocate();
+  void release(std::size_t block);
+
+  [[nodiscard]] float* data(std::size_t block) noexcept {
+    return blocks_[block].get();
+  }
+  [[nodiscard]] const float* data(std::size_t block) const noexcept {
+    return blocks_[block].get();
+  }
+
+  [[nodiscard]] std::size_t block_floats() const noexcept {
+    return block_floats_;
+  }
+  [[nodiscard]] std::size_t max_blocks() const noexcept { return max_blocks_; }
+  // Blocks currently held by caches / ever materialized (the high-water
+  // footprint: freed blocks stay in the arena for reuse).
+  [[nodiscard]] std::size_t blocks_in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t blocks_allocated() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return blocks_.size() * block_floats_ * sizeof(float);
+  }
+
+ private:
+  std::size_t block_floats_;
+  std::size_t max_blocks_;
+  std::vector<std::unique_ptr<float[]>> blocks_;  // stable addresses
+  std::vector<std::size_t> free_;                 // ids ready for reuse
+  std::size_t in_use_ = 0;
+};
+
+// Per-(device, layer, sequence) resident cache. Rows grow monotonically as
+// the device is assigned new positions; storage grows in whole pool blocks,
+// so appending a token is O(F) — never an O(T) reallocation-copy per step.
 class DecodeLayerCache {
  public:
-  // Clears the cache and fixes the resident form for this sequence.
-  void init(AttentionOrder resident, const LayerConfig& config);
+  DecodeLayerCache() = default;
+  ~DecodeLayerCache() { release(); }
+  DecodeLayerCache(const DecodeLayerCache&) = delete;
+  DecodeLayerCache& operator=(const DecodeLayerCache&) = delete;
+  DecodeLayerCache(DecodeLayerCache&& other) noexcept;
+  DecodeLayerCache& operator=(DecodeLayerCache&& other) noexcept;
+
+  // Clears the cache and fixes the resident form for this sequence, drawing
+  // storage from `pool` (nullptr: the cache lazily owns a private pool —
+  // the single-sequence configuration every pre-batching call site uses).
+  void init(AttentionOrder resident, const LayerConfig& config,
+            KvBlockPool* pool = nullptr);
+
+  // Returns every held block to the pool; the cache is empty afterwards
+  // (init() again before reuse).
+  void release() noexcept;
 
   // Appends `block` ([m x F] layer-input rows, oldest first) in resident
   // form: K/V projections for kNaive, the raw rows for kReordered.
@@ -49,7 +130,13 @@ class DecodeLayerCache {
 
   [[nodiscard]] AttentionOrder resident() const noexcept { return resident_; }
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
-  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  // Logical resident bytes (rows x the resident form's per-position width);
+  // the physical footprint is page-granular — blocks() * the pool's block
+  // size.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return rows_ * stride_ * sizeof(float);
+  }
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_.size(); }
 
  private:
   friend Tensor decode_partial_attention(const Tensor& x_row,
@@ -57,18 +144,24 @@ class DecodeLayerCache {
                                          const AttentionWeights& w,
                                          const LayerConfig& config);
 
-  struct HeadKv {
-    std::vector<float> k;  // rows x F_H, row-major
-    std::vector<float> v;  // rows x F_H, row-major
-  };
+  // Position row j: kNaive packs [K_0 .. K_{H-1} | V_0 .. V_{H-1}] (stride
+  // 2 H F_H), kReordered the raw x row (stride F).
+  [[nodiscard]] const float* position_row(std::size_t j) const noexcept {
+    return pool_->data(blocks_[j / rows_per_block_]) +
+           (j % rows_per_block_) * stride_;
+  }
+  [[nodiscard]] float* append_row();
 
   AttentionOrder resident_ = AttentionOrder::kNaive;
   std::size_t rows_ = 0;
   std::size_t heads_ = 0;
   std::size_t head_dim_ = 0;
   std::size_t hidden_ = 0;
-  std::vector<HeadKv> kv_;  // kNaive form
-  std::vector<float> x_;    // kReordered form: rows x F, row-major
+  std::size_t stride_ = 0;          // floats per position row
+  std::size_t rows_per_block_ = 0;  // positions per pool block
+  KvBlockPool* pool_ = nullptr;
+  std::unique_ptr<KvBlockPool> owned_pool_;  // when init'd without one
+  std::vector<std::size_t> blocks_;          // pool block ids, append order
 };
 
 // Partial attention of the new token's query row `x_row` ([1 x F], the
@@ -85,7 +178,8 @@ class DecodeLayerCache {
                                               const LayerConfig& config);
 
 // Exact log-sum-exp merge of `incoming` into `acc` (both packed partials of
-// identical shape): per head, m = max(m_a, m_b), d = d_a e^{m_a - m} +
+// identical shape, any row count — row r of every operand belongs to the
+// same query/request): per head, m = max(m_a, m_b), d = d_a e^{m_a - m} +
 // d_b e^{m_b - m}, o likewise. Mathematically identical to a monolithic
 // softmax over the union of the two position sets; empty partials are
 // absorbed without effect.

@@ -20,21 +20,24 @@ namespace voltage {
 
 namespace {
 
-// Command protocol: the terminal broadcasts one [1 x kCmdCols] (or, for an
-// fp32 step, [1 x kCmdCols+F] with the embedded token row appended) tensor
-// per call. Floats carry the fields exactly — positions and opcodes are tiny
-// integers, far below 2^24. Column 2 flags the int8 plane for this command;
-// an int8 step keeps the command at kCmdCols and ships the token row as a
-// separate quantized broadcast on kTagToken (per-row scales don't mix with
-// opcodes).
-constexpr std::size_t kCmdCols = 4;  // {opcode, arg, int8_flag, timeout_s}
-constexpr float kOpPrime = 1.0F;
-constexpr float kOpStep = 2.0F;
+// Command protocol: the terminal broadcasts one [B x kCmdCols] (or, for an
+// fp32 step, [B x kCmdCols+F] with each lane's embedded token row appended)
+// tensor per call — B is 1 for everything except a batched step, whose row r
+// carries lane r's fields. Floats carry the fields exactly — positions,
+// opcodes and slot ids are tiny integers, far below 2^24. Column 2 flags the
+// int8 plane for this command; an int8 step keeps the command at kCmdCols
+// and ships the token rows as one separate quantized [B x F] broadcast on
+// kTagToken (per-row scales don't mix with opcodes).
+constexpr std::size_t kCmdCols = 5;  // {opcode, arg, int8_flag, timeout_s,
+                                     //  slot}
+constexpr float kOpPrime = 1.0F;     // arg = prompt length; col 4 = slot
+constexpr float kOpStep = 2.0F;      // per row: arg = position, col 4 = slot
 constexpr float kOpShutdown = 3.0F;
 constexpr float kOpRefresh = 4.0F;  // re-read tracer_; no other effect
+constexpr float kOpRelease = 5.0F;  // col 4 = slot: free its KV blocks
 
 // Tag layout. Commands, prefill features, the final row and the int8 step
-// token row live on fixed tags; each layer gets one prefill-gather tag and a
+// token rows live on fixed tags; each layer gets one prefill-gather tag and a
 // pair of merge tags (softmax_merge uses tag and tag+1). Reusing tags across
 // steps is safe: transport matching is FIFO per (source, tag).
 constexpr MessageTag kTagCmd = 1;
@@ -177,13 +180,24 @@ void DistributedDecoder::set_metrics(obs::MetricsRegistry* metrics) {
                                       : &metrics->counter("decode.tokens");
 }
 
+std::size_t DistributedDecoder::slot_position(SlotId slot) const {
+  if (!slot_active(slot)) {
+    throw std::out_of_range("DistributedDecoder: inactive slot");
+  }
+  return slots_[slot].position;
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 
 void DistributedDecoder::worker_main(std::size_t i) {
   const std::size_t k = scheme_.devices();
-  std::vector<DecodeLayerCache> caches(model_.spec().num_layers);
-  std::size_t prompt_len = 0;  // 0 = not primed yet
+  // One KV arena per device, shared by every (slot, layer) cache: a
+  // released sequence's blocks are immediately reusable by the next one.
+  // Created lazily at the first prefill so set_kv_block_limit can run after
+  // construction.
+  std::unique_ptr<KvBlockPool> pool;
+  std::vector<WorkerSlot> slots;
   try {
     for (;;) {
       // Publish the tracer and track *before* blocking for the command, so
@@ -205,7 +219,7 @@ void DistributedDecoder::worker_main(std::size_t i) {
         span.device(static_cast<std::int64_t>(i));
         broadcast(*transport_, everyone_, i, k, cmd, kTagCmd);
       }
-      if (cmd.rows() != 1 || cmd.cols() < kCmdCols) {
+      if (cmd.rows() < 1 || cmd.cols() < kCmdCols) {
         throw std::runtime_error("DistributedDecoder: malformed command");
       }
       const float op = cmd(0, 0);
@@ -227,15 +241,29 @@ void DistributedDecoder::worker_main(std::size_t i) {
             "DistributedDecoder: int8 command without a quantized stack");
       }
       if (op == kOpPrime) {
-        prompt_len = static_cast<std::size_t>(cmd(0, 1));
-        worker_prefill(i, prompt_len, caches, options, obs::thread_tracer(),
-                       wire);
-      } else if (op == kOpStep) {
-        if (prompt_len == 0) {
-          throw std::logic_error("DistributedDecoder: step before prime");
+        const auto slot = static_cast<std::size_t>(cmd(0, 4));
+        const auto n = static_cast<std::size_t>(cmd(0, 1));
+        if (pool == nullptr) {
+          pool = std::make_unique<KvBlockPool>(
+              kv_block_floats(model_.spec().layer),
+              kv_block_limit_.load(std::memory_order_relaxed));
         }
-        worker_step(i, static_cast<std::size_t>(cmd(0, 1)), prompt_len,
-                    caches, cmd, options, obs::thread_tracer(), wire);
+        if (slot >= slots.size()) slots.resize(slot + 1);
+        WorkerSlot& s = slots[slot];
+        s.caches.resize(model_.spec().num_layers);
+        s.prompt_len = n;
+        s.active = true;
+        worker_prefill(i, n, s.caches, pool.get(), options,
+                       obs::thread_tracer(), wire);
+      } else if (op == kOpStep) {
+        worker_step_batch(i, slots, cmd, options, obs::thread_tracer(), wire);
+      } else if (op == kOpRelease) {
+        const auto slot = static_cast<std::size_t>(cmd(0, 4));
+        if (slot < slots.size()) {
+          for (DecodeLayerCache& cache : slots[slot].caches) cache.release();
+          slots[slot].active = false;
+          slots[slot].prompt_len = 0;
+        }
       } else {
         throw std::runtime_error("DistributedDecoder: unknown opcode");
       }
@@ -251,6 +279,7 @@ void DistributedDecoder::worker_main(std::size_t i) {
 
 void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
                                         std::vector<DecodeLayerCache>& caches,
+                                        KvBlockPool* pool,
                                         const RecvOptions& options,
                                         obs::Tracer* tracer, Precision wire) {
   const std::size_t k = scheme_.devices();
@@ -282,7 +311,7 @@ void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
                              .f = config.hidden,
                              .fh = config.head_dim};
     const AttentionOrder resident = select_order(policy_, dims);
-    caches[l].init(resident, config);
+    caches[l].init(resident, config, pool);
     if (!own.empty()) {
       caches[l].append(input->slice_rows(own.begin, own.end),
                        layers[l].weights().attention);
@@ -350,62 +379,90 @@ void DistributedDecoder::worker_prefill(std::size_t i, std::size_t n,
   }
 }
 
-void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
-                                     std::size_t prompt_len,
-                                     std::vector<DecodeLayerCache>& caches,
-                                     const Tensor& cmd,
-                                     const RecvOptions& options,
-                                     obs::Tracer* tracer, Precision wire) {
+void DistributedDecoder::worker_step_batch(std::size_t i,
+                                           std::vector<WorkerSlot>& slots,
+                                           const Tensor& cmd,
+                                           const RecvOptions& options,
+                                           obs::Tracer* tracer,
+                                           Precision wire) {
   const std::size_t k = scheme_.devices();
   const auto layers = model_.layers();
   const std::size_t f = model_.spec().layer.hidden;
   const bool int8 = wire == Precision::kInt8;
-  Tensor x(1, f);
+  const std::size_t b = cmd.rows();
+  Tensor x(b, f);
   if (int8) {
-    // The token row follows the command as its own quantized broadcast;
+    // The token rows follow the command as one quantized [B x F] broadcast;
     // every worker dequantizes the same payload, so x is identical on all
-    // ranks (the redundant-tail invariant below depends on this).
+    // ranks (the redundant-tail invariant below depends on this). Per-row
+    // scales make each dequantized row independent of its batch-mates.
     if (cmd.cols() != kCmdCols) {
       throw std::runtime_error("DistributedDecoder: malformed step command");
     }
-    Tensor row(0, 0);
-    broadcast(*transport_, everyone_, i, k, row, kTagToken, options);
-    if (row.rows() != 1 || row.cols() != f) {
-      throw std::runtime_error("DistributedDecoder: malformed token row");
+    Tensor rows(0, 0);
+    broadcast(*transport_, everyone_, i, k, rows, kTagToken, options);
+    if (rows.rows() != b || rows.cols() != f) {
+      throw std::runtime_error("DistributedDecoder: malformed token rows");
     }
-    x = std::move(row);
+    x = std::move(rows);
   } else {
     if (cmd.cols() != kCmdCols + f) {
       throw std::runtime_error("DistributedDecoder: malformed step command");
     }
-    std::copy_n(cmd.row(0).data() + kCmdCols, f, x.row(0).data());
+    for (std::size_t r = 0; r < b; ++r) {
+      std::copy_n(cmd.row(r).data() + kCmdCols, f, x.row(r).data());
+    }
   }
-  // New decode positions go round-robin, keeping cache growth balanced
-  // regardless of how the prefill ratios split the prompt.
-  const std::size_t owner = (t - prompt_len) % k;
+  // Resolve every lane before computing: each lane names a primed slot, and
+  // its new position's owner is round-robin *within that slot* — exactly the
+  // assignment a sequential run of the slot would make, which is what keeps
+  // per-slot cache contents (and thus the math) identical under batching.
+  std::vector<WorkerSlot*> lane(b);
+  std::vector<std::size_t> owner(b);
+  for (std::size_t r = 0; r < b; ++r) {
+    const auto slot = static_cast<std::size_t>(cmd(r, 4));
+    const auto t = static_cast<std::size_t>(cmd(r, 1));
+    if (slot >= slots.size() || !slots[slot].active) {
+      throw std::logic_error("DistributedDecoder: step before prime");
+    }
+    lane[r] = &slots[slot];
+    owner[r] = (t - lane[r]->prompt_len) % k;
+  }
   for (std::size_t l = 0; l < layers.size(); ++l) {
     const obs::ThreadLayerScope layer_scope(static_cast<std::int64_t>(l));
     const LayerConfig& config = layers[l].config();
     const LayerWeights& w = layers[l].weights();
-    // The owner banks the new row *before* attending, so the token sees
-    // itself (causal attention includes the query's own position).
-    if (owner == i) caches[l].append(x, w.attention);
-    Tensor partial(0, 0);
+    Tensor partials(b, softmax_partial_cols(config.heads, config.head_dim));
     {
       obs::TraceSpan span(tracer, "decode_attention", "compute",
                           static_cast<obs::TrackId>(i));
       span.device(static_cast<std::int64_t>(i))
           .layer(static_cast<std::int64_t>(l))
-          .tag(to_string(caches[l].resident()));
-      partial = decode_partial_attention(x, caches[l], w.attention, config);
+          .batch(static_cast<std::int64_t>(b));
+      for (std::size_t r = 0; r < b; ++r) {
+        const Tensor x_row = x.slice_rows(r, r + 1);
+        DecodeLayerCache& cache = lane[r]->caches[l];
+        // The owner banks the new row *before* attending, so the token sees
+        // itself (causal attention includes the query's own position).
+        if (owner[r] == i) cache.append(x_row, w.attention);
+        const Tensor partial =
+            decode_partial_attention(x_row, cache, w.attention, config);
+        std::copy_n(partial.row(0).data(), partials.cols(),
+                    partials.row(r).data());
+      }
     }
+    // One merge round for the whole batch: row r of every rank's partial is
+    // lane r, and the root folds each row in the same fixed rank order a
+    // single-lane step uses.
     const Tensor merged = all_reduce_softmax_merge(
-        *transport_, workers_, i, l % k, partial, config.heads,
+        *transport_, workers_, i, l % k, partials, config.heads,
         config.head_dim, kTagMergeBase + 2 * l, options);
-    // Post-attention tail on the single row, redundantly on every device —
-    // all ranks leave the layer with the bitwise-identical x, so the layer
-    // output is never gathered. The int8 plane runs the same tail through
-    // the quantized W_O/FFN; it is deterministic, so the invariant holds.
+    // Post-attention tail on the B rows, redundantly on every device — all
+    // ranks leave the layer with bitwise-identical x, so the layer output
+    // is never gathered. Every tail op (merge-finalize GEMM, residual,
+    // LayerNorm, FFN) is bitwise row-independent, so lane r's row equals a
+    // sequential step of its slot; the int8 tail keeps the invariant via
+    // per-row activation scales.
     if (int8) {
       x = qstack_->decode_step_tail(l, merged, x);
     } else {
@@ -419,12 +476,13 @@ void DistributedDecoder::worker_step(std::size_t i, std::size_t t,
     }
   }
   if (i == 0) {
-    // Every worker holds the identical final row; rank 0 reports it.
+    // Every worker holds the identical final rows; rank 0 reports them.
     Payload payload =
         tensor_payload_view(std::make_shared<const Tensor>(std::move(x)));
     obs::TraceSpan span(tracer, "send_final", "comm",
                         static_cast<obs::TrackId>(i));
     span.device(static_cast<std::int64_t>(i))
+        .batch(static_cast<std::int64_t>(b))
         .bytes(static_cast<std::int64_t>(payload.size() + kWireFrameBytes));
     transport_->send(Message{.source = i,
                              .destination = terminal_id(),
@@ -444,6 +502,33 @@ Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
   if (prompt.size() > model_.spec().max_positions) {
     throw std::length_error("DistributedDecoder: prompt exceeds the window");
   }
+  // Starting over: free every live slot so the prompt lands in slot 0 with
+  // the whole KV arena available.
+  for (SlotId s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].active) release_slot(s);
+  }
+  return prime_slot(prompt).logits;
+}
+
+DistributedDecoder::PrimedSlot DistributedDecoder::prime_slot(
+    std::span<const TokenId> prompt) {
+  ensure_alive();
+  if (prompt.empty()) {
+    throw std::invalid_argument("DistributedDecoder: empty prompt");
+  }
+  if (prompt.size() > model_.spec().max_positions) {
+    throw std::length_error("DistributedDecoder: prompt exceeds the window");
+  }
+  // Lowest free slot; ids recycle after release so the command field and
+  // worker-side vectors stay small.
+  SlotId slot = slots_.size();
+  for (SlotId s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].active) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot == slots_.size()) slots_.emplace_back();
   const std::size_t k = scheme_.devices();
   // Embed before touching the mesh: a bad token id throws here without
   // poisoning anything.
@@ -468,16 +553,18 @@ Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
     cmd(0, 1) = static_cast<float>(prompt.size());
     cmd(0, 2) = precision_ == Precision::kInt8 ? 1.0F : 0.0F;
     cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
+    cmd(0, 4) = static_cast<float>(slot);
     broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
     broadcast(*transport_, everyone_, k, k, features, kTagFeatures, options);
     const Tensor last_row = tensor_from_payload(
         transport_->recv_any(terminal_id(), kTagFinal, options).payload);
-    position_ = prompt.size();
-    primed_ = true;
+    slots_[slot] = SlotMeta{.active = true,
+                            .position = prompt.size(),
+                            .prompt_len = prompt.size()};
     span.bytes(
         static_cast<std::int64_t>(transport_->total_stats().bytes_sent -
                                   bytes_before));
-    return model_.postprocess(last_row);
+    return PrimedSlot{.slot = slot, .logits = model_.postprocess(last_row)};
   } catch (...) {
     fail_request();
   }
@@ -485,16 +572,45 @@ Tensor DistributedDecoder::prime(std::span<const TokenId> prompt) {
 
 Tensor DistributedDecoder::step(TokenId token) {
   ensure_alive();
-  if (!primed_) {
+  if (slots_.empty() || !slots_[0].active) {
     throw std::logic_error("DistributedDecoder: prime() before step()");
   }
-  if (position_ + 1 > model_.spec().max_positions) {
-    throw std::length_error("DistributedDecoder: context window exhausted");
+  const SlotToken lane{.slot = 0, .token = token};
+  return step_batch(std::span<const SlotToken>(&lane, 1));
+}
+
+Tensor DistributedDecoder::step_batch(std::span<const SlotToken> batch) {
+  ensure_alive();
+  if (batch.empty()) {
+    throw std::invalid_argument("DistributedDecoder: empty batch");
+  }
+  const std::size_t b = batch.size();
+  // Validate every lane before touching the mesh: a bad slot or an
+  // exhausted window throws without poisoning anything.
+  for (std::size_t r = 0; r < b; ++r) {
+    if (!slot_active(batch[r].slot)) {
+      throw std::logic_error("DistributedDecoder: prime() before step()");
+    }
+    if (slots_[batch[r].slot].position + 1 > model_.spec().max_positions) {
+      throw std::length_error("DistributedDecoder: context window exhausted");
+    }
+    for (std::size_t q = 0; q < r; ++q) {
+      if (batch[q].slot == batch[r].slot) {
+        throw std::invalid_argument(
+            "DistributedDecoder: duplicate slot in batch");
+      }
+    }
   }
   const std::size_t k = scheme_.devices();
   const std::size_t f = model_.spec().layer.hidden;
-  const TokenId ids[] = {token};
-  Tensor row = model_.preprocess_at(std::span<const TokenId>(ids), position_);
+  // Embed every lane's token at its own position before touching the mesh.
+  Tensor rows(b, f);
+  for (std::size_t r = 0; r < b; ++r) {
+    const Tensor row = model_.preprocess_at(
+        std::span<const TokenId>(&batch[r].token, 1),
+        slots_[batch[r].slot].position);
+    std::copy_n(row.row(0).data(), f, rows.row(r).data());
+  }
   obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
   const obs::ThreadTracerScope tracer_scope(tracer);
   const obs::ThreadTrackScope track_scope(
@@ -505,33 +621,70 @@ Tensor DistributedDecoder::step(TokenId token) {
   obs::TraceSpan span(tracer, "decode.step", "serve",
                       static_cast<obs::TrackId>(terminal_id()));
   span.device(static_cast<std::int64_t>(terminal_id()))
-      .request(static_cast<std::int64_t>(position_));
+      .request(static_cast<std::int64_t>(slots_[batch[0].slot].position))
+      .batch(static_cast<std::int64_t>(b));
   try {
-    // fp32 step command with the embedded row inlined: one broadcast
-    // carries both the control word and the O(F) activation payload. The
-    // int8 plane keeps the command minimal and ships the row as its own
-    // quantized broadcast — F bytes plus one scale instead of 4F.
+    // fp32 step command with the embedded rows inlined: one broadcast
+    // carries both the per-lane control words and the O(B*F) activation
+    // payload. The int8 plane keeps the command minimal and ships the rows
+    // as one quantized broadcast — B*F bytes plus B scales instead of 4BF.
     const bool int8 = precision_ == Precision::kInt8;
-    Tensor cmd(1, int8 ? kCmdCols : kCmdCols + f);
-    cmd(0, 0) = kOpStep;
-    cmd(0, 1) = static_cast<float>(position_);
-    cmd(0, 2) = int8 ? 1.0F : 0.0F;
-    cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
-    if (!int8) std::copy_n(row.row(0).data(), f, cmd.row(0).data() + kCmdCols);
+    Tensor cmd(b, int8 ? kCmdCols : kCmdCols + f);
+    for (std::size_t r = 0; r < b; ++r) {
+      cmd(r, 0) = kOpStep;
+      cmd(r, 1) = static_cast<float>(slots_[batch[r].slot].position);
+      cmd(r, 2) = int8 ? 1.0F : 0.0F;
+      cmd(r, 3) = static_cast<float>(recv_timeout_seconds_);
+      cmd(r, 4) = static_cast<float>(batch[r].slot);
+      if (!int8) {
+        std::copy_n(rows.row(r).data(), f, cmd.row(r).data() + kCmdCols);
+      }
+    }
     broadcast(*transport_, everyone_, k, k, cmd, kTagCmd, options);
     if (int8) {
-      broadcast(*transport_, everyone_, k, k, row, kTagToken, options,
+      broadcast(*transport_, everyone_, k, k, rows, kTagToken, options,
                 Precision::kInt8);
     }
-    const Tensor last_row = tensor_from_payload(
+    const Tensor last_rows = tensor_from_payload(
         transport_->recv(terminal_id(), DeviceId{0}, kTagFinal, options)
             .payload);
-    ++position_;
-    if (decode_tokens_ != nullptr) decode_tokens_->add(1);
+    if (last_rows.rows() != b) {
+      throw std::runtime_error("DistributedDecoder: malformed final rows");
+    }
+    for (std::size_t r = 0; r < b; ++r) {
+      ++slots_[batch[r].slot].position;
+    }
+    if (decode_tokens_ != nullptr) {
+      decode_tokens_->add(static_cast<std::uint64_t>(b));
+    }
     span.bytes(
         static_cast<std::int64_t>(transport_->total_stats().bytes_sent -
                                   bytes_before));
-    return model_.postprocess(last_row);
+    return model_.postprocess_rows(last_rows);
+  } catch (...) {
+    fail_request();
+  }
+}
+
+void DistributedDecoder::release_slot(SlotId slot) {
+  ensure_alive();
+  if (!slot_active(slot)) {
+    throw std::out_of_range("DistributedDecoder: inactive slot");
+  }
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+  const obs::ThreadTracerScope tracer_scope(tracer);
+  const obs::ThreadTrackScope track_scope(
+      static_cast<obs::TrackId>(terminal_id()));
+  const obs::TraceIdScope trace_scope(obs::ensure_trace_id());
+  try {
+    Tensor cmd(1, kCmdCols);
+    cmd(0, 0) = kOpRelease;
+    cmd(0, 2) = precision_ == Precision::kInt8 ? 1.0F : 0.0F;
+    cmd(0, 3) = static_cast<float>(recv_timeout_seconds_);
+    cmd(0, 4) = static_cast<float>(slot);
+    const std::size_t k = scheme_.devices();
+    broadcast(*transport_, everyone_, k, k, cmd, kTagCmd);
+    slots_[slot] = SlotMeta{};
   } catch (...) {
     fail_request();
   }

@@ -7,23 +7,35 @@
 // (each device permanently holds its own positions' rows — K/V for Eq.(3)
 // layers, the raw x for Eq.(8) layers, per Theorem 2's selection at the
 // prefill shape) and each decode step ships only
-//   - one K-wide broadcast of the new token's F-wide embedded row, and
+//   - one K-wide broadcast of the new token rows ([B x F], one embedded row
+//     per in-flight sequence), and
 //   - per layer, one softmax-merge all-reduce of per-head
 //     (max, denominator, weighted-value) triples — 2(K-1) messages of
-//     H*(F_H+2) floats (collective/softmax_merge.h).
+//     B*H*(F_H+2) floats (collective/softmax_merge.h).
 // Every device then finishes the layer (residual, LayerNorms, FFN) on the
-// single row redundantly, so the layer output never needs to be gathered:
-// per-token wire volume is O(K*F + L*K*H*F_H), independent of the context
-// length T. The log-sum-exp merge is mathematically exact, so the decoded
-// tokens match IncrementalDecoder and full-recompute distributed decoding.
+// B rows redundantly, so the layer output never needs to be gathered:
+// per-step wire volume is O(K*B*F + L*K*B*H*F_H), independent of the
+// context length T — and the *message count* is independent of B, which is
+// what makes iteration-level batching pay on a latency-bound mesh.
+//
+// Multi-sequence serving (continuous batching): the decoder hosts
+// independent sequences in numbered slots. prime_slot() runs a distributed
+// prefill into a fresh slot, step_batch() advances any subset of the live
+// slots by one token in a single command/broadcast/merge round, and
+// release_slot() returns the slot's KV blocks to each device's shared
+// KvBlockPool. Per-slot state is fully isolated (own caches, own round-robin
+// position ownership), every collective folds in fixed rank order, and the
+// post-attention tail is row-independent, so a batched step is bitwise
+// identical to stepping each sequence alone. The single-sequence
+// prime()/step()/extend() API is slot 0 throughout.
 //
 // Device k = persistent worker thread k (spawned once at construction; the
 // caches live on them across calls); the calling thread is the terminal
 // device K, running embedding and the LM head. New decode positions are
-// assigned round-robin so cache growth stays balanced. Failure containment
-// follows the runtimes: first failing thread poisons the transport, the
-// terminal joins everyone and rethrows the root cause; the decoder is dead
-// afterwards (build a new one).
+// assigned round-robin per slot so cache growth stays balanced. Failure
+// containment follows the runtimes: first failing thread poisons the
+// transport, the terminal joins everyone and rethrows the root cause; the
+// decoder (and every slot on it) is dead afterwards — build a new one.
 #pragma once
 
 #include <atomic>
@@ -45,6 +57,16 @@
 
 namespace voltage {
 
+// Index of one in-flight sequence on a DistributedDecoder.
+using SlotId = std::size_t;
+
+// One lane of a batched decode step: append `token` to `slot` and return its
+// next-token logits row.
+struct SlotToken {
+  SlotId slot = 0;
+  TokenId token = 0;
+};
+
 class DistributedDecoder {
  public:
   // Requires a causal LM; `scheme.devices()` workers plus the terminal.
@@ -63,13 +85,16 @@ class DistributedDecoder {
   DistributedDecoder(const DistributedDecoder&) = delete;
   DistributedDecoder& operator=(const DistributedDecoder&) = delete;
 
+  // --- Single-sequence API (slot 0) ----------------------------------------
+
   // Distributed prefill: runs the prompt through the partitioned stack once,
   // leaving every device's caches resident, and returns next-token logits
-  // [1 x vocab]. Calling prime() again starts a new sequence.
+  // [1 x vocab]. Calling prime() again starts over: every live slot is
+  // released and the prompt becomes slot 0.
   [[nodiscard]] Tensor prime(std::span<const TokenId> prompt);
 
-  // Appends one token and returns next-token logits; per-step wire bytes are
-  // independent of the context length.
+  // Appends one token to slot 0 and returns next-token logits; per-step wire
+  // bytes are independent of the context length.
   [[nodiscard]] Tensor step(TokenId token);
 
   // Appends several committed tokens (e.g. an extended prompt) without
@@ -77,7 +102,44 @@ class DistributedDecoder {
   // single-device counterpart is IncrementalDecoder::extend.
   [[nodiscard]] Tensor extend(std::span<const TokenId> tokens);
 
-  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+  [[nodiscard]] std::size_t position() const noexcept {
+    return slots_.empty() ? 0 : slots_[0].position;
+  }
+
+  // --- Multi-sequence API (continuous batching) ----------------------------
+
+  struct PrimedSlot {
+    SlotId slot = 0;
+    Tensor logits;  // [1 x vocab] next-token logits after the prompt
+  };
+
+  // Distributed prefill of a new sequence into the lowest free slot (slot
+  // ids are recycled after release_slot). Existing slots are untouched: the
+  // new sequence's caches draw fresh blocks from each device's pool.
+  [[nodiscard]] PrimedSlot prime_slot(std::span<const TokenId> prompt);
+
+  // One iteration-level batched decode step: appends batch[r].token to
+  // batch[r].slot for every lane and returns [B x vocab] logits, row r for
+  // lane r. All lanes advance in one command broadcast and one softmax-merge
+  // round per layer; each lane's result is bitwise identical to stepping its
+  // slot alone. Lanes must name distinct, primed slots.
+  [[nodiscard]] Tensor step_batch(std::span<const SlotToken> batch);
+
+  // Frees the slot: every device returns its KV blocks to the pool and the
+  // slot id becomes reusable. The mesh stays live for the other slots.
+  void release_slot(SlotId slot);
+
+  [[nodiscard]] std::size_t slot_position(SlotId slot) const;
+  [[nodiscard]] bool slot_active(SlotId slot) const noexcept {
+    return slot < slots_.size() && slots_[slot].active;
+  }
+  [[nodiscard]] std::size_t active_slots() const noexcept {
+    std::size_t n = 0;
+    for (const SlotMeta& s : slots_) n += s.active ? 1 : 0;
+    return n;
+  }
+
+  // --------------------------------------------------------------------------
 
   // Byte-accurate traffic since construction (worker ids 0..K-1, terminal
   // id K).
@@ -92,12 +154,13 @@ class DistributedDecoder {
   }
 
   // Attaches a span tracer (nullptr detaches). The terminal emits
-  // "decode.prefill" / "decode.step" spans carrying the token index and the
-  // step's total wire bytes; workers emit per-layer compute and
-  // softmax-merge comm spans on their own tracks, plus a "wait_command"
-  // span covering each idle wait. Because that wait span closes when the
-  // shutdown command arrives, an attached tracer must outlive the decoder
-  // object itself, not just the last request — declare the tracer first.
+  // "decode.prefill" / "decode.step" spans carrying the token index, the
+  // batch size and the step's total wire bytes; workers emit per-layer
+  // compute and softmax-merge comm spans on their own tracks, plus a
+  // "wait_command" span covering each idle wait. Because that wait span
+  // closes when the shutdown command arrives, an attached tracer must
+  // outlive the decoder object itself, not just the last request — declare
+  // the tracer first.
   //
   // Flow-graph closure caveat: prime()/step() return on the terminal's
   // critical path, while workers off that path may still be draining their
@@ -130,6 +193,16 @@ class DistributedDecoder {
     recv_timeout_seconds_ = seconds;
   }
 
+  // Caps each worker's KvBlockPool at `blocks` blocks (0 = unbounded;
+  // default). Effective from the pool's creation at the worker's first
+  // prefill, so set it before the first prime. A device that runs out of
+  // blocks fails its command with std::length_error and poisons the mesh
+  // like any other device failure — size the cap (or the admission policy
+  // above) so steady-state serving never hits it.
+  void set_kv_block_limit(std::size_t blocks) noexcept {
+    kv_block_limit_.store(blocks, std::memory_order_relaxed);
+  }
+
   // Intra-op thread budget for each worker's kernels (default 1; see
   // VoltageRuntime::set_intra_op_threads — bitwise-neutral).
   void set_intra_op_threads(std::size_t n) noexcept {
@@ -145,20 +218,35 @@ class DistributedDecoder {
   // model once on first use. Same call contract as set_recv_timeout: call
   // between requests from the calling thread; takes effect from the next
   // prime()/step() (each command carries the precision, so mixing is safe —
-  // the caches are fp32 under both planes).
+  // the caches are fp32 under both planes). Per-row activation scales keep
+  // the quantized tail row-independent, so batched int8 steps stay bitwise
+  // identical to sequential int8 steps.
   void set_precision(Precision precision);
   [[nodiscard]] Precision precision() const noexcept { return precision_; }
 
  private:
+  // Terminal-side view of a slot; the workers mirror it with the caches.
+  struct SlotMeta {
+    bool active = false;
+    std::size_t position = 0;    // committed positions
+    std::size_t prompt_len = 0;  // fixes the round-robin owner phase
+  };
+
+  // Worker-side state of one slot: the per-layer resident caches.
+  struct WorkerSlot {
+    bool active = false;
+    std::size_t prompt_len = 0;
+    std::vector<DecodeLayerCache> caches;
+  };
+
   void worker_main(std::size_t i);
   void worker_prefill(std::size_t i, std::size_t n,
                       std::vector<DecodeLayerCache>& caches,
-                      const RecvOptions& options, obs::Tracer* tracer,
-                      Precision wire);
-  void worker_step(std::size_t i, std::size_t t, std::size_t prompt_len,
-                   std::vector<DecodeLayerCache>& caches, const Tensor& cmd,
-                   const RecvOptions& options, obs::Tracer* tracer,
-                   Precision wire);
+                      KvBlockPool* pool, const RecvOptions& options,
+                      obs::Tracer* tracer, Precision wire);
+  void worker_step_batch(std::size_t i, std::vector<WorkerSlot>& slots,
+                         const Tensor& cmd, const RecvOptions& options,
+                         obs::Tracer* tracer, Precision wire);
 
   void ensure_alive() const;
   void join_workers() noexcept;
@@ -177,15 +265,15 @@ class DistributedDecoder {
   std::atomic<obs::TelemetryHub*> telemetry_{nullptr};
   obs::Counter* decode_tokens_ = nullptr;
   std::atomic<std::size_t> intra_op_threads_{1};
-  double recv_timeout_seconds_ = 0.0;  // <= 0: no deadline
+  std::atomic<std::size_t> kv_block_limit_{0};  // 0 = unbounded
+  double recv_timeout_seconds_ = 0.0;           // <= 0: no deadline
   Precision precision_ = Precision::kFp32;
   // Built lazily by set_precision(kInt8); workers read it while serving an
   // int8-flagged command, which happens-after the terminal set it (the
   // command broadcast's mailbox handoff orders the accesses).
   std::unique_ptr<QuantizedStack> qstack_;
 
-  std::size_t position_ = 0;  // committed positions (terminal's view)
-  bool primed_ = false;
+  std::vector<SlotMeta> slots_;  // terminal's view, indexed by SlotId
   bool dead_ = false;
 
   std::vector<std::exception_ptr> errors_;  // one slot per worker

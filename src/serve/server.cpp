@@ -35,6 +35,7 @@ LatencyStats summarize(std::vector<Seconds> samples) {
   };
   stats.p50 = pct(0.5);
   stats.p95 = pct(0.95);
+  stats.p99 = pct(0.99);
   stats.max = samples.back();
   return stats;
 }
@@ -72,9 +73,12 @@ InferenceServer::InferenceServer(const TransformerModel& model,
             metrics->counter("transport.bytes_sent").value());
       });
     }
-    telemetry_->register_gauge("queue_depth",
-                               [this] { return static_cast<double>(
-                                            queue_depth()); });
+    telemetry_->register_gauge("server.queue_depth", [this] {
+      return static_cast<double>(queue_depth());
+    });
+    telemetry_->register_gauge("server.batch_occupancy", [this] {
+      return static_cast<double>(batch_occupancy());
+    });
     telemetry_thread_ = std::thread([this] { telemetry_loop(); });
   }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
@@ -99,8 +103,13 @@ std::unique_ptr<VoltageRuntime> InferenceServer::make_runtime() const {
 }
 
 std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
+  const std::size_t endpoints = options_.scheme.devices() + 1;
+  std::unique_ptr<Transport> fabric =
+      options_.decoder_transport_factory
+          ? options_.decoder_transport_factory(endpoints)
+          : make_transport(options_.transport, endpoints);
   auto decoder = std::make_unique<DistributedDecoder>(
-      model_, options_.scheme, options_.policy, options_.transport);
+      model_, options_.scheme, options_.policy, std::move(fabric));
   std::size_t per_device = options_.device_intra_op_threads;
   if (per_device == 0) {
     per_device = std::max<std::size_t>(
@@ -109,6 +118,7 @@ std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
   decoder->set_intra_op_threads(per_device);
   decoder->set_precision(options_.precision);
   decoder->set_recv_timeout(options_.request_deadline);
+  decoder->set_kv_block_limit(options_.kv_block_limit);
   // Metrics before tracer: set_tracer broadcasts the refresh handshake, and
   // its bytes must land on the transport counters the spans are checked
   // against.
@@ -117,21 +127,6 @@ std::unique_ptr<DistributedDecoder> InferenceServer::make_decoder() const {
   decoder->set_telemetry(options_.telemetry);
   decoder->set_flight_recorder(options_.flight_recorder);
   return decoder;
-}
-
-std::vector<TokenId> InferenceServer::run_generate(const GenerateRequest& req) {
-  if (decoder_ == nullptr) decoder_ = make_decoder();
-  Tensor logits = decoder_->prime(
-      std::span<const TokenId>(req.prompt.data(), req.prompt.size()));
-  std::vector<TokenId> continuation;
-  continuation.reserve(req.new_tokens);
-  for (std::size_t i = 0; i < req.new_tokens; ++i) {
-    const auto next = static_cast<TokenId>(argmax_row(logits, 0));
-    continuation.push_back(next);
-    tokens_generated_.fetch_add(1, std::memory_order_relaxed);
-    if (i + 1 < req.new_tokens) logits = decoder_->step(next);
-  }
-  return continuation;
 }
 
 void InferenceServer::rebuild_runtime_if_poisoned() {
@@ -174,7 +169,8 @@ InferenceServer::~InferenceServer() {
     telemetry_->unregister("tokens");
     telemetry_->unregister("requests");
     telemetry_->unregister("wire_bytes");
-    telemetry_->unregister("queue_depth");
+    telemetry_->unregister("server.queue_depth");
+    telemetry_->unregister("server.batch_occupancy");
   }
 }
 
@@ -236,120 +232,373 @@ void InferenceServer::shutdown() {
   wake_.notify_all();
 }
 
+// ---------------------------------------------------------------------------
+// The continuous-batching scheduler.
+//
+// Each iteration: (1) drain the queue — logits/image jobs pop
+// unconditionally, generations admit while the batch has room (FIFO among
+// themselves); (2) serve the inline jobs; (3) prefill admitted generations
+// into decoder slots; (4) preempt anything past its deadline; (5) advance
+// the whole batch by one token with a single step_batch call; (6) retire
+// completed sequences and free their slots. The dispatcher sleeps only when
+// the batch is empty and no work is queued, so requests join and leave at
+// token granularity.
+
 void InferenceServer::dispatch_loop() {
   // The dispatcher is the terminal device of every runtime/decoder it
   // drives: publish the tracer so transport sends from this thread emit
   // flow events even outside the runtimes' own scopes.
   const obs::ThreadTracerScope tracer_scope(tracer_);
   const obs::ThreadTrackScope track_scope(obs::kServeTrack);
+  std::vector<ActiveRequest> batch;
   for (;;) {
-    Job job;
+    std::vector<Job> inline_jobs;
+    std::vector<Job> admissions;
     {
       std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) {
+      if (batch.empty()) {
+        wake_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      }
+      if (queue_.empty() && batch.empty()) {
         if (stopping_) return;
         continue;
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      const std::size_t cap = std::max<std::size_t>(1, options_.max_batch);
+      std::deque<Job> waiting;  // generations the batch has no room for
+      while (!queue_.empty()) {
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        if (std::holds_alternative<GenerateRequest>(job.input)) {
+          if (batch.size() + admissions.size() < cap) {
+            admissions.push_back(std::move(job));
+          } else {
+            waiting.push_back(std::move(job));
+          }
+        } else {
+          inline_jobs.push_back(std::move(job));
+        }
+      }
+      queue_ = std::move(waiting);
     }
-    // One causal trace id per request: every span and message of the whole
-    // service — prefill, every decode step, all K devices — shares it.
-    const obs::TraceIdScope request_trace(obs::next_trace_id());
     if (flight_recorder_ != nullptr) {
-      // Per-request ring: a poisoning dump shows only this request's wire
-      // history.
+      // Per-iteration ring: a poisoning dump shows the wire history of the
+      // current batch iteration, not the whole server lifetime.
       flight_recorder_->clear();
     }
-    const obs::Micros dispatched_us = obs::now_us();
-    const obs::Micros wait_us = dispatched_us - job.arrival_us;
-    if (tracer_ != nullptr) {
-      // Retroactive span: the wait started at submit time on this track.
-      tracer_->record(
-          obs::TraceEvent{.name = "queue_wait",
-                          .category = "serve",
-                          .track = obs::kServeTrack,
-                          .start_us = job.arrival_us,
-                          .duration_us = wait_us,
-                          .request = static_cast<std::int64_t>(job.id),
-                          .trace = static_cast<std::int64_t>(
-                              obs::thread_trace_id()),
-                          .tag = {}});
-    }
-    const bool is_generate = std::holds_alternative<GenerateRequest>(job.input);
-    try {
-      Tensor logits(0, 0);
-      std::vector<TokenId> continuation;
-      {
-        obs::TraceSpan span(tracer_, "service", "serve", obs::kServeTrack);
-        span.request(static_cast<std::int64_t>(job.id));
-        if (is_generate) {
-          continuation = run_generate(std::get<GenerateRequest>(job.input));
+    // Short inline requests are served between decode iterations — they
+    // never wait for the batch to drain.
+    for (Job& job : inline_jobs) serve_inline(std::move(job));
+    for (Job& job : admissions) admit_generate(std::move(job), batch);
+
+    if (!batch.empty()) {
+      // Deadline preemption before spending a step on a doomed request:
+      // the preempted future fails, its KV blocks free, batch-mates are
+      // untouched.
+      const obs::Micros now = obs::now_us();
+      for (auto it = batch.begin(); it != batch.end();) {
+        if (it->deadline_us != 0 && now >= it->deadline_us) {
+          {
+            const std::lock_guard lock(mutex_);
+            preempted_ += 1;
+          }
+          fail_generate(*it,
+                        std::make_exception_ptr(RecvTimeoutError(
+                            "InferenceServer: request deadline exceeded "
+                            "while decoding")),
+                        /*release=*/true);
+          it = batch.erase(it);
         } else {
-          logits = std::visit(
-              [this](const auto& input) {
-                if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
-                                             Image>) {
-                  return runtime_->infer(input);
-                } else if constexpr (std::is_same_v<
-                                         std::decay_t<decltype(input)>,
-                                         std::vector<TokenId>>) {
-                  return runtime_->infer(
-                      std::span<const TokenId>(input.data(), input.size()));
-                } else {
-                  return Tensor(0, 0);  // unreachable: generate handled above
-                }
-              },
-              job.input);
+          ++it;
         }
       }
-      const obs::Micros done_us = obs::now_us();
-      const Seconds wait = to_seconds(wait_us);
-      const Seconds service = to_seconds(done_us - dispatched_us);
-      const Seconds sojourn = to_seconds(done_us - job.arrival_us);
-      {
-        const std::lock_guard lock(mutex_);
-        waits_.push_back(wait);
-        services_.push_back(service);
-        sojourns_.push_back(sojourn);
+    }
+    if (!batch.empty()) {
+      std::vector<SlotToken> lanes;
+      lanes.reserve(batch.size());
+      for (const ActiveRequest& active : batch) {
+        lanes.push_back(SlotToken{.slot = active.slot, .token = active.next});
       }
       if (metrics_ != nullptr) {
-        metrics_->counter("server.requests_completed").add(1);
-        metrics_->histogram("server.queue_wait_seconds").record(wait);
-        metrics_->histogram("server.service_seconds").record(service);
-        metrics_->histogram("server.sojourn_seconds").record(sojourn);
+        metrics_->histogram("server.batch_occupancy")
+            .record(static_cast<double>(lanes.size()));
       }
-      requests_completed_.fetch_add(1, std::memory_order_relaxed);
-      if (is_generate) {
-        job.generated.set_value(std::move(continuation));
-      } else {
-        job.result.set_value(std::move(logits));
-      }
-    } catch (...) {
       {
         const std::lock_guard lock(mutex_);
-        failed_ += 1;
+        batch_peak_ = std::max(batch_peak_, lanes.size());
       }
-      if (metrics_ != nullptr) {
-        metrics_->counter("server.requests_failed").add(1);
+      Tensor logits(0, 0);
+      try {
+        logits = decoder_->step_batch(
+            std::span<const SlotToken>(lanes.data(), lanes.size()));
+      } catch (...) {
+        // The mesh died mid-step: every in-flight sequence lost its KV
+        // state, so every in-flight future fails with the root cause.
+        // Queued requests are unaffected — the next admission builds a
+        // fresh decoder.
+        fail_batch(batch, std::current_exception());
       }
-      if (is_generate) {
-        job.generated.set_exception(std::current_exception());
-        // A failed DistributedDecoder is dead (its mesh is poisoned); drop
-        // it so the next generation request builds a fresh one.
-        if (decoder_ != nullptr) {
-          decoder_.reset();
-          if (metrics_ != nullptr) {
-            metrics_->counter("server.decoder_rebuilds").add(1);
+      if (!batch.empty()) {
+        std::vector<ActiveRequest> still;
+        still.reserve(batch.size());
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          ActiveRequest& active = batch[r];
+          active.next = static_cast<TokenId>(argmax_row(logits, r));
+          active.generated.push_back(active.next);
+          tokens_generated_.fetch_add(1, std::memory_order_relaxed);
+          if (active.generated.size() >= active.target) {
+            complete_generate(active);
+          } else {
+            still.push_back(std::move(active));
           }
         }
-      } else {
-        job.result.set_exception(std::current_exception());
-        // A failure that poisoned the mesh must not doom every later
-        // request: swap in a fresh runtime so the dispatcher keeps serving.
-        rebuild_runtime_if_poisoned();
+        batch = std::move(still);
       }
+    }
+    batch_size_.store(batch.size(), std::memory_order_relaxed);
+  }
+}
+
+void InferenceServer::serve_inline(Job job) {
+  // One causal trace id per request: every span and message of the whole
+  // service — all K devices — shares it.
+  const obs::TraceIdScope request_trace(obs::next_trace_id());
+  const obs::Micros dispatched_us = obs::now_us();
+  const obs::Micros wait_us = dispatched_us - job.arrival_us;
+  if (tracer_ != nullptr) {
+    // Retroactive span: the wait started at submit time on this track.
+    tracer_->record(
+        obs::TraceEvent{.name = "queue_wait",
+                        .category = "serve",
+                        .track = obs::kServeTrack,
+                        .start_us = job.arrival_us,
+                        .duration_us = wait_us,
+                        .request = static_cast<std::int64_t>(job.id),
+                        .trace = static_cast<std::int64_t>(
+                            obs::thread_trace_id()),
+                        .tag = {}});
+  }
+  try {
+    Tensor logits(0, 0);
+    {
+      obs::TraceSpan span(tracer_, "service", "serve", obs::kServeTrack);
+      span.request(static_cast<std::int64_t>(job.id));
+      logits = std::visit(
+          [this](const auto& input) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                         Image>) {
+              return runtime_->infer(input);
+            } else if constexpr (std::is_same_v<std::decay_t<decltype(input)>,
+                                                std::vector<TokenId>>) {
+              return runtime_->infer(
+                  std::span<const TokenId>(input.data(), input.size()));
+            } else {
+              return Tensor(0, 0);  // unreachable: generates never come here
+            }
+          },
+          job.input);
+    }
+    const obs::Micros done_us = obs::now_us();
+    const Seconds wait = to_seconds(wait_us);
+    const Seconds service = to_seconds(done_us - dispatched_us);
+    const Seconds sojourn = to_seconds(done_us - job.arrival_us);
+    {
+      const std::lock_guard lock(mutex_);
+      waits_.push_back(wait);
+      services_.push_back(service);
+      sojourns_.push_back(sojourn);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("server.requests_completed").add(1);
+      metrics_->histogram("server.queue_wait_seconds").record(wait);
+      metrics_->histogram("server.service_seconds").record(service);
+      metrics_->histogram("server.sojourn_seconds").record(sojourn);
+    }
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    job.result.set_value(std::move(logits));
+  } catch (...) {
+    {
+      const std::lock_guard lock(mutex_);
+      failed_ += 1;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("server.requests_failed").add(1);
+    }
+    job.result.set_exception(std::current_exception());
+    // A failure that poisoned the mesh must not doom every later request:
+    // swap in a fresh runtime so the dispatcher keeps serving.
+    rebuild_runtime_if_poisoned();
+  }
+}
+
+bool InferenceServer::admit_generate(Job job,
+                                     std::vector<ActiveRequest>& batch) {
+  const obs::Micros admitted_us = obs::now_us();
+  const obs::Micros wait_us = admitted_us - job.arrival_us;
+  if (tracer_ != nullptr) {
+    tracer_->record(
+        obs::TraceEvent{.name = "queue_wait",
+                        .category = "serve",
+                        .track = obs::kServeTrack,
+                        .start_us = job.arrival_us,
+                        .duration_us = wait_us,
+                        .request = static_cast<std::int64_t>(job.id),
+                        .trace = static_cast<std::int64_t>(
+                            obs::thread_trace_id()),
+                        .tag = {}});
+  }
+  ActiveRequest active;
+  active.target = std::get<GenerateRequest>(job.input).new_tokens;
+  active.admitted_us = admitted_us;
+  active.deadline_us =
+      options_.request_deadline > 0.0
+          ? job.arrival_us +
+                static_cast<obs::Micros>(options_.request_deadline * 1e6)
+          : 0;
+  active.job = std::move(job);
+  if (active.deadline_us != 0 && admitted_us >= active.deadline_us) {
+    // Expired while queued: fail without spending a prefill on it.
+    {
+      const std::lock_guard lock(mutex_);
+      preempted_ += 1;
+    }
+    fail_generate(active,
+                  std::make_exception_ptr(RecvTimeoutError(
+                      "InferenceServer: request deadline exceeded in queue")),
+                  /*release=*/false);
+    return false;
+  }
+  try {
+    if (decoder_ == nullptr) decoder_ = make_decoder();
+    const GenerateRequest& req = std::get<GenerateRequest>(active.job.input);
+    // The prefill runs under the request's own trace id; batched decode
+    // steps serve several requests at once and carry their own per-step id.
+    const obs::TraceIdScope request_trace(obs::next_trace_id());
+    DistributedDecoder::PrimedSlot primed = decoder_->prime_slot(
+        std::span<const TokenId>(req.prompt.data(), req.prompt.size()));
+    active.slot = primed.slot;
+    if (active.target == 0) {
+      complete_generate(active);
+      return false;
+    }
+    active.next = static_cast<TokenId>(argmax_row(primed.logits, 0));
+    active.generated.push_back(active.next);
+    active.first_token_us = obs::now_us();
+    tokens_generated_.fetch_add(1, std::memory_order_relaxed);
+    if (active.generated.size() >= active.target) {
+      complete_generate(active);
+      return false;
+    }
+    batch.push_back(std::move(active));
+    return true;
+  } catch (...) {
+    // Pre-mesh validation errors (bad token, prompt exceeds the window)
+    // leave the decoder and its other slots fully serviceable; only a
+    // poisoned fabric means the in-flight batch died with this prefill.
+    const bool mesh_dead =
+        decoder_ != nullptr && decoder_->fabric().closed();
+    fail_generate(active, std::current_exception(), /*release=*/false);
+    if (mesh_dead) fail_batch(batch, std::current_exception());
+    return false;
+  }
+}
+
+void InferenceServer::complete_generate(ActiveRequest& active) {
+  const obs::Micros done_us = obs::now_us();
+  const Seconds wait = to_seconds(active.admitted_us - active.job.arrival_us);
+  const Seconds service = to_seconds(done_us - active.admitted_us);
+  const Seconds sojourn = to_seconds(done_us - active.job.arrival_us);
+  const Seconds ttft =
+      active.first_token_us != 0
+          ? to_seconds(active.first_token_us - active.job.arrival_us)
+          : 0.0;
+  {
+    const std::lock_guard lock(mutex_);
+    waits_.push_back(wait);
+    services_.push_back(service);
+    sojourns_.push_back(sojourn);
+    if (active.first_token_us != 0) ttfts_.push_back(ttft);
+    if (active.generated.size() > 1) {
+      // Decode-phase inter-token gap: first token lands with the prefill,
+      // the remaining n-1 ride batched steps.
+      token_gaps_.push_back(
+          to_seconds(done_us - active.first_token_us) /
+          static_cast<double>(active.generated.size() - 1));
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("server.requests_completed").add(1);
+    metrics_->histogram("server.queue_wait_seconds").record(wait);
+    metrics_->histogram("server.service_seconds").record(service);
+    metrics_->histogram("server.sojourn_seconds").record(sojourn);
+    if (active.first_token_us != 0) {
+      metrics_->histogram("server.ttft_seconds").record(ttft);
+    }
+  }
+  requests_completed_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    // Retroactive service span: the request was in service from admission
+    // to completion, interleaved with its batch-mates.
+    tracer_->record(
+        obs::TraceEvent{.name = "service",
+                        .category = "serve",
+                        .track = obs::kServeTrack,
+                        .start_us = active.admitted_us,
+                        .duration_us = done_us - active.admitted_us,
+                        .request = static_cast<std::int64_t>(active.job.id),
+                        .trace = static_cast<std::int64_t>(
+                            obs::thread_trace_id()),
+                        .tag = {}});
+  }
+  active.job.generated.set_value(std::move(active.generated));
+  // Return the slot's KV blocks to the pool. If the mesh died under the
+  // release broadcast the request itself still succeeded; drop the decoder
+  // so the next admission builds a fresh one.
+  if (decoder_ != nullptr) {
+    try {
+      decoder_->release_slot(active.slot);
+    } catch (...) {
+      decoder_.reset();
+      if (metrics_ != nullptr) {
+        metrics_->counter("server.decoder_rebuilds").add(1);
+      }
+    }
+  }
+}
+
+void InferenceServer::fail_generate(ActiveRequest& active,
+                                    std::exception_ptr error, bool release) {
+  {
+    const std::lock_guard lock(mutex_);
+    failed_ += 1;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("server.requests_failed").add(1);
+  }
+  active.job.generated.set_exception(std::move(error));
+  if (release && decoder_ != nullptr && !decoder_->fabric().closed()) {
+    try {
+      decoder_->release_slot(active.slot);
+    } catch (...) {
+      decoder_.reset();
+      if (metrics_ != nullptr) {
+        metrics_->counter("server.decoder_rebuilds").add(1);
+      }
+    }
+  }
+}
+
+void InferenceServer::fail_batch(std::vector<ActiveRequest>& batch,
+                                 std::exception_ptr error) {
+  for (ActiveRequest& active : batch) {
+    fail_generate(active, error, /*release=*/false);
+  }
+  batch.clear();
+  // A failed DistributedDecoder is dead (its mesh is poisoned); drop it so
+  // the next admission builds a fresh one.
+  if (decoder_ != nullptr) {
+    decoder_.reset();
+    if (metrics_ != nullptr) {
+      metrics_->counter("server.decoder_rebuilds").add(1);
     }
   }
 }
@@ -391,14 +640,20 @@ ServerStats InferenceServer::stats() const {
   std::vector<Seconds> waits;
   std::vector<Seconds> services;
   std::vector<Seconds> sojourns;
+  std::vector<Seconds> ttfts;
+  std::vector<Seconds> token_gaps;
   ServerStats stats;
   {
     const std::lock_guard lock(mutex_);
     waits = waits_;
     services = services_;
     sojourns = sojourns_;
+    ttfts = ttfts_;
+    token_gaps = token_gaps_;
     stats.failed = failed_;
+    stats.preempted = preempted_;
     stats.runtime_rebuilds = runtime_rebuilds_;
+    stats.batch_peak = batch_peak_;
   }
   stats.completed = sojourns.size();
   if (sojourns.empty()) return stats;
@@ -409,6 +664,8 @@ ServerStats InferenceServer::stats() const {
   stats.max = total.max;
   stats.queue_wait = summarize(std::move(waits));
   stats.service = summarize(std::move(services));
+  stats.ttft = summarize(std::move(ttfts));
+  stats.per_token = summarize(std::move(token_gaps));
   return stats;
 }
 

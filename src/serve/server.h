@@ -1,21 +1,36 @@
 // InferenceServer: the deployment wrapper for the paper's serving regime —
-// sporadic requests, batch size 1, one shared device cluster.
+// sporadic requests over one shared device cluster.
 //
-// Requests (token sequences or images) enter a FIFO queue from any thread
-// and resolve through std::future; a dispatcher thread drives a
-// VoltageRuntime one request at a time (the whole cluster serves each
-// request — that is the point of latency-oriented distribution). Queue-wait,
-// service and total sojourn times are recorded per request so real
+// Requests (token sequences, images, or greedy-generation jobs) enter a FIFO
+// queue from any thread and resolve through std::future. A dispatcher thread
+// drives two planes:
+//   - logits/image requests run one at a time through a VoltageRuntime (the
+//     whole cluster serves each request — that is the point of
+//     latency-oriented distribution);
+//   - generation requests are served with iteration-level continuous
+//     batching (Orca-style): the dispatcher admits queued generations into a
+//     running batch (up to `max_batch`), advances every in-flight sequence
+//     by one token per DistributedDecoder::step_batch call, and requests
+//     join and leave that batch at token granularity — a short completion
+//     never waits for a long batch-mate, and a newly admitted prompt starts
+//     decoding on the next iteration. Each sequence's KV state lives in
+//     per-device paged block pools and is freed the moment the request
+//     completes (or is preempted past its deadline).
+//
+// Queue-wait, service and total sojourn times are recorded per request, plus
+// time-to-first-token and per-token decode latency for generations, so real
 // deployments can be compared against the queueing simulation in
 // sim/serving.h; attach an obs::Tracer to see each request's queue_wait and
 // service spans (with request ids) on the serving track of the trace, next
-// to the per-device spans the runtime emits while serving it.
+// to the batch-size-annotated decode.step spans the decoder emits while
+// serving it.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -40,17 +55,23 @@ struct LatencyStats {
   Seconds mean = 0.0;
   Seconds p50 = 0.0;
   Seconds p95 = 0.0;
+  Seconds p99 = 0.0;
   Seconds max = 0.0;
 };
 
 struct ServerStats {
   std::size_t completed = 0;
-  // Requests whose future carries an exception instead of logits (inference
-  // failure, poisoned transport, deadline). Not included in the latency
-  // percentiles below.
+  // Requests whose future carries an exception instead of a result
+  // (inference failure, poisoned transport, deadline). Not included in the
+  // latency percentiles below.
   std::size_t failed = 0;
+  // Subset of `failed`: generation requests cut from the running batch
+  // because their per-request deadline expired mid-decode.
+  std::size_t preempted = 0;
   // Times the dispatcher rebuilt its runtime after a poisoned transport.
   std::size_t runtime_rebuilds = 0;
+  // Largest number of generation requests decoding in one batched step.
+  std::size_t batch_peak = 0;
   // Total sojourn = queue wait + service.
   Seconds mean = 0.0;
   Seconds p50 = 0.0;
@@ -59,6 +80,11 @@ struct ServerStats {
   // The two components, recorded separately per request.
   LatencyStats queue_wait;
   LatencyStats service;
+  // Generation requests only: arrival -> first generated token (prefill
+  // plus any time queued or waiting on batch-mates), and the mean
+  // inter-token gap of the decode phase per request.
+  LatencyStats ttft;
+  LatencyStats per_token;
 };
 
 class InferenceServer {
@@ -72,36 +98,54 @@ class InferenceServer {
     // decoder (see VoltageRuntime::set_precision). Logits differ from fp32
     // within the quantization bound (DESIGN.md "Quantized path").
     Precision precision = Precision::kFp32;
+    // Admission cap of the continuous-batching scheduler: at most this many
+    // generation requests decode concurrently; further generations wait in
+    // the queue (FIFO among themselves) until a running one completes or is
+    // preempted. 1 degenerates to the PR-5 one-at-a-time dispatcher.
+    std::size_t max_batch = 8;
     // Intra-op thread budget per device thread. 0 (default) divides the
     // ambient budget (VOLTAGE_THREADS or the core count) evenly across the
     // devices, so a serving cluster uses the whole host; any other value is
     // forwarded to VoltageRuntime::set_intra_op_threads verbatim. Results
     // are bitwise identical at every setting.
     std::size_t device_intra_op_threads = 0;
-    // Per-request deadline in seconds (0 = none): every blocking receive of
-    // a request's inference shares one absolute deadline, so a wedged
-    // device fails the request with RecvTimeoutError instead of wedging the
-    // dispatcher — and with it every queued future — forever.
+    // Per-request deadline in seconds (0 = none). Two roles: every blocking
+    // receive of a request's inference shares one absolute deadline, so a
+    // wedged device fails the request with RecvTimeoutError instead of
+    // wedging the dispatcher forever; and the batch scheduler preempts any
+    // generation still decoding `request_deadline` seconds after its
+    // arrival — its future fails, its KV blocks free, and its batch-mates
+    // continue unharmed.
     Seconds request_deadline = 0.0;
+    // Caps each decoder device's KV block pool (see
+    // DistributedDecoder::set_kv_block_limit); 0 = unbounded.
+    std::size_t kv_block_limit = 0;
+    // Test hook: builds the decoder's transport (devices = K workers + the
+    // terminal) instead of make_transport(transport, ...) — the way to
+    // inject a ChaosTransport underneath a serving batch. Called once per
+    // decoder build, including rebuilds after a mesh failure.
+    std::function<std::unique_ptr<Transport>(std::size_t devices)>
+        decoder_transport_factory = {};
     // Optional observability sinks (all non-owning; nullptr = off).
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
     // Live telemetry plane (obs/telemetry.h). When `telemetry` is set the
     // server registers its serving rates (tokens/s, requests/s — and wire
-    // bytes/s when `metrics` is also attached), a queue-depth gauge and
-    // per-device utilization, and a sampler thread exports a snapshot every
-    // `telemetry_period` seconds: appended as JSONL to
-    // `telemetry_jsonl_path` and/or overwritten in the Prometheus text
-    // format at `telemetry_prometheus_path` (empty path = skip that sink;
-    // snapshots are still taken so tests can sample() concurrently).
+    // bytes/s when `metrics` is also attached), the "server.queue_depth"
+    // and "server.batch_occupancy" gauges and per-device utilization, and a
+    // sampler thread exports a snapshot every `telemetry_period` seconds:
+    // appended as JSONL to `telemetry_jsonl_path` and/or overwritten in the
+    // Prometheus text format at `telemetry_prometheus_path` (empty path =
+    // skip that sink; snapshots are still taken so tests can sample()
+    // concurrently).
     obs::TelemetryHub* telemetry = nullptr;
     Seconds telemetry_period = 1.0;
     std::string telemetry_jsonl_path = {};
     std::string telemetry_prometheus_path = {};
-    // Per-request flight recorder: attached to the runtime and decoder
-    // transports (its ring auto-dumps when a transport is poisoned) and
-    // cleared at each dispatch, so a dump holds only the doomed request's
-    // wire history.
+    // Flight recorder: attached to the runtime and decoder transports (its
+    // ring auto-dumps when a transport is poisoned) and cleared at each
+    // scheduler iteration, so a dump holds the wire history of the current
+    // batch iteration.
     obs::FlightRecorder* flight_recorder = nullptr;
   };
 
@@ -121,9 +165,11 @@ class InferenceServer {
   // Enqueue a greedy-generation request (causal LMs only): the future
   // resolves with the `new_tokens` continuation tokens. Decoding runs
   // through a DistributedDecoder the dispatcher keeps across requests —
-  // one distributed prefill per request, then O(T) cached steps; a failed
-  // generation drops the decoder, and the next request builds a fresh one
-  // (same recovery contract as the runtime rebuild).
+  // one distributed prefill per request, then O(T) cached steps batched
+  // with the other in-flight generations (the result is bitwise identical
+  // to serving alone; see DESIGN.md "Continuous batching"). A mesh failure
+  // fails every generation decoding at that moment and drops the decoder;
+  // queued requests are served by a fresh one.
   [[nodiscard]] std::future<std::vector<TokenId>> submit_generate(
       std::vector<TokenId> prompt, std::size_t new_tokens);
 
@@ -134,6 +180,11 @@ class InferenceServer {
   [[nodiscard]] ServerStats stats() const;
 
   [[nodiscard]] std::size_t queue_depth() const;
+
+  // Generation requests currently decoding in the running batch.
+  [[nodiscard]] std::size_t batch_occupancy() const noexcept {
+    return batch_size_.load(std::memory_order_relaxed);
+  }
 
   // The runtime currently serving requests (rebuilt after transport
   // poisoning — do not cache the reference across failures). Exposed for
@@ -155,19 +206,40 @@ class InferenceServer {
     obs::Micros arrival_us = 0;
   };
 
+  // One generation decoding in the running batch.
+  struct ActiveRequest {
+    Job job;
+    std::size_t target = 0;  // new_tokens
+    SlotId slot = 0;
+    std::vector<TokenId> generated;
+    TokenId next = 0;  // last generated token: the next step's input
+    obs::Micros admitted_us = 0;
+    obs::Micros first_token_us = 0;
+    obs::Micros deadline_us = 0;  // absolute, 0 = none
+  };
+
   void enqueue(Job job);
   void dispatch_loop();
+  void serve_inline(Job job);
+  // Admission: prefill + first token. True if the request entered the
+  // batch; false if it completed or failed immediately.
+  bool admit_generate(Job job, std::vector<ActiveRequest>& batch);
+  void complete_generate(ActiveRequest& active);
+  void fail_generate(ActiveRequest& active, std::exception_ptr error,
+                     bool release);
+  // Mesh death: fails every in-flight generation with `error` and drops the
+  // decoder so the next admission builds a fresh one.
+  void fail_batch(std::vector<ActiveRequest>& batch, std::exception_ptr error);
   void telemetry_loop();
   void export_telemetry();
   [[nodiscard]] std::unique_ptr<VoltageRuntime> make_runtime() const;
   [[nodiscard]] std::unique_ptr<DistributedDecoder> make_decoder() const;
-  [[nodiscard]] std::vector<TokenId> run_generate(const GenerateRequest& req);
   void rebuild_runtime_if_poisoned();
 
   const TransformerModel& model_;
   Options options_;  // construction parameters, kept for runtime rebuilds
   std::unique_ptr<VoltageRuntime> runtime_;
-  // Lazily built on the first generation request; dispatcher-thread only.
+  // Lazily built at the first generation admission; dispatcher-thread only.
   std::unique_ptr<DistributedDecoder> decoder_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -175,6 +247,7 @@ class InferenceServer {
   obs::FlightRecorder* flight_recorder_ = nullptr;
   std::atomic<std::uint64_t> tokens_generated_{0};
   std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::size_t> batch_size_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -183,10 +256,14 @@ class InferenceServer {
   bool stopping_ = false;
   std::uint64_t next_request_id_ = 0;
   std::size_t failed_ = 0;
+  std::size_t preempted_ = 0;
   std::size_t runtime_rebuilds_ = 0;
+  std::size_t batch_peak_ = 0;
   std::vector<Seconds> waits_;
   std::vector<Seconds> services_;
   std::vector<Seconds> sojourns_;
+  std::vector<Seconds> ttfts_;
+  std::vector<Seconds> token_gaps_;
   std::thread dispatcher_;
 
   // Telemetry sampler (only started when options.telemetry is set).

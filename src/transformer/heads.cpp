@@ -51,4 +51,11 @@ Tensor LmHead::forward_last(const Tensor& hidden_states) const {
   return matmul(last, w_);
 }
 
+Tensor LmHead::forward_rows(const Tensor& hidden_states) const {
+  if (hidden_states.rows() == 0) {
+    throw std::invalid_argument("LmHead: empty batch");
+  }
+  return matmul(hidden_states, w_);
+}
+
 }  // namespace voltage

@@ -49,6 +49,11 @@ class LmHead {
   // [1 x vocab] logits for the token following the sequence.
   [[nodiscard]] Tensor forward_last(const Tensor& hidden_states) const;
 
+  // [R x vocab] logits, one row per input row. For batched decoding, where
+  // every row is the final hidden state of a different sequence: the GEMM is
+  // bitwise row-independent, so row r equals forward_last on that row alone.
+  [[nodiscard]] Tensor forward_rows(const Tensor& hidden_states) const;
+
   [[nodiscard]] std::size_t vocab_size() const noexcept { return w_.cols(); }
   [[nodiscard]] std::size_t parameter_count() const noexcept {
     return w_.size();

@@ -76,6 +76,13 @@ Tensor TransformerModel::postprocess(const Tensor& hidden_states) const {
   throw std::logic_error("postprocess: model has no head");
 }
 
+Tensor TransformerModel::postprocess_rows(const Tensor& hidden_states) const {
+  if (!lm_head_) {
+    throw std::logic_error("postprocess_rows: needs a causal LM head");
+  }
+  return lm_head_->forward_rows(hidden_states);
+}
+
 Tensor TransformerModel::infer(std::span<const TokenId> tokens) const {
   return postprocess(forward_layers(preprocess(tokens)));
 }

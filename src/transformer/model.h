@@ -41,6 +41,12 @@ class TransformerModel {
   // --- terminal-device post-processing -----------------------------------
   [[nodiscard]] Tensor postprocess(const Tensor& hidden_states) const;
 
+  // Causal LMs only: next-token logits for *every* input row ([R x vocab]),
+  // where each row is the final hidden state of an independent sequence —
+  // the batched-decode head. Row r is bitwise equal to postprocess on that
+  // row alone.
+  [[nodiscard]] Tensor postprocess_rows(const Tensor& hidden_states) const;
+
   // Single-device end-to-end inference (the paper's baseline deployment).
   [[nodiscard]] Tensor infer(std::span<const TokenId> tokens) const;
   [[nodiscard]] Tensor infer(const Image& image) const;
