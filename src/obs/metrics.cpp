@@ -1,8 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
+
+#include "obs/percentile.h"
 
 namespace voltage::obs {
 
@@ -26,18 +27,9 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.min = samples.front();
   snap.max = samples.back();
   snap.mean = sum / static_cast<double>(samples.size());
-  // Nearest-rank percentile (rank ceil(q*n), 1-based): the smallest sample
-  // with at least a fraction q of the distribution at or below it. The
-  // previous floor(q*(n-1)) indexing under-reported upper quantiles at
-  // small n (e.g. reported ~p90 as "p95" for n = 10).
-  const auto pct = [&](double q) {
-    const double rank = std::ceil(q * static_cast<double>(samples.size()));
-    const auto idx = static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
-    return samples[std::min(idx, samples.size() - 1)];
-  };
-  snap.p50 = pct(0.50);
-  snap.p95 = pct(0.95);
-  snap.p99 = pct(0.99);
+  snap.p50 = nearest_rank(samples, 0.50);
+  snap.p95 = nearest_rank(samples, 0.95);
+  snap.p99 = nearest_rank(samples, 0.99);
   return snap;
 }
 

@@ -82,4 +82,21 @@ enum class AllReduceAlgo : std::uint8_t { kStar, kRing };
     const ModelSpec& spec, std::size_t n, const sim::Cluster& cluster,
     AllReduceAlgo algo = AllReduceAlgo::kStar);
 
+// --- Fleet-simulator calibration hooks -------------------------------------
+
+// Wall time one continuous-batching decode step spends on the wire, for a
+// measured per-step message/byte profile (BENCH_serving.json: message count
+// constant in batch, bytes sublinear) priced over `link`. The step's
+// messages are the chatty kind the paper's link model was built for — each
+// pays the per-message latency, and the step's bytes serialize at link
+// bandwidth. sim::MeshModel::with_link uses this to re-price the measured
+// occupancy curve from the loopback calibration link onto an edge link
+// (inline so the sim layer can price wire without linking voltage_parallel,
+// which itself links voltage_sim).
+[[nodiscard]] inline Seconds decode_step_wire_time(double messages,
+                                                   double bytes,
+                                                   const LinkModel& link) {
+  return messages * link.per_message_latency + bytes * 8.0 / link.bandwidth_bps;
+}
+
 }  // namespace voltage

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/thread_pool.h"
+#include "obs/percentile.h"
 #include "tensor/ops.h"
 
 namespace voltage {
@@ -25,17 +26,9 @@ LatencyStats summarize(std::vector<Seconds> samples) {
   double sum = 0.0;
   for (const Seconds s : samples) sum += s;
   stats.mean = sum / static_cast<double>(samples.size());
-  // Nearest-rank percentile: the smallest sample such that at least q of
-  // the distribution is <= it (rank ceil(q*n), 1-based). The previous
-  // floor(q*(n-1)) indexing under-reported upper quantiles at small n.
-  const auto pct = [&](double q) {
-    const double rank = std::ceil(q * static_cast<double>(samples.size()));
-    const auto idx = static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
-    return samples[std::min(idx, samples.size() - 1)];
-  };
-  stats.p50 = pct(0.5);
-  stats.p95 = pct(0.95);
-  stats.p99 = pct(0.99);
+  stats.p50 = obs::nearest_rank(samples, 0.5);
+  stats.p95 = obs::nearest_rank(samples, 0.95);
+  stats.p99 = obs::nearest_rank(samples, 0.99);
   stats.max = samples.back();
   return stats;
 }

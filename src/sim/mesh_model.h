@@ -1,0 +1,82 @@
+// Continuous-batching mesh service model, calibrated from measured numbers.
+//
+// One "mesh" is a K-device Voltage deployment running the PR-8 batched
+// decoder: every decode step generates one token for each of the B active
+// sequences, and the step's wall time grows sublinearly in B (compute
+// amortizes the per-step collective round-trips). Rather than re-deriving
+// that curve from first principles, the model interpolates the committed
+// measurements:
+//
+//   - BENCH_serving.json (fp32, K=4): per-step wall time at B ∈ {1, 4, 16}
+//     plus the per-step wire profile (messages constant in B, bytes
+//     sublinear) — the occupancy curve;
+//   - BENCH_decode.json (K=4, context 256): the full-forward rate that
+//     prices prefill (a 256-token recompute step = one batched prefill
+//     pass over 256 positions).
+//
+// with_link() re-prices the wire share of each calibration point from the
+// benchmark's loopback-socket link onto an arbitrary LinkModel through the
+// latency_model hook (decode_step_wire_time), so the same compute curve
+// answers questions about 500 Mbps edge links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/link.h"
+
+namespace voltage::sim {
+
+// One calibration point of the occupancy curve.
+struct StepPoint {
+  double batch = 1.0;             // concurrent sequences in the step
+  Seconds step_time = 0.0;        // measured wall time of one decode step
+  double bytes_per_step = 0.0;    // wire bytes the step moves
+  double messages_per_step = 0.0; // wire messages the step sends
+};
+
+class MeshModel {
+ public:
+  // `curve` must be non-empty, sorted by strictly increasing batch, with
+  // positive step times. `calibration_link` is the link the curve was
+  // measured over (loopback for the committed benchmarks).
+  MeshModel(std::size_t devices, std::vector<StepPoint> curve,
+            double prefill_tokens_per_s, Seconds prefill_overhead,
+            const LinkModel& calibration_link);
+
+  // The committed BENCH_serving.json fp32 K=4 occupancy curve plus the
+  // BENCH_decode.json prefill rate.
+  [[nodiscard]] static MeshModel from_bench_serving();
+
+  // Same compute behaviour over a different link: for every calibration
+  // point the calibration link's wire time is subtracted and the new
+  // link's added (never below the compute floor).
+  [[nodiscard]] MeshModel with_link(const LinkModel& link) const;
+
+  // Piecewise-linear in batch over the calibration points; extrapolates
+  // the last segment's slope beyond the largest measured batch.
+  [[nodiscard]] Seconds step_time(double batch) const;
+
+  // Time a joining request's prompt occupies the mesh before its sequence
+  // can take part in decode steps.
+  [[nodiscard]] Seconds prefill_time(std::size_t prompt_tokens) const;
+
+  // Decode throughput when every step runs at the largest calibrated
+  // batch — the capacity the planner's stability bound uses.
+  [[nodiscard]] double saturated_tokens_per_s() const;
+
+  [[nodiscard]] double max_calibrated_batch() const;
+  [[nodiscard]] std::size_t devices() const noexcept { return devices_; }
+  [[nodiscard]] const std::vector<StepPoint>& curve() const noexcept {
+    return curve_;
+  }
+
+ private:
+  std::size_t devices_ = 1;
+  std::vector<StepPoint> curve_;
+  double prefill_tokens_per_s_ = 1.0;
+  Seconds prefill_overhead_ = 0.0;
+  LinkModel calibration_link_;
+};
+
+}  // namespace voltage::sim

@@ -1,9 +1,10 @@
 #include "sim/serving.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
+#include "obs/percentile.h"
+#include "sim/traffic.h"
 #include "tensor/rng.h"
 
 namespace voltage::sim {
@@ -18,35 +19,29 @@ std::vector<Seconds> poisson_arrivals(const ArrivalProcess& p) {
   std::vector<Seconds> arrivals(p.num_requests);
   double t = 0.0;
   for (Seconds& a : arrivals) {
-    // Exponential inter-arrival via inverse CDF.
-    double u = rng.next_uniform();
-    if (u <= 0.0) u = 1e-12;
-    t += -std::log(u) / p.rate_rps;
+    t += sample_exponential(rng, p.rate_rps);
     a = t;
   }
   return arrivals;
 }
 
-ServingReport summarize(std::vector<Seconds> sojourns, double utilization) {
-  std::sort(sojourns.begin(), sojourns.end());
-  const auto percentile = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(sojourns.size() - 1));
-    return sojourns[idx];
-  };
+}  // namespace
+
+ServingReport summarize_samples(std::vector<Seconds> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("summarize_samples: no samples");
+  }
+  std::sort(samples.begin(), samples.end());
   ServingReport report;
   double sum = 0.0;
-  for (const Seconds s : sojourns) sum += s;
-  report.mean = sum / static_cast<double>(sojourns.size());
-  report.p50 = percentile(0.50);
-  report.p95 = percentile(0.95);
-  report.p99 = percentile(0.99);
-  report.max = sojourns.back();
-  report.utilization = utilization;
+  for (const Seconds s : samples) sum += s;
+  report.mean = sum / static_cast<double>(samples.size());
+  report.p50 = obs::nearest_rank(samples, 0.50);
+  report.p95 = obs::nearest_rank(samples, 0.95);
+  report.p99 = obs::nearest_rank(samples, 0.99);
+  report.max = samples.back();
   return report;
 }
-
-}  // namespace
 
 ServingReport simulate_serving(Seconds service_time,
                                const ArrivalProcess& arrivals) {
@@ -61,7 +56,14 @@ ServingReport simulate_serving(Seconds service_time,
     server_free = start + service_time;
     sojourns[i] = server_free - at[i];
   }
-  return summarize(std::move(sojourns), arrivals.rate_rps * service_time);
+  const Seconds makespan = server_free;
+  ServingReport report = summarize_samples(std::move(sojourns));
+  report.offered_load = arrivals.rate_rps * service_time;
+  report.stable = report.offered_load < 1.0;
+  report.utilization =
+      static_cast<double>(at.size()) * service_time / makespan;
+  report.throughput_rps = static_cast<double>(at.size()) / makespan;
+  return report;
 }
 
 ServingReport simulate_pipeline_serving(Seconds request_latency,
@@ -77,12 +79,21 @@ ServingReport simulate_pipeline_serving(Seconds request_latency,
   const std::vector<Seconds> at = poisson_arrivals(arrivals);
   std::vector<Seconds> sojourns(at.size());
   Seconds next_admission = 0.0;
+  Seconds last_departure = 0.0;
   for (std::size_t i = 0; i < at.size(); ++i) {
     const Seconds admitted = std::max(at[i], next_admission);
     next_admission = admitted + bottleneck;
-    sojourns[i] = admitted + request_latency - at[i];
+    last_departure = admitted + request_latency;
+    sojourns[i] = last_departure - at[i];
   }
-  return summarize(std::move(sojourns), arrivals.rate_rps * bottleneck);
+  ServingReport report = summarize_samples(std::move(sojourns));
+  report.offered_load = arrivals.rate_rps * bottleneck;
+  report.stable = report.offered_load < 1.0;
+  // The admission stage is the contended resource of the pipeline.
+  report.utilization =
+      static_cast<double>(at.size()) * bottleneck / last_departure;
+  report.throughput_rps = static_cast<double>(at.size()) / last_departure;
+  return report;
 }
 
 }  // namespace voltage::sim

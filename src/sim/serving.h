@@ -12,6 +12,9 @@
 //     strategy's end-to-end latency as service time.
 //   - Pipelined: a new request may enter every `bottleneck` seconds while
 //     each request still takes `request_latency` to traverse all stages.
+//
+// For fleets of batched meshes, balancers and traffic shapes, see
+// sim/fleet.h — this is the single-queue building block.
 #pragma once
 
 #include <cstdint>
@@ -33,8 +36,21 @@ struct ServingReport {
   Seconds p95 = 0.0;
   Seconds p99 = 0.0;
   Seconds max = 0.0;
-  double utilization = 0.0;  // offered load / capacity
+  // Achieved busy fraction of the simulated horizon — always <= 1, unlike
+  // the offered load below, which is what the old `utilization` reported.
+  double utilization = 0.0;
+  double offered_load = 0.0;     // rho = lambda * service (can exceed 1)
+  double throughput_rps = 0.0;   // completed / makespan
+  // rho < 1. When false the queue is divergent: sojourn percentiles grow
+  // without bound in num_requests and must not be read as steady state.
+  bool stable = false;
 };
+
+// Percentile summary of raw latency samples through the repo-wide
+// nearest-rank convention (obs/percentile.h) — bit-identical to
+// obs::Histogram::snapshot on the same data. Only the latency fields of
+// the report are populated.
+[[nodiscard]] ServingReport summarize_samples(std::vector<Seconds> samples);
 
 // Monolithic server: service one request at a time in `service_time`.
 [[nodiscard]] ServingReport simulate_serving(Seconds service_time,

@@ -1,0 +1,153 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace voltage::sim {
+
+namespace {
+
+// Box-Muller on the 53-bit open-interval uniform; no spare caching so a
+// generator shared between normal and uniform draws stays reproducible
+// regardless of call interleaving.
+double sample_standard_normal(Rng& rng) {
+  const double u1 = rng.next_uniform_double();
+  const double u2 = rng.next_uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t clamp_tokens(double v, std::size_t lo, std::size_t hi) {
+  if (!(v > 0.0)) return lo;
+  const double rounded = std::round(v);
+  const double clamped =
+      std::min(static_cast<double>(hi), std::max(static_cast<double>(lo), rounded));
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace
+
+Seconds sample_exponential(Rng& rng, double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("sample_exponential: rate <= 0");
+  }
+  // u in (0, 1): -log never overflows and never manufactures a clamped
+  // phantom gap the way the 24-bit float path did.
+  return -std::log(rng.next_uniform_double()) / rate;
+}
+
+LengthDistribution LengthDistribution::fixed(std::size_t tokens) {
+  if (tokens == 0) {
+    throw std::invalid_argument("LengthDistribution::fixed: zero tokens");
+  }
+  LengthDistribution d;
+  d.kind_ = Kind::kFixed;
+  d.a_ = static_cast<double>(tokens);
+  d.min_tokens_ = tokens;
+  d.max_tokens_ = tokens;
+  return d;
+}
+
+LengthDistribution LengthDistribution::lognormal(double median_tokens,
+                                                 double sigma,
+                                                 std::size_t min_tokens,
+                                                 std::size_t max_tokens) {
+  if (median_tokens <= 0.0 || sigma < 0.0 || min_tokens == 0 ||
+      max_tokens < min_tokens) {
+    throw std::invalid_argument("LengthDistribution::lognormal: bad params");
+  }
+  LengthDistribution d;
+  d.kind_ = Kind::kLognormal;
+  d.a_ = std::log(median_tokens);
+  d.b_ = sigma;
+  d.min_tokens_ = min_tokens;
+  d.max_tokens_ = max_tokens;
+  return d;
+}
+
+LengthDistribution LengthDistribution::pareto(double scale_tokens,
+                                              double alpha,
+                                              std::size_t min_tokens,
+                                              std::size_t max_tokens) {
+  if (scale_tokens <= 0.0 || alpha <= 0.0 || min_tokens == 0 ||
+      max_tokens < min_tokens) {
+    throw std::invalid_argument("LengthDistribution::pareto: bad params");
+  }
+  LengthDistribution d;
+  d.kind_ = Kind::kPareto;
+  d.a_ = scale_tokens;
+  d.b_ = alpha;
+  d.min_tokens_ = min_tokens;
+  d.max_tokens_ = max_tokens;
+  return d;
+}
+
+std::size_t LengthDistribution::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return static_cast<std::size_t>(a_);
+    case Kind::kLognormal:
+      return clamp_tokens(std::exp(a_ + b_ * sample_standard_normal(rng)),
+                          min_tokens_, max_tokens_);
+    case Kind::kPareto:
+      return clamp_tokens(
+          a_ * std::pow(rng.next_uniform_double(), -1.0 / b_), min_tokens_,
+          max_tokens_);
+  }
+  return min_tokens_;  // unreachable
+}
+
+double LengthDistribution::empirical_mean(std::uint64_t seed,
+                                          std::size_t draws) const {
+  if (kind_ == Kind::kFixed) return a_;
+  if (draws == 0) {
+    throw std::invalid_argument("LengthDistribution::empirical_mean: 0 draws");
+  }
+  Rng rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < draws; ++i) {
+    sum += static_cast<double>(sample(rng));
+  }
+  return sum / static_cast<double>(draws);
+}
+
+double DiurnalShape::modulation(Seconds t) const {
+  if (amplitude == 0.0) return 1.0;
+  return 1.0 + amplitude *
+                   std::sin(2.0 * std::numbers::pi * t / period + phase);
+}
+
+std::vector<Request> OpenLoopTraffic::generate() const {
+  if (base_rate_rps <= 0.0 || num_requests == 0) {
+    throw std::invalid_argument(
+        "OpenLoopTraffic: need base rate > 0, requests > 0");
+  }
+  if (diurnal.amplitude < 0.0 || diurnal.amplitude >= 1.0 ||
+      diurnal.period <= 0.0) {
+    throw std::invalid_argument(
+        "OpenLoopTraffic: diurnal amplitude must be in [0, 1), period > 0");
+  }
+  Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(num_requests);
+  // Lewis-Shedler thinning against the peak rate: candidate arrivals at
+  // the homogeneous peak rate, each kept with probability rate(t) / peak.
+  const double peak = base_rate_rps * (1.0 + diurnal.amplitude);
+  double t = 0.0;
+  while (out.size() < num_requests) {
+    t += sample_exponential(rng, peak);
+    if (diurnal.amplitude > 0.0 &&
+        rng.next_uniform_double() * peak >
+            base_rate_rps * diurnal.modulation(t)) {
+      continue;
+    }
+    out.push_back(Request{.arrival = t,
+                          .prompt_tokens = prompt.sample(rng),
+                          .output_tokens = output.sample(rng)});
+  }
+  return out;
+}
+
+}  // namespace voltage::sim

@@ -1,0 +1,105 @@
+// Traffic generation for the fleet-scale serving simulator.
+//
+// Production request streams are nothing like the single-rate Poisson +
+// scalar-service model the first simulator used: arrival rates swing
+// diurnally, and prompt/output token lengths are heavy-tailed (a few huge
+// prompts dominate mesh occupancy). This module generates both open-loop
+// streams (rate is an external fact, queue grows if the fleet cannot keep
+// up — the million-user regime) and closed-loop client pools (each user
+// waits for the answer, thinks, asks again — the benchmark-harness regime).
+//
+// All inverse-CDF sampling goes through Rng::next_uniform_double(), which
+// is open at 0, so -log(u) and u^(-1/alpha) never see a clamped phantom
+// extreme (see the Rng header).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.h"
+#include "tensor/rng.h"
+
+namespace voltage::sim {
+
+// One serving request: arrives at `arrival`, carries a prompt to prefill
+// and wants `output_tokens` generated one decode step at a time.
+struct Request {
+  Seconds arrival = 0.0;
+  std::size_t prompt_tokens = 1;
+  std::size_t output_tokens = 1;
+};
+
+// Exponential inter-arrival / think-time draw via inverse CDF.
+[[nodiscard]] Seconds sample_exponential(Rng& rng, double rate);
+
+// Token-length distribution: fixed, lognormal (body of the length mix) or
+// Pareto (the heavy tail). Samples clamp into [min_tokens, max_tokens]
+// (context windows are finite).
+class LengthDistribution {
+ public:
+  [[nodiscard]] static LengthDistribution fixed(std::size_t tokens);
+  // exp(N(log(median), sigma^2)), i.e. `median_tokens` is the p50.
+  [[nodiscard]] static LengthDistribution lognormal(double median_tokens,
+                                                    double sigma,
+                                                    std::size_t min_tokens,
+                                                    std::size_t max_tokens);
+  // scale * U^(-1/alpha): alpha <= 1 has infinite mean, only the clamp
+  // keeps it finite — allowed, but know what you are asking for.
+  [[nodiscard]] static LengthDistribution pareto(double scale_tokens,
+                                                 double alpha,
+                                                 std::size_t min_tokens,
+                                                 std::size_t max_tokens);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  // Monte-Carlo mean of the clamped distribution (the clamp makes closed
+  // forms wrong exactly in the tail that matters). Deterministic in `seed`.
+  [[nodiscard]] double empirical_mean(std::uint64_t seed,
+                                      std::size_t draws = 100000) const;
+
+ private:
+  enum class Kind : std::uint8_t { kFixed, kLognormal, kPareto };
+  Kind kind_ = Kind::kFixed;
+  double a_ = 1.0;  // fixed: tokens; lognormal: log(median); pareto: scale
+  double b_ = 0.0;  // lognormal: sigma; pareto: alpha
+  std::size_t min_tokens_ = 1;
+  std::size_t max_tokens_ = 1;
+};
+
+// Sinusoidal rate modulation: rate(t) = base * (1 + amplitude * sin(...)).
+// amplitude in [0, 1); amplitude 0 is a homogeneous Poisson process.
+struct DiurnalShape {
+  double amplitude = 0.0;
+  Seconds period = 86400.0;
+  double phase = 0.0;  // radians; 0 starts at the mean rate, rising
+
+  [[nodiscard]] double modulation(Seconds t) const;
+};
+
+// Open-loop arrivals: a non-homogeneous Poisson process (Lewis-Shedler
+// thinning against the peak rate) with per-request lengths drawn i.i.d.
+struct OpenLoopTraffic {
+  double base_rate_rps = 1.0;
+  DiurnalShape diurnal;
+  LengthDistribution prompt = LengthDistribution::fixed(16);
+  LengthDistribution output = LengthDistribution::fixed(64);
+  std::size_t num_requests = 10000;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::vector<Request> generate() const;
+};
+
+// Closed-loop client pool: each client issues a request, waits for the
+// full response, thinks for Exp(1/mean_think), repeats. The interesting
+// dynamics (think-time gating, self-throttling under overload) live in the
+// fleet simulator, which owns the issue/complete loop; this struct is the
+// population description.
+struct ClosedLoopClients {
+  std::size_t num_clients = 64;
+  Seconds mean_think = 1.0;
+  LengthDistribution prompt = LengthDistribution::fixed(16);
+  LengthDistribution output = LengthDistribution::fixed(64);
+  std::size_t requests_per_client = 16;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace voltage::sim

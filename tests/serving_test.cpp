@@ -16,7 +16,8 @@ TEST(Serving, LightLoadSojournIsServiceTime) {
   const ServingReport r = simulate_serving(0.5, arrivals(0.01));
   EXPECT_NEAR(r.p50, 0.5, 1e-6);
   EXPECT_LT(r.p99, 1.5);
-  EXPECT_LT(r.utilization, 0.01);
+  EXPECT_LT(r.offered_load, 0.01);
+  EXPECT_TRUE(r.stable);
 }
 
 TEST(Serving, SojournNeverBelowServiceTime) {
@@ -33,8 +34,13 @@ TEST(Serving, QueueingDelayGrowsWithLoad) {
   const ServingReport heavy = simulate_serving(0.5, arrivals(1.8));
   EXPECT_GT(heavy.mean, light.mean);
   EXPECT_GT(heavy.p99, light.p99);
-  EXPECT_NEAR(light.utilization, 0.2, 1e-9);
-  EXPECT_NEAR(heavy.utilization, 0.9, 1e-9);
+  EXPECT_NEAR(light.offered_load, 0.2, 1e-9);
+  EXPECT_NEAR(heavy.offered_load, 0.9, 1e-9);
+  // Achieved utilization is a busy fraction: below the offered load only
+  // by the idle tail after the last arrival, and never above 1.
+  EXPECT_LE(light.utilization, 1.0);
+  EXPECT_LE(heavy.utilization, 1.0);
+  EXPECT_TRUE(heavy.stable);
 }
 
 TEST(Serving, OverloadedQueueDiverges) {
@@ -44,7 +50,16 @@ TEST(Serving, OverloadedQueueDiverges) {
   const ServingReport large =
       simulate_serving(1.0, arrivals(1.5, 5000, 3));
   EXPECT_GT(large.max, 3.0 * small.max);
-  EXPECT_GT(large.utilization, 1.0);
+  // The old report called rho "utilization", which exceeds 1 under
+  // overload while looking like a healthy busy fraction. Now the busy
+  // fraction saturates at 1, the offered load is explicit, and the
+  // stable flag says the percentiles above are not steady-state numbers.
+  EXPECT_GT(large.offered_load, 1.0);
+  EXPECT_FALSE(large.stable);
+  EXPECT_LE(large.utilization, 1.0);
+  EXPECT_GT(large.utilization, 0.99);  // saturated server never idles
+  // Achieved throughput pins at the service rate, not the offered rate.
+  EXPECT_NEAR(large.throughput_rps, 1.0, 0.02);
 }
 
 TEST(Serving, FasterServiceImprovesTail) {
@@ -70,7 +85,8 @@ TEST(PipelineServing, HighThroughputButFullLatencyFloor) {
   EXPECT_GE(pipe.p50, 2.6);
   // A monolithic server with 1.0 s service collapses at the same load...
   const ServingReport mono = simulate_serving(1.0, arrivals(1.5));
-  EXPECT_GT(mono.utilization, 1.0);
+  EXPECT_GT(mono.offered_load, 1.0);
+  EXPECT_FALSE(mono.stable);
   EXPECT_GT(mono.p99, pipe.p99);
   // ...while at light load the monolithic low-latency server wins the tail.
   const ServingReport pipe_light =
