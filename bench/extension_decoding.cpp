@@ -14,7 +14,6 @@
 //   ./build/bench/extension_decoding [out.json]
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -53,12 +52,6 @@ struct Sample {
   }
 };
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,7 +87,7 @@ int main(int argc, char** argv) {
         logits = decoder.step(next);
         ++decoded;
       }
-      const double cached_s = seconds_since(cached_start);
+      const double cached_s = voltage::bench::seconds_since(cached_start);
       const std::uint64_t cached_bytes =
           decoder.fabric().total_stats().bytes_sent - cached_bytes0;
 
@@ -126,29 +119,25 @@ int main(int argc, char** argv) {
     voltage::bench::print_rule(72);
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  voltage::bench::JsonReport report(out_path);
+  report.field("benchmark", voltage::bench::quoted("distributed_decode"));
+  report.field("model", voltage::bench::quoted(model.spec().name));
+  report.field("prompt_tokens", std::to_string(kPrompt));
+  report.begin_results();
+  for (const Sample& s : samples) {
+    report.result(
+        "{\"devices\": " + std::to_string(s.devices) +
+        ", \"context\": " + std::to_string(s.context) +
+        ", \"cached_tokens_per_s\": " +
+        voltage::bench::num(s.cached_tokens_per_s) +
+        ", \"recompute_tokens_per_s\": " +
+        voltage::bench::num(s.recompute_tokens_per_s) +
+        ", \"speedup\": " + voltage::bench::num(s.speedup()) +
+        ", \"cached_bytes_per_token\": " +
+        voltage::bench::num(s.cached_bytes_per_token) +
+        ", \"recompute_bytes_per_token\": " +
+        voltage::bench::num(s.recompute_bytes_per_token) + "}");
   }
-  out << "{\n  \"benchmark\": \"distributed_decode\",\n"
-      << "  \"model\": \"" << model.spec().name << "\",\n"
-      << "  \"prompt_tokens\": " << kPrompt << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    out << "    {\"devices\": " << s.devices << ", \"context\": " << s.context
-        << ", \"cached_tokens_per_s\": "
-        << voltage::bench::num(s.cached_tokens_per_s)
-        << ", \"recompute_tokens_per_s\": "
-        << voltage::bench::num(s.recompute_tokens_per_s)
-        << ", \"speedup\": " << voltage::bench::num(s.speedup())
-        << ", \"cached_bytes_per_token\": "
-        << voltage::bench::num(s.cached_bytes_per_token)
-        << ", \"recompute_bytes_per_token\": "
-        << voltage::bench::num(s.recompute_bytes_per_token) << "}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::printf("(wrote %s)\n", out_path.c_str());
-  return 0;
+  report.end_results();
+  return report.finish() ? 0 : 1;
 }

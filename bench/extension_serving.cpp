@@ -20,10 +20,7 @@
 // regressions).
 //
 //   ./build/bench/extension_serving [out.json]
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -60,13 +57,6 @@ struct Sample {
   }
 };
 
-double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
-  return v[std::min(idx, v.size() - 1)];
-}
-
 Sample run_sweep(const TransformerModel& model, Precision precision,
                  std::size_t batch) {
   constexpr std::size_t kWarmup = 4;
@@ -89,32 +79,21 @@ Sample run_sweep(const TransformerModel& model, Precision precision,
   };
   for (std::size_t i = 0; i < kWarmup; ++i) advance();
 
-  std::vector<double> step_us;
-  step_us.reserve(kSteps);
   const TrafficStats before = decoder.fabric().total_stats();
-  const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < kSteps; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    advance();
-    step_us.push_back(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
-  }
-  const double total_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const voltage::bench::StepTiming timing =
+      voltage::bench::time_steps(kSteps, advance);
   const TrafficStats after = decoder.fabric().total_stats();
 
   Sample s;
   s.precision = precision;
   s.batch = batch;
   s.steps = kSteps;
-  s.tokens_per_s = total_s > 0.0
-                       ? static_cast<double>(batch * kSteps) / total_s
-                       : 0.0;
-  s.p50_step_us = percentile(step_us, 0.50);
-  s.p99_step_us = percentile(step_us, 0.99);
+  s.tokens_per_s =
+      timing.total_s > 0.0
+          ? static_cast<double>(batch * kSteps) / timing.total_s
+          : 0.0;
+  s.p50_step_us = voltage::bench::percentile(timing.step_us, 0.50);
+  s.p99_step_us = voltage::bench::percentile(timing.step_us, 0.99);
   s.messages_per_step =
       static_cast<double>(after.messages_sent - before.messages_sent) /
       static_cast<double>(kSteps);
@@ -165,39 +144,42 @@ int main(int argc, char** argv) {
               speedup, b16.messages_per_step, b1.messages_per_step,
               b16.bytes_per_step, b1.bytes_per_step);
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  voltage::bench::JsonReport report(out_path);
+  report.field("benchmark",
+               voltage::bench::quoted("continuous_batching_serving"));
+  report.field("model", voltage::bench::quoted(model.spec().name));
+  report.field("devices", std::to_string(kDevices));
+  report.begin_results();
+  for (const Sample& s : samples) {
+    report.result(
+        "{\"precision\": " +
+        voltage::bench::quoted(s.precision == Precision::kInt8 ? "int8"
+                                                               : "fp32") +
+        ", \"batch\": " + std::to_string(s.batch) +
+        ", \"steps\": " + std::to_string(s.steps) +
+        ", \"tokens_per_s\": " + voltage::bench::num(s.tokens_per_s) +
+        ", \"p50_step_us\": " + voltage::bench::num(s.p50_step_us) +
+        ", \"p99_step_us\": " + voltage::bench::num(s.p99_step_us) +
+        ", \"messages_per_step\": " +
+        voltage::bench::num(s.messages_per_step) +
+        ", \"bytes_per_step\": " + voltage::bench::num(s.bytes_per_step) +
+        ", \"bytes_per_token\": " + voltage::bench::num(s.bytes_per_token()) +
+        "}");
   }
-  out << "{\n  \"benchmark\": \"continuous_batching_serving\",\n"
-      << "  \"model\": \"" << model.spec().name << "\",\n"
-      << "  \"devices\": " << kDevices << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    out << "    {\"precision\": \""
-        << (s.precision == Precision::kInt8 ? "int8" : "fp32")
-        << "\", \"batch\": " << s.batch << ", \"steps\": " << s.steps
-        << ", \"tokens_per_s\": " << voltage::bench::num(s.tokens_per_s)
-        << ", \"p50_step_us\": " << voltage::bench::num(s.p50_step_us)
-        << ", \"p99_step_us\": " << voltage::bench::num(s.p99_step_us)
-        << ", \"messages_per_step\": "
-        << voltage::bench::num(s.messages_per_step)
-        << ", \"bytes_per_step\": " << voltage::bench::num(s.bytes_per_step)
-        << ", \"bytes_per_token\": " << voltage::bench::num(s.bytes_per_token())
-        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n  \"acceptance\": {\"throughput_speedup_b16\": "
-      << voltage::bench::num(speedup)
-      << ", \"throughput_ok\": " << (throughput_ok ? "true" : "false")
-      << ", \"messages_per_step_constant\": " << (messages_ok ? "true" : "false")
-      << ", \"bytes_per_step_sublinear\": "
-      << (bytes_sublinear ? "true" : "false") << "}\n}\n";
-  std::printf("(wrote %s)\n", out_path.c_str());
+  report.end_results();
+  report.field(
+      "acceptance",
+      "{\"throughput_speedup_b16\": " + voltage::bench::num(speedup) +
+          ", \"throughput_ok\": " + (throughput_ok ? "true" : "false") +
+          ", \"messages_per_step_constant\": " +
+          (messages_ok ? "true" : "false") +
+          ", \"bytes_per_step_sublinear\": " +
+          (bytes_sublinear ? "true" : "false") + "}");
+  const bool wrote = report.finish();
 
   if (!throughput_ok || !messages_ok || !bytes_sublinear) {
     std::fprintf(stderr, "serving acceptance thresholds not met\n");
     return 1;
   }
-  return 0;
+  return wrote ? 0 : 1;
 }

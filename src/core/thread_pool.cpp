@@ -15,8 +15,13 @@ namespace voltage {
 namespace {
 
 std::size_t hardware_threads() noexcept {
-  const unsigned n = std::thread::hardware_concurrency();
-  return n == 0 ? 1 : static_cast<std::size_t>(n);
+  // hardware_concurrency() is a syscall on glibc; cache it — this sits on
+  // the per-matmul dispatch path.
+  static const std::size_t cached = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? std::size_t{1} : static_cast<std::size_t>(n);
+  }();
+  return cached;
 }
 
 // VOLTAGE_THREADS, parsed once. 0 / unset / garbage means "auto".
@@ -176,6 +181,10 @@ void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
   if (begin >= end) return;
   const std::size_t range = end - begin;
   const std::size_t min_chunk = std::max<std::size_t>(grain, 1);
+  if (range <= min_chunk) {  // one chunk: skip budget and pool entirely
+    fn(ctx, begin, end);
+    return;
+  }
   std::size_t budget = intra_op_threads();
   if (t_in_parallel_region) budget = 1;  // nested regions serialize
   const std::size_t max_chunks =

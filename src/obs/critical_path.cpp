@@ -155,6 +155,8 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
     std::int64_t index = -1;
     std::int64_t trace_id = -1;
     std::int64_t batch = -1;
+    std::int64_t tokens = -1;
+    std::int64_t accepted = -1;
   };
   std::vector<Window> windows;
   const bool has_decode = std::any_of(
@@ -173,6 +175,8 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
         .index = e->request,
         .trace_id = e->trace,
         .batch = e->batch,
+        .tokens = e->tokens,
+        .accepted = e->accepted,
     });
   }
   if (windows.empty()) {
@@ -194,6 +198,8 @@ CriticalPathReport analyze_critical_path(const LoadedTrace& trace) {
     attribution.index = w.index;
     attribution.trace_id = w.trace_id;
     attribution.batch = w.batch;
+    attribution.tokens = w.tokens;
+    attribution.accepted = w.accepted;
     attribution.start_us = w.interval.first;
     attribution.wall_us = w.interval.second - w.interval.first;
 
@@ -444,14 +450,17 @@ std::string format_critical_path(const CriticalPathReport& report) {
 
   out += "\nwindows:\n";
   out +=
-      "window    idx  trace  batch       wall_us  straggler  "
-      "per-device compute/wire/wait (us)\n";
+      "window    idx  trace  batch  tokens  accepted       wall_us  "
+      "straggler  per-device compute/wire/wait (us)\n";
   for (const WindowAttribution& w : report.windows) {
     std::snprintf(line, sizeof(line),
-                  "%-8s  %3lld  %5lld  %5lld  %12lld  %9lld  ",
+                  "%-8s  %3lld  %5lld  %5lld  %6lld  %8lld  %12lld  "
+                  "%9lld  ",
                   w.label.c_str(), static_cast<long long>(w.index),
                   static_cast<long long>(w.trace_id),
                   static_cast<long long>(w.batch),
+                  static_cast<long long>(w.tokens),
+                  static_cast<long long>(w.accepted),
                   static_cast<long long>(w.wall_us),
                   static_cast<long long>(w.straggler_track));
     out += line;

@@ -53,10 +53,16 @@ struct WindowAttribution {
   std::int64_t index = -1;  // the span's request attr (token position), -1
   std::int64_t trace_id = -1;
   // Requests served by this window (the span's batch attr): a batched
-  // decode step generated this many tokens for one wall-clock window, so
-  // per-token cost is the decomposition below divided by batch. -1 when
+  // decode step advanced this many lanes in one wall-clock window. -1 when
   // the span carries no batch annotation.
   std::int64_t batch = -1;
+  // Tokens this window committed (the span's tokens attr): > batch when a
+  // speculative verify round accepted drafts, so per-token cost is the
+  // decomposition below divided by tokens. -1 on pre-speculation traces
+  // (then one token per lane). `accepted` is the window's accepted-draft
+  // count (-1 when unannotated).
+  std::int64_t tokens = -1;
+  std::int64_t accepted = -1;
   Micros start_us = 0;
   Micros wall_us = 0;
   std::vector<DeviceSlice> devices;  // sorted by track

@@ -63,6 +63,18 @@ void read_args(const json::Value& event, TraceEvent& out) {
       v != nullptr && v->is_number()) {
     out.batch = static_cast<std::int64_t>(v->as_number());
   }
+  if (const json::Value* v = args->find("tokens");
+      v != nullptr && v->is_number()) {
+    out.tokens = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("drafts");
+      v != nullptr && v->is_number()) {
+    out.drafts = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const json::Value* v = args->find("accepted");
+      v != nullptr && v->is_number()) {
+    out.accepted = static_cast<std::int64_t>(v->as_number());
+  }
   if (const json::Value* v = args->find("tag");
       v != nullptr && v->is_string()) {
     out.tag = v->as_string();
@@ -261,15 +273,29 @@ TraceReport build_report(const LoadedTrace& trace) {
       report.decode.prefill_us += e.duration_us;
     } else if (span_name == "decode.step") {
       const std::int64_t b = e.batch > 0 ? e.batch : 1;
+      // Speculative-era spans carry the committed-token count; older traces
+      // fall back to one token per lane.
+      const std::size_t committed =
+          e.tokens >= 0 ? static_cast<std::size_t>(e.tokens)
+                        : static_cast<std::size_t>(b);
       report.decode.steps += 1;
-      report.decode.tokens += static_cast<std::size_t>(b);
+      report.decode.tokens += committed;
       report.decode.step_us += e.duration_us;
       if (e.bytes > 0) report.decode.step_bytes += e.bytes;
       DecodeBatchRow& row = batches[b];
       row.batch = b;
       row.steps += 1;
       row.step_us += e.duration_us;
+      row.tokens += committed;
       if (e.bytes > 0) row.step_bytes += e.bytes;
+      if (e.drafts > 0) {
+        report.decode.drafts += static_cast<std::size_t>(e.drafts);
+        row.drafts += static_cast<std::size_t>(e.drafts);
+        if (e.accepted > 0) {
+          report.decode.accepted += static_cast<std::size_t>(e.accepted);
+          row.accepted += static_cast<std::size_t>(e.accepted);
+        }
+      }
     }
 
     if (e.layer < 0) continue;
@@ -352,25 +378,42 @@ std::string format_report(const TraceReport& report) {
   }
 
   if (report.decode.steps > 0 || report.decode.prefills > 0) {
-    out += "\ndecode  prefill_us  steps  tokens  tokens_per_s  bytes_per_token\n";
+    out += "\ndecode  prefill_us  steps  tokens  tok_per_step  tokens_per_s"
+           "  bytes_per_token  accept_rate\n";
+    char accept[32] = "-";
+    if (report.decode.drafts > 0) {
+      std::snprintf(accept, sizeof(accept), "%.3f",
+                    report.decode.acceptance_rate());
+    }
     std::snprintf(line, sizeof(line),
-                  "%6zu  %10lld  %5zu  %6zu  %12.1f  %15.0f\n",
+                  "%6zu  %10lld  %5zu  %6zu  %12.2f  %12.1f  %15.0f  %11s\n",
                   report.decode.prefills,
                   static_cast<long long>(report.decode.prefill_us),
                   report.decode.steps, report.decode.tokens,
+                  report.decode.tokens_per_step(),
                   report.decode.tokens_per_second(),
-                  report.decode.bytes_per_token());
+                  report.decode.bytes_per_token(), accept);
     out += line;
   }
 
   if (!report.decode.by_batch.empty()) {
-    out += "\nbatch  steps  step_us_mean  step_bytes_mean\n";
+    out += "\nbatch  steps  step_us_mean  step_bytes_mean  tok_per_step"
+           "  accept_rate\n";
     for (const DecodeBatchRow& row : report.decode.by_batch) {
       const double n = static_cast<double>(row.steps);
-      std::snprintf(line, sizeof(line), "%5lld  %5zu  %12.1f  %15.1f\n",
+      char accept[32] = "-";
+      if (row.drafts > 0) {
+        std::snprintf(accept, sizeof(accept), "%.3f",
+                      static_cast<double>(row.accepted) /
+                          static_cast<double>(row.drafts));
+      }
+      std::snprintf(line, sizeof(line),
+                    "%5lld  %5zu  %12.1f  %15.1f  %12.2f  %11s\n",
                     static_cast<long long>(row.batch), row.steps,
                     n > 0.0 ? static_cast<double>(row.step_us) / n : 0.0,
-                    n > 0.0 ? static_cast<double>(row.step_bytes) / n : 0.0);
+                    n > 0.0 ? static_cast<double>(row.step_bytes) / n : 0.0,
+                    n > 0.0 ? static_cast<double>(row.tokens) / n : 0.0,
+                    accept);
       out += line;
     }
   }

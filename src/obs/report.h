@@ -93,18 +93,25 @@ struct DecodeBatchRow {
   std::size_t steps = 0;
   Micros step_us = 0;
   std::int64_t step_bytes = 0;
+  std::size_t tokens = 0;    // committed tokens (see DecodeStats::tokens)
+  std::size_t drafts = 0;    // drafts verified by these steps
+  std::size_t accepted = 0;  // drafts accepted
 };
 
 // Aggregation of the decoding spans ("decode.prefill" / "decode.step",
 // emitted by DistributedDecoder's terminal): step throughput and the wire
-// cost per generated token. A batched step generates one token per request,
-// so `tokens` sums max(1, batch) over steps and the per-token rates divide
-// by tokens, not steps.
+// cost per committed token. Speculative-era spans carry the committed-token
+// count in the "tokens" attr (1 + accepted drafts per lane) plus the
+// verified/accepted draft counts; pre-speculation traces lack the attrs, so
+// `tokens` falls back to max(1, batch) per step and the acceptance columns
+// stay unreported (drafts == 0).
 struct DecodeStats {
   std::size_t prefills = 0;
   Micros prefill_us = 0;
   std::size_t steps = 0;          // batched decode iterations
-  std::size_t tokens = 0;         // generated tokens: Σ max(1, batch)
+  std::size_t tokens = 0;         // committed tokens
+  std::size_t drafts = 0;         // draft tokens verified
+  std::size_t accepted = 0;       // draft tokens accepted
   Micros step_us = 0;             // summed step durations
   std::int64_t step_bytes = 0;    // summed per-step wire bytes
   std::vector<DecodeBatchRow> by_batch;  // sorted by batch size
@@ -117,6 +124,18 @@ struct DecodeStats {
   [[nodiscard]] double bytes_per_token() const noexcept {
     return tokens > 0 ? static_cast<double>(step_bytes) /
                             static_cast<double>(tokens)
+                      : 0.0;
+  }
+  // Committed tokens per verify step — > 1 when speculation is landing.
+  [[nodiscard]] double tokens_per_step() const noexcept {
+    return steps > 0 ? static_cast<double>(tokens) /
+                           static_cast<double>(steps)
+                     : 0.0;
+  }
+  // Accepted / verified drafts; 0 when the trace carries no draft data.
+  [[nodiscard]] double acceptance_rate() const noexcept {
+    return drafts > 0 ? static_cast<double>(accepted) /
+                            static_cast<double>(drafts)
                       : 0.0;
   }
 };

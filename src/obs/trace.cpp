@@ -186,6 +186,18 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       arg_comma();
       out << "\"batch\":" << e.batch;
     }
+    if (e.tokens >= 0) {
+      arg_comma();
+      out << "\"tokens\":" << e.tokens;
+    }
+    if (e.drafts >= 0) {
+      arg_comma();
+      out << "\"drafts\":" << e.drafts;
+    }
+    if (e.accepted >= 0) {
+      arg_comma();
+      out << "\"accepted\":" << e.accepted;
+    }
     if (e.trace >= 0) {
       arg_comma();
       out << "\"trace\":" << e.trace;

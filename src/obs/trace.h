@@ -67,6 +67,13 @@ struct TraceEvent {
   // them). -1 on spans that serve a single sequence, so reports can count
   // generated tokens as max(1, batch) per step.
   std::int64_t batch = -1;
+  // Speculative-decode accounting on "decode.step" spans: tokens the step
+  // committed (1 + accepted drafts per lane), drafts it verified and drafts
+  // it accepted. -1 on pre-speculation traces, so reports fall back to the
+  // max(1, batch) committed-token estimate and omit acceptance columns.
+  std::int64_t tokens = -1;
+  std::int64_t drafts = -1;
+  std::int64_t accepted = -1;
   // Request-scoped trace id (see next_trace_id); -1 means "not set". Spans
   // stamp it automatically from the ambient thread trace id.
   std::int64_t trace = -1;
@@ -222,6 +229,18 @@ class TraceSpan {
   }
   TraceSpan& batch(std::int64_t b) noexcept {
     if (tracer_ != nullptr) event_.batch = b;
+    return *this;
+  }
+  TraceSpan& tokens(std::int64_t t) noexcept {
+    if (tracer_ != nullptr) event_.tokens = t;
+    return *this;
+  }
+  TraceSpan& drafts(std::int64_t d) noexcept {
+    if (tracer_ != nullptr) event_.drafts = d;
+    return *this;
+  }
+  TraceSpan& accepted(std::int64_t a) noexcept {
+    if (tracer_ != nullptr) event_.accepted = a;
     return *this;
   }
   TraceSpan& tag(const char* t) {

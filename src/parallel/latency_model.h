@@ -99,4 +99,20 @@ enum class AllReduceAlgo : std::uint8_t { kStar, kRing };
   return messages * link.per_message_latency + bytes * 8.0 / link.bandwidth_bps;
 }
 
+// Multi-row decode step (a speculative verify window or a multi-token
+// extend): the round still sends the same `messages` — that is the whole
+// point of the window protocol — but its payload grows linearly in the rows
+// carried: `fixed_bytes` of per-step framing plus `bytes_per_row` for each
+// verified position (embedded row out, per-row merge triples and final
+// hidden row back). Per-message latency is therefore amortized over `rows`
+// while serialization is not.
+[[nodiscard]] inline Seconds decode_step_wire_time(double messages,
+                                                   double fixed_bytes,
+                                                   double bytes_per_row,
+                                                   double rows,
+                                                   const LinkModel& link) {
+  return decode_step_wire_time(messages, fixed_bytes + bytes_per_row * rows,
+                               link);
+}
+
 }  // namespace voltage

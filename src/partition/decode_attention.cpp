@@ -148,6 +148,20 @@ void DecodeLayerCache::append(const Tensor& block, const AttentionWeights& w) {
   }
 }
 
+void DecodeLayerCache::truncate(std::size_t n) {
+  if (n == 0) return;
+  if (n > rows_) {
+    throw std::out_of_range("DecodeLayerCache: truncate past the beginning");
+  }
+  rows_ -= n;
+  const std::size_t needed =
+      (rows_ + rows_per_block_ - 1) / rows_per_block_;
+  while (blocks_.size() > needed) {
+    pool_->release(blocks_.back());
+    blocks_.pop_back();
+  }
+}
+
 Tensor decode_partial_attention(const Tensor& x_row,
                                 const DecodeLayerCache& cache,
                                 const AttentionWeights& w,
@@ -222,6 +236,147 @@ Tensor decode_partial_attention(const Tensor& x_row,
       for (std::size_t c = 0; c < fh; ++c) out[2 + c] = o(0, c);
       out[0] = m;
       out[1] = denom;
+    }
+  }
+  return packed;
+}
+
+Tensor decode_window_partial_attention(const Tensor& x_rows,
+                                       const std::vector<bool>& owned,
+                                       DecodeLayerCache& cache,
+                                       const AttentionWeights& w,
+                                       const LayerConfig& config) {
+  const std::size_t window = x_rows.rows();
+  if (window == 0 || x_rows.cols() != config.hidden) {
+    throw std::invalid_argument(
+        "decode_window_partial_attention: need [W x F] rows");
+  }
+  if (owned.size() != window) {
+    throw std::invalid_argument(
+        "decode_window_partial_attention: owned mask / window mismatch");
+  }
+  const DecodeWindowRef win{
+      .begin = 0, .end = window, .owned = &owned, .cache = &cache};
+  return decode_windows_partial_attention(
+      x_rows, std::span<const DecodeWindowRef>(&win, 1), w, config);
+}
+
+Tensor decode_windows_partial_attention(const Tensor& x_rows,
+                                        std::span<const DecodeWindowRef> windows,
+                                        const AttentionWeights& w,
+                                        const LayerConfig& config) {
+  const std::size_t rows = x_rows.rows();
+  if (rows == 0 || x_rows.cols() != config.hidden) {
+    throw std::invalid_argument(
+        "decode_windows_partial_attention: need [R x F] rows");
+  }
+  bool any_reordered = false;
+  for (const DecodeWindowRef& win : windows) {
+    if (win.begin >= win.end || win.end > rows || win.owned == nullptr ||
+        win.cache == nullptr || win.owned->size() != win.end - win.begin) {
+      throw std::invalid_argument(
+          "decode_windows_partial_attention: malformed window");
+    }
+    any_reordered |= win.cache->resident() == AttentionOrder::kReordered;
+  }
+  const std::size_t heads = config.heads;
+  const std::size_t fh = config.head_dim;
+  const std::size_t f = config.hidden;
+  const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(fh));
+  Tensor packed = softmax_partial_identity(rows, heads, fh);
+
+  // Hoisted query-side projections: cache-independent, so one [R x .] GEMM
+  // per head covers every window row. Row slices of a GEMM are bitwise
+  // equal to the per-row GEMVs they replace.
+  std::vector<Tensor> q_all;   // R x F_H per head
+  std::vector<Tensor> qk_all;  // R x F per head (reordered windows only)
+  q_all.reserve(heads);
+  if (any_reordered) qk_all.reserve(heads);
+  for (std::size_t h = 0; h < heads; ++h) {
+    q_all.push_back(matmul(x_rows, w.heads[h].wq));
+    if (any_reordered) {
+      qk_all.push_back(
+          matmul(q_all[h], w.heads[h].wk, Trans::kNo, Trans::kYes));
+    }
+  }
+  // Reordered rows buffer their weighted-x sums so W_V applies once per
+  // head at the end — linearity lets it commute with the row loop, and row
+  // slices keep the chains bitwise identical to a per-row projection.
+  std::vector<Tensor> xsum_all;
+  std::vector<bool> reordered_row(rows, false);
+  if (any_reordered) {
+    xsum_all.reserve(heads);
+    for (std::size_t h = 0; h < heads; ++h) xsum_all.emplace_back(rows, f);
+  }
+
+  std::vector<float> scores;
+  for (const DecodeWindowRef& win : windows) {
+    DecodeLayerCache& cache = *win.cache;
+    const bool naive = cache.resident() == AttentionOrder::kNaive;
+    for (std::size_t j = win.begin; j < win.end; ++j) {
+      // Append-before-attend, in window order: this device's earlier window
+      // rows are already resident when row j scores, later ones are not —
+      // the causal structure of the window without an explicit mask.
+      if ((*win.owned)[j - win.begin]) {
+        cache.append(x_rows.slice_rows(j, j + 1), w);
+      }
+      const std::size_t p = cache.rows();
+      if (p == 0) continue;  // the packed row stays the merge identity
+      scores.resize(p);
+      for (std::size_t h = 0; h < heads; ++h) {
+        float* const out = packed.row(j).data() + h * (fh + 2);
+        if (naive) {
+          const float* qd = q_all[h].row(j).data();
+          for (std::size_t r = 0; r < p; ++r) {
+            float dot = 0.0F;
+            const float* kr = cache.position_row(r) + h * fh;
+            for (std::size_t c = 0; c < fh; ++c) dot += qd[c] * kr[c];
+            scores[r] = dot * inv_sqrt;
+          }
+          float m = kNegInf;
+          for (std::size_t r = 0; r < p; ++r) m = std::max(m, scores[r]);
+          float denom = 0.0F;
+          for (std::size_t r = 0; r < p; ++r) {
+            const float e = std::exp(scores[r] - m);
+            denom += e;
+            const float* vr = cache.position_row(r) + (heads + h) * fh;
+            for (std::size_t c = 0; c < fh; ++c) out[2 + c] += e * vr[c];
+          }
+          out[0] = m;
+          out[1] = denom;
+        } else {
+          const float* qd = qk_all[h].row(j).data();
+          for (std::size_t r = 0; r < p; ++r) {
+            float dot = 0.0F;
+            const float* xr = cache.position_row(r);
+            for (std::size_t c = 0; c < f; ++c) dot += qd[c] * xr[c];
+            scores[r] = dot * inv_sqrt;
+          }
+          float m = kNegInf;
+          for (std::size_t r = 0; r < p; ++r) m = std::max(m, scores[r]);
+          float denom = 0.0F;
+          float* const xs = xsum_all[h].row(j).data();
+          for (std::size_t r = 0; r < p; ++r) {
+            const float e = std::exp(scores[r] - m);
+            denom += e;
+            const float* xr = cache.position_row(r);
+            for (std::size_t c = 0; c < f; ++c) xs[c] += e * xr[c];
+          }
+          out[0] = m;
+          out[1] = denom;
+        }
+      }
+      if (!naive) reordered_row[j] = true;
+    }
+  }
+  if (any_reordered) {
+    for (std::size_t h = 0; h < heads; ++h) {
+      const Tensor o = matmul(xsum_all[h], w.heads[h].wv);  // R x F_H
+      for (std::size_t j = 0; j < rows; ++j) {
+        if (!reordered_row[j]) continue;
+        float* const out = packed.row(j).data() + h * (fh + 2);
+        for (std::size_t c = 0; c < fh; ++c) out[2 + c] = o(j, c);
+      }
     }
   }
   return packed;

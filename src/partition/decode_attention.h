@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "partition/order.h"
@@ -128,6 +129,14 @@ class DecodeLayerCache {
   // form: K/V projections for kNaive, the raw rows for kReordered.
   void append(const Tensor& block, const AttentionWeights& w);
 
+  // Rolls back the newest `n` positions — the speculative-decode rejection
+  // path: a verify window appends draft rows optimistically and truncates
+  // the rejected tail. Blocks emptied by the rollback return to the pool;
+  // surviving rows are untouched (a later append overwrites the stale floats
+  // in the partially-filled tail block). Throws std::out_of_range when n
+  // exceeds the resident row count.
+  void truncate(std::size_t n);
+
   [[nodiscard]] AttentionOrder resident() const noexcept { return resident_; }
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   // Logical resident bytes (rows x the resident form's per-position width);
@@ -143,6 +152,9 @@ class DecodeLayerCache {
                                          const DecodeLayerCache& cache,
                                          const AttentionWeights& w,
                                          const LayerConfig& config);
+  friend Tensor decode_windows_partial_attention(
+      const Tensor& x_rows, std::span<const struct DecodeWindowRef> windows,
+      const AttentionWeights& w, const LayerConfig& config);
 
   // Position row j: kNaive packs [K_0 .. K_{H-1} | V_0 .. V_{H-1}] (stride
   // 2 H F_H), kReordered the raw x row (stride F).
@@ -176,6 +188,44 @@ class DecodeLayerCache {
                                               const DecodeLayerCache& cache,
                                               const AttentionWeights& w,
                                               const LayerConfig& config);
+
+// Speculative-window variant: partial attention for all W rows of a verify
+// window ([W x F], row j = the token at window position j) in one call,
+// returning [W x softmax_partial_cols(H, F_H)]. Rows this device owns
+// (owned[j] true) are appended to the cache *before* their own partial is
+// computed; rows are processed strictly in window order, so the append
+// sequencing IS the intra-window causal mask: row j scores against the
+// resident past plus exactly the device's window positions < j (and itself
+// when owned), never a later draft. Unioned across devices via the merge,
+// row j therefore attends to positions 0..base+j — bitwise the same partial
+// the sequential single-token path would have produced after committing
+// rows 0..j-1. The rejected tail is undone with truncate().
+[[nodiscard]] Tensor decode_window_partial_attention(
+    const Tensor& x_rows, const std::vector<bool>& owned,
+    DecodeLayerCache& cache, const AttentionWeights& w,
+    const LayerConfig& config);
+
+// One verify window of a multi-window batch: command rows [begin, end) of
+// the step belong to this window's sequence; owned[j] marks the rows this
+// device appends to `cache` (in window order, before the row attends).
+struct DecodeWindowRef {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  const std::vector<bool>* owned = nullptr;
+  DecodeLayerCache* cache = nullptr;
+};
+
+// Batched form of decode_window_partial_attention over every window of a
+// step at once ([R x F] command rows -> [R x softmax_partial_cols]). The
+// query-side projections are cache-independent, so one [R x .] GEMM per
+// head covers all windows — replacing R single-row GEMVs, the dominant
+// per-row cost of batched decode — while the scoring loops run per row in
+// window order exactly as the single-window form does. Row slices of a GEMM
+// are bitwise equal to the per-row calls, so each packed row is identical
+// to what decode_window_partial_attention would have produced.
+[[nodiscard]] Tensor decode_windows_partial_attention(
+    const Tensor& x_rows, std::span<const DecodeWindowRef> windows,
+    const AttentionWeights& w, const LayerConfig& config);
 
 // Exact log-sum-exp merge of `incoming` into `acc` (both packed partials of
 // identical shape, any row count — row r of every operand belongs to the

@@ -29,6 +29,16 @@
 // identical to stepping each sequence alone. The single-sequence
 // prime()/step()/extend() API is slot 0 throughout.
 //
+// Speculative decoding: step_speculative() widens each lane from one token
+// to a verify window (one committed token + k drafts from a Drafter). The
+// window rides the same wire round — one command broadcast carrying all
+// rows, one k-row softmax merge per layer, one final send — so k draft
+// positions are verified for the message cost of a single token; greedy
+// longest-prefix acceptance then commits the matched tokens and every
+// device truncates the rejected rows from its caches. Output is guaranteed
+// token-identical to sequential greedy decode (DESIGN.md "Speculative
+// decoding").
+//
 // Device k = persistent worker thread k (spawned once at construction; the
 // caches live on them across calls); the calling thread is the terminal
 // device K, running embedding and the LM head. New decode positions are
@@ -65,6 +75,24 @@ using SlotId = std::size_t;
 struct SlotToken {
   SlotId slot = 0;
   TokenId token = 0;
+};
+
+// One lane of a speculative verify round (step_speculative): commit `token`
+// to `slot` and verify the `drafts` — a guessed greedy continuation from a
+// Drafter (runtime/drafter.h) — in the same collective round-trip. Empty
+// drafts make the lane an ordinary single-token step.
+struct SlotWindow {
+  SlotId slot = 0;
+  TokenId token = 0;
+  std::span<const TokenId> drafts;
+};
+
+// What one lane's verify round committed.
+struct LaneCommit {
+  std::size_t accepted = 0;     // drafts the target model agreed with
+  std::size_t drafted = 0;      // drafts actually verified (window may trim)
+  std::vector<TokenId> tokens;  // accepted + 1 greedy tokens, in order
+  Tensor logits;                // [1 x vocab] — produced tokens.back()
 };
 
 class DistributedDecoder {
@@ -124,6 +152,22 @@ class DistributedDecoder {
   // round per layer; each lane's result is bitwise identical to stepping its
   // slot alone. Lanes must name distinct, primed slots.
   [[nodiscard]] Tensor step_batch(std::span<const SlotToken> batch);
+
+  // One speculative verify round: for every lane, commits lanes[w].token,
+  // verifies its drafts against the target model's own greedy choices, and
+  // commits the longest matching prefix plus the model's one bonus token —
+  // all lanes, all draft positions, in a single command broadcast and one
+  // softmax-merge round per layer, the *same message count as a single
+  // token*. Rejected draft positions are rolled out of every device's KV
+  // cache before the call returns, so the decoder state afterwards is
+  // exactly "the committed tokens were stepped one by one": the returned
+  // token stream is token-identical (and the logits bitwise identical) to
+  // sequential greedy decode, whatever the drafter proposed. Speculative
+  // and draftless lanes mix freely in one round. Drafts are trimmed to the
+  // slot's remaining context window; lanes must name distinct, primed slots
+  // with at least one position of window left.
+  [[nodiscard]] std::vector<LaneCommit> step_speculative(
+      std::span<const SlotWindow> lanes);
 
   // Frees the slot: every device returns its KV blocks to the pool and the
   // slot id becomes reusable. The mesh stays live for the other slots.
@@ -239,14 +283,31 @@ class DistributedDecoder {
     std::vector<DecodeLayerCache> caches;
   };
 
+  // One verify/step round as the terminal sees it: window w commits the
+  // first `committed` of its tokens unconditionally and verifies the rest
+  // as drafts. step_batch, extend and step_speculative are all this round
+  // with different window shapes.
+  struct WindowSpec {
+    SlotId slot = 0;
+    std::vector<TokenId> tokens;  // committed prefix, then drafts
+    std::size_t committed = 1;
+  };
+  struct WindowRound {
+    Tensor logits;                       // [R x vocab], command-row aligned
+    std::vector<std::size_t> row_begin;  // per window: its first row
+    std::vector<std::size_t> accepted;   // per window: drafts accepted
+  };
+  [[nodiscard]] WindowRound run_window_round(
+      std::span<const WindowSpec> windows);
+
   void worker_main(std::size_t i);
   void worker_prefill(std::size_t i, std::size_t n,
                       std::vector<DecodeLayerCache>& caches,
                       KvBlockPool* pool, const RecvOptions& options,
                       obs::Tracer* tracer, Precision wire);
-  void worker_step_batch(std::size_t i, std::vector<WorkerSlot>& slots,
-                         const Tensor& cmd, const RecvOptions& options,
-                         obs::Tracer* tracer, Precision wire);
+  void worker_step_windows(std::size_t i, std::vector<WorkerSlot>& slots,
+                           const Tensor& cmd, const RecvOptions& options,
+                           obs::Tracer* tracer, Precision wire);
 
   void ensure_alive() const;
   void join_workers() noexcept;

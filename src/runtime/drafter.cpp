@@ -1,0 +1,111 @@
+#include "runtime/drafter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace voltage {
+
+PromptLookupDrafter::PromptLookupDrafter(std::size_t max_ngram)
+    : max_ngram_(max_ngram) {
+  if (max_ngram_ == 0) {
+    throw std::invalid_argument("PromptLookupDrafter: max_ngram == 0");
+  }
+}
+
+void PromptLookupDrafter::begin(std::span<const TokenId> prompt) {
+  history_.assign(prompt.begin(), prompt.end());
+}
+
+void PromptLookupDrafter::observe(std::span<const TokenId> tokens) {
+  history_.insert(history_.end(), tokens.begin(), tokens.end());
+}
+
+std::vector<TokenId> PromptLookupDrafter::draft(std::size_t max_tokens) {
+  const std::size_t n = history_.size();
+  if (max_tokens == 0 || n < 2) return {};
+  // Longest suffix n-gram first; among equal lengths, the most recent
+  // earlier occurrence (the best local predictor of what follows).
+  const std::size_t top = std::min(max_ngram_, n - 1);
+  for (std::size_t len = top; len >= 1; --len) {
+    const TokenId* suffix = history_.data() + (n - len);
+    for (std::size_t start = n - len; start-- > 0;) {
+      if (!std::equal(suffix, suffix + len, history_.data() + start)) continue;
+      // Continuation tokens after the match; it may legitimately run into
+      // the suffix region (a period-c cycle matches c back and its
+      // continuation replays the cycle), but never past the history.
+      const std::size_t follow = start + len;
+      const std::size_t take = std::min(max_tokens, n - follow);
+      if (take == 0) continue;
+      return {history_.begin() + static_cast<std::ptrdiff_t>(follow),
+              history_.begin() + static_cast<std::ptrdiff_t>(follow + take)};
+    }
+  }
+  return {};
+}
+
+ModelDrafter::ModelDrafter(const TransformerModel& model)
+    : decoder_(model), max_positions_(model.spec().max_positions) {}
+
+void ModelDrafter::begin(std::span<const TokenId> prompt) {
+  last_logits_ = decoder_.prime(prompt);
+  primed_ = true;
+}
+
+void ModelDrafter::observe(std::span<const TokenId> tokens) {
+  if (!primed_) {
+    throw std::logic_error("ModelDrafter: begin() before observe()");
+  }
+  if (tokens.empty()) return;
+  last_logits_ = decoder_.extend(tokens);
+}
+
+std::vector<TokenId> ModelDrafter::draft(std::size_t max_tokens) {
+  if (!primed_) {
+    throw std::logic_error("ModelDrafter: begin() before draft()");
+  }
+  std::vector<TokenId> drafts;
+  const std::size_t mark = decoder_.position();
+  Tensor logits = last_logits_;
+  while (drafts.size() < max_tokens &&
+         decoder_.position() + 1 <= max_positions_) {
+    const TokenId next = static_cast<TokenId>(argmax_row(logits, 0));
+    drafts.push_back(next);
+    // The last draft's own logits are never needed: the verifier supplies
+    // the real model's logits for every committed position.
+    if (drafts.size() == max_tokens) break;
+    logits = decoder_.step(next);
+  }
+  decoder_.rollback(mark);
+  return drafts;
+}
+
+SpeculationController::SpeculationController(std::size_t max_drafts,
+                                             double smoothing)
+    : max_drafts_(max_drafts), smoothing_(smoothing) {
+  if (smoothing_ <= 0.0 || smoothing_ > 1.0) {
+    throw std::invalid_argument("SpeculationController: smoothing in (0, 1]");
+  }
+}
+
+std::size_t SpeculationController::window() const noexcept {
+  if (max_drafts_ == 0) return 0;
+  // ceil(rate * max): a slot accepting ~everything keeps the full window,
+  // one accepting nothing still probes a single draft (the probe is free —
+  // it rides a round-trip that happens anyway).
+  const double scaled = rate_ * static_cast<double>(max_drafts_);
+  const auto window = static_cast<std::size_t>(std::ceil(scaled));
+  return std::clamp<std::size_t>(window, 1, max_drafts_);
+}
+
+void SpeculationController::update(std::size_t accepted,
+                                   std::size_t drafted) noexcept {
+  if (drafted == 0) return;
+  const double sample =
+      static_cast<double>(accepted) / static_cast<double>(drafted);
+  rate_ += smoothing_ * (sample - rate_);
+}
+
+}  // namespace voltage

@@ -1,0 +1,116 @@
+// Draft-token proposers for speculative decoding.
+//
+// A Drafter guesses the next few greedy tokens of a sequence so that
+// DistributedDecoder::step_speculative can verify the whole guess in one
+// collective round-trip (see DESIGN.md "Speculative decoding"). Drafts are
+// pure hints: the verifier commits exactly the longest prefix that matches
+// the target model's own greedy choices, so a bad drafter costs speed,
+// never correctness.
+//
+// Built-ins:
+//   PromptLookupDrafter — n-gram self-drafting (prompt lookup decoding): the
+//     continuation of the longest recent-suffix match within the sequence's
+//     own history. No second model, no extra compute; shines on repetitive
+//     text (code, templated prose, retrieval-heavy prompts).
+//   ModelDrafter — a replicated TransformerModel stepped greedily through an
+//     IncrementalDecoder, rolled back to the committed frontier after every
+//     verify round. Drafting with the target model itself yields 100%
+//     acceptance (useful as a harness baseline); the intended deployment is
+//     a smaller model with the same tokenizer.
+//
+// SpeculationController adapts the per-slot draft window to the observed
+// acceptance rate, so a sequence that stops being predictable stops paying
+// for rejected drafts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "transformer/decoder.h"
+#include "transformer/model.h"
+
+namespace voltage {
+
+class Drafter {
+ public:
+  virtual ~Drafter() = default;
+
+  // Starts a new sequence from its prompt, discarding prior state.
+  virtual void begin(std::span<const TokenId> prompt) = 0;
+
+  // Feeds tokens the verifier committed (in order). Every committed token
+  // is observed exactly once; drafts are never observed.
+  virtual void observe(std::span<const TokenId> tokens) = 0;
+
+  // Proposes up to `max_tokens` continuation tokens. May return fewer —
+  // including none, when the drafter has no confident guess (the verify
+  // round then degenerates to a normal single-token step).
+  [[nodiscard]] virtual std::vector<TokenId> draft(std::size_t max_tokens) = 0;
+};
+
+// N-gram prompt-lookup drafter: finds the longest suffix of the history
+// (up to `max_ngram` tokens) that re-occurs earlier, and proposes the
+// tokens that followed the earlier occurrence. Most recent match wins.
+class PromptLookupDrafter final : public Drafter {
+ public:
+  explicit PromptLookupDrafter(std::size_t max_ngram = 4);
+
+  void begin(std::span<const TokenId> prompt) override;
+  void observe(std::span<const TokenId> tokens) override;
+  [[nodiscard]] std::vector<TokenId> draft(std::size_t max_tokens) override;
+
+ private:
+  std::size_t max_ngram_;
+  std::vector<TokenId> history_;
+};
+
+// Greedy draft chain through a (usually smaller) replicated model. Keeps an
+// IncrementalDecoder in lock-step with the committed sequence; draft() runs
+// ahead greedily and rolls the decoder's caches back to the committed
+// frontier, so rejected guesses leave no trace.
+class ModelDrafter final : public Drafter {
+ public:
+  // `model` must outlive the drafter and share the target's tokenizer space.
+  explicit ModelDrafter(const TransformerModel& model);
+
+  void begin(std::span<const TokenId> prompt) override;
+  void observe(std::span<const TokenId> tokens) override;
+  [[nodiscard]] std::vector<TokenId> draft(std::size_t max_tokens) override;
+
+ private:
+  IncrementalDecoder decoder_;
+  std::size_t max_positions_;
+  // Greedy choice implied by the last committed token — the head of every
+  // draft chain. Empty until begin() has run.
+  Tensor last_logits_;
+  bool primed_ = false;
+};
+
+// Adapts the draft window to the slot's recent acceptance rate (EWMA over
+// verify rounds). A hot streak widens the window toward `max_drafts`; a
+// cold one shrinks it toward 1 so the slot stops wasting verify compute.
+class SpeculationController {
+ public:
+  explicit SpeculationController(std::size_t max_drafts = 4,
+                                 double smoothing = 0.25);
+
+  // Drafts to request for the next round (0 when speculation is disabled
+  // via max_drafts == 0, else in [1, max_drafts]).
+  [[nodiscard]] std::size_t window() const noexcept;
+
+  // Feeds one verify round's outcome; rounds that verified no drafts
+  // (drafted == 0) carry no acceptance signal and are ignored.
+  void update(std::size_t accepted, std::size_t drafted) noexcept;
+
+  [[nodiscard]] double acceptance_rate() const noexcept { return rate_; }
+  [[nodiscard]] std::size_t max_drafts() const noexcept { return max_drafts_; }
+
+ private:
+  std::size_t max_drafts_;
+  double smoothing_;
+  double rate_ = 1.0;  // optimistic start: probe the full window first
+};
+
+}  // namespace voltage

@@ -72,6 +72,14 @@ InferenceServer::InferenceServer(const TransformerModel& model,
     telemetry_->register_gauge("server.batch_occupancy", [this] {
       return static_cast<double>(batch_occupancy());
     });
+    telemetry_->register_gauge("server.spec_accept_rate", [this] {
+      const double accepted = static_cast<double>(
+          spec_accepted_.load(std::memory_order_relaxed));
+      const double rejected = static_cast<double>(
+          spec_rejected_.load(std::memory_order_relaxed));
+      const double drafted = accepted + rejected;
+      return drafted > 0.0 ? accepted / drafted : 0.0;
+    });
     telemetry_thread_ = std::thread([this] { telemetry_loop(); });
   }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
@@ -164,6 +172,7 @@ InferenceServer::~InferenceServer() {
     telemetry_->unregister("wire_bytes");
     telemetry_->unregister("server.queue_depth");
     telemetry_->unregister("server.batch_occupancy");
+    telemetry_->unregister("server.spec_accept_rate");
   }
 }
 
@@ -306,18 +315,20 @@ void InferenceServer::dispatch_loop() {
       }
     }
     if (!batch.empty()) {
+      if (metrics_ != nullptr) {
+        metrics_->histogram("server.batch_occupancy")
+            .record(static_cast<double>(batch.size()));
+      }
+      {
+        const std::lock_guard lock(mutex_);
+        batch_peak_ = std::max(batch_peak_, batch.size());
+      }
+    }
+    if (!batch.empty() && !options_.drafter_factory) {
       std::vector<SlotToken> lanes;
       lanes.reserve(batch.size());
       for (const ActiveRequest& active : batch) {
         lanes.push_back(SlotToken{.slot = active.slot, .token = active.next});
-      }
-      if (metrics_ != nullptr) {
-        metrics_->histogram("server.batch_occupancy")
-            .record(static_cast<double>(lanes.size()));
-      }
-      {
-        const std::lock_guard lock(mutex_);
-        batch_peak_ = std::max(batch_peak_, lanes.size());
       }
       Tensor logits(0, 0);
       try {
@@ -338,6 +349,70 @@ void InferenceServer::dispatch_loop() {
           active.next = static_cast<TokenId>(argmax_row(logits, r));
           active.generated.push_back(active.next);
           tokens_generated_.fetch_add(1, std::memory_order_relaxed);
+          if (active.generated.size() >= active.target) {
+            complete_generate(active);
+          } else {
+            still.push_back(std::move(active));
+          }
+        }
+        batch = std::move(still);
+      }
+    } else if (!batch.empty()) {
+      // Speculative iteration: each lane drafts a window sized by its
+      // controller (never past its remaining token budget) and the whole
+      // batch verifies in one step_speculative round. A lane whose drafter
+      // stays silent rides along as a plain single-token step.
+      std::vector<std::vector<TokenId>> drafts;
+      drafts.reserve(batch.size());
+      std::vector<SlotWindow> lanes;
+      lanes.reserve(batch.size());
+      for (ActiveRequest& active : batch) {
+        const std::size_t remaining = active.target - active.generated.size();
+        const std::size_t want =
+            std::min(active.spec.window(), remaining - 1);
+        std::vector<TokenId> guess;
+        if (want > 0 && active.drafter != nullptr) {
+          guess = active.drafter->draft(want);
+          if (guess.size() > want) guess.resize(want);
+        }
+        drafts.push_back(std::move(guess));
+        lanes.push_back(SlotWindow{
+            .slot = active.slot,
+            .token = active.next,
+            .drafts = std::span<const TokenId>(drafts.back().data(),
+                                               drafts.back().size())});
+      }
+      std::vector<LaneCommit> commits;
+      try {
+        commits = decoder_->step_speculative(
+            std::span<const SlotWindow>(lanes.data(), lanes.size()));
+      } catch (...) {
+        fail_batch(batch, std::current_exception());
+      }
+      if (!batch.empty()) {
+        std::vector<ActiveRequest> still;
+        still.reserve(batch.size());
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          ActiveRequest& active = batch[r];
+          const LaneCommit& commit = commits[r];
+          active.generated.insert(active.generated.end(),
+                                  commit.tokens.begin(), commit.tokens.end());
+          active.next = commit.tokens.back();
+          tokens_generated_.fetch_add(commit.tokens.size(),
+                                      std::memory_order_relaxed);
+          const std::size_t rejected = commit.drafted - commit.accepted;
+          spec_accepted_.fetch_add(commit.accepted,
+                                   std::memory_order_relaxed);
+          spec_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+          if (metrics_ != nullptr && commit.drafted > 0) {
+            metrics_->counter("server.spec_accepted").add(commit.accepted);
+            metrics_->counter("server.spec_rejected").add(rejected);
+          }
+          if (active.drafter != nullptr) {
+            active.drafter->observe(std::span<const TokenId>(
+                commit.tokens.data(), commit.tokens.size()));
+          }
+          active.spec.update(commit.accepted, commit.drafted);
           if (active.generated.size() >= active.target) {
             complete_generate(active);
           } else {
@@ -480,6 +555,13 @@ bool InferenceServer::admit_generate(Job job,
     if (active.generated.size() >= active.target) {
       complete_generate(active);
       return false;
+    }
+    if (options_.drafter_factory) {
+      active.drafter = options_.drafter_factory();
+      active.spec = SpeculationController(options_.max_draft_tokens);
+      active.drafter->begin(
+          std::span<const TokenId>(req.prompt.data(), req.prompt.size()));
+      active.drafter->observe(std::span<const TokenId>(&active.next, 1));
     }
     batch.push_back(std::move(active));
     return true;
@@ -648,6 +730,10 @@ ServerStats InferenceServer::stats() const {
     stats.runtime_rebuilds = runtime_rebuilds_;
     stats.batch_peak = batch_peak_;
   }
+  stats.spec_accepted = static_cast<std::size_t>(
+      spec_accepted_.load(std::memory_order_relaxed));
+  stats.spec_rejected = static_cast<std::size_t>(
+      spec_rejected_.load(std::memory_order_relaxed));
   stats.completed = sojourns.size();
   if (sojourns.empty()) return stats;
   const LatencyStats total = summarize(std::move(sojourns));

@@ -10,7 +10,9 @@
 //   - generation requests are served with iteration-level continuous
 //     batching (Orca-style): the dispatcher admits queued generations into a
 //     running batch (up to `max_batch`), advances every in-flight sequence
-//     by one token per DistributedDecoder::step_batch call, and requests
+//     each iteration — one token per DistributedDecoder::step_batch call,
+//     or up to 1 + max_draft_tokens when a drafter is configured and the
+//     speculative verify round accepts — and requests
 //     join and leave that batch at token granularity — a short completion
 //     never waits for a long batch-mate, and a newly admitted prompt starts
 //     decoding on the next iteration. Each sequence's KV state lives in
@@ -46,6 +48,7 @@
 #include "partition/order.h"
 #include "partition/scheme.h"
 #include "runtime/distributed_decoder.h"
+#include "runtime/drafter.h"
 #include "runtime/voltage_runtime.h"
 #include "transformer/model.h"
 
@@ -72,6 +75,12 @@ struct ServerStats {
   std::size_t runtime_rebuilds = 0;
   // Largest number of generation requests decoding in one batched step.
   std::size_t batch_peak = 0;
+  // Speculative decoding (only moves when Options::drafter_factory is set):
+  // draft tokens the verify rounds accepted vs rejected. The acceptance
+  // rate accepted/(accepted+rejected) is also exported live as the
+  // "server.spec_accept_rate" telemetry gauge.
+  std::size_t spec_accepted = 0;
+  std::size_t spec_rejected = 0;
   // Total sojourn = queue wait + service.
   Seconds mean = 0.0;
   Seconds p50 = 0.0;
@@ -120,6 +129,17 @@ class InferenceServer {
     // Caps each decoder device's KV block pool (see
     // DistributedDecoder::set_kv_block_limit); 0 = unbounded.
     std::size_t kv_block_limit = 0;
+    // Speculative decoding: when set, each admitted generation gets its own
+    // Drafter (e.g. [] { return std::make_unique<PromptLookupDrafter>(); })
+    // and the scheduler verifies up to `max_draft_tokens` drafted tokens per
+    // decode iteration through DistributedDecoder::step_speculative — same
+    // message count per round as a plain step, up to 1 + max_draft_tokens
+    // committed tokens. Output is bitwise identical to serving without a
+    // drafter (greedy verification; see DESIGN.md "Speculative decoding").
+    // A per-slot SpeculationController shrinks the window when drafts stop
+    // landing. Unset (default) = plain single-token stepping.
+    std::function<std::unique_ptr<Drafter>()> drafter_factory = {};
+    std::size_t max_draft_tokens = 4;
     // Test hook: builds the decoder's transport (devices = K workers + the
     // terminal) instead of make_transport(transport, ...) — the way to
     // inject a ChaosTransport underneath a serving batch. Called once per
@@ -213,6 +233,9 @@ class InferenceServer {
     SlotId slot = 0;
     std::vector<TokenId> generated;
     TokenId next = 0;  // last generated token: the next step's input
+    // Speculation state (null drafter when the server runs without one).
+    std::unique_ptr<Drafter> drafter;
+    SpeculationController spec;
     obs::Micros admitted_us = 0;
     obs::Micros first_token_us = 0;
     obs::Micros deadline_us = 0;  // absolute, 0 = none
@@ -248,6 +271,8 @@ class InferenceServer {
   std::atomic<std::uint64_t> tokens_generated_{0};
   std::atomic<std::uint64_t> requests_completed_{0};
   std::atomic<std::size_t> batch_size_{0};
+  std::atomic<std::uint64_t> spec_accepted_{0};
+  std::atomic<std::uint64_t> spec_rejected_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;

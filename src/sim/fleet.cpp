@@ -21,7 +21,10 @@ struct Pending {
 };
 
 struct Active {
-  std::size_t remaining = 0;
+  // Tokens still owed. Fractional: a speculative mesh commits
+  // MeshModel::tokens_per_step() (an expectation, rarely integral) per
+  // step, so completion times interpolate between step boundaries.
+  double remaining = 0.0;
   Seconds arrival = 0.0;
   std::size_t client = kNoClient;
   bool first_token_pending = true;
@@ -168,7 +171,8 @@ class FleetSim {
     const Seconds queue_wait =
         has_free_slot ? 0.0
                       : static_cast<double>(mesh.queue.size() + 1) *
-                            mean_output * step / bmax;
+                            mean_output * step /
+                            (bmax * cfg_.mesh.tokens_per_step());
     return queue_wait + cfg_.mesh.prefill_time(r.prompt_tokens) + step;
   }
 
@@ -183,9 +187,10 @@ class FleetSim {
       mesh.queue.pop_front();
       prefill += cfg_.mesh.prefill_time(p.req.prompt_tokens);
       queue_wait_.record(engine_.now() - p.req.arrival);
-      mesh.active.push_back(Active{.remaining = p.req.output_tokens,
-                                   .arrival = p.req.arrival,
-                                   .client = p.client});
+      mesh.active.push_back(
+          Active{.remaining = static_cast<double>(p.req.output_tokens),
+                 .arrival = p.req.arrival,
+                 .client = p.client});
     }
     if (mesh.active.empty()) return;
     const Seconds dt =
@@ -200,6 +205,9 @@ class FleetSim {
     const Seconds now = engine_.now();
     std::vector<Active> still_running;
     still_running.reserve(mesh.active.size());
+    // Each step commits tokens_per_step() tokens per lane (1.0 without
+    // speculation; the expected acceptance run length with it).
+    const double commit = cfg_.mesh.tokens_per_step();
     for (Active& a : mesh.active) {
       if (a.first_token_pending) {
         a.first_token_pending = false;
@@ -207,8 +215,9 @@ class FleetSim {
         ttft_.record(ttft);
         if (ttft <= cfg_.ttft_slo) ++within_slo_;
       }
-      ++tokens_generated_;
-      if (--a.remaining == 0) {
+      tokens_generated_ += std::min(commit, a.remaining);
+      a.remaining -= commit;
+      if (a.remaining <= 0.0) {
         ++completed_;
         e2e_.record(now - a.arrival);
         if (a.client != kNoClient) client_turnaround(a.client);
@@ -236,8 +245,7 @@ class FleetSim {
     }
     if (rep.makespan > 0.0) {
       rep.achieved_rps = static_cast<double>(completed_) / rep.makespan;
-      rep.tokens_per_s =
-          static_cast<double>(tokens_generated_) / rep.makespan;
+      rep.tokens_per_s = tokens_generated_ / rep.makespan;
       double busy = 0.0;
       for (const Mesh& mesh : meshes_) busy += mesh.busy;
       rep.mean_mesh_utilization =
@@ -263,7 +271,7 @@ class FleetSim {
   std::size_t completed_ = 0;
   std::size_t rejected_ = 0;
   std::size_t within_slo_ = 0;
-  std::uint64_t tokens_generated_ = 0;
+  double tokens_generated_ = 0.0;
   double output_token_sum_ = 0.0;
   double demand_seconds_ = 0.0;
 

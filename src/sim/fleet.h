@@ -3,9 +3,10 @@
 //
 // Each mesh runs iteration-level continuous batching exactly like the PR-8
 // server: requests join at step boundaries (paying their prefill on the
-// step they join), every step generates one token for each active
-// sequence, and the step's wall time comes from the calibrated MeshModel
-// occupancy curve. The balancer routes arrivals; per-mesh admission
+// step they join), every step generates MeshModel::tokens_per_step()
+// tokens for each active sequence (1 without speculation; the expected
+// acceptance run length for a with_speculation mesh), and the step's wall
+// time comes from the calibrated MeshModel occupancy curve. The balancer routes arrivals; per-mesh admission
 // control bounds queue depth; TTFT / end-to-end / queue-wait distributions
 // are tracked through obs::Histogram, so the simulator's percentiles are
 // bit-identical to what the live server's metrics would report on the same

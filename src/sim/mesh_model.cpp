@@ -76,14 +76,45 @@ MeshModel MeshModel::with_link(const LinkModel& link) const {
         std::max(p.step_time - wire_cal, 0.05 * p.step_time);
     p.step_time = compute + wire_new;
   }
-  return MeshModel(devices_, std::move(repriced), prefill_tokens_per_s_,
+  MeshModel result(devices_, std::move(repriced), prefill_tokens_per_s_,
                    prefill_overhead_, link);
+  result.spec_rows_ = spec_rows_;
+  result.spec_tokens_ = spec_tokens_;
+  return result;
+}
+
+double MeshModel::expected_tokens_per_step(std::size_t draft_tokens,
+                                           double accept_rate) {
+  if (accept_rate < 0.0 || accept_rate > 1.0) {
+    throw std::invalid_argument(
+        "MeshModel: acceptance rate must be in [0, 1]");
+  }
+  double expected = 1.0;
+  double run = 1.0;
+  for (std::size_t i = 0; i < draft_tokens; ++i) {
+    run *= accept_rate;
+    expected += run;
+  }
+  return expected;
+}
+
+MeshModel MeshModel::with_speculation(std::size_t draft_tokens,
+                                      double accept_rate) const {
+  MeshModel result = *this;
+  result.spec_rows_ =
+      spec_rows_ * static_cast<double>(1 + draft_tokens);
+  result.spec_tokens_ =
+      spec_tokens_ * expected_tokens_per_step(draft_tokens, accept_rate);
+  return result;
 }
 
 Seconds MeshModel::step_time(double batch) const {
   if (batch <= 0.0) {
     throw std::invalid_argument("MeshModel::step_time: batch <= 0");
   }
+  // Lanes -> rows: a speculative step carrying W rows per lane prices like
+  // a W-times-larger single-row batch (same protocol shape on the wire).
+  batch *= spec_rows_;
   if (batch <= curve_.front().batch) return curve_.front().step_time;
   for (std::size_t i = 1; i < curve_.size(); ++i) {
     if (batch <= curve_[i].batch) {
@@ -111,10 +142,16 @@ Seconds MeshModel::prefill_time(std::size_t prompt_tokens) const {
 }
 
 double MeshModel::saturated_tokens_per_s() const {
+  // At saturation the mesh moves rows at the top calibration point's rate;
+  // every spec_rows_ rows commit spec_tokens_ tokens (both 1.0 when no
+  // speculation is modelled).
   const StepPoint& top = curve_.back();
-  return top.batch / top.step_time;
+  return (top.batch / top.step_time) * spec_tokens_ / spec_rows_;
 }
 
-double MeshModel::max_calibrated_batch() const { return curve_.back().batch; }
+double MeshModel::max_calibrated_batch() const {
+  // In lanes: window rows eat into the calibrated row budget.
+  return std::max(1.0, curve_.back().batch / spec_rows_);
+}
 
 }  // namespace voltage::sim

@@ -53,9 +53,34 @@ class MeshModel {
   // link's added (never below the compute floor).
   [[nodiscard]] MeshModel with_link(const LinkModel& link) const;
 
-  // Piecewise-linear in batch over the calibration points; extrapolates
-  // the last segment's slope beyond the largest measured batch.
+  // Models the PR-10 speculative decoder: every step verifies a window of
+  // 1 + draft_tokens rows per lane in the same collective round and commits
+  // expected_tokens_per_step(draft_tokens, accept_rate) tokens per lane.
+  // On the wire and in compute a W-row window is indistinguishable from W
+  // single-row lanes (identical protocol shape), so step_time(b) prices a
+  // speculative step at the calibrated curve's b * W point — compute
+  // amortization, linear bytes and constant messages all fall out of the
+  // measurements. `accept_rate` is the per-draft acceptance probability in
+  // [0, 1]; draft_tokens == 0 is a no-op.
+  [[nodiscard]] MeshModel with_speculation(std::size_t draft_tokens,
+                                           double accept_rate) const;
+
+  // Expected committed tokens of one verify round with a k-draft window at
+  // per-draft acceptance p: 1 + p + p^2 + ... + p^k = (1 - p^(k+1))/(1 - p)
+  // (k + 1 at p == 1) — acceptance stops at the first rejected draft.
+  [[nodiscard]] static double expected_tokens_per_step(std::size_t draft_tokens,
+                                                       double accept_rate);
+
+  // Piecewise-linear in batch over the calibration points (batch counts
+  // lanes; a speculative model prices its window rows internally);
+  // extrapolates the last segment's slope beyond the largest measured batch.
   [[nodiscard]] Seconds step_time(double batch) const;
+
+  // Tokens one decode step commits per lane: 1.0 for a plain model, the
+  // expected acceptance run length for a with_speculation model.
+  [[nodiscard]] double tokens_per_step() const noexcept {
+    return spec_tokens_;
+  }
 
   // Time a joining request's prompt occupies the mesh before its sequence
   // can take part in decode steps.
@@ -77,6 +102,10 @@ class MeshModel {
   double prefill_tokens_per_s_ = 1.0;
   Seconds prefill_overhead_ = 0.0;
   LinkModel calibration_link_;
+  // Speculation shape (identity for a plain model): rows each lane carries
+  // per step and the expected tokens those rows commit.
+  double spec_rows_ = 1.0;
+  double spec_tokens_ = 1.0;
 };
 
 }  // namespace voltage::sim

@@ -96,6 +96,20 @@ Tensor IncrementalDecoder::extend(std::span<const TokenId> tokens) {
   return feed(model_.preprocess_at(tokens, position_));
 }
 
+void IncrementalDecoder::rollback(std::size_t position) {
+  if (position > position_) {
+    throw std::invalid_argument("IncrementalDecoder: rollback past the end");
+  }
+  if (position == position_) return;
+  for (LayerKvCache& cache : caches_) {
+    for (HeadKvCache& hc : cache.heads) {
+      hc.k = hc.k.slice_rows(0, position);
+      hc.v = hc.v.slice_rows(0, position);
+    }
+  }
+  position_ = position;
+}
+
 Tensor IncrementalDecoder::step(TokenId token) {
   if (position_ == 0) {
     throw std::logic_error("IncrementalDecoder: prime() before step()");

@@ -46,6 +46,13 @@ class IncrementalDecoder {
   // lengthened prompt.
   [[nodiscard]] Tensor extend(std::span<const TokenId> tokens);
 
+  // Forgets every cached position >= `position` — the speculative drafting
+  // rewind: a drafter runs greedy steps ahead, then rolls back to the last
+  // committed position once the distributed verifier has judged the drafts.
+  // No-op when already at `position`; throws std::invalid_argument when
+  // asked to roll forward.
+  void rollback(std::size_t position);
+
   // Forgets all cached state (start a new sequence).
   void reset();
 

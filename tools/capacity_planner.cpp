@@ -47,6 +47,11 @@ struct PlannerArgs {
   bool have_link = false;
   double link_mbps = 500.0;
   double link_latency_ms = 2.0;
+  // Optional speculative decoding model: K drafts per verify window at a
+  // per-draft acceptance probability (MeshModel::with_speculation).
+  bool have_spec = false;
+  std::size_t spec_drafts = 4;
+  double spec_accept = 0.7;
   std::string out_path;
 };
 
@@ -71,6 +76,8 @@ void print_usage(std::FILE* f, const char* argv0) {
       "  --diurnal-amplitude A --diurnal-period-s P\n"
       "                         sinusoidal rate modulation (default off)\n"
       "  --link MBPS:LAT_MS     re-price per-step wire over this link\n"
+      "  --spec K:ACC           model speculative decoding: K drafts per\n"
+      "                         verify window at per-draft acceptance ACC\n"
       "  --seed N               traffic seed (default 1)\n"
       "  --out FILE             write the JSON report to FILE\n",
       argv0);
@@ -112,9 +119,9 @@ std::string json_report(const PlannerArgs& args, const sim::MeshModel& mesh,
        args.max_batch, args.duration_s);
   emit("  \"calibration\": {\"source\": \"BENCH_serving.json fp32 K=4 + "
        "BENCH_decode.json\", \"devices_per_mesh\": %zu, "
-       "\"saturated_tokens_per_s\": %.1f, \"step_ms_b1\": %.3f, "
-       "\"step_ms_bmax\": %.3f},\n",
-       mesh.devices(), mesh.saturated_tokens_per_s(),
+       "\"saturated_tokens_per_s\": %.1f, \"tokens_per_step\": %.3f, "
+       "\"step_ms_b1\": %.3f, \"step_ms_bmax\": %.3f},\n",
+       mesh.devices(), mesh.saturated_tokens_per_s(), mesh.tokens_per_step(),
        mesh.step_time(1.0) * 1e3,
        mesh.step_time(mesh.max_calibrated_batch()) * 1e3);
   emit("  \"mean_demand_mesh_seconds\": %.6f,\n", mean_demand_s);
@@ -217,6 +224,17 @@ int main(int argc, char** argv) {
       args.link_mbps = std::atof(v);
       const char* colon = std::strchr(v, ':');
       if (colon != nullptr) args.link_latency_ms = std::atof(colon + 1);
+    } else if (std::strcmp(arg, "--spec") == 0) {
+      const char* v = need_value(i);
+      args.have_spec = true;
+      args.spec_drafts = static_cast<std::size_t>(std::atoll(v));
+      const char* colon = std::strchr(v, ':');
+      if (colon != nullptr) args.spec_accept = std::atof(colon + 1);
+      if (args.spec_accept < 0.0 || args.spec_accept > 1.0) {
+        std::fprintf(stderr,
+                     "capacity_planner: --spec acceptance must be in [0, 1]\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--out") == 0) {
       args.out_path = need_value(i);
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -238,6 +256,11 @@ int main(int argc, char** argv) {
   }
 
   sim::MeshModel mesh = sim::MeshModel::from_bench_serving();
+  // Speculation reshapes the compute/wire profile per step (window rows);
+  // the link re-pricing then applies to the reshaped steps.
+  if (args.have_spec) {
+    mesh = mesh.with_speculation(args.spec_drafts, args.spec_accept);
+  }
   if (args.have_link) {
     mesh = mesh.with_link(LinkModel::mbps(args.link_mbps,
                                           args.link_latency_ms * 1e-3));
